@@ -1,0 +1,153 @@
+// Design ablations (DESIGN.md E11):
+//  (a) CMA-WED recurrence variants: the corrected kExact recurrence vs the
+//      paper's printed Equation 7 — per-pair speed, and how often the
+//      printed form deviates from the true optimum per distance family.
+//  (b) GBP grid cell size: index build time and cells touched.
+
+#include <thread>
+
+#include "bench/bench_common.h"
+#include "prune/grid_index.h"
+#include "search/cma.h"
+#include "search/exacts.h"
+#include "util/rng.h"
+
+namespace trajsearch::bench {
+namespace {
+
+void VariantAblation(const BenchConfig& config) {
+  PrintHeader("[Ablation A] CMA-WED recurrence: corrected (kExact) vs "
+              "printed Eq 7");
+  const BenchDataset bench = MakeXian(config);
+  WorkloadOptions wopts;
+  wopts.count = std::max(4, config.queries);
+  wopts.min_length = 80;
+  wopts.max_length = 120;
+  wopts.seed = config.seed;
+  const Workload workload = SampleQueries(bench.data, wopts);
+  Rng rng(config.seed + 5);
+
+  TablePrinter table({"Dist", "Variant", "Time (s/pair)", "Mismatch vs ExactS"});
+  const std::vector<DistanceSpec> specs = {
+      DistanceSpec::Edr(bench.edr_epsilon), DistanceSpec::Erp(bench.erp_gap)};
+  for (const DistanceSpec& spec : specs) {
+    std::vector<int> partners;
+    for (size_t qi = 0; qi < workload.queries.size(); ++qi) {
+      partners.push_back(
+          static_cast<int>(rng.UniformInt(0, bench.data.size() - 1)));
+    }
+    for (const CmaWedVariant variant :
+         {CmaWedVariant::kExact, CmaWedVariant::kEq7Rolling}) {
+      int mismatches = 0;
+      Stopwatch watch;
+      for (size_t qi = 0; qi < workload.queries.size(); ++qi) {
+        const TrajectoryView q = workload.queries[qi].View();
+        const TrajectoryView d = bench.data[partners[qi]].View();
+        const SearchResult cma = CmaSearch(spec, q, d, variant);
+        const SearchResult exact = ExactSSearch(spec, q, d);
+        if (std::abs(cma.distance - exact.distance) > 1e-9) ++mismatches;
+      }
+      table.AddRow(
+          {std::string(ToString(spec.kind)),
+           variant == CmaWedVariant::kExact ? "kExact" : "kEq7Rolling",
+           TablePrinter::Num(watch.Seconds() /
+                                 static_cast<double>(workload.queries.size()),
+                             5),
+           std::to_string(mismatches) + "/" +
+               std::to_string(workload.queries.size())});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nNote: ExactS time dominates the per-pair figure; the variants "
+      "differ by <5%% in CMA time.\nOn taxi-like workloads both variants are "
+      "exact; adversarial ERP instances where Eq 7\ndeviates are constructed "
+      "in tests/cma_test.cc (PrefixDeletionMidTrajectoryRequiresCorrection).\n");
+}
+
+void GridAblation(const BenchConfig& config) {
+  PrintHeader("[Ablation B] GBP grid cell size: build cost vs selectivity");
+  const BenchDataset bench = MakeXian(config);
+  WorkloadOptions wopts;
+  wopts.count = std::max(2, config.queries / 2);
+  wopts.min_length = 100;
+  wopts.max_length = 120;
+  wopts.seed = config.seed;
+  const Workload workload = SampleQueries(bench.data, wopts);
+  const double bbox = std::max(bench.data.Bounds().Width(),
+                               bench.data.Bounds().Height());
+  TablePrinter table(
+      {"CellFrac", "Cells", "Build (s)", "AvgCandidates (mu=0.4)"});
+  for (const double frac :
+       {1.0 / 1024, 1.0 / 512, 1.0 / 256, 1.0 / 128, 1.0 / 64}) {
+    Stopwatch build;
+    const GridIndex index(bench.data, bbox * frac);
+    const double build_s = build.Seconds();
+    RunningStats candidates;
+    for (const Trajectory& q : workload.queries) {
+      candidates.Add(static_cast<double>(index.Candidates(q, 0.4).size()));
+    }
+    table.AddRow({TablePrinter::Num(frac, 6), std::to_string(index.cell_count()),
+                  TablePrinter::Num(build_s, 4),
+                  TablePrinter::Num(candidates.Mean(), 1)});
+  }
+  table.Print();
+}
+
+void ThreadAblation(const BenchConfig& config) {
+  PrintHeader("[Ablation C] Parallel engine: search-stage wall time vs "
+              "worker threads");
+  BenchDataset bench;
+  bench.data = GenerateTaxiDataset(XianProfile(
+      std::max(50, static_cast<int>(400 * config.scale))));
+  bench.erp_gap = bench.data.Bounds().Center();
+  WorkloadOptions wopts;
+  wopts.count = std::max(2, config.queries / 2);
+  wopts.min_length = 100;
+  wopts.max_length = 120;
+  wopts.seed = config.seed;
+  const Workload workload = SampleQueries(bench.data, wopts);
+
+  TablePrinter table({"Threads", "Total (s/query)", "Search (s/query)"});
+  for (const int threads : {1, 2, 4, 8}) {
+    EngineOptions options;
+    options.spec = DistanceSpec::Dtw();
+    options.use_gbp = false;  // search-bound so scaling is visible
+    options.use_kpf = false;
+    options.threads = threads;
+    const SearchEngine engine(&bench.data, options);
+    Stopwatch watch;
+    RunningStats search_time;
+    for (size_t qi = 0; qi < workload.queries.size(); ++qi) {
+      QueryStats stats;
+      engine.Query(workload.queries[qi], &stats, workload.source_ids[qi]);
+      search_time.Add(stats.search_seconds);
+    }
+    table.AddRow({std::to_string(threads),
+                  TablePrinter::Num(
+                      watch.Seconds() /
+                          static_cast<double>(workload.queries.size()),
+                      4),
+                  TablePrinter::Num(search_time.Mean(), 4)});
+  }
+  table.Print();
+  std::printf(
+      "\nNote: wall-clock speedup requires physical cores "
+      "(std::thread::hardware_concurrency() = %u on this host);\non a "
+      "single-core host the sweep exposes only the partitioning overhead. "
+      "Result equality with the serial\nengine is enforced by "
+      "tests/extensions_test.cc.\n",
+      std::thread::hardware_concurrency());
+}
+
+void Main(int argc, char** argv) {
+  const BenchConfig config = ParseBenchConfig(argc, argv);
+  VariantAblation(config);
+  GridAblation(config);
+  ThreadAblation(config);
+}
+
+}  // namespace
+}  // namespace trajsearch::bench
+
+int main(int argc, char** argv) { trajsearch::bench::Main(argc, argv); }

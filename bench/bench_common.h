@@ -1,0 +1,143 @@
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/dataset.h"
+#include "distance/distance.h"
+#include "gen/taxi.h"
+#include "gen/workload.h"
+#include "search/engine.h"
+#include "search/rls.h"
+#include "search/searcher.h"
+#include "util/flags.h"
+#include "util/stats.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace trajsearch::bench {
+
+/// Scale-aware dataset sizes. `scale` = 1.0 gives laptop defaults that keep
+/// every bench binary under a couple of minutes; larger scales approach the
+/// paper's full corpus sizes.
+struct BenchConfig {
+  double scale = 1.0;
+  int queries = 8;
+  uint64_t seed = 99;
+
+  int PortoCount() const { return static_cast<int>(3000 * scale); }
+  int XianCount() const { return static_cast<int>(500 * scale); }
+  int BeijingCount() const { return static_cast<int>(100 * scale); }
+};
+
+inline BenchConfig ParseBenchConfig(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  BenchConfig config;
+  config.scale = flags.GetDouble("scale", 1.0);
+  config.queries = static_cast<int>(flags.GetInt("queries", 8));
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 99));
+  return config;
+}
+
+/// Named dataset with its default query-length bucket and ERP gap point.
+struct BenchDataset {
+  Dataset data;
+  int default_query_min = 0;
+  int default_query_max = 0;
+  Point erp_gap{};
+  double edr_epsilon = 0;
+};
+
+inline BenchDataset MakePorto(const BenchConfig& config) {
+  BenchDataset b;
+  b.data = GenerateTaxiDataset(PortoProfile(config.PortoCount()));
+  b.default_query_min = 8;
+  b.default_query_max = 12;
+  b.erp_gap = b.data.Bounds().Center();
+  b.edr_epsilon = 0.003;  // ~300 m in degrees
+  return b;
+}
+
+inline BenchDataset MakeXian(const BenchConfig& config) {
+  BenchDataset b;
+  b.data = GenerateTaxiDataset(XianProfile(config.XianCount()));
+  b.default_query_min = 100;
+  b.default_query_max = 120;
+  b.erp_gap = b.data.Bounds().Center();
+  b.edr_epsilon = 0.001;
+  return b;
+}
+
+inline BenchDataset MakeBeijing(const BenchConfig& config) {
+  BenchDataset b;
+  b.data = GenerateTaxiDataset(BeijingProfile(config.BeijingCount()));
+  b.default_query_min = 300;
+  b.default_query_max = 400;
+  b.erp_gap = b.data.Bounds().Center();
+  b.edr_epsilon = 0.02;
+  return b;
+}
+
+/// The paper's four GPS distance functions, parameterized per dataset.
+inline std::vector<DistanceSpec> GpsSpecs(const BenchDataset& b) {
+  return {DistanceSpec::Dtw(), DistanceSpec::Edr(b.edr_epsilon),
+          DistanceSpec::Erp(b.erp_gap), DistanceSpec::Frechet()};
+}
+
+/// Trains an RLS / RLS-Skip policy on pairs sampled from the dataset.
+inline RlsPolicy TrainPolicyOn(const BenchDataset& bench,
+                               const std::vector<Trajectory>& queries,
+                               const DistanceSpec& spec, bool allow_skip,
+                               uint64_t seed) {
+  RlsOptions options;
+  options.allow_skip = allow_skip;
+  options.training_episodes = 40;
+  options.seed = seed;
+  std::vector<std::pair<TrajectoryView, TrajectoryView>> pairs;
+  Rng rng(seed * 3 + 1);
+  const size_t train_queries = std::min<size_t>(queries.size(), 4);
+  for (size_t qi = 0; qi < train_queries; ++qi) {
+    for (int r = 0; r < 3; ++r) {
+      const int id =
+          static_cast<int>(rng.UniformInt(0, bench.data.size() - 1));
+      if (bench.data[id].empty()) continue;
+      pairs.push_back({queries[qi].View(), bench.data[id].View()});
+    }
+  }
+  return TrainRlsPolicy(spec, pairs, options);
+}
+
+/// Builds a searcher, giving kRls/kRlsSkip the supplied trained policy.
+inline std::unique_ptr<Searcher> MakeBenchSearcher(Algorithm algo,
+                                                   const DistanceSpec& spec,
+                                                   const RlsPolicy* rls,
+                                                   const RlsPolicy* rls_skip) {
+  if (algo == Algorithm::kRls && rls != nullptr) {
+    return MakeRlsSearcher(spec, *rls);
+  }
+  if (algo == Algorithm::kRlsSkip && rls_skip != nullptr) {
+    return MakeRlsSearcher(spec, *rls_skip);
+  }
+  auto made = MakeSearcher(algo, spec);
+  return made.ok() ? made.MoveValue() : nullptr;
+}
+
+/// All algorithms of Tables 2/3, in the paper's row order.
+inline std::vector<Algorithm> PaperAlgorithms() {
+  return {Algorithm::kPos,    Algorithm::kPss,
+          Algorithm::kRls,    Algorithm::kRlsSkip,
+          Algorithm::kCma,    Algorithm::kExactS,
+          Algorithm::kSpring, Algorithm::kGreedyBacktracking};
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace trajsearch::bench

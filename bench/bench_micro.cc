@@ -1,0 +1,108 @@
+// Microbenchmarks (google-benchmark) for the §4.2/§5 complexity claims:
+// CMA kernels are O(mn) per pair while ExactS is O(mn^2) — the per-pair
+// time ratio must grow linearly with the data length n. Also covers the
+// exact O(mn) competitors (Spring for DTW, GB for Fréchet).
+
+#include <benchmark/benchmark.h>
+
+#include "gen/taxi.h"
+#include "search/cma.h"
+#include "search/exacts.h"
+#include "search/greedy_backtracking.h"
+#include "search/spring.h"
+#include "util/rng.h"
+
+namespace trajsearch {
+namespace {
+
+Trajectory MakeWalk(int length, uint64_t seed) {
+  TaxiProfile profile = XianProfile(1);
+  Rng rng(seed);
+  return GenerateTaxiTrajectory(profile, &rng, length);
+}
+
+const Trajectory& Query() {
+  static const Trajectory q = MakeWalk(64, 1);
+  return q;
+}
+
+void BM_CmaDtw(benchmark::State& state) {
+  const Trajectory d = MakeWalk(static_cast<int>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CmaSearch(DistanceSpec::Dtw(), Query(), d));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CmaDtw)->Range(128, 4096)->Complexity(benchmark::oN);
+
+void BM_CmaEdr(benchmark::State& state) {
+  const Trajectory d = MakeWalk(static_cast<int>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CmaSearch(DistanceSpec::Edr(0.001), Query(), d));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CmaEdr)->Range(128, 4096)->Complexity(benchmark::oN);
+
+void BM_CmaErp(benchmark::State& state) {
+  const Trajectory d = MakeWalk(static_cast<int>(state.range(0)), 4);
+  const DistanceSpec spec = DistanceSpec::Erp(d.Bounds().Center());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CmaSearch(spec, Query(), d));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CmaErp)->Range(128, 4096)->Complexity(benchmark::oN);
+
+void BM_CmaFrechet(benchmark::State& state) {
+  const Trajectory d = MakeWalk(static_cast<int>(state.range(0)), 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CmaSearch(DistanceSpec::Frechet(), Query(), d));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CmaFrechet)->Range(128, 4096)->Complexity(benchmark::oN);
+
+void BM_ExactSDtw(benchmark::State& state) {
+  const Trajectory d = MakeWalk(static_cast<int>(state.range(0)), 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExactSSearch(DistanceSpec::Dtw(), Query(), d));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ExactSDtw)->Range(128, 2048)->Complexity(benchmark::oNSquared);
+
+void BM_ExactSEdr(benchmark::State& state) {
+  const Trajectory d = MakeWalk(static_cast<int>(state.range(0)), 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ExactSSearch(DistanceSpec::Edr(0.001), Query(), d));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ExactSEdr)->Range(128, 2048)->Complexity(benchmark::oNSquared);
+
+void BM_SpringDtw(benchmark::State& state) {
+  const Trajectory d = MakeWalk(static_cast<int>(state.range(0)), 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SpringDtw::BestMatch(Query(), d));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SpringDtw)->Range(128, 4096)->Complexity(benchmark::oN);
+
+void BM_GreedyBacktrackingFrechet(benchmark::State& state) {
+  const Trajectory d = MakeWalk(static_cast<int>(state.range(0)), 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GreedyBacktrackingSearch(Query(), d));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_GreedyBacktrackingFrechet)
+    ->Range(128, 4096)
+    ->Complexity(benchmark::oNLogN);
+
+}  // namespace
+}  // namespace trajsearch
+
+BENCHMARK_MAIN();

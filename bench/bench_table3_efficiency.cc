@@ -1,0 +1,134 @@
+// Reproduces Table 3: end-to-end efficiency of all algorithms on the three
+// datasets. Each algorithm runs inside the full database pipeline
+// (GBP + KPF pruning, then per-trajectory search, Algorithm 3).
+//
+// ExactS is O(mn^2) per trajectory and, exactly as in the paper, becomes
+// unaffordable on long-trajectory datasets: its cost is measured on a sample
+// of surviving candidates and extrapolated; projections beyond the
+// --overtime budget are reported as "overtime" (the paper's Beijing row).
+
+#include "bench/bench_common.h"
+#include "search/exacts.h"
+#include "util/rng.h"
+
+namespace trajsearch::bench {
+namespace {
+
+struct DatasetEntry {
+  std::string name;
+  BenchDataset bench;
+};
+
+void RunDataset(const DatasetEntry& entry, const BenchConfig& config,
+                double overtime_seconds, TablePrinter* table) {
+  const BenchDataset& bench = entry.bench;
+  WorkloadOptions wopts;
+  wopts.count = std::max(2, config.queries / 2);
+  wopts.min_length = bench.default_query_min;
+  wopts.max_length = bench.default_query_max;
+  wopts.seed = config.seed;
+  const Workload workload = SampleQueries(bench.data, wopts);
+
+  for (const DistanceSpec& spec : GpsSpecs(bench)) {
+    const RlsPolicy rls =
+        TrainPolicyOn(bench, workload.queries, spec, false, config.seed + 1);
+    const RlsPolicy rls_skip =
+        TrainPolicyOn(bench, workload.queries, spec, true, config.seed + 2);
+
+    // Reference run with CMA to learn the pipeline shape (how many
+    // trajectories survive pruning) for the ExactS projection.
+    EngineOptions base;
+    base.spec = spec;
+    base.algorithm = Algorithm::kCma;
+    const SearchEngine reference(&bench.data, base);
+    double searched_per_query = 0, prune_per_query = 0;
+    for (size_t qi = 0; qi < workload.queries.size(); ++qi) {
+      QueryStats stats;
+      reference.Query(workload.queries[qi], &stats,
+                      workload.source_ids[qi]);
+      searched_per_query += stats.searched;
+      prune_per_query += stats.prune_seconds;
+    }
+    searched_per_query /= static_cast<double>(workload.queries.size());
+    prune_per_query /= static_cast<double>(workload.queries.size());
+
+    for (const Algorithm algo : PaperAlgorithms()) {
+      if (!Supports(algo, spec.kind)) {
+        table->AddRow({entry.name, std::string(ToString(algo)),
+                       std::string(ToString(spec.kind)), "-"});
+        continue;
+      }
+      if (algo == Algorithm::kExactS) {
+        // Projection: measure ExactS on data prefixes of bounded length and
+        // scale by (n / n0)^2 — valid because ExactS is O(mn^2).
+        Rng rng(config.seed + 7);
+        const int sample = 4;
+        const int prefix_cap = 400;
+        double per_pair = 0;
+        for (int s = 0; s < sample; ++s) {
+          const int id =
+              static_cast<int>(rng.UniformInt(0, bench.data.size() - 1));
+          const Trajectory& data = bench.data[id];
+          const int n = data.size();
+          const int n0 = std::min(n, prefix_cap);
+          Stopwatch watch;
+          ExactSSearch(spec, workload.queries[0],
+                       data.View().subspan(0, static_cast<size_t>(n0)));
+          const double ratio = static_cast<double>(n) / n0;
+          per_pair += watch.Seconds() * ratio * ratio;
+        }
+        per_pair /= sample;
+        const double projected =
+            prune_per_query + per_pair * searched_per_query;
+        table->AddRow(
+            {entry.name, "ExactS", std::string(ToString(spec.kind)),
+             projected > overtime_seconds
+                 ? "overtime"
+                 : TablePrinter::Num(projected, 3) + " (proj)"});
+        continue;
+      }
+      EngineOptions options = base;
+      options.algorithm = algo;
+      options.rls_policy = algo == Algorithm::kRls
+                               ? &rls
+                               : (algo == Algorithm::kRlsSkip ? &rls_skip
+                                                              : nullptr);
+      const SearchEngine engine(&bench.data, options);
+      Stopwatch watch;
+      for (size_t qi = 0; qi < workload.queries.size(); ++qi) {
+        engine.Query(workload.queries[qi], nullptr,
+                     workload.source_ids[qi]);
+      }
+      const double per_query =
+          watch.Seconds() / static_cast<double>(workload.queries.size());
+      table->AddRow({entry.name, std::string(ToString(algo)),
+                     std::string(ToString(spec.kind)),
+                     TablePrinter::Num(per_query, 4)});
+    }
+  }
+}
+
+void Main(int argc, char** argv) {
+  const BenchConfig config = ParseBenchConfig(argc, argv);
+  const Flags flags(argc, argv);
+  const double overtime = flags.GetDouble("overtime", 60.0);
+  PrintHeader("[Table 3] Efficiency of algorithms (seconds per query, full DB)");
+  std::printf("scale: %.2f (Porto N=%d, Xian N=%d, Beijing N=%d)\n",
+              config.scale, config.PortoCount(), config.XianCount(),
+              config.BeijingCount());
+  TablePrinter table({"Dataset", "Algorithm", "Dist", "Time (s/query)"});
+  RunDataset({"Porto", MakePorto(config)}, config, overtime, &table);
+  RunDataset({"Xian", MakeXian(config)}, config, overtime, &table);
+  RunDataset({"Beijing", MakeBeijing(config)}, config, overtime, &table);
+  table.Print();
+  std::printf(
+      "\nShape check vs paper: CMA is orders of magnitude faster than ExactS "
+      "(the gap grows with\ntrajectory length, hitting 'overtime' on "
+      "Beijing) and comparable to the O(mn) heuristics\n(POS/PSS/RLS-Skip); "
+      "Spring tracks CMA with extra constant work; GB trails CMA.\n");
+}
+
+}  // namespace
+}  // namespace trajsearch::bench
+
+int main(int argc, char** argv) { trajsearch::bench::Main(argc, argv); }

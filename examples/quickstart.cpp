@@ -1,0 +1,42 @@
+// Quickstart: find the most similar subtrajectory of a data trajectory for
+// a short query under DTW, EDR and Fréchet, and print the matched ranges.
+//
+//   $ ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/trajectory.h"
+#include "search/cma.h"
+
+using namespace trajsearch;
+
+int main() {
+  // A data trajectory: a taxi looping through town (coordinates in km).
+  const Trajectory data{
+      {0.0, 0.0}, {1.0, 0.1}, {2.0, 0.0}, {3.0, 0.5}, {4.0, 1.5},
+      {4.5, 2.5}, {4.4, 3.5}, {4.0, 4.5}, {3.0, 5.0}, {2.0, 5.0},
+      {1.0, 4.5}, {0.5, 3.5}, {0.4, 2.5}, {0.8, 1.5}, {1.5, 1.0},
+  };
+  // The query: a short hook that resembles the data's north-west corner.
+  const Trajectory query{
+      {4.1, 4.4}, {3.1, 5.1}, {2.0, 4.9}, {1.1, 4.4},
+  };
+
+  std::printf("data trajectory: %d points, query: %d points\n\n",
+              data.size(), query.size());
+
+  for (const DistanceSpec& spec :
+       {DistanceSpec::Dtw(), DistanceSpec::Edr(0.4),
+        DistanceSpec::Frechet()}) {
+    // CMA: the paper's exact O(mn) search.
+    const SearchResult result = CmaSearch(spec, query, data);
+    std::printf("%-4s best subtrajectory = data[%d..%d], distance = %.4f\n",
+                std::string(ToString(spec.kind)).c_str(), result.range.start,
+                result.range.end, result.distance);
+  }
+
+  std::printf(
+      "\nAll three distances localize the query to the north-west arc of "
+      "the loop.\n");
+  return 0;
+}

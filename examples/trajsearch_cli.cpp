@@ -1,0 +1,154 @@
+// trajsearch_cli — command-line front end for the library, so the system is
+// usable without writing C++:
+//
+//   # generate a synthetic corpus as CSV (or bring your own CSV)
+//   trajsearch_cli generate --profile=porto --count=500 --out=corpus.csv
+//
+//   # corpus statistics
+//   trajsearch_cli stats --data=corpus.csv
+//
+//   # top-K similar subtrajectory search; the query is a slice of one
+//   # corpus trajectory (or a second CSV file's first trajectory)
+//   trajsearch_cli search --data=corpus.csv --query-id=7 --from=10 --to=25
+//       --dist=edr --eps=0.003 --k=5
+//   trajsearch_cli search --data=corpus.csv --query-file=query.csv --dist=dtw
+
+#include <cstdio>
+#include <string>
+
+#include "gen/taxi.h"
+#include "io/traj_csv.h"
+#include "search/engine.h"
+#include "util/flags.h"
+#include "util/stopwatch.h"
+
+using namespace trajsearch;
+
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+int CmdGenerate(const Flags& flags) {
+  const std::string profile_name = flags.GetString("profile", "porto");
+  const int count = static_cast<int>(flags.GetInt("count", 500));
+  TaxiProfile profile;
+  if (profile_name == "porto") {
+    profile = PortoProfile(count);
+  } else if (profile_name == "xian") {
+    profile = XianProfile(count);
+  } else if (profile_name == "beijing") {
+    profile = BeijingProfile(count);
+  } else {
+    return Fail("unknown --profile (porto|xian|beijing)");
+  }
+  profile.seed = static_cast<uint64_t>(flags.GetInt("seed", profile.seed));
+  const Dataset dataset = GenerateTaxiDataset(profile);
+  const std::string out = flags.GetString("out", "corpus.csv");
+  const Status st = WriteTrajectoryCsv(dataset, out);
+  if (!st.ok()) return Fail(st.ToString());
+  std::printf("wrote %d trajectories (%s profile) to %s\n", dataset.size(),
+              profile.name.c_str(), out.c_str());
+  return 0;
+}
+
+int CmdStats(const Flags& flags) {
+  const std::string path = flags.GetString("data", "");
+  if (path.empty()) return Fail("--data=<csv> required");
+  const Result<Dataset> loaded = ReadTrajectoryCsv(path, path);
+  if (!loaded.ok()) return Fail(loaded.status().ToString());
+  const DatasetStats s = loaded.value().Stats();
+  std::printf("trajectories: %zu\npoints:       %zu\nmean length:  %.1f\n",
+              s.trajectory_count, s.point_count, s.mean_length);
+  std::printf("length range: [%d, %d]\nbbox:         [%.6f, %.6f] x [%.6f, %.6f]\n",
+              s.min_length, s.max_length, s.bounds.min_x, s.bounds.max_x,
+              s.bounds.min_y, s.bounds.max_y);
+  return 0;
+}
+
+int CmdSearch(const Flags& flags) {
+  const std::string path = flags.GetString("data", "");
+  if (path.empty()) return Fail("--data=<csv> required");
+  const Result<Dataset> loaded = ReadTrajectoryCsv(path, path);
+  if (!loaded.ok()) return Fail(loaded.status().ToString());
+  const Dataset& dataset = loaded.value();
+
+  // Query source: a slice of a corpus trajectory, or an external file.
+  Trajectory query;
+  int excluded_id = -1;
+  const std::string query_file = flags.GetString("query-file", "");
+  if (!query_file.empty()) {
+    const Result<Dataset> q = ReadTrajectoryCsv(query_file, query_file);
+    if (!q.ok()) return Fail(q.status().ToString());
+    query = q.value()[0];
+  } else {
+    const int id = static_cast<int>(flags.GetInt("query-id", 0));
+    if (id < 0 || id >= dataset.size()) return Fail("--query-id out of range");
+    const Trajectory& source = dataset[id];
+    const int from = static_cast<int>(flags.GetInt("from", 0));
+    const int to = static_cast<int>(
+        flags.GetInt("to", std::min(source.size() - 1, from + 19)));
+    if (from < 0 || to < from || to >= source.size()) {
+      return Fail("--from/--to out of range");
+    }
+    std::vector<Point> pts(source.points().begin() + from,
+                           source.points().begin() + to + 1);
+    query = Trajectory(std::move(pts));
+    excluded_id = id;
+  }
+
+  EngineOptions options;
+  const std::string dist = flags.GetString("dist", "dtw");
+  if (dist == "dtw") {
+    options.spec = DistanceSpec::Dtw();
+  } else if (dist == "edr") {
+    options.spec = DistanceSpec::Edr(flags.GetDouble("eps", 0.003));
+  } else if (dist == "erp") {
+    options.spec = DistanceSpec::Erp(dataset.Bounds().Center());
+  } else if (dist == "fd") {
+    options.spec = DistanceSpec::Frechet();
+  } else {
+    return Fail("unknown --dist (dtw|edr|erp|fd)");
+  }
+  options.top_k = static_cast<int>(flags.GetInt("k", 5));
+  options.mu = flags.GetDouble("mu", 0.2);
+  options.use_gbp = flags.GetBool("gbp", true);
+  options.use_kpf = flags.GetBool("kpf", true);
+  options.threads = static_cast<int>(flags.GetInt("threads", 1));
+
+  const SearchEngine engine(&dataset, options);
+  Stopwatch watch;
+  QueryStats stats;
+  const std::vector<EngineHit> hits = engine.Query(query, &stats, excluded_id);
+  std::printf("query: %d points, distance: %s, corpus: %d trajectories\n",
+              query.size(), dist.c_str(), dataset.size());
+  for (size_t i = 0; i < hits.size(); ++i) {
+    std::printf("#%zu  traj %d  points [%d..%d]  distance %.6f\n", i + 1,
+                hits[i].trajectory_id, hits[i].result.range.start,
+                hits[i].result.range.end, hits[i].result.distance);
+  }
+  if (hits.empty()) {
+    std::printf("no candidates survived pruning; retry with --mu=0.05 or "
+                "--gbp=false\n");
+  }
+  std::printf("%.3f s (prune %.3f s, search %.3f s, %d searched, %d pruned)\n",
+              watch.Seconds(), stats.prune_seconds, stats.search_seconds,
+              stats.searched, stats.pruned_by_bound);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string command = argc > 1 ? argv[1] : "";
+  const Flags flags(argc, argv);
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "stats") return CmdStats(flags);
+  if (command == "search") return CmdSearch(flags);
+  std::fprintf(stderr,
+               "usage: trajsearch_cli <generate|stats|search> [--flags]\n"
+               "see the header comment of examples/trajsearch_cli.cpp\n");
+  return command.empty() ? 0 : 1;
+}

@@ -1,0 +1,75 @@
+// Travel-time estimation via similar subtrajectory search (the application
+// of Wang et al. 2014 / Waury et al. 2019 cited in the paper's §7): to
+// estimate how long a route segment takes, find the historical trip whose
+// subtrajectory is most similar and read off its duration.
+//
+// Trips are generated at a fixed sampling interval, so a subtrajectory of
+// L points spans (L-1) * interval seconds.
+//
+//   $ ./build/examples/travel_time_estimation [--trips=300]
+
+#include <cstdio>
+
+#include "gen/taxi.h"
+#include "search/engine.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+using namespace trajsearch;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const int trips = static_cast<int>(flags.GetInt("trips", 300));
+  const double interval_s = 15.0;  // Porto's sampling interval
+
+  const Dataset history = GenerateTaxiDataset(PortoProfile(trips));
+  std::printf("historical trips: %d (sampling interval %.0f s)\n\n", trips,
+              interval_s);
+
+  // EDR (not DTW) for duration transfer: its unit insert/delete costs
+  // penalize length mismatch, so the best match has a comparable duration.
+  EngineOptions options;
+  options.spec = DistanceSpec::Edr(0.002);
+  options.top_k = 3;
+  options.mu = 0.15;
+  const SearchEngine engine(&history, options);
+
+  // Evaluate: take fresh segments (simulating a navigation request), whose
+  // true duration we know from their point count, and estimate via search.
+  Rng rng(7);
+  RunningStats abs_error_pct;
+  const int requests = 8;
+  std::printf("%-8s %-14s %-14s %-10s\n", "request", "true (s)",
+              "estimate (s)", "error");
+  for (int r = 0; r < requests; ++r) {
+    // A segment of a held-out generated trip.
+    Rng trip_rng(1000 + static_cast<uint64_t>(r));
+    const Trajectory fresh =
+        GenerateTaxiTrajectory(PortoProfile(1), &trip_rng, 60);
+    const int seg_len = 12 + static_cast<int>(rng.UniformInt(0, 8));
+    const int start = static_cast<int>(rng.UniformInt(0, 59 - seg_len));
+    const TrajectoryView segment = fresh.View().subspan(
+        static_cast<size_t>(start), static_cast<size_t>(seg_len));
+    const double true_duration = (seg_len - 1) * interval_s;
+
+    // Estimate: median duration of the top-3 similar subtrajectories.
+    const std::vector<EngineHit> hits = engine.Query(segment);
+    RunningStats durations;
+    for (const EngineHit& hit : hits) {
+      durations.Add((hit.result.range.Length() - 1) * interval_s);
+    }
+    const double estimate = durations.Mean();
+    const double err =
+        std::abs(estimate - true_duration) / true_duration * 100.0;
+    abs_error_pct.Add(err);
+    std::printf("%-8d %-14.0f %-14.1f %.1f%%\n", r + 1, true_duration,
+                estimate, err);
+  }
+  std::printf(
+      "\nmean absolute error: %.1f%% — right order of magnitude on a sparse "
+      "synthetic corpus of %d trips;\naccuracy improves with corpus density "
+      "(real deployments search millions of historical trips).\n",
+      abs_error_pct.Mean(), trips);
+  return 0;
+}

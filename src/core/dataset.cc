@@ -1,0 +1,32 @@
+#include "core/dataset.h"
+
+namespace trajsearch {
+
+int Dataset::Add(Trajectory traj) {
+  const int id = size();
+  traj.set_id(id);
+  trajectories_.push_back(std::move(traj));
+  return id;
+}
+
+DatasetStats Dataset::Stats() const {
+  DatasetStats stats;
+  stats.trajectory_count = trajectories_.size();
+  stats.min_length = trajectories_.empty() ? 0 : trajectories_[0].size();
+  for (const Trajectory& t : trajectories_) {
+    stats.point_count += static_cast<size_t>(t.size());
+    stats.min_length = std::min(stats.min_length, t.size());
+    stats.max_length = std::max(stats.max_length, t.size());
+    for (const Point& p : t.points()) stats.bounds.Extend(p);
+  }
+  stats.mean_length =
+      trajectories_.empty()
+          ? 0
+          : static_cast<double>(stats.point_count) /
+                static_cast<double>(stats.trajectory_count);
+  return stats;
+}
+
+BoundingBox Dataset::Bounds() const { return Stats().bounds; }
+
+}  // namespace trajsearch

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/trajectory.h"
+
+namespace trajsearch {
+
+/// \brief Summary statistics of a trajectory dataset (mirrors the dataset
+/// table in the paper's §6.1: count, average length, bounding box).
+struct DatasetStats {
+  size_t trajectory_count = 0;
+  size_t point_count = 0;
+  double mean_length = 0;
+  int min_length = 0;
+  int max_length = 0;
+  BoundingBox bounds;
+};
+
+/// \brief An in-memory collection of data trajectories.
+///
+/// Trajectory ids are assigned densely (their index in the collection) so
+/// pruning indexes can use plain arrays.
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::string name) : name_(std::move(name)) {}
+
+  /// Adds a trajectory; its id is overwritten with its index. Returns the id.
+  int Add(Trajectory traj);
+
+  /// Number of trajectories.
+  int size() const { return static_cast<int>(trajectories_.size()); }
+  bool empty() const { return trajectories_.empty(); }
+
+  /// Trajectory accessor by id/index.
+  const Trajectory& operator[](int id) const {
+    TRAJ_DCHECK(id >= 0 && id < size());
+    return trajectories_[static_cast<size_t>(id)];
+  }
+
+  const std::vector<Trajectory>& trajectories() const { return trajectories_; }
+  const std::string& name() const { return name_; }
+
+  /// Computes summary statistics over all trajectories.
+  DatasetStats Stats() const;
+
+  /// Bounding box over all points.
+  BoundingBox Bounds() const;
+
+ private:
+  std::string name_;
+  std::vector<Trajectory> trajectories_;
+};
+
+}  // namespace trajsearch

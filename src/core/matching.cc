@@ -1,0 +1,38 @@
+#include "core/matching.h"
+
+namespace trajsearch {
+
+bool IsValidMatching(const MatchingSequence& matching, int n) {
+  if (matching.empty()) return false;
+  int prev = 0;
+  for (const int a : matching) {
+    if (a < prev || a >= n) return false;
+    prev = a;
+  }
+  return true;
+}
+
+namespace {
+
+void Enumerate(int m, int n, int depth, int floor, MatchingSequence* current,
+               const std::function<void(const MatchingSequence&)>& fn) {
+  if (depth == m) {
+    fn(*current);
+    return;
+  }
+  for (int a = floor; a < n; ++a) {
+    (*current)[static_cast<size_t>(depth)] = a;
+    Enumerate(m, n, depth + 1, a, current, fn);
+  }
+}
+
+}  // namespace
+
+void ForEachMatching(int m, int n,
+                     const std::function<void(const MatchingSequence&)>& fn) {
+  TRAJ_CHECK(m >= 1 && n >= 1);
+  MatchingSequence current(static_cast<size_t>(m));
+  Enumerate(m, n, 0, 0, &current, fn);
+}
+
+}  // namespace trajsearch

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "util/check.h"
+
+namespace trajsearch {
+
+/// \brief A matching sequence A = [a_0, ..., a_{m-1}] (Definition 3):
+/// a_i is the 0-based index of the data point matched by query point i.
+/// Valid sequences are non-decreasing with values in [0, n).
+using MatchingSequence = std::vector<int>;
+
+/// True if the sequence is non-decreasing with all values in [0, n).
+bool IsValidMatching(const MatchingSequence& matching, int n);
+
+/// Sentinel for DtwMatchingCost's inner minimization.
+inline constexpr double kMatchingInfinity = 1e280;
+
+/// \brief Matching-conversion cost under WED-family costs (Definition 4,
+/// §5.1): the first query point is substituted; a repeated match deletes the
+/// later point; a forward jump substitutes and inserts the skipped data
+/// points. Prefix/suffix inserts are omitted per Theorem 4.1.
+template <typename Costs>
+double WedMatchingCost(const MatchingSequence& matching, const Costs& costs) {
+  TRAJ_DCHECK(!matching.empty());
+  double total = costs.Sub(0, matching[0]);
+  for (size_t i = 1; i < matching.size(); ++i) {
+    const int prev = matching[i - 1];
+    const int cur = matching[i];
+    TRAJ_DCHECK(cur >= prev);
+    const int qi = static_cast<int>(i);
+    if (cur == prev) {
+      total += costs.Del(qi);
+    } else {
+      for (int k = prev + 1; k < cur; ++k) total += costs.Ins(k);
+      total += costs.Sub(qi, cur);
+    }
+  }
+  return total;
+}
+
+/// \brief Matching-conversion cost under DTW semantics (§5.2, Theorem A.2):
+/// deleting a point costs a substitution against its matched data point;
+/// inserting the skipped data range costs the cheapest split between the
+/// previous and the current query point.
+template <typename SubFn>
+double DtwMatchingCost(const MatchingSequence& matching, SubFn sub) {
+  TRAJ_DCHECK(!matching.empty());
+  double total = sub(0, matching[0]);
+  for (size_t i = 1; i < matching.size(); ++i) {
+    const int prev = matching[i - 1];
+    const int cur = matching[i];
+    TRAJ_DCHECK(cur >= prev);
+    const int qi = static_cast<int>(i);
+    if (cur == prev) {
+      total += sub(qi, cur);  // Cost_del = sub against the shared match
+    } else if (cur == prev + 1) {
+      total += sub(qi, cur);
+    } else {
+      // Cost_ins(k): insert data[prev+1 .. cur-1]; each inserted point is
+      // absorbed by either query point i-1 or i, split at the cheapest t.
+      double best = kMatchingInfinity;
+      for (int t = prev; t <= cur - 1; ++t) {
+        double cost = 0;
+        for (int p = prev + 1; p <= t; ++p) cost += sub(qi - 1, p);
+        for (int p = t + 1; p <= cur - 1; ++p) cost += sub(qi, p);
+        if (cost < best) best = cost;
+      }
+      total += best + sub(qi, cur);
+    }
+  }
+  return total;
+}
+
+/// Enumerates every valid matching sequence of length m over data indices
+/// [0, n) (there are C(n+m-1, m) of them) — testing utility for Equations
+/// 5/6 on small instances.
+void ForEachMatching(int m, int n,
+                     const std::function<void(const MatchingSequence&)>& fn);
+
+}  // namespace trajsearch

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+
+#include "util/check.h"
+
+namespace trajsearch {
+
+/// \brief A contiguous index range [start, end] (0-based, inclusive) into a
+/// data trajectory. The paper's 1-based subtrajectory τ[i:j] maps to
+/// Subrange{i-1, j-1}.
+struct Subrange {
+  int start = -1;
+  int end = -1;
+
+  /// Number of points in the range (0 for the invalid range).
+  int Length() const { return valid() ? end - start + 1 : 0; }
+
+  /// True if the range denotes a real subtrajectory.
+  bool valid() const { return start >= 0 && end >= start; }
+
+  /// True if [start, end] lies within a trajectory of length n.
+  bool WithinLength(int n) const { return valid() && end < n; }
+
+  /// Renders as "[start, end]".
+  std::string ToString() const {
+    return "[" + std::to_string(start) + ", " + std::to_string(end) + "]";
+  }
+
+  friend bool operator==(const Subrange& a, const Subrange& b) {
+    return a.start == b.start && a.end == b.end;
+  }
+};
+
+}  // namespace trajsearch

@@ -1,0 +1,32 @@
+#include "core/trajectory.h"
+
+#include <algorithm>
+
+namespace trajsearch {
+
+BoundingBox Trajectory::Bounds() const {
+  BoundingBox box;
+  for (const Point& p : points_) box.Extend(p);
+  return box;
+}
+
+double Trajectory::PathLength() const {
+  double total = 0;
+  for (size_t i = 1; i < points_.size(); ++i) {
+    total += EuclideanDistance(points_[i - 1], points_[i]);
+  }
+  return total;
+}
+
+Trajectory Trajectory::Reversed() const {
+  std::vector<Point> rev(points_.rbegin(), points_.rend());
+  return Trajectory(std::move(rev), id_);
+}
+
+std::vector<Point> ReversedPoints(TrajectoryView view) {
+  std::vector<Point> rev(view.begin(), view.end());
+  std::reverse(rev.begin(), rev.end());
+  return rev;
+}
+
+}  // namespace trajsearch

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/point.h"
+#include "core/subrange.h"
+#include "util/check.h"
+
+namespace trajsearch {
+
+/// \brief Non-owning view of a sequence of trajectory points.
+///
+/// All search algorithms take views so that subtrajectories never copy.
+using TrajectoryView = std::span<const Point>;
+
+/// \brief An ordered sequence of 2-D points (Definition 1 of the paper),
+/// optionally carrying a dataset-unique id.
+class Trajectory {
+ public:
+  Trajectory() = default;
+  /// Takes ownership of the points.
+  explicit Trajectory(std::vector<Point> points, int id = -1)
+      : points_(std::move(points)), id_(id) {}
+  /// Convenience literal constructor (tests, examples).
+  Trajectory(std::initializer_list<Point> points)
+      : points_(points.begin(), points.end()) {}
+
+  /// Number of points.
+  int size() const { return static_cast<int>(points_.size()); }
+  bool empty() const { return points_.empty(); }
+
+  /// Point accessor (0-based).
+  const Point& operator[](int i) const {
+    TRAJ_DCHECK(i >= 0 && i < size());
+    return points_[static_cast<size_t>(i)];
+  }
+
+  /// Dataset-unique identifier (-1 when detached).
+  int id() const { return id_; }
+  void set_id(int id) { id_ = id; }
+
+  /// Whole-trajectory view.
+  TrajectoryView View() const { return TrajectoryView(points_); }
+  /// Implicit conversion so Trajectory can be passed where a view is needed.
+  operator TrajectoryView() const { return View(); }
+
+  /// View of the subtrajectory given by an inclusive range.
+  TrajectoryView Slice(const Subrange& r) const {
+    TRAJ_CHECK(r.WithinLength(size()));
+    return View().subspan(static_cast<size_t>(r.start),
+                          static_cast<size_t>(r.Length()));
+  }
+
+  /// Mutable access for builders/generators.
+  std::vector<Point>& points() { return points_; }
+  const std::vector<Point>& points() const { return points_; }
+
+  /// Appends a point.
+  void Append(const Point& p) { points_.push_back(p); }
+
+  /// Bounding box of all points (empty box if no points).
+  BoundingBox Bounds() const;
+
+  /// Total polyline length (sum of consecutive Euclidean distances).
+  double PathLength() const;
+
+  /// A new trajectory with point order reversed (used by suffix-distance DP).
+  Trajectory Reversed() const;
+
+ private:
+  std::vector<Point> points_;
+  int id_ = -1;
+};
+
+/// Reversed copy of a view (helper for suffix DP computations).
+std::vector<Point> ReversedPoints(TrajectoryView view);
+
+}  // namespace trajsearch

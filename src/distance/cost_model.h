@@ -1,0 +1,103 @@
+#pragma once
+
+#include <functional>
+
+#include "core/point.h"
+#include "core/trajectory.h"
+
+namespace trajsearch {
+
+/// The DP algorithms in this library are templated over *index-based* cost
+/// objects: a cost object binds a (query, data) trajectory pair and exposes
+///
+///   double Sub(int i, int j) const;  // substitute query[i] with data[j]
+///   double Ins(int j) const;         // insert data[j]          (WED family)
+///   double Del(int i) const;         // delete query[i]         (WED family)
+///
+/// This keeps the algorithms agnostic to the point representation: GPS points
+/// here, road-network nodes/edges in distance/road_costs.h.
+
+/// \brief EDR costs (Chen et al. 2005): ins = del = 1; sub = 0 iff the points
+/// are within `epsilon` (Euclidean), else 1.
+struct EdrCosts {
+  TrajectoryView q;
+  TrajectoryView d;
+  double epsilon = 0;
+
+  double Sub(int i, int j) const {
+    return SquaredDistance(q[static_cast<size_t>(i)],
+                           d[static_cast<size_t>(j)]) <= epsilon * epsilon
+               ? 0.0
+               : 1.0;
+  }
+  double Ins(int) const { return 1.0; }
+  double Del(int) const { return 1.0; }
+};
+
+/// \brief ERP costs (Chen & Ng 2004): sub = Euclidean distance; ins/del =
+/// distance to a fixed gap/reference point g (paper §5.3 uses the region
+/// center).
+struct ErpCosts {
+  TrajectoryView q;
+  TrajectoryView d;
+  Point gap;
+
+  double Sub(int i, int j) const {
+    return EuclideanDistance(q[static_cast<size_t>(i)],
+                             d[static_cast<size_t>(j)]);
+  }
+  double Ins(int j) const {
+    return EuclideanDistance(d[static_cast<size_t>(j)], gap);
+  }
+  double Del(int i) const {
+    return EuclideanDistance(q[static_cast<size_t>(i)], gap);
+  }
+};
+
+/// \brief Classic uniform edit-distance costs (the paper's running examples
+/// in Figures 4-5): ins = del = 1, sub = 0 iff points are exactly equal.
+struct UniformEditCosts {
+  TrajectoryView q;
+  TrajectoryView d;
+
+  double Sub(int i, int j) const {
+    return q[static_cast<size_t>(i)] == d[static_cast<size_t>(j)] ? 0.0 : 1.0;
+  }
+  double Ins(int) const { return 1.0; }
+  double Del(int) const { return 1.0; }
+};
+
+/// \brief User-defined WED cost functions over points (Definition of WED,
+/// Koide et al. 2020): arbitrary non-negative sub/ins/del.
+struct WedCostFns {
+  std::function<double(const Point&, const Point&)> sub;
+  std::function<double(const Point&)> ins;
+  std::function<double(const Point&)> del;
+};
+
+/// \brief Index adapter binding WedCostFns to a trajectory pair.
+struct CustomWedCosts {
+  TrajectoryView q;
+  TrajectoryView d;
+  const WedCostFns* fns = nullptr;
+
+  double Sub(int i, int j) const {
+    return fns->sub(q[static_cast<size_t>(i)], d[static_cast<size_t>(j)]);
+  }
+  double Ins(int j) const { return fns->ins(d[static_cast<size_t>(j)]); }
+  double Del(int i) const { return fns->del(q[static_cast<size_t>(i)]); }
+};
+
+/// \brief Euclidean substitution functor for DTW and discrete Fréchet
+/// (neither uses ins/del costs; DTW's del/ins are tied to sub, §5.2).
+struct EuclideanSub {
+  TrajectoryView q;
+  TrajectoryView d;
+
+  double operator()(int i, int j) const {
+    return EuclideanDistance(q[static_cast<size_t>(i)],
+                             d[static_cast<size_t>(j)]);
+  }
+};
+
+}  // namespace trajsearch

@@ -1,0 +1,57 @@
+#include "distance/distance.h"
+
+namespace trajsearch {
+
+std::string_view ToString(DistanceKind kind) {
+  switch (kind) {
+    case DistanceKind::kDtw: return "DTW";
+    case DistanceKind::kEdr: return "EDR";
+    case DistanceKind::kErp: return "ERP";
+    case DistanceKind::kFrechet: return "FD";
+    case DistanceKind::kWed: return "WED";
+  }
+  return "?";
+}
+
+double Dtw(TrajectoryView q, TrajectoryView d) {
+  return DtwDistanceT(static_cast<int>(q.size()), static_cast<int>(d.size()),
+                      EuclideanSub{q, d});
+}
+
+double Edr(TrajectoryView q, TrajectoryView d, double epsilon) {
+  return WedDistanceT(static_cast<int>(q.size()), static_cast<int>(d.size()),
+                      EdrCosts{q, d, epsilon});
+}
+
+double Erp(TrajectoryView q, TrajectoryView d, Point gap) {
+  return WedDistanceT(static_cast<int>(q.size()), static_cast<int>(d.size()),
+                      ErpCosts{q, d, gap});
+}
+
+double Frechet(TrajectoryView q, TrajectoryView d) {
+  return FrechetDistanceT(static_cast<int>(q.size()),
+                          static_cast<int>(d.size()), EuclideanSub{q, d});
+}
+
+double Wed(TrajectoryView q, TrajectoryView d, const WedCostFns& fns) {
+  return WedDistanceT(static_cast<int>(q.size()), static_cast<int>(d.size()),
+                      CustomWedCosts{q, d, &fns});
+}
+
+double FullDistance(const DistanceSpec& spec, TrajectoryView q,
+                    TrajectoryView d) {
+  const int m = static_cast<int>(q.size());
+  const int n = static_cast<int>(d.size());
+  switch (spec.kind) {
+    case DistanceKind::kDtw:
+      return DtwDistanceT(m, n, EuclideanSub{q, d});
+    case DistanceKind::kFrechet:
+      return FrechetDistanceT(m, n, EuclideanSub{q, d});
+    default:
+      return VisitWedCosts(spec, q, d, [&](const auto& costs) {
+        return WedDistanceT(m, n, costs);
+      });
+  }
+}
+
+}  // namespace trajsearch

@@ -1,0 +1,134 @@
+#pragma once
+
+#include <string_view>
+
+#include "distance/cost_model.h"
+#include "distance/dp.h"
+
+namespace trajsearch {
+
+/// \brief The trajectory distance functions covered by the paper's
+/// experiments on GPS data (§6: DTW, EDR, ERP, FD; WED with custom costs).
+enum class DistanceKind {
+  kDtw,
+  kEdr,
+  kErp,
+  kFrechet,
+  kWed,
+};
+
+/// Short name used in tables ("DTW", "EDR", ...).
+std::string_view ToString(DistanceKind kind);
+
+/// \brief Distance-function descriptor: which function plus its parameters.
+///
+/// For kEdr, `edr_epsilon` is the matching threshold; for kErp, `erp_gap` is
+/// the reference point g (paper: the region center); for kWed, `wed` holds
+/// the user-defined cost functions (must outlive uses of the spec).
+struct DistanceSpec {
+  DistanceKind kind = DistanceKind::kDtw;
+  double edr_epsilon = 0;
+  Point erp_gap{};
+  const WedCostFns* wed = nullptr;
+
+  /// True for the WED family (edit-style: has ins/del costs).
+  bool IsWedFamily() const {
+    return kind == DistanceKind::kEdr || kind == DistanceKind::kErp ||
+           kind == DistanceKind::kWed;
+  }
+
+  static DistanceSpec Dtw() { return {DistanceKind::kDtw, 0, {}, nullptr}; }
+  static DistanceSpec Edr(double epsilon) {
+    return {DistanceKind::kEdr, epsilon, {}, nullptr};
+  }
+  static DistanceSpec Erp(Point gap) {
+    return {DistanceKind::kErp, 0, gap, nullptr};
+  }
+  static DistanceSpec Frechet() {
+    return {DistanceKind::kFrechet, 0, {}, nullptr};
+  }
+  static DistanceSpec Wed(const WedCostFns* fns) {
+    return {DistanceKind::kWed, 0, {}, fns};
+  }
+};
+
+/// Dispatches `f` with the WED-family index-cost object described by `spec`.
+/// Precondition: spec.IsWedFamily().
+template <typename F>
+auto VisitWedCosts(const DistanceSpec& spec, TrajectoryView q,
+                   TrajectoryView d, F&& f) {
+  switch (spec.kind) {
+    case DistanceKind::kEdr:
+      return f(EdrCosts{q, d, spec.edr_epsilon});
+    case DistanceKind::kErp:
+      return f(ErpCosts{q, d, spec.erp_gap});
+    case DistanceKind::kWed:
+      TRAJ_CHECK(spec.wed != nullptr);
+      return f(CustomWedCosts{q, d, spec.wed});
+    default:
+      TRAJ_CHECK(false && "not a WED-family distance");
+      return f(EdrCosts{q, d, 0});  // unreachable
+  }
+}
+
+/// \name Full-trajectory distances (whole query vs whole data trajectory)
+/// These are the classic O(mn) dynamic programs (Equations 2 and 3 and the
+/// discrete Fréchet recurrence), implemented on top of the column steppers.
+/// @{
+
+/// WED distance with an arbitrary index-cost object.
+template <typename Costs>
+double WedDistanceT(int m, int n, const Costs& costs) {
+  TRAJ_CHECK(m >= 1 && n >= 1);
+  WedColumnDp<Costs> dp(m, costs);
+  dp.Reset();
+  double v = 0;
+  for (int j = 0; j < n; ++j) v = dp.Extend(j);
+  return v;
+}
+
+/// DTW distance with an arbitrary substitution functor.
+template <typename SubFn>
+double DtwDistanceT(int m, int n, SubFn sub) {
+  TRAJ_CHECK(m >= 1 && n >= 1);
+  DtwColumnDp<SubFn> dp(m, sub);
+  dp.Reset();
+  double v = 0;
+  for (int j = 0; j < n; ++j) v = dp.Extend(j);
+  return v;
+}
+
+/// Discrete Fréchet distance with an arbitrary substitution functor.
+template <typename SubFn>
+double FrechetDistanceT(int m, int n, SubFn sub) {
+  TRAJ_CHECK(m >= 1 && n >= 1);
+  FrechetColumnDp<SubFn> dp(m, sub);
+  dp.Reset();
+  double v = 0;
+  for (int j = 0; j < n; ++j) v = dp.Extend(j);
+  return v;
+}
+
+/// @}
+
+/// \name GPS-point convenience wrappers
+/// @{
+
+/// Dynamic time warping (Yi et al. 1998; Equation 3).
+double Dtw(TrajectoryView q, TrajectoryView d);
+/// Edit distance on real sequences with threshold epsilon (Chen et al. 2005).
+double Edr(TrajectoryView q, TrajectoryView d, double epsilon);
+/// Edit distance with real penalty and gap point g (Chen & Ng 2004).
+double Erp(TrajectoryView q, TrajectoryView d, Point gap);
+/// Discrete Fréchet distance (Alt & Godau 1995, discrete variant).
+double Frechet(TrajectoryView q, TrajectoryView d);
+/// Weighted edit distance with user cost functions (Koide et al. 2020).
+double Wed(TrajectoryView q, TrajectoryView d, const WedCostFns& fns);
+
+/// Distance according to a spec (used by metrics, examples, tests).
+double FullDistance(const DistanceSpec& spec, TrajectoryView q,
+                    TrajectoryView d);
+
+/// @}
+
+}  // namespace trajsearch

@@ -1,0 +1,167 @@
+#pragma once
+
+#include <vector>
+
+#include "util/check.h"
+
+namespace trajsearch {
+
+/// Large sentinel standing in for +infinity in DP cells. Chosen so that
+/// sums of a few sentinels still compare as "infinite" without overflowing.
+inline constexpr double kDpInfinity = 1e270;
+
+/// The three column steppers below incrementally compute
+/// dist(query, data[start..j]) for a fixed start and growing end j, in O(m)
+/// per step. They are the shared engine behind the full-trajectory distance
+/// functions, the ExactS baseline (Algorithm 1: one sweep per start), the
+/// rank oracle (AR/MR/RR metrics) and the POS/PSS prefix scans.
+///
+/// Protocol: call Reset(), then Extend(j) for consecutive absolute data
+/// indices j = start, start+1, ...; each Extend returns the distance of the
+/// query against data[start..j].
+
+/// \brief Column stepper for WED-family distances (Equation 2).
+template <typename Costs>
+class WedColumnDp {
+ public:
+  /// Binds costs for a (query, data) pair; m is the query length.
+  WedColumnDp(int m, const Costs& costs) : m_(m), costs_(&costs), col_(m) {
+    TRAJ_CHECK(m >= 1);
+    // del_prefix_[x] = cost of deleting query[0..x] entirely.
+    del_prefix_.resize(static_cast<size_t>(m));
+    double acc = 0;
+    for (int x = 0; x < m; ++x) {
+      acc += costs.Del(x);
+      del_prefix_[static_cast<size_t>(x)] = acc;
+    }
+  }
+
+  /// Start a new sweep: the column represents dist(query[0..x], empty).
+  void Reset() {
+    ins_boundary_ = 0;
+    for (int x = 0; x < m_; ++x) {
+      col_[static_cast<size_t>(x)] = del_prefix_[static_cast<size_t>(x)];
+    }
+  }
+
+  /// Appends data point j to the range; returns dist(query, data[start..j]).
+  double Extend(int j) {
+    const double new_boundary = ins_boundary_ + costs_->Ins(j);
+    double diag = ins_boundary_;  // dist(empty, previous range)
+    double left = new_boundary;   // dist(empty, range incl. j)
+    for (int x = 0; x < m_; ++x) {
+      const double up = col_[static_cast<size_t>(x)];
+      double best = diag + costs_->Sub(x, j);
+      const double via_ins = up + costs_->Ins(j);
+      if (via_ins < best) best = via_ins;
+      const double via_del = left + costs_->Del(x);
+      if (via_del < best) best = via_del;
+      diag = up;
+      col_[static_cast<size_t>(x)] = best;
+      left = best;
+    }
+    ins_boundary_ = new_boundary;
+    return col_[static_cast<size_t>(m_ - 1)];
+  }
+
+  /// Current column value for query prefix length x+1.
+  double Cell(int x) const { return col_[static_cast<size_t>(x)]; }
+  int query_size() const { return m_; }
+
+ private:
+  int m_;
+  const Costs* costs_;
+  std::vector<double> col_;
+  std::vector<double> del_prefix_;
+  double ins_boundary_ = 0;
+};
+
+/// \brief Column stepper for DTW (Equation 3: boundary rows accumulate
+/// substitution costs; interior cells take the min of the three
+/// predecessors plus sub).
+template <typename SubFn>
+class DtwColumnDp {
+ public:
+  DtwColumnDp(int m, SubFn sub) : m_(m), sub_(sub), col_(m) {
+    TRAJ_CHECK(m >= 1);
+  }
+
+  /// Start a new sweep over an empty data range.
+  void Reset() {
+    first_ = true;
+    for (double& c : col_) c = kDpInfinity;
+  }
+
+  /// Appends data point j; returns dtw(query, data[start..j]).
+  double Extend(int j) {
+    double diag = first_ ? 0.0 : kDpInfinity;  // virtual (empty, empty) corner
+    double new_left = kDpInfinity;             // freshly written col_[x-1]
+    for (int x = 0; x < m_; ++x) {
+      const double up = col_[static_cast<size_t>(x)];
+      double best = diag;
+      if (up < best) best = up;
+      if (new_left < best) best = new_left;
+      const double value = best + sub_(x, j);
+      diag = up;
+      col_[static_cast<size_t>(x)] = value;
+      new_left = value;
+    }
+    first_ = false;
+    return col_[static_cast<size_t>(m_ - 1)];
+  }
+
+  double Cell(int x) const { return col_[static_cast<size_t>(x)]; }
+  int query_size() const { return m_; }
+
+ private:
+  int m_;
+  SubFn sub_;
+  std::vector<double> col_;
+  bool first_ = true;
+};
+
+/// \brief Column stepper for the discrete Fréchet distance (max-of-mins
+/// recurrence).
+template <typename SubFn>
+class FrechetColumnDp {
+ public:
+  FrechetColumnDp(int m, SubFn sub) : m_(m), sub_(sub), col_(m) {
+    TRAJ_CHECK(m >= 1);
+  }
+
+  /// Start a new sweep over an empty data range.
+  void Reset() {
+    first_ = true;
+    for (double& c : col_) c = kDpInfinity;
+  }
+
+  /// Appends data point j; returns frechet(query, data[start..j]).
+  double Extend(int j) {
+    double diag_prev = first_ ? 0.0 : kDpInfinity;
+    double new_left = kDpInfinity;
+    for (int x = 0; x < m_; ++x) {
+      const double up = col_[static_cast<size_t>(x)];
+      double reach = diag_prev;
+      if (up < reach) reach = up;
+      if (new_left < reach) reach = new_left;
+      const double s = sub_(x, j);
+      const double value = reach > s ? reach : s;
+      diag_prev = up;
+      col_[static_cast<size_t>(x)] = value;
+      new_left = value;
+    }
+    first_ = false;
+    return col_[static_cast<size_t>(m_ - 1)];
+  }
+
+  double Cell(int x) const { return col_[static_cast<size_t>(x)]; }
+  int query_size() const { return m_; }
+
+ private:
+  int m_;
+  SubFn sub_;
+  std::vector<double> col_;
+  bool first_ = true;
+};
+
+}  // namespace trajsearch

@@ -1,0 +1,86 @@
+#include "distance/lcss.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.h"
+
+namespace trajsearch {
+
+int LcssLength(TrajectoryView a, TrajectoryView b, double epsilon) {
+  const int m = static_cast<int>(a.size());
+  const int n = static_cast<int>(b.size());
+  if (m == 0 || n == 0) return 0;
+  const double eps_sq = epsilon * epsilon;
+  std::vector<int> prev(static_cast<size_t>(n) + 1, 0);
+  std::vector<int> cur(static_cast<size_t>(n) + 1, 0);
+  for (int i = 1; i <= m; ++i) {
+    for (int j = 1; j <= n; ++j) {
+      if (SquaredDistance(a[static_cast<size_t>(i - 1)],
+                          b[static_cast<size_t>(j - 1)]) <= eps_sq) {
+        cur[static_cast<size_t>(j)] = prev[static_cast<size_t>(j - 1)] + 1;
+      } else {
+        cur[static_cast<size_t>(j)] = std::max(
+            prev[static_cast<size_t>(j)], cur[static_cast<size_t>(j - 1)]);
+      }
+    }
+    std::swap(prev, cur);
+  }
+  return prev[static_cast<size_t>(n)];
+}
+
+double LcssDistance(TrajectoryView a, TrajectoryView b, double epsilon) {
+  TRAJ_CHECK(!a.empty() && !b.empty());
+  const int lcss = LcssLength(a, b, epsilon);
+  const int denom = static_cast<int>(std::min(a.size(), b.size()));
+  return 1.0 - static_cast<double>(lcss) / static_cast<double>(denom);
+}
+
+SearchResult ExactSLcssSearch(TrajectoryView query, TrajectoryView data,
+                              double epsilon) {
+  TRAJ_CHECK(!query.empty() && !data.empty());
+  const int m = static_cast<int>(query.size());
+  const int n = static_cast<int>(data.size());
+  const double eps_sq = epsilon * epsilon;
+  SearchResult best;
+  int best_len = 0;
+  // For each start, grow the end and maintain the LCSS column — the same
+  // incremental strategy as ExactS, here on the (position-sensitive) LCSS.
+  std::vector<int> col(static_cast<size_t>(m) + 1, 0);
+  for (int start = 0; start < n; ++start) {
+    std::fill(col.begin(), col.end(), 0);
+    for (int j = start; j < n; ++j) {
+      int diag = 0;  // col[x-1] before overwriting (previous data column)
+      for (int x = 1; x <= m; ++x) {
+        const int up = col[static_cast<size_t>(x)];
+        int value;
+        if (SquaredDistance(query[static_cast<size_t>(x - 1)],
+                            data[static_cast<size_t>(j)]) <= eps_sq) {
+          value = diag + 1;
+        } else {
+          value = std::max(up, col[static_cast<size_t>(x - 1)]);
+        }
+        diag = up;
+        col[static_cast<size_t>(x)] = value;
+      }
+      const int lcss = col[static_cast<size_t>(m)];
+      const int len = j - start + 1;
+      const double dist =
+          1.0 - static_cast<double>(lcss) /
+                    static_cast<double>(std::min(m, len));
+      const bool better =
+          dist < best.distance - 1e-12 ||
+          (dist < best.distance + 1e-12 && best.range.valid() &&
+           len < best.range.Length());
+      if (better) {
+        best.distance = dist;
+        best.range = Subrange{start, j};
+        best_len = lcss;
+      }
+    }
+  }
+  (void)best_len;
+  return best;
+}
+
+}  // namespace trajsearch

@@ -1,0 +1,28 @@
+#pragma once
+
+#include "core/trajectory.h"
+#include "search/result.h"
+
+namespace trajsearch {
+
+/// LCSS (Vlachos et al. 2002) — the paper's example of an *order-sensitive*
+/// distance (§5.3, Table 4): the contribution of a point pair depends on the
+/// positions of the points inside the (sub)trajectory, so CMA's
+/// position-free conversion costs do not apply and only the O(mn^2) ExactS
+/// strategy remains exact. Implemented here to complete Table 4's
+/// capability matrix and to exercise that boundary in tests.
+
+/// Length of the longest common subsequence under Euclidean threshold
+/// epsilon (two points "match" iff their distance is <= epsilon).
+int LcssLength(TrajectoryView a, TrajectoryView b, double epsilon);
+
+/// Normalized LCSS distance in [0, 1]: 1 - lcss / min(|a|, |b|).
+double LcssDistance(TrajectoryView a, TrajectoryView b, double epsilon);
+
+/// ExactS-style subtrajectory search under LCSS distance: minimizes the
+/// normalized distance over all subranges (O(mn^2)). Ties prefer shorter
+/// ranges (more specific matches).
+SearchResult ExactSLcssSearch(TrajectoryView query, TrajectoryView data,
+                              double epsilon);
+
+}  // namespace trajsearch

@@ -1,0 +1,72 @@
+#pragma once
+
+#include "roadnet/distance_oracle.h"
+#include "roadnet/graph.h"
+
+namespace trajsearch {
+
+/// Road-network cost models (Appendix D). All three are WED-family costs
+/// over index positions, so CmaWedSearch / ExactSWedSearch / WedDistanceT
+/// apply unchanged — the point representation never leaks into the DP.
+
+/// \brief NetERP: points are network nodes; sub = network shortest-path
+/// distance; ins/del = network distance to a fixed gap node.
+struct NetErpCosts {
+  const NodePath* q = nullptr;
+  const NodePath* d = nullptr;
+  const NetworkDistanceOracle* oracle = nullptr;
+  int gap_node = 0;
+
+  double Sub(int i, int j) const {
+    return oracle->Distance((*q)[static_cast<size_t>(i)],
+                            (*d)[static_cast<size_t>(j)]);
+  }
+  double Ins(int j) const {
+    return oracle->Distance((*d)[static_cast<size_t>(j)], gap_node);
+  }
+  double Del(int i) const {
+    return oracle->Distance((*q)[static_cast<size_t>(i)], gap_node);
+  }
+};
+
+/// \brief NetEDR: points are network nodes; ins/del cost 1; sub costs 0 iff
+/// the network distance is within epsilon (0 distance for identical nodes).
+struct NetEdrCosts {
+  const NodePath* q = nullptr;
+  const NodePath* d = nullptr;
+  const NetworkDistanceOracle* oracle = nullptr;
+  double epsilon = 0;
+
+  double Sub(int i, int j) const {
+    const int a = (*q)[static_cast<size_t>(i)];
+    const int b = (*d)[static_cast<size_t>(j)];
+    if (a == b) return 0;
+    return oracle->Distance(a, b) <= epsilon ? 0.0 : 1.0;
+  }
+  double Ins(int) const { return 1.0; }
+  double Del(int) const { return 1.0; }
+};
+
+/// \brief SURS: trajectories are edge sequences; inserting/deleting an edge
+/// costs its weight; replacing edge a by edge b costs w(a) + w(b) unless the
+/// edges are identical (cost 0).
+struct SursCosts {
+  const EdgePath* q = nullptr;
+  const EdgePath* d = nullptr;
+  const RoadNetwork* net = nullptr;
+
+  double Sub(int i, int j) const {
+    const int a = (*q)[static_cast<size_t>(i)];
+    const int b = (*d)[static_cast<size_t>(j)];
+    if (a == b) return 0;
+    return net->edge(a).weight + net->edge(b).weight;
+  }
+  double Ins(int j) const {
+    return net->edge((*d)[static_cast<size_t>(j)]).weight;
+  }
+  double Del(int i) const {
+    return net->edge((*q)[static_cast<size_t>(i)]).weight;
+  }
+};
+
+}  // namespace trajsearch

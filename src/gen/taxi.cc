@@ -1,0 +1,120 @@
+#include "gen/taxi.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace trajsearch {
+
+namespace {
+
+BoundingBox MakeBox(double min_x, double min_y, double max_x, double max_y) {
+  BoundingBox box;
+  box.Extend(Point{min_x, min_y});
+  box.Extend(Point{max_x, max_y});
+  return box;
+}
+
+}  // namespace
+
+TaxiProfile PortoProfile(int count) {
+  TaxiProfile p;
+  p.name = "Porto";
+  p.bbox = MakeBox(-8.75, 41.02, -8.47, 41.25);
+  p.trajectory_count = count;
+  p.mean_length = 67;
+  p.length_shape = 2.2;  // wide spread: plenty of 4-20 point trips
+  p.min_length = 4;
+  p.step = 1.5e-3;  // ~150 m per 15 s step
+  p.heading_noise = 0.35;
+  p.stop_probability = 0.04;
+  p.seed = 10007;
+  return p;
+}
+
+TaxiProfile XianProfile(int count) {
+  TaxiProfile p;
+  p.name = "Xian";
+  p.bbox = MakeBox(108.78, 34.14, 109.05, 34.38);
+  p.trajectory_count = count;
+  p.mean_length = 401;
+  p.length_shape = 6;
+  p.min_length = 20;
+  p.step = 3e-4;  // ~30 m per 3 s step
+  p.heading_noise = 0.25;
+  p.stop_probability = 0.08;
+  p.seed = 20011;
+  return p;
+}
+
+TaxiProfile BeijingProfile(int count) {
+  TaxiProfile p;
+  p.name = "Beijing";
+  p.bbox = MakeBox(116.15, 39.75, 116.60, 40.10);
+  p.trajectory_count = count;
+  p.mean_length = 1705;
+  p.length_shape = 8;
+  p.min_length = 100;
+  p.step = 2.5e-2;  // ~2.5 km per 300 s step: multi-day city-wide roaming
+  p.heading_noise = 0.6;
+  p.stop_probability = 0.15;
+  p.seed = 30013;
+  return p;
+}
+
+TaxiProfile BeijingLongProfile(int count, double mean_length) {
+  TaxiProfile p = BeijingProfile(count);
+  p.name = "Beijing-long";
+  p.mean_length = mean_length;
+  p.length_shape = 60;  // tight around the requested mean
+  p.min_length = static_cast<int>(mean_length * 0.8);
+  p.seed = 40031;
+  return p;
+}
+
+Trajectory GenerateTaxiTrajectory(const TaxiProfile& profile, Rng* rng,
+                                  int length) {
+  TRAJ_CHECK(length >= 1);
+  std::vector<Point> pts;
+  pts.reserve(static_cast<size_t>(length));
+  const BoundingBox& box = profile.bbox;
+  Point p{rng->Uniform(box.min_x, box.max_x),
+          rng->Uniform(box.min_y, box.max_y)};
+  double heading = rng->Uniform(0, 6.28318530718);
+  for (int i = 0; i < length; ++i) {
+    pts.push_back(p);
+    if (rng->Chance(profile.stop_probability)) continue;  // taxi waiting
+    heading += rng->Normal(0, profile.heading_noise);
+    const double step = profile.step * (0.5 + rng->Uniform());  // speed jitter
+    p.x += step * std::cos(heading);
+    p.y += step * std::sin(heading);
+    // Reflect at the city boundary so long trajectories roam the bbox.
+    if (p.x < box.min_x || p.x > box.max_x) {
+      p.x = std::clamp(p.x, box.min_x, box.max_x);
+      heading = 3.14159265358979 - heading;
+    }
+    if (p.y < box.min_y || p.y > box.max_y) {
+      p.y = std::clamp(p.y, box.min_y, box.max_y);
+      heading = -heading;
+    }
+  }
+  return Trajectory(std::move(pts));
+}
+
+Dataset GenerateTaxiDataset(const TaxiProfile& profile) {
+  Dataset dataset(profile.name);
+  Rng rng(profile.seed);
+  for (int i = 0; i < profile.trajectory_count; ++i) {
+    const double scale = profile.mean_length / profile.length_shape;
+    int length =
+        static_cast<int>(std::lround(rng.Gamma(profile.length_shape, scale)));
+    length = std::max(profile.min_length, length);
+    Rng traj_rng = rng.Fork();
+    dataset.Add(GenerateTaxiTrajectory(profile, &traj_rng, length));
+  }
+  return dataset;
+}
+
+}  // namespace trajsearch

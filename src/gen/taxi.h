@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/dataset.h"
+#include "util/rng.h"
+
+namespace trajsearch {
+
+/// \brief Parameters of a synthetic taxi-trajectory dataset.
+///
+/// Substitutes the paper's real datasets (Porto, DiDi Xi'an, T-Drive
+/// Beijing), which are public but unavailable offline; see DESIGN.md. The
+/// profiles reproduce the distributional properties the algorithms depend
+/// on: bounding box, trajectory count, skewed length distribution around the
+/// published mean, spatial continuity (heading-persistent walk with
+/// reflection at the city boundary) and occasional stops.
+struct TaxiProfile {
+  std::string name;
+  BoundingBox bbox;
+  int trajectory_count = 1000;
+  /// Mean trajectory length in points (Porto 67, Xi'an 401, Beijing 1705).
+  double mean_length = 100;
+  /// Gamma shape of the length distribution (smaller => heavier spread).
+  double length_shape = 4;
+  int min_length = 4;
+  /// Mean per-step displacement in coordinate units (degrees).
+  double step = 1e-3;
+  /// Std-dev of the per-step heading change (radians).
+  double heading_noise = 0.35;
+  /// Probability that a step is a stop (taxi waiting; repeated point).
+  double stop_probability = 0.05;
+  uint64_t seed = 1;
+};
+
+/// Porto profile (§6.1: 23.4 x 24.7 km, 15 s interval, mean length 67).
+/// `count` scales the paper's 1.71 M trajectories to a laptop-sized corpus.
+TaxiProfile PortoProfile(int count = 3000);
+
+/// Xi'an profile (33.4 x 23.5 km, 3 s interval, mean length 401).
+TaxiProfile XianProfile(int count = 600);
+
+/// Beijing T-Drive profile (49.8 x 42.1 km, 300 s interval, mean 1705).
+TaxiProfile BeijingProfile(int count = 120);
+
+/// Beijing variant with very long trajectories for the Figure 7 experiment
+/// (data lengths 3000-7000).
+TaxiProfile BeijingLongProfile(int count, double mean_length);
+
+/// Generates the dataset deterministically from the profile's seed.
+Dataset GenerateTaxiDataset(const TaxiProfile& profile);
+
+/// Generates a single trajectory of exactly `length` points (used by
+/// workload synthesis and tests).
+Trajectory GenerateTaxiTrajectory(const TaxiProfile& profile, Rng* rng,
+                                  int length);
+
+}  // namespace trajsearch

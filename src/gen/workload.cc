@@ -1,0 +1,68 @@
+#include "gen/workload.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace trajsearch {
+
+Workload SampleQueries(const Dataset& dataset,
+                       const WorkloadOptions& options) {
+  TRAJ_CHECK(options.count >= 1);
+  TRAJ_CHECK(!dataset.empty());
+  Rng rng(options.seed);
+  Workload workload;
+
+  std::vector<int> eligible;
+  for (int id = 0; id < dataset.size(); ++id) {
+    const int len = dataset[id].size();
+    if (len >= options.min_length && len <= options.max_length) {
+      eligible.push_back(id);
+    }
+  }
+  // Fisher-Yates draw without replacement.
+  for (size_t i = 0; i < eligible.size(); ++i) {
+    const size_t j = static_cast<size_t>(
+        rng.UniformInt(static_cast<int64_t>(i),
+                       static_cast<int64_t>(eligible.size()) - 1));
+    std::swap(eligible[i], eligible[j]);
+  }
+  const size_t take =
+      std::min(eligible.size(), static_cast<size_t>(options.count));
+  for (size_t i = 0; i < take; ++i) {
+    const int id = eligible[i];
+    workload.queries.push_back(dataset[id]);
+    workload.source_ids.push_back(id);
+  }
+
+  // Synthesize the remainder by slicing windows from longer trajectories.
+  while (static_cast<int>(workload.queries.size()) < options.count) {
+    const int target = static_cast<int>(
+        rng.UniformInt(options.min_length,
+                       std::min<int64_t>(options.max_length,
+                                         options.min_length + 64)));
+    // Find a donor at least as long as the window.
+    int donor = -1;
+    for (int attempt = 0; attempt < 64 && donor < 0; ++attempt) {
+      const int id = static_cast<int>(rng.UniformInt(0, dataset.size() - 1));
+      if (dataset[id].size() >= target) donor = id;
+    }
+    if (donor < 0) break;  // corpus simply has no trajectory this long
+    const int start = static_cast<int>(
+        rng.UniformInt(0, dataset[donor].size() - target));
+    std::vector<Point> pts(
+        dataset[donor].points().begin() + start,
+        dataset[donor].points().begin() + start + target);
+    workload.queries.emplace_back(std::move(pts));
+    workload.source_ids.push_back(donor);
+  }
+  return workload;
+}
+
+bool IsQuerySource(const Workload& workload, int id) {
+  return std::find(workload.source_ids.begin(), workload.source_ids.end(),
+                   id) != workload.source_ids.end();
+}
+
+}  // namespace trajsearch

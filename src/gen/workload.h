@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dataset.h"
+
+namespace trajsearch {
+
+/// \brief Query-workload specification: Q query trajectories with lengths in
+/// [min_length, max_length] (the buckets of Figures 6 and 12).
+struct WorkloadOptions {
+  int count = 100;
+  int min_length = 1;
+  int max_length = 1 << 30;
+  uint64_t seed = 7;
+};
+
+/// \brief A sampled query workload. Following §6.1, queries are trajectories
+/// drawn uniformly at random from the corpus (length-filtered); their source
+/// ids are recorded so callers can exclude them from the data side. When the
+/// corpus lacks trajectories in the requested length bucket, queries are
+/// synthesized by slicing a random window out of a longer trajectory
+/// (source id still recorded).
+struct Workload {
+  std::vector<Trajectory> queries;
+  std::vector<int> source_ids;
+};
+
+/// Samples a workload from the dataset.
+Workload SampleQueries(const Dataset& dataset, const WorkloadOptions& options);
+
+/// True if `id` is one of the workload's source trajectories.
+bool IsQuerySource(const Workload& workload, int id);
+
+}  // namespace trajsearch

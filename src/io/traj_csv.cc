@@ -1,0 +1,73 @@
+#include "io/traj_csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace trajsearch {
+
+Status WriteTrajectoryCsv(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  out << "traj_id,seq,x,y\n";
+  for (int id = 0; id < dataset.size(); ++id) {
+    const Trajectory& t = dataset[id];
+    for (int i = 0; i < t.size(); ++i) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "%d,%d,%.9f,%.9f\n", id, i, t[i].x,
+                    t[i].y);
+      out << buf;
+    }
+  }
+  out.flush();
+  if (!out.good()) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Dataset> ReadTrajectoryCsv(const std::string& path,
+                                  const std::string& dataset_name) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  Dataset dataset(dataset_name);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::IoError("empty file: " + path);
+  }
+  if (line.rfind("traj_id", 0) != 0) {
+    return Status::InvalidArgument("missing header in " + path);
+  }
+  int current_id = -1;
+  std::vector<Point> points;
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    int id = 0, seq = 0;
+    double x = 0, y = 0;
+    if (std::sscanf(line.c_str(), "%d,%d,%lf,%lf", &id, &seq, &x, &y) != 4) {
+      return Status::InvalidArgument("malformed row at line " +
+                                     std::to_string(line_no) + " of " + path);
+    }
+    if (id != current_id) {
+      if (current_id >= 0 && !points.empty()) {
+        dataset.Add(Trajectory(std::move(points)));
+        points = {};
+      }
+      current_id = id;
+    }
+    points.push_back(Point{x, y});
+  }
+  if (current_id >= 0 && !points.empty()) {
+    dataset.Add(Trajectory(std::move(points)));
+  }
+  if (dataset.empty()) {
+    return Status::InvalidArgument("no trajectories in " + path);
+  }
+  return dataset;
+}
+
+}  // namespace trajsearch

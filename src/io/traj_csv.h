@@ -1,0 +1,23 @@
+#pragma once
+
+#include <string>
+
+#include "core/dataset.h"
+#include "util/status.h"
+
+namespace trajsearch {
+
+/// CSV serialization of trajectory datasets.
+///
+/// Format: header `traj_id,seq,x,y`, then one row per point. This lets the
+/// paper's real datasets (Porto / DiDi Xi'an / T-Drive, preprocessed to this
+/// layout) be dropped in as a substitute for the synthetic generators.
+
+/// Writes the dataset; fails with IoError on filesystem problems.
+Status WriteTrajectoryCsv(const Dataset& dataset, const std::string& path);
+
+/// Reads a dataset; points must be grouped by traj_id and ordered by seq.
+Result<Dataset> ReadTrajectoryCsv(const std::string& path,
+                                  const std::string& dataset_name);
+
+}  // namespace trajsearch

@@ -1,0 +1,73 @@
+#include "prune/grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace trajsearch {
+
+GridIndex::GridIndex(const Dataset& dataset, double cell_size)
+    : cell_size_(cell_size), dataset_size_(dataset.size()) {
+  TRAJ_CHECK(cell_size > 0);
+  for (int id = 0; id < dataset.size(); ++id) {
+    for (const Point& p : dataset[id].points()) {
+      std::vector<int>& bucket = cells_[CellKey(p.x, p.y)];
+      // Ids arrive in ascending order; dedupe per cell with a tail check.
+      if (bucket.empty() || bucket.back() != id) bucket.push_back(id);
+    }
+  }
+}
+
+int64_t GridIndex::CellKey(double x, double y) const {
+  const auto ix = static_cast<int64_t>(std::floor(x / cell_size_));
+  const auto iy = static_cast<int64_t>(std::floor(y / cell_size_));
+  return (ix << 32) ^ (iy & 0xffffffffLL);
+}
+
+std::vector<std::pair<int, int>> GridIndex::CloseCounts(
+    TrajectoryView query) const {
+  std::vector<int> stamp(static_cast<size_t>(dataset_size_), -1);
+  std::vector<int> counts(static_cast<size_t>(dataset_size_), 0);
+  std::vector<int> touched;
+  for (size_t qi = 0; qi < query.size(); ++qi) {
+    const Point& p = query[qi];
+    const auto ix = static_cast<int64_t>(std::floor(p.x / cell_size_));
+    const auto iy = static_cast<int64_t>(std::floor(p.y / cell_size_));
+    for (int64_t dx = -1; dx <= 1; ++dx) {
+      for (int64_t dy = -1; dy <= 1; ++dy) {
+        const int64_t key = ((ix + dx) << 32) ^ ((iy + dy) & 0xffffffffLL);
+        const auto it = cells_.find(key);
+        if (it == cells_.end()) continue;
+        for (const int id : it->second) {
+          if (stamp[static_cast<size_t>(id)] ==
+              static_cast<int>(qi)) {
+            continue;  // this query point already counted for id
+          }
+          stamp[static_cast<size_t>(id)] = static_cast<int>(qi);
+          if (counts[static_cast<size_t>(id)] == 0) touched.push_back(id);
+          ++counts[static_cast<size_t>(id)];
+        }
+      }
+    }
+  }
+  std::sort(touched.begin(), touched.end());
+  std::vector<std::pair<int, int>> result;
+  result.reserve(touched.size());
+  for (const int id : touched) {
+    result.emplace_back(id, counts[static_cast<size_t>(id)]);
+  }
+  return result;
+}
+
+std::vector<int> GridIndex::Candidates(TrajectoryView query,
+                                       double mu) const {
+  const double threshold = mu * static_cast<double>(query.size());
+  std::vector<int> ids;
+  for (const auto& [id, count] : CloseCounts(query)) {
+    if (static_cast<double>(count) >= threshold) ids.push_back(id);
+  }
+  return ids;
+}
+
+}  // namespace trajsearch

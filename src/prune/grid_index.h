@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/dataset.h"
+
+namespace trajsearch {
+
+/// \brief Grid-Based Pruning index (GBP, Appendix B).
+///
+/// Space is divided into square cells of side `cell_size`; an inverted index
+/// maps each cell to the ids of the data trajectories passing through it. A
+/// query point is "close" to a trajectory if the trajectory has a point in
+/// the query point's cell or one of its 8 neighbours; close(q, T) counts the
+/// query points close to T. Trajectories with close(q, T) >= mu * m survive
+/// the filter (Equation 27).
+class GridIndex {
+ public:
+  /// Builds the inverted index in O(total points).
+  GridIndex(const Dataset& dataset, double cell_size);
+
+  /// Computes close(q, T) for every trajectory with a nonzero count.
+  /// Returns (trajectory id, close count) pairs in ascending id order.
+  std::vector<std::pair<int, int>> CloseCounts(TrajectoryView query) const;
+
+  /// Ids of trajectories with close(q, T) >= mu * |query| (ascending).
+  std::vector<int> Candidates(TrajectoryView query, double mu) const;
+
+  double cell_size() const { return cell_size_; }
+  size_t cell_count() const { return cells_.size(); }
+  int dataset_size() const { return dataset_size_; }
+
+ private:
+  int64_t CellKey(double x, double y) const;
+
+  double cell_size_;
+  int dataset_size_;
+  std::unordered_map<int64_t, std::vector<int>> cells_;
+};
+
+}  // namespace trajsearch

@@ -1,0 +1,68 @@
+#include "rl/linear_q.h"
+
+#include <algorithm>
+
+namespace trajsearch {
+
+LinearQ::LinearQ(int num_actions, int num_features, double learning_rate,
+                 double discount)
+    : num_actions_(num_actions),
+      num_features_(num_features),
+      learning_rate_(learning_rate),
+      discount_(discount),
+      weights_(static_cast<size_t>(num_actions) *
+                   static_cast<size_t>(num_features),
+               0.0) {
+  TRAJ_CHECK(num_actions >= 1 && num_features >= 1);
+}
+
+double LinearQ::Value(const std::vector<double>& f, int action) const {
+  TRAJ_DCHECK(static_cast<int>(f.size()) == num_features_);
+  TRAJ_DCHECK(action >= 0 && action < num_actions_);
+  const double* w =
+      &weights_[static_cast<size_t>(action) * static_cast<size_t>(num_features_)];
+  double v = 0;
+  for (int k = 0; k < num_features_; ++k) v += w[k] * f[static_cast<size_t>(k)];
+  return v;
+}
+
+double LinearQ::MaxValue(const std::vector<double>& f) const {
+  double best = Value(f, 0);
+  for (int a = 1; a < num_actions_; ++a) best = std::max(best, Value(f, a));
+  return best;
+}
+
+int LinearQ::Greedy(const std::vector<double>& f) const {
+  int best_action = 0;
+  double best = Value(f, 0);
+  for (int a = 1; a < num_actions_; ++a) {
+    const double v = Value(f, a);
+    if (v > best) {
+      best = v;
+      best_action = a;
+    }
+  }
+  return best_action;
+}
+
+int LinearQ::Select(const std::vector<double>& f, double epsilon,
+                    Rng* rng) const {
+  if (rng != nullptr && rng->Chance(epsilon)) {
+    return static_cast<int>(rng->UniformInt(0, num_actions_ - 1));
+  }
+  return Greedy(f);
+}
+
+void LinearQ::Update(const std::vector<double>& f, int action, double reward,
+                     const std::vector<double>& next_f, bool terminal) {
+  const double target =
+      terminal ? reward : reward + discount_ * MaxValue(next_f);
+  const double td_error = target - Value(f, action);
+  double* w =
+      &weights_[static_cast<size_t>(action) * static_cast<size_t>(num_features_)];
+  for (int k = 0; k < num_features_; ++k) {
+    w[k] += learning_rate_ * td_error * f[static_cast<size_t>(k)];
+  }
+}
+
+}  // namespace trajsearch

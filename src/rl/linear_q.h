@@ -1,0 +1,57 @@
+#pragma once
+
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace trajsearch {
+
+/// \brief Linear Q-function approximation with TD(0) updates.
+///
+/// Substitutes the deep Q-networks of the RLS/RLS-Skip baselines (Wang et
+/// al. 2020) with a linear model over the same state features — a faithful
+/// miniature of the learning substrate that trains in milliseconds and
+/// reproduces the qualitative behaviour the paper relies on (approximate
+/// results, AR > 1, between POS and exact in quality).
+class LinearQ {
+ public:
+  /// \param num_actions number of discrete actions
+  /// \param num_features feature-vector dimension (include a bias feature)
+  /// \param learning_rate TD step size alpha
+  /// \param discount discount factor gamma
+  LinearQ(int num_actions, int num_features, double learning_rate,
+          double discount);
+
+  /// Q(s, a) for feature vector f.
+  double Value(const std::vector<double>& f, int action) const;
+
+  /// max_a Q(s, a).
+  double MaxValue(const std::vector<double>& f) const;
+
+  /// argmax_a Q(s, a) (ties resolved toward the lowest action id).
+  int Greedy(const std::vector<double>& f) const;
+
+  /// Epsilon-greedy action selection.
+  int Select(const std::vector<double>& f, double epsilon, Rng* rng) const;
+
+  /// One TD(0) update for transition (f, action, reward, next_f).
+  /// For terminal transitions the bootstrap term is dropped.
+  void Update(const std::vector<double>& f, int action, double reward,
+              const std::vector<double>& next_f, bool terminal);
+
+  int num_actions() const { return num_actions_; }
+  int num_features() const { return num_features_; }
+
+  /// Raw weights (row-major per action), exposed for tests/inspection.
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  int num_actions_;
+  int num_features_;
+  double learning_rate_;
+  double discount_;
+  std::vector<double> weights_;  // num_actions x num_features
+};
+
+}  // namespace trajsearch

@@ -1,0 +1,69 @@
+#include "roadnet/dijkstra.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace trajsearch {
+
+namespace {
+
+struct HeapEntry {
+  double dist;
+  int node;
+  bool operator>(const HeapEntry& other) const { return dist > other.dist; }
+};
+
+void RunDijkstra(const RoadNetwork& net, int source, int target,
+                 std::vector<double>* dist, std::vector<int>* parent) {
+  TRAJ_CHECK(source >= 0 && source < net.node_count());
+  dist->assign(static_cast<size_t>(net.node_count()), kUnreachable);
+  if (parent != nullptr) {
+    parent->assign(static_cast<size_t>(net.node_count()), -1);
+  }
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      heap;
+  (*dist)[static_cast<size_t>(source)] = 0;
+  heap.push(HeapEntry{0, source});
+  while (!heap.empty()) {
+    const HeapEntry top = heap.top();
+    heap.pop();
+    if (top.dist > (*dist)[static_cast<size_t>(top.node)]) continue;
+    if (top.node == target) return;  // early exit for point queries
+    for (const RoadArc& arc : net.Arcs(top.node)) {
+      const double candidate = top.dist + arc.weight;
+      if (candidate < (*dist)[static_cast<size_t>(arc.to)]) {
+        (*dist)[static_cast<size_t>(arc.to)] = candidate;
+        if (parent != nullptr) {
+          (*parent)[static_cast<size_t>(arc.to)] = top.node;
+        }
+        heap.push(HeapEntry{candidate, arc.to});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<double> ShortestDistancesFrom(const RoadNetwork& net, int source) {
+  std::vector<double> dist;
+  RunDijkstra(net, source, /*target=*/-1, &dist, nullptr);
+  return dist;
+}
+
+NodePath ShortestPath(const RoadNetwork& net, int source, int target) {
+  TRAJ_CHECK(target >= 0 && target < net.node_count());
+  if (source == target) return NodePath{source};
+  std::vector<double> dist;
+  std::vector<int> parent;
+  RunDijkstra(net, source, target, &dist, &parent);
+  if (dist[static_cast<size_t>(target)] >= kUnreachable) return NodePath{};
+  NodePath path;
+  for (int at = target; at != -1; at = parent[static_cast<size_t>(at)]) {
+    path.push_back(at);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace trajsearch

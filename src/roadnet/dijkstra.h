@@ -1,0 +1,20 @@
+#pragma once
+
+#include <vector>
+
+#include "roadnet/graph.h"
+
+namespace trajsearch {
+
+/// Single-source shortest path distances (Dijkstra, binary heap). Distances
+/// to unreachable nodes are kUnreachable.
+inline constexpr double kUnreachable = 1e290;
+
+/// Distances from `source` to every node.
+std::vector<double> ShortestDistancesFrom(const RoadNetwork& net, int source);
+
+/// Shortest path as a node sequence (empty if unreachable). Includes both
+/// endpoints; source == target yields {source}.
+NodePath ShortestPath(const RoadNetwork& net, int source, int target);
+
+}  // namespace trajsearch

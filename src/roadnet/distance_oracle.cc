@@ -1,0 +1,31 @@
+#include "roadnet/distance_oracle.h"
+
+#include "util/check.h"
+
+namespace trajsearch {
+
+NetworkDistanceOracle::NetworkDistanceOracle(const RoadNetwork* net,
+                                             size_t max_cached_sources)
+    : net_(net), max_cached_sources_(max_cached_sources) {
+  TRAJ_CHECK(net != nullptr);
+  TRAJ_CHECK(max_cached_sources >= 1);
+}
+
+double NetworkDistanceOracle::Distance(int u, int v) const {
+  TRAJ_DCHECK(u >= 0 && u < net_->node_count());
+  TRAJ_DCHECK(v >= 0 && v < net_->node_count());
+  if (u == v) return 0;
+  auto it = cache_.find(u);
+  if (it == cache_.end()) {
+    // Prefer serving from the reverse direction if already cached
+    // (the network is undirected).
+    const auto rev = cache_.find(v);
+    if (rev != cache_.end()) return rev->second[static_cast<size_t>(u)];
+    if (cache_.size() >= max_cached_sources_) cache_.clear();
+    it = cache_.emplace(u, ShortestDistancesFrom(*net_, u)).first;
+    ++runs_;
+  }
+  return it->second[static_cast<size_t>(v)];
+}
+
+}  // namespace trajsearch

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "roadnet/dijkstra.h"
+#include "roadnet/graph.h"
+
+namespace trajsearch {
+
+/// \brief Cached many-to-many shortest-path oracle.
+///
+/// NetEDR/NetERP substitution costs call Distance(u, v) inside the DP inner
+/// loop; the oracle runs one full Dijkstra per distinct source and caches
+/// the distance array, which matches the access pattern of subtrajectory
+/// search (few distinct query nodes against many data nodes).
+class NetworkDistanceOracle {
+ public:
+  /// \param max_cached_sources cache capacity; exceeding it evicts all
+  ///        cached sources (simple epoch eviction — sources cluster per
+  ///        query, so full eviction between queries is the common case).
+  explicit NetworkDistanceOracle(const RoadNetwork* net,
+                                 size_t max_cached_sources = 4096);
+
+  /// Shortest-path distance from u to v (kUnreachable if disconnected).
+  double Distance(int u, int v) const;
+
+  /// Number of Dijkstra runs performed so far (for tests/benches).
+  size_t dijkstra_runs() const { return runs_; }
+
+ private:
+  const RoadNetwork* net_;
+  size_t max_cached_sources_;
+  mutable std::unordered_map<int, std::vector<double>> cache_;
+  mutable size_t runs_ = 0;
+};
+
+}  // namespace trajsearch

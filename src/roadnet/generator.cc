@@ -1,0 +1,119 @@
+#include "roadnet/generator.h"
+
+#include "roadnet/dijkstra.h"
+#include "util/check.h"
+
+namespace trajsearch {
+
+namespace {
+
+/// Minimal union-find for the connectivity-repair pass.
+class DisjointSet {
+ public:
+  explicit DisjointSet(int n) : parent_(static_cast<size_t>(n)) {
+    for (int i = 0; i < n; ++i) parent_[static_cast<size_t>(i)] = i;
+  }
+  int Find(int x) {
+    while (parent_[static_cast<size_t>(x)] != x) {
+      parent_[static_cast<size_t>(x)] =
+          parent_[static_cast<size_t>(parent_[static_cast<size_t>(x)])];
+      x = parent_[static_cast<size_t>(x)];
+    }
+    return x;
+  }
+  void Union(int a, int b) { parent_[static_cast<size_t>(Find(a))] = Find(b); }
+
+ private:
+  std::vector<int> parent_;
+};
+
+}  // namespace
+
+RoadNetwork GenerateRoadNetwork(const RoadNetworkOptions& options) {
+  TRAJ_CHECK(options.rows >= 2 && options.cols >= 2);
+  RoadNetwork net;
+  Rng rng(options.seed);
+  auto node_id = [&](int r, int c) { return r * options.cols + c; };
+  for (int r = 0; r < options.rows; ++r) {
+    for (int c = 0; c < options.cols; ++c) {
+      const double jx = rng.Uniform(-options.jitter, options.jitter);
+      const double jy = rng.Uniform(-options.jitter, options.jitter);
+      net.AddNode(Point{(c + jx) * options.spacing,
+                        (r + jy) * options.spacing});
+    }
+  }
+  auto street_weight = [&](int a, int b) {
+    return EuclideanDistance(net.position(a), net.position(b));
+  };
+  DisjointSet dsu(net.node_count());
+  auto add_street = [&](int a, int b) {
+    net.AddEdge(a, b, street_weight(a, b));
+    dsu.Union(a, b);
+  };
+  for (int r = 0; r < options.rows; ++r) {
+    for (int c = 0; c < options.cols; ++c) {
+      const int here = node_id(r, c);
+      if (c + 1 < options.cols && !rng.Chance(options.drop_probability)) {
+        add_street(here, node_id(r, c + 1));
+      }
+      if (r + 1 < options.rows && !rng.Chance(options.drop_probability)) {
+        add_street(here, node_id(r + 1, c));
+      }
+      if (r + 1 < options.rows && c + 1 < options.cols &&
+          rng.Chance(options.diagonal_probability)) {
+        add_street(here, node_id(r + 1, c + 1));
+      }
+    }
+  }
+  // Connectivity repair: scan row-major and reattach any node that is not
+  // yet connected to the origin via its up/left grid neighbour. Induction
+  // over the scan order guarantees a single connected component.
+  for (int r = 0; r < options.rows; ++r) {
+    for (int c = 0; c < options.cols; ++c) {
+      if (r == 0 && c == 0) continue;
+      const int here = node_id(r, c);
+      if (dsu.Find(here) == dsu.Find(node_id(0, 0))) continue;
+      const int anchor = r > 0 ? node_id(r - 1, c) : node_id(r, c - 1);
+      add_street(here, anchor);
+    }
+  }
+  return net;
+}
+
+NodePath RandomRoute(const RoadNetwork& net, Rng* rng, int waypoints) {
+  TRAJ_CHECK(net.node_count() >= 2);
+  TRAJ_CHECK(waypoints >= 1);
+  NodePath route;
+  int current = static_cast<int>(rng->UniformInt(0, net.node_count() - 1));
+  route.push_back(current);
+  for (int w = 0; w < waypoints; ++w) {
+    int target = current;
+    while (target == current) {
+      target = static_cast<int>(rng->UniformInt(0, net.node_count() - 1));
+    }
+    const NodePath leg = ShortestPath(net, current, target);
+    if (leg.size() <= 1) continue;  // disconnected; try another waypoint
+    route.insert(route.end(), leg.begin() + 1, leg.end());
+    current = target;
+  }
+  return route;
+}
+
+NodePath RandomRouteWithLength(const RoadNetwork& net, Rng* rng,
+                               int min_nodes) {
+  NodePath route = RandomRoute(net, rng, 1);
+  int guard = 0;
+  while (static_cast<int>(route.size()) < min_nodes && guard++ < 256) {
+    const int current = route.back();
+    int target = current;
+    while (target == current) {
+      target = static_cast<int>(rng->UniformInt(0, net.node_count() - 1));
+    }
+    const NodePath leg = ShortestPath(net, current, target);
+    if (leg.size() <= 1) continue;
+    route.insert(route.end(), leg.begin() + 1, leg.end());
+  }
+  return route;
+}
+
+}  // namespace trajsearch

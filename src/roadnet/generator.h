@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "roadnet/graph.h"
+#include "util/rng.h"
+
+namespace trajsearch {
+
+/// \brief Parameters for the synthetic road-network generator.
+///
+/// Produces a perturbed grid: rows x cols intersections with jittered
+/// positions, 4-neighbour streets weighted by their Euclidean length, a
+/// fraction of streets removed (irregular city blocks) and a few diagonal
+/// shortcuts (arterials). A spanning backbone is kept so the network stays
+/// connected.
+struct RoadNetworkOptions {
+  int rows = 24;
+  int cols = 24;
+  double spacing = 1.0;
+  double jitter = 0.25;        // position noise as a fraction of spacing
+  double drop_probability = 0.12;
+  double diagonal_probability = 0.05;
+  uint64_t seed = 5;
+};
+
+/// Generates the network deterministically from the options' seed.
+RoadNetwork GenerateRoadNetwork(const RoadNetworkOptions& options);
+
+/// Generates a route as concatenated shortest paths through `waypoints`
+/// random intermediate nodes (taxi trips on the network). Never empty.
+NodePath RandomRoute(const RoadNetwork& net, Rng* rng, int waypoints);
+
+/// Generates a route and keeps extending it until it has at least
+/// `min_nodes` nodes (routes shorter than the target get more waypoints).
+NodePath RandomRouteWithLength(const RoadNetwork& net, Rng* rng,
+                               int min_nodes);
+
+}  // namespace trajsearch

@@ -1,0 +1,46 @@
+#include "roadnet/graph.h"
+
+namespace trajsearch {
+
+int RoadNetwork::AddNode(const Point& position) {
+  positions_.push_back(position);
+  adjacency_.emplace_back();
+  return node_count() - 1;
+}
+
+int RoadNetwork::AddEdge(int u, int v, double weight) {
+  TRAJ_CHECK(u >= 0 && u < node_count() && v >= 0 && v < node_count());
+  TRAJ_CHECK(weight >= 0);
+  const int id = edge_count();
+  edges_.push_back(RoadEdge{u, v, weight});
+  adjacency_[static_cast<size_t>(u)].push_back(RoadArc{v, id, weight});
+  adjacency_[static_cast<size_t>(v)].push_back(RoadArc{u, id, weight});
+  return id;
+}
+
+std::vector<Point> NodePathToPoints(const RoadNetwork& net,
+                                    const NodePath& path) {
+  std::vector<Point> pts;
+  pts.reserve(path.size());
+  for (const int node : path) pts.push_back(net.position(node));
+  return pts;
+}
+
+bool NodePathToEdgePath(const RoadNetwork& net, const NodePath& nodes,
+                        EdgePath* edges) {
+  edges->clear();
+  for (size_t i = 1; i < nodes.size(); ++i) {
+    int found = -1;
+    for (const RoadArc& arc : net.Arcs(nodes[i - 1])) {
+      if (arc.to == nodes[i]) {
+        found = arc.edge_id;
+        break;
+      }
+    }
+    if (found < 0) return false;
+    edges->push_back(found);
+  }
+  return true;
+}
+
+}  // namespace trajsearch

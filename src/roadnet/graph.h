@@ -1,0 +1,76 @@
+#pragma once
+
+#include <vector>
+
+#include "core/point.h"
+#include "util/check.h"
+
+namespace trajsearch {
+
+/// \brief One directed arc of the road network.
+struct RoadArc {
+  int to = -1;
+  int edge_id = -1;  // undirected edge identity (shared by both arcs)
+  double weight = 0;
+};
+
+/// \brief Undirected edge record (SURS trajectories are edge sequences).
+struct RoadEdge {
+  int u = -1;
+  int v = -1;
+  double weight = 0;
+};
+
+/// \brief A weighted road network with 2-D node positions.
+///
+/// Substitutes RoutingKit in the paper's Appendix D pipeline: NetEDR /
+/// NetERP / SURS only require shortest-path distances over a weighted graph,
+/// which Dijkstra provides (see roadnet/dijkstra.h).
+class RoadNetwork {
+ public:
+  /// Adds a node at the given position; returns its id.
+  int AddNode(const Point& position);
+
+  /// Adds an undirected edge of the given weight; returns its edge id.
+  int AddEdge(int u, int v, double weight);
+
+  int node_count() const { return static_cast<int>(positions_.size()); }
+  int edge_count() const { return static_cast<int>(edges_.size()); }
+
+  const Point& position(int node) const {
+    TRAJ_DCHECK(node >= 0 && node < node_count());
+    return positions_[static_cast<size_t>(node)];
+  }
+
+  const RoadEdge& edge(int edge_id) const {
+    TRAJ_DCHECK(edge_id >= 0 && edge_id < edge_count());
+    return edges_[static_cast<size_t>(edge_id)];
+  }
+
+  /// Outgoing arcs of a node.
+  const std::vector<RoadArc>& Arcs(int node) const {
+    TRAJ_DCHECK(node >= 0 && node < node_count());
+    return adjacency_[static_cast<size_t>(node)];
+  }
+
+ private:
+  std::vector<Point> positions_;
+  std::vector<RoadEdge> edges_;
+  std::vector<std::vector<RoadArc>> adjacency_;
+};
+
+/// A trajectory expressed as road-network node ids (NetEDR / NetERP).
+using NodePath = std::vector<int>;
+/// A trajectory expressed as road-network edge ids (SURS).
+using EdgePath = std::vector<int>;
+
+/// Converts a node path to the GPS trajectory of its node positions.
+std::vector<Point> NodePathToPoints(const RoadNetwork& net,
+                                    const NodePath& path);
+
+/// Converts a node path to the edge path along it (consecutive nodes must be
+/// adjacent). Returns false if some step has no connecting edge.
+bool NodePathToEdgePath(const RoadNetwork& net, const NodePath& nodes,
+                        EdgePath* edges);
+
+}  // namespace trajsearch

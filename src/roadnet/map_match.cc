@@ -1,0 +1,68 @@
+#include "roadnet/map_match.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace trajsearch {
+
+NodeSnapper::NodeSnapper(const RoadNetwork* net, double cell_size)
+    : net_(net), cell_size_(cell_size) {
+  TRAJ_CHECK(net != nullptr);
+  TRAJ_CHECK(cell_size > 0);
+  TRAJ_CHECK(net->node_count() > 0);
+  for (int id = 0; id < net->node_count(); ++id) {
+    const Point& p = net->position(id);
+    const auto ix = static_cast<int64_t>(std::floor(p.x / cell_size_));
+    const auto iy = static_cast<int64_t>(std::floor(p.y / cell_size_));
+    buckets_[Key(ix, iy)].push_back(id);
+  }
+}
+
+int NodeSnapper::Nearest(const Point& p) const {
+  const auto cx = static_cast<int64_t>(std::floor(p.x / cell_size_));
+  const auto cy = static_cast<int64_t>(std::floor(p.y / cell_size_));
+  int best = -1;
+  double best_sq = std::numeric_limits<double>::infinity();
+  // Search growing rings; once a candidate is found, one extra ring
+  // guarantees correctness (a nearer node can sit in the next ring only).
+  for (int64_t ring = 0; ring < 1024; ++ring) {
+    bool scanned_any = false;
+    for (int64_t dx = -ring; dx <= ring; ++dx) {
+      for (int64_t dy = -ring; dy <= ring; ++dy) {
+        if (std::max(std::llabs(dx), std::llabs(dy)) != ring) continue;
+        const auto it = buckets_.find(Key(cx + dx, cy + dy));
+        if (it == buckets_.end()) continue;
+        scanned_any = true;
+        for (const int id : it->second) {
+          const double sq = SquaredDistance(net_->position(id), p);
+          if (sq < best_sq) {
+            best_sq = sq;
+            best = id;
+          }
+        }
+      }
+    }
+    (void)scanned_any;
+    if (best >= 0 && ring >= 1) {
+      // A node in ring r is at most (r+1)*cell away; anything outside ring
+      // r is at least r*cell away. Stop when the best cannot be beaten.
+      const double safe = static_cast<double>(ring) * cell_size_;
+      if (best_sq <= safe * safe) break;
+    }
+  }
+  TRAJ_CHECK(best >= 0);
+  return best;
+}
+
+NodePath NodeSnapper::MapMatch(TrajectoryView trajectory) const {
+  NodePath path;
+  for (const Point& p : trajectory) {
+    const int node = Nearest(p);
+    if (path.empty() || path.back() != node) path.push_back(node);
+  }
+  return path;
+}
+
+}  // namespace trajsearch

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/trajectory.h"
+#include "roadnet/graph.h"
+
+namespace trajsearch {
+
+/// \brief Nearest-node snapper: buckets network nodes into a uniform grid
+/// and answers nearest-node queries for GPS points (the light-weight map
+/// matching used to turn GPS traces into NetEDR/NetERP node paths).
+class NodeSnapper {
+ public:
+  /// \param cell_size bucket side; should be on the order of street spacing.
+  NodeSnapper(const RoadNetwork* net, double cell_size);
+
+  /// Id of the network node nearest to p (searches growing rings of cells;
+  /// always succeeds on a non-empty network).
+  int Nearest(const Point& p) const;
+
+  /// Snaps every point and drops consecutive duplicates.
+  NodePath MapMatch(TrajectoryView trajectory) const;
+
+ private:
+  int64_t Key(int64_t ix, int64_t iy) const { return (ix << 32) ^ (iy & 0xffffffffLL); }
+
+  const RoadNetwork* net_;
+  double cell_size_;
+  std::unordered_map<int64_t, std::vector<int>> buckets_;
+};
+
+}  // namespace trajsearch

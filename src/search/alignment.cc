@@ -1,0 +1,80 @@
+#include "search/alignment.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "distance/cost_model.h"
+#include "util/check.h"
+
+namespace trajsearch {
+
+AlignmentResult CmaDtwAlignment(TrajectoryView query, TrajectoryView data) {
+  const int m = static_cast<int>(query.size());
+  const int n = static_cast<int>(data.size());
+  TRAJ_CHECK(m >= 1 && n >= 1);
+  const EuclideanSub sub{query, data};
+
+  // Full DP matrix plus a parent code per cell:
+  // 0 = start of a match (row 0), 1 = diag, 2 = up (query advances,
+  // data stays => deletion), 3 = left (data advances, same query point).
+  std::vector<double> cost(static_cast<size_t>(m) * static_cast<size_t>(n));
+  std::vector<unsigned char> parent(cost.size());
+  auto at = [n](int i, int j) {
+    return static_cast<size_t>(i) * static_cast<size_t>(n) +
+           static_cast<size_t>(j);
+  };
+
+  for (int j = 0; j < n; ++j) {
+    cost[at(0, j)] = sub(0, j);
+    parent[at(0, j)] = 0;
+  }
+  for (int i = 1; i < m; ++i) {
+    cost[at(i, 0)] = cost[at(i - 1, 0)] + sub(i, 0);
+    parent[at(i, 0)] = 2;
+    for (int j = 1; j < n; ++j) {
+      double best = cost[at(i - 1, j - 1)];
+      unsigned char p = 1;
+      if (cost[at(i - 1, j)] < best) {
+        best = cost[at(i - 1, j)];
+        p = 2;
+      }
+      if (cost[at(i, j - 1)] < best) {
+        best = cost[at(i, j - 1)];
+        p = 3;
+      }
+      cost[at(i, j)] = best + sub(i, j);
+      parent[at(i, j)] = p;
+    }
+  }
+
+  AlignmentResult out;
+  int j_star = 0;
+  for (int j = 1; j < n; ++j) {
+    if (cost[at(m - 1, j)] < cost[at(m - 1, j_star)]) j_star = j;
+  }
+  out.result.distance = cost[at(m - 1, j_star)];
+  out.matching.assign(static_cast<size_t>(m), 0);
+
+  // Backtrace. "Left" moves keep the query index (multiple data points
+  // absorbed by one query point); the matching records the *first* data
+  // point each query point substitutes, per the §5.2 interpretation.
+  int i = m - 1, j = j_star;
+  while (true) {
+    out.matching[static_cast<size_t>(i)] = j;
+    const unsigned char p = parent[at(i, j)];
+    if (p == 0) break;
+    if (p == 1) {
+      --i;
+      --j;
+    } else if (p == 2) {
+      --i;
+    } else {
+      --j;
+    }
+  }
+  out.result.range = Subrange{j, j_star};
+  TRAJ_DCHECK(i == 0);
+  return out;
+}
+
+}  // namespace trajsearch

@@ -1,0 +1,27 @@
+#pragma once
+
+#include "core/matching.h"
+#include "distance/distance.h"
+#include "search/result.h"
+
+namespace trajsearch {
+
+/// \brief A search result together with the optimal matching sequence
+/// (Definition 3) that realizes it: alignment[i] is the data index matched
+/// by query point i, restricted to the returned range.
+struct AlignmentResult {
+  SearchResult result;
+  MatchingSequence matching;  // size == query length; non-decreasing
+};
+
+/// \brief CMA-DTW with full backtracking: returns the optimal subtrajectory
+/// *and* the warping alignment that produces it (Equation 8 with parent
+/// pointers; O(mn) time, O(mn) memory instead of CMA's O(n)).
+///
+/// Invariants (tested): matching is valid per Definition 3, spans exactly
+/// the returned range (matching.front() == range.start,
+/// matching.back() == range.end), and its DTW matching-conversion cost
+/// (Theorem A.2) equals the returned distance.
+AlignmentResult CmaDtwAlignment(TrajectoryView query, TrajectoryView data);
+
+}  // namespace trajsearch

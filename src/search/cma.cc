@@ -1,0 +1,21 @@
+#include "search/cma.h"
+
+namespace trajsearch {
+
+SearchResult CmaSearch(const DistanceSpec& spec, TrajectoryView query,
+                       TrajectoryView data, CmaWedVariant variant) {
+  const int m = static_cast<int>(query.size());
+  const int n = static_cast<int>(data.size());
+  switch (spec.kind) {
+    case DistanceKind::kDtw:
+      return CmaDtwSearch(m, n, EuclideanSub{query, data});
+    case DistanceKind::kFrechet:
+      return CmaFrechetSearch(m, n, EuclideanSub{query, data});
+    default:
+      return VisitWedCosts(spec, query, data, [&](const auto& costs) {
+        return CmaWedSearch(m, n, costs, variant);
+      });
+  }
+}
+
+}  // namespace trajsearch

@@ -1,0 +1,278 @@
+#pragma once
+
+#include <vector>
+
+#include "distance/distance.h"
+#include "search/result.h"
+#include "util/check.h"
+
+namespace trajsearch {
+
+/// Conversion-Matching Algorithm (CMA), the paper's core contribution (§4-5):
+/// exact similar-subtrajectory search in O(mn) time and O(n) memory.
+///
+/// C[i][j] is the minimal cost of converting query[0..i] into a subtrajectory
+/// of data[0..j] under the constraint that query[i] matches data[j]
+/// (Definition 7); s[i][j] tracks the matched start position (the index
+/// matched by query[0]). The answer is min_j C[m-1][j] with start s at the
+/// argmin (Equation 6).
+
+/// \brief Recurrence variant for CMA under WED-family costs.
+enum class CmaWedVariant {
+  /// Unconditionally exact variant (the library default). Two deviations
+  /// from the printed Equation 7, both O(1) per cell:
+  ///  1. carries the auxiliary G[i][j] = min_{k<j} C[i-1][k] +
+  ///     ins(data[k+1..j-1]) as an explicit rolling minimum instead of
+  ///     rolling through C[i][j-1] - sub (which silently assumes
+  ///     sub(a,b) <= del(a) + ins(b));
+  ///  2. adds the prefix-deletion candidate del(q[0..i-1]) + sub(q_i, d_j)
+  ///     at *every* column, not just j = 1. The paper's recurrence admits
+  ///     "delete the whole query prefix, then substitute" only at the first
+  ///     data point, but an optimal WED/ERP script may start a match at any
+  ///     j with a deleted query prefix (e.g. ERP when a query point sits on
+  ///     the gap point g, making its deletion free). Without this candidate
+  ///     CMA can strictly exceed the ExactS optimum; see cma_test.cc for a
+  ///     concrete ERP instance and EXPERIMENTS.md for discussion.
+  kExact,
+  /// The paper's Equation 7 as printed (plus its j = 1 boundary case).
+  /// Matches kExact on EDR, DTW-style and SURS-style costs and on the
+  /// paper's measured workloads; can return larger-than-optimal distances
+  /// for ERP/WED corner cases (overestimates only when
+  /// sub(a,b) <= del(a) + ins(b) holds; can even underestimate when that
+  /// assumption is violated by an adversarial cost model).
+  kEq7Rolling,
+};
+
+/// \brief CMA for WED-family distances (Equation 7 / §5.1).
+///
+/// \param m query length (>= 1)
+/// \param n data length (>= 1)
+/// \param costs index-cost object with Sub/Ins/Del
+/// \param variant recurrence variant (default: unconditionally exact)
+/// \return optimal subtrajectory range (0-based inclusive) and distance
+template <typename Costs>
+void CmaWedFinalRow(int m, int n, const Costs& costs, CmaWedVariant variant,
+                    std::vector<double>* c_out, std::vector<int>* s_out) {
+  TRAJ_CHECK(m >= 1 && n >= 1);
+  std::vector<double> c_prev(static_cast<size_t>(n));
+  std::vector<double>& c_cur = *c_out;
+  c_cur.assign(static_cast<size_t>(n), 0);
+  std::vector<int> s_prev(static_cast<size_t>(n));
+  std::vector<int>& s_cur = *s_out;
+  s_cur.assign(static_cast<size_t>(n), 0);
+
+  // Row i = 0: query[0] substituted with data[j]; start is j itself.
+  for (int j = 0; j < n; ++j) {
+    c_cur[static_cast<size_t>(j)] = costs.Sub(0, j);
+    s_cur[static_cast<size_t>(j)] = j;
+  }
+
+  double del_prefix = 0;  // cost of deleting query[0..i-1]
+  for (int i = 1; i < m; ++i) {
+    std::swap(c_prev, c_cur);
+    std::swap(s_prev, s_cur);
+    del_prefix += costs.Del(i - 1);
+
+    // j = 0 (paper case 2): either delete query[i] (query[i-1] stays matched
+    // to data[0]) or substitute query[i] after deleting the whole prefix.
+    {
+      const double via_del = c_prev[0] + costs.Del(i);
+      const double via_sub = costs.Sub(i, 0) + del_prefix;
+      c_cur[0] = via_del < via_sub ? via_del : via_sub;
+      s_cur[0] = 0;
+    }
+
+    if (variant == CmaWedVariant::kExact) {
+      // G = min_{k<j} C[i-1][k] + ins(data[k+1..j-1]), rolled forward in j.
+      double g = c_prev[0];
+      int sg = s_prev[0];
+      for (int j = 1; j < n; ++j) {
+        if (j > 1) {
+          const double extended = g + costs.Ins(j - 1);
+          const double fresh = c_prev[static_cast<size_t>(j - 1)];
+          if (fresh <= extended) {
+            g = fresh;
+            sg = s_prev[static_cast<size_t>(j - 1)];
+          } else {
+            g = extended;
+          }
+        }
+        const double sub_ij = costs.Sub(i, j);
+        double best = g + sub_ij;
+        int s = sg;
+        const double via_del = c_prev[static_cast<size_t>(j)] + costs.Del(i);
+        if (via_del < best) {
+          best = via_del;
+          s = s_prev[static_cast<size_t>(j)];
+        }
+        // Match starting at j itself with the entire query prefix deleted
+        // (generalizes the paper's j = 1 boundary case to every column).
+        const double via_prefix = del_prefix + sub_ij;
+        if (via_prefix < best) {
+          best = via_prefix;
+          s = j;
+        }
+        c_cur[static_cast<size_t>(j)] = best;
+        s_cur[static_cast<size_t>(j)] = s;
+      }
+    } else {
+      // Equation 7 verbatim.
+      for (int j = 1; j < n; ++j) {
+        const double sub_ij = costs.Sub(i, j);
+        double best = c_prev[static_cast<size_t>(j)] + costs.Del(i);
+        int s = s_prev[static_cast<size_t>(j)];
+        const double via_diag =
+            c_prev[static_cast<size_t>(j - 1)] + sub_ij;
+        if (via_diag <= best) {
+          best = via_diag;
+          s = s_prev[static_cast<size_t>(j - 1)];
+        }
+        const double via_roll = c_cur[static_cast<size_t>(j - 1)] +
+                                costs.Ins(j - 1) - costs.Sub(i, j - 1) +
+                                sub_ij;
+        if (via_roll < best) {
+          best = via_roll;
+          s = s_cur[static_cast<size_t>(j - 1)];
+        }
+        c_cur[static_cast<size_t>(j)] = best;
+        s_cur[static_cast<size_t>(j)] = s;
+      }
+    }
+  }
+}
+
+/// Extracts the optimum from a final CMA row (Equation 6).
+inline SearchResult PickBestFromRow(const std::vector<double>& c,
+                                    const std::vector<int>& s) {
+  SearchResult result;
+  for (size_t j = 0; j < c.size(); ++j) {
+    if (c[j] < result.distance) {
+      result.distance = c[j];
+      result.range = Subrange{s[j], static_cast<int>(j)};
+    }
+  }
+  return result;
+}
+
+/// \brief CMA for WED-family distances (Equation 7 / §5.1).
+///
+/// \param m query length (>= 1)
+/// \param n data length (>= 1)
+/// \param costs index-cost object with Sub/Ins/Del
+/// \param variant recurrence variant (default: unconditionally exact)
+/// \return optimal subtrajectory range (0-based inclusive) and distance
+template <typename Costs>
+SearchResult CmaWedSearch(int m, int n, const Costs& costs,
+                          CmaWedVariant variant = CmaWedVariant::kExact) {
+  std::vector<double> c;
+  std::vector<int> s;
+  CmaWedFinalRow(m, n, costs, variant, &c, &s);
+  return PickBestFromRow(c, s);
+}
+
+/// \brief CMA for DTW (Equation 8 / §5.2). Only substitution costs are
+/// needed; deletion/insertion costs are tied to the matched point.
+template <typename SubFn>
+void CmaDtwFinalRow(int m, int n, SubFn sub, std::vector<double>* c_out,
+                    std::vector<int>* s_out) {
+  TRAJ_CHECK(m >= 1 && n >= 1);
+  std::vector<double> c_prev(static_cast<size_t>(n));
+  std::vector<double>& c_cur = *c_out;
+  c_cur.assign(static_cast<size_t>(n), 0);
+  std::vector<int> s_prev(static_cast<size_t>(n));
+  std::vector<int>& s_cur = *s_out;
+  s_cur.assign(static_cast<size_t>(n), 0);
+
+  for (int j = 0; j < n; ++j) {
+    c_cur[static_cast<size_t>(j)] = sub(0, j);
+    s_cur[static_cast<size_t>(j)] = j;
+  }
+  for (int i = 1; i < m; ++i) {
+    std::swap(c_prev, c_cur);
+    std::swap(s_prev, s_cur);
+    c_cur[0] = c_prev[0] + sub(i, 0);
+    s_cur[0] = 0;
+    for (int j = 1; j < n; ++j) {
+      // min over diag / up / left predecessors, carrying the start pointer.
+      double best = c_prev[static_cast<size_t>(j - 1)];
+      int s = s_prev[static_cast<size_t>(j - 1)];
+      if (c_prev[static_cast<size_t>(j)] < best) {
+        best = c_prev[static_cast<size_t>(j)];
+        s = s_prev[static_cast<size_t>(j)];
+      }
+      if (c_cur[static_cast<size_t>(j - 1)] < best) {
+        best = c_cur[static_cast<size_t>(j - 1)];
+        s = s_cur[static_cast<size_t>(j - 1)];
+      }
+      c_cur[static_cast<size_t>(j)] = best + sub(i, j);
+      s_cur[static_cast<size_t>(j)] = s;
+    }
+  }
+}
+
+/// \brief CMA for DTW (Equation 8 / §5.2). Only substitution costs are
+/// needed; deletion/insertion costs are tied to the matched point.
+template <typename SubFn>
+SearchResult CmaDtwSearch(int m, int n, SubFn sub) {
+  std::vector<double> c;
+  std::vector<int> s;
+  CmaDtwFinalRow(m, n, sub, &c, &s);
+  return PickBestFromRow(c, s);
+}
+
+/// \brief CMA for the discrete Fréchet distance (Equation 9 / §5.3).
+template <typename SubFn>
+void CmaFrechetFinalRow(int m, int n, SubFn sub, std::vector<double>* c_out,
+                        std::vector<int>* s_out) {
+  TRAJ_CHECK(m >= 1 && n >= 1);
+  std::vector<double> c_prev(static_cast<size_t>(n));
+  std::vector<double>& c_cur = *c_out;
+  c_cur.assign(static_cast<size_t>(n), 0);
+  std::vector<int> s_prev(static_cast<size_t>(n));
+  std::vector<int>& s_cur = *s_out;
+  s_cur.assign(static_cast<size_t>(n), 0);
+
+  for (int j = 0; j < n; ++j) {
+    c_cur[static_cast<size_t>(j)] = sub(0, j);
+    s_cur[static_cast<size_t>(j)] = j;
+  }
+  for (int i = 1; i < m; ++i) {
+    std::swap(c_prev, c_cur);
+    std::swap(s_prev, s_cur);
+    const double s0 = sub(i, 0);
+    c_cur[0] = c_prev[0] > s0 ? c_prev[0] : s0;
+    s_cur[0] = 0;
+    for (int j = 1; j < n; ++j) {
+      double reach = c_prev[static_cast<size_t>(j - 1)];
+      int s = s_prev[static_cast<size_t>(j - 1)];
+      if (c_prev[static_cast<size_t>(j)] < reach) {
+        reach = c_prev[static_cast<size_t>(j)];
+        s = s_prev[static_cast<size_t>(j)];
+      }
+      if (c_cur[static_cast<size_t>(j - 1)] < reach) {
+        reach = c_cur[static_cast<size_t>(j - 1)];
+        s = s_cur[static_cast<size_t>(j - 1)];
+      }
+      const double sij = sub(i, j);
+      c_cur[static_cast<size_t>(j)] = reach > sij ? reach : sij;
+      s_cur[static_cast<size_t>(j)] = s;
+    }
+  }
+}
+
+/// \brief CMA for the discrete Fréchet distance (Equation 9 / §5.3).
+template <typename SubFn>
+SearchResult CmaFrechetSearch(int m, int n, SubFn sub) {
+  std::vector<double> c;
+  std::vector<int> s;
+  CmaFrechetFinalRow(m, n, sub, &c, &s);
+  return PickBestFromRow(c, s);
+}
+
+/// \brief Type-erased CMA over GPS trajectories: dispatches on the distance
+/// spec (DTW -> Eq 8, FD -> Eq 9, WED family -> Eq 7 stable form).
+SearchResult CmaSearch(const DistanceSpec& spec, TrajectoryView query,
+                       TrajectoryView data,
+                       CmaWedVariant variant = CmaWedVariant::kExact);
+
+}  // namespace trajsearch

@@ -1,0 +1,180 @@
+#include "search/engine.h"
+
+#include <algorithm>
+#include <queue>
+#include <thread>
+
+#include "prune/key_point_filter.h"
+#include "util/check.h"
+#include "util/stopwatch.h"
+
+namespace trajsearch {
+
+namespace {
+
+/// Bounded worst-first heap of engine hits (Appendix E).
+class TopKHeap {
+ public:
+  explicit TopKHeap(int k) : k_(k) {}
+
+  bool Full() const { return static_cast<int>(heap_.size()) == k_; }
+  double Worst() const { return heap_.top().result.distance; }
+
+  void Offer(const EngineHit& hit) {
+    if (static_cast<int>(heap_.size()) < k_) {
+      heap_.push(hit);
+    } else if (hit.result.distance < heap_.top().result.distance) {
+      heap_.pop();
+      heap_.push(hit);
+    }
+  }
+
+  /// Drains into a best-first vector.
+  std::vector<EngineHit> Sorted() {
+    std::vector<EngineHit> hits;
+    hits.reserve(heap_.size());
+    while (!heap_.empty()) {
+      hits.push_back(heap_.top());
+      heap_.pop();
+    }
+    std::reverse(hits.begin(), hits.end());
+    return hits;
+  }
+
+ private:
+  struct Worse {
+    bool operator()(const EngineHit& a, const EngineHit& b) const {
+      return a.result.distance < b.result.distance;
+    }
+  };
+  int k_;
+  std::priority_queue<EngineHit, std::vector<EngineHit>, Worse> heap_;
+};
+
+}  // namespace
+
+SearchEngine::SearchEngine(const Dataset* dataset, EngineOptions options)
+    : dataset_(dataset), options_(options) {
+  TRAJ_CHECK(dataset != nullptr);
+  TRAJ_CHECK(options_.top_k >= 1);
+  if (options_.use_gbp && !dataset->empty()) {
+    double cell = options_.cell_size;
+    if (cell <= 0) {
+      const BoundingBox box = dataset->Bounds();
+      cell = std::max(box.Width(), box.Height()) / 256.0;
+      if (cell <= 0) cell = 1.0;
+      options_.cell_size = cell;
+    }
+    grid_ = std::make_unique<GridIndex>(*dataset, cell);
+  }
+  if ((options_.algorithm == Algorithm::kRls ||
+       options_.algorithm == Algorithm::kRlsSkip) &&
+      options_.rls_policy != nullptr) {
+    searcher_ = MakeRlsSearcher(options_.spec, *options_.rls_policy);
+  } else {
+    auto made = MakeSearcher(options_.algorithm, options_.spec);
+    TRAJ_CHECK(made.ok());
+    searcher_ = made.MoveValue();
+  }
+}
+
+std::vector<EngineHit> SearchEngine::Query(TrajectoryView query,
+                                           QueryStats* stats,
+                                           int excluded_id) const {
+  QueryStats local;
+  IntervalTimer prune_timer, search_timer;
+
+  // Stage 1: GBP candidate generation.
+  prune_timer.Start();
+  std::vector<int> candidates;
+  if (grid_ != nullptr) {
+    candidates = grid_->Candidates(query, options_.mu);
+  } else {
+    candidates.resize(static_cast<size_t>(dataset_->size()));
+    for (int id = 0; id < dataset_->size(); ++id) {
+      candidates[static_cast<size_t>(id)] = id;
+    }
+  }
+  prune_timer.Stop();
+  local.candidates_after_gbp = static_cast<int>(candidates.size());
+
+  const bool bound_enabled = options_.use_kpf || options_.use_osf;
+
+  // Stages 2+3 for one candidate, against the given heap. Returns true if
+  // the candidate was searched, false if it was pruned or skipped.
+  auto process = [&](int id, TopKHeap* heap, IntervalTimer* bound_timer,
+                     IntervalTimer* pair_timer, int* pruned) {
+    if (id == excluded_id) return false;
+    const Trajectory& data = (*dataset_)[id];
+    if (data.empty()) return false;
+    if (bound_enabled && heap->Full()) {
+      if (bound_timer != nullptr) bound_timer->Start();
+      const double bound =
+          options_.use_osf
+              ? OsfLowerBound(options_.spec, query, data)
+              : KpfLowerBoundEstimate(options_.spec, query, data,
+                                      options_.sample_rate);
+      if (bound_timer != nullptr) bound_timer->Stop();
+      if (bound >= heap->Worst()) {
+        ++*pruned;
+        return false;
+      }
+    }
+    if (pair_timer != nullptr) pair_timer->Start();
+    const SearchResult result = searcher_->Search(query, data);
+    if (pair_timer != nullptr) pair_timer->Stop();
+    heap->Offer(EngineHit{id, result});
+    return true;
+  };
+
+  TopKHeap merged(options_.top_k);
+  if (options_.threads <= 1) {
+    for (const int id : candidates) {
+      if (process(id, &merged, &prune_timer, &search_timer,
+                  &local.pruned_by_bound)) {
+        ++local.searched;
+      }
+    }
+    local.prune_seconds = prune_timer.TotalSeconds();
+    local.search_seconds = search_timer.TotalSeconds();
+  } else {
+    // Parallel search stage: static partitioning, thread-local heaps,
+    // merge at the end. Timing reports wall-clock for the whole stage.
+    const int workers = std::min<int>(
+        options_.threads, std::max<size_t>(candidates.size(), 1));
+    std::vector<TopKHeap> heaps(static_cast<size_t>(workers),
+                                TopKHeap(options_.top_k));
+    std::vector<int> pruned(static_cast<size_t>(workers), 0);
+    std::vector<int> searched(static_cast<size_t>(workers), 0);
+    Stopwatch stage;
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      pool.emplace_back([&, w]() {
+        for (size_t c = static_cast<size_t>(w); c < candidates.size();
+             c += static_cast<size_t>(workers)) {
+          if (process(candidates[c], &heaps[static_cast<size_t>(w)], nullptr,
+                      nullptr, &pruned[static_cast<size_t>(w)])) {
+            ++searched[static_cast<size_t>(w)];
+          }
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+    local.search_seconds = stage.Seconds();
+    local.prune_seconds = prune_timer.TotalSeconds();
+    for (int w = 0; w < workers; ++w) {
+      local.pruned_by_bound += pruned[static_cast<size_t>(w)];
+      local.searched += searched[static_cast<size_t>(w)];
+      for (const EngineHit& hit : heaps[static_cast<size_t>(w)].Sorted()) {
+        merged.Offer(hit);
+      }
+    }
+  }
+
+  std::vector<EngineHit> hits = merged.Sorted();
+  if (stats != nullptr) *stats = local;
+  return hits;
+}
+
+}  // namespace trajsearch

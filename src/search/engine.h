@@ -1,0 +1,85 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/dataset.h"
+#include "prune/grid_index.h"
+#include "search/searcher.h"
+
+namespace trajsearch {
+
+/// \brief Configuration of the database-level search pipeline (Algorithm 3):
+/// GBP candidate filter -> KPF lower-bound filter -> per-trajectory search.
+struct EngineOptions {
+  DistanceSpec spec;
+  Algorithm algorithm = Algorithm::kCma;
+  /// Grid-Based Pruning on/off.
+  bool use_gbp = true;
+  /// Key Points Filter on/off.
+  bool use_kpf = true;
+  /// Replaces KPF's sampled bound with the OSF comparator (full bound).
+  bool use_osf = false;
+  /// GBP grid cell side (the paper's epsilon); 0 derives bbox width / 256.
+  double cell_size = 0;
+  /// GBP close-count fraction mu in (0, 1) (paper default 0.4).
+  double mu = 0.4;
+  /// KPF key-point sampling rate r (paper default 0.05).
+  double sample_rate = 0.05;
+  /// Number of results to return (top-K, Appendix E).
+  int top_k = 1;
+  /// Trained policy for kRls / kRlsSkip (optional; untrained if null).
+  const RlsPolicy* rls_policy = nullptr;
+  /// Worker threads for the search stage (1 = the paper's serial pipeline).
+  /// With more threads, candidates are partitioned and each worker keeps a
+  /// local top-K (bound pruning uses the local K-th best, so slightly fewer
+  /// prunes than serial); results are identical to the serial engine.
+  int threads = 1;
+};
+
+/// \brief One result of a database query.
+struct EngineHit {
+  int trajectory_id = -1;
+  SearchResult result;
+};
+
+/// \brief Timing/pruning breakdown of one query (feeds Figures 9-11).
+struct QueryStats {
+  double prune_seconds = 0;
+  double search_seconds = 0;
+  int candidates_after_gbp = 0;
+  int pruned_by_bound = 0;
+  int searched = 0;
+};
+
+/// \brief Database-level similar subtrajectory search engine.
+///
+/// Owns the pruning index and a per-trajectory searcher; Query() returns the
+/// top-K most similar subtrajectories across all data trajectories,
+/// maintaining a bounded heap exactly as described in Appendix E.
+class SearchEngine {
+ public:
+  /// The dataset must outlive the engine.
+  SearchEngine(const Dataset* dataset, EngineOptions options);
+
+  /// Runs one query; hits are sorted by ascending distance (best first).
+  /// `excluded_id` removes one trajectory from the data side — used when
+  /// the query was sampled from the corpus (§6.1: "the other trajectories
+  /// are used as data trajectories").
+  std::vector<EngineHit> Query(TrajectoryView query,
+                               QueryStats* stats = nullptr,
+                               int excluded_id = -1) const;
+
+  const EngineOptions& options() const { return options_; }
+  const Dataset& dataset() const { return *dataset_; }
+  /// The pruning index (null when GBP is disabled).
+  const GridIndex* grid() const { return grid_.get(); }
+
+ private:
+  const Dataset* dataset_;
+  EngineOptions options_;
+  std::unique_ptr<GridIndex> grid_;
+  std::unique_ptr<Searcher> searcher_;
+};
+
+}  // namespace trajsearch

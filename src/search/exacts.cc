@@ -1,0 +1,21 @@
+#include "search/exacts.h"
+
+namespace trajsearch {
+
+SearchResult ExactSSearch(const DistanceSpec& spec, TrajectoryView query,
+                          TrajectoryView data) {
+  const int m = static_cast<int>(query.size());
+  const int n = static_cast<int>(data.size());
+  switch (spec.kind) {
+    case DistanceKind::kDtw:
+      return ExactSDtwSearch(m, n, EuclideanSub{query, data});
+    case DistanceKind::kFrechet:
+      return ExactSFrechetSearch(m, n, EuclideanSub{query, data});
+    default:
+      return VisitWedCosts(spec, query, data, [&](const auto& costs) {
+        return ExactSWedSearch(m, n, costs);
+      });
+  }
+}
+
+}  // namespace trajsearch

@@ -1,0 +1,57 @@
+#pragma once
+
+#include "distance/distance.h"
+#include "search/result.h"
+
+namespace trajsearch {
+
+/// ExactS baseline (Wang et al. 2020; the paper's Algorithm 1): for every
+/// start position i it sweeps end positions with an incremental DP column,
+/// obtaining dist(query, data[i..j]) in O(m) per cell — O(mn^2) total.
+/// Exact for every distance function the library supports.
+
+/// \brief ExactS over an arbitrary column stepper (WedColumnDp, DtwColumnDp
+/// or FrechetColumnDp).
+template <typename ColumnDp>
+SearchResult ExactSWithDp(ColumnDp& dp, int n) {
+  TRAJ_CHECK(n >= 1);
+  SearchResult result;
+  for (int start = 0; start < n; ++start) {
+    dp.Reset();
+    for (int j = start; j < n; ++j) {
+      const double dist = dp.Extend(j);
+      if (dist < result.distance) {
+        result.distance = dist;
+        result.range = Subrange{start, j};
+      }
+    }
+  }
+  return result;
+}
+
+/// \brief ExactS for a WED-family cost object.
+template <typename Costs>
+SearchResult ExactSWedSearch(int m, int n, const Costs& costs) {
+  WedColumnDp<Costs> dp(m, costs);
+  return ExactSWithDp(dp, n);
+}
+
+/// \brief ExactS for DTW.
+template <typename SubFn>
+SearchResult ExactSDtwSearch(int m, int n, SubFn sub) {
+  DtwColumnDp<SubFn> dp(m, sub);
+  return ExactSWithDp(dp, n);
+}
+
+/// \brief ExactS for the discrete Fréchet distance.
+template <typename SubFn>
+SearchResult ExactSFrechetSearch(int m, int n, SubFn sub) {
+  FrechetColumnDp<SubFn> dp(m, sub);
+  return ExactSWithDp(dp, n);
+}
+
+/// \brief Type-erased ExactS over GPS trajectories.
+SearchResult ExactSSearch(const DistanceSpec& spec, TrajectoryView query,
+                          TrajectoryView data);
+
+}  // namespace trajsearch

@@ -1,0 +1,69 @@
+#include "search/greedy_backtracking.h"
+
+#include <queue>
+#include <vector>
+
+#include "util/check.h"
+
+namespace trajsearch {
+
+namespace {
+
+struct GbNode {
+  double cost;
+  int cell;   // i * n + j
+  int start;  // column of the path's top-row entry
+
+  bool operator>(const GbNode& other) const { return cost > other.cost; }
+};
+
+}  // namespace
+
+template <typename SubFn>
+SearchResult GreedyBacktrackingSearchT(int m, int n, SubFn sub) {
+  TRAJ_CHECK(m >= 1 && n >= 1);
+  std::vector<char> visited(static_cast<size_t>(m) * static_cast<size_t>(n),
+                            0);
+  std::priority_queue<GbNode, std::vector<GbNode>, std::greater<GbNode>> pq;
+  for (int j = 0; j < n; ++j) {
+    pq.push(GbNode{sub(0, j), j, j});
+  }
+  while (!pq.empty()) {
+    const GbNode node = pq.top();
+    pq.pop();
+    if (visited[static_cast<size_t>(node.cell)]) continue;
+    visited[static_cast<size_t>(node.cell)] = 1;
+    const int i = node.cell / n;
+    const int j = node.cell % n;
+    if (i == m - 1) {
+      // First bottom-row cell popped => minimal bottleneck path.
+      return SearchResult{Subrange{node.start, j}, node.cost};
+    }
+    auto relax = [&](int ni, int nj) {
+      const int cell = ni * n + nj;
+      if (visited[static_cast<size_t>(cell)]) return;
+      const double c = sub(ni, nj);
+      pq.push(GbNode{node.cost > c ? node.cost : c, cell, node.start});
+    };
+    relax(i + 1, j);
+    if (j + 1 < n) {
+      relax(i, j + 1);
+      relax(i + 1, j + 1);
+    }
+  }
+  TRAJ_CHECK(false && "GB: search space exhausted without reaching last row");
+  return SearchResult{};
+}
+
+// Explicit instantiation for the GPS substitution functor.
+template SearchResult GreedyBacktrackingSearchT<EuclideanSub>(int, int,
+                                                              EuclideanSub);
+
+SearchResult GreedyBacktrackingSearch(TrajectoryView query,
+                                      TrajectoryView data) {
+  return GreedyBacktrackingSearchT(static_cast<int>(query.size()),
+                                   static_cast<int>(data.size()),
+                                   EuclideanSub{query, data});
+}
+
+}  // namespace trajsearch

@@ -1,0 +1,27 @@
+#pragma once
+
+#include "distance/distance.h"
+#include "search/result.h"
+
+namespace trajsearch {
+
+/// Greedy Backtracking (Gudmundsson, Seybold, Pfeifer, SIGSPATIAL 2021):
+/// exact O(mn log mn) nearest-subtrajectory search under the discrete
+/// Fréchet distance. The optimal subtrajectory corresponds to the
+/// minimum-bottleneck monotone staircase path from the top row to the
+/// bottom row of the m x n substitution-cost matrix; we realize the
+/// "greedy search with memoization" as a best-first (Dijkstra-style)
+/// expansion under the max-cost path metric, which visits each cell at most
+/// once but pays priority-queue overhead — the slight inefficiency vs CMA
+/// the paper reports. FD-only; insertion/deletion-based distances do not
+/// admit the fixed cost matrix (paper §3.3).
+
+/// \brief GB over an arbitrary substitution functor.
+template <typename SubFn>
+SearchResult GreedyBacktrackingSearchT(int m, int n, SubFn sub);
+
+/// \brief Type-erased GB over GPS trajectories (Fréchet distance).
+SearchResult GreedyBacktrackingSearch(TrajectoryView query,
+                                      TrajectoryView data);
+
+}  // namespace trajsearch

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "distance/distance.h"
+#include "search/result.h"
+
+namespace trajsearch {
+
+/// \brief Ground-truth oracle over all n(n+1)/2 subtrajectories of a data
+/// trajectory. Used to compute the paper's effectiveness metrics (§6.1):
+/// Approximate Ratio (AR), Mean Rank (MR) and Relative Rank (RR).
+///
+/// Cost is O(mn^2) per (query, data) pair, so the benchmarks apply it on
+/// sampled pairs exactly as needed.
+class SubtrajectoryOracle {
+ public:
+  /// Computes all subtrajectory distances for the pair.
+  SubtrajectoryOracle(const DistanceSpec& spec, TrajectoryView query,
+                      TrajectoryView data);
+
+  /// Number of subtrajectories considered (= n(n+1)/2).
+  size_t total() const { return distances_.size(); }
+
+  /// The optimal subtrajectory distance.
+  double OptimalDistance() const;
+
+  /// Rank of a returned distance among all subtrajectories: 1 + the number
+  /// of subtrajectories with strictly smaller distance. MR = 1 means the
+  /// algorithm found an optimal subtrajectory.
+  size_t RankOf(double distance) const;
+
+  /// Relative rank: fraction of subtrajectories strictly better than the
+  /// returned distance (the paper's RR, in [0,1)).
+  double RelativeRankOf(double distance) const;
+
+  /// Approximate ratio found/optimal; defined as 1 when both are ~0.
+  double ApproximateRatioOf(double distance) const;
+
+ private:
+  std::vector<double> distances_;  // sorted ascending
+};
+
+/// \brief Effectiveness metrics of one algorithm result against the oracle.
+struct EffectivenessSample {
+  double approximate_ratio = 1;
+  double mean_rank = 1;
+  double relative_rank = 0;
+};
+
+/// Evaluates a found distance against the oracle.
+EffectivenessSample Evaluate(const SubtrajectoryOracle& oracle,
+                             double found_distance);
+
+}  // namespace trajsearch

@@ -1,0 +1,123 @@
+#include "search/pos_pss.h"
+
+#include <algorithm>
+
+#include "distance/dp.h"
+
+namespace trajsearch {
+
+namespace {
+
+/// Shared greedy split scan. `suffix` has size n+1 with suffix[n] = +inf.
+template <typename ColumnDp>
+SearchResult SplitScanT(ColumnDp& dp, int n, const std::vector<double>& suffix,
+                        bool use_suffix) {
+  SearchResult best;
+  int s = 0;
+  dp.Reset();
+  double prev = kDpInfinity;
+  for (int t = 0; t < n; ++t) {
+    double cur = dp.Extend(t);
+    if (cur < best.distance) best = SearchResult{Subrange{s, t}, cur};
+    const bool rising = cur > prev;
+    bool split = false;
+    if (rising && t < n - 1) {
+      if (use_suffix) {
+        // PSS: split only when the closed prefix or the remaining suffix is
+        // predicted to beat carrying the current candidate to the end.
+        split = std::min(prev, suffix[static_cast<size_t>(t)]) <=
+                suffix[static_cast<size_t>(s)];
+      } else {
+        split = true;  // POS: greedy local-minimum restart.
+      }
+    }
+    if (split) {
+      s = t;
+      dp.Reset();
+      cur = dp.Extend(t);
+      if (cur < best.distance) best = SearchResult{Subrange{s, t}, cur};
+    }
+    prev = cur;
+  }
+  return best;
+}
+
+SearchResult SplitSearch(const DistanceSpec& spec, TrajectoryView query,
+                         TrajectoryView data, bool use_suffix) {
+  const int m = static_cast<int>(query.size());
+  const int n = static_cast<int>(data.size());
+  TRAJ_CHECK(m >= 1 && n >= 1);
+  std::vector<double> suffix;
+  if (use_suffix) {
+    suffix = SuffixDistances(spec, query, data);
+  } else {
+    suffix.assign(static_cast<size_t>(n) + 1, kDpInfinity);
+  }
+  switch (spec.kind) {
+    case DistanceKind::kDtw: {
+      DtwColumnDp<EuclideanSub> dp(m, EuclideanSub{query, data});
+      return SplitScanT(dp, n, suffix, use_suffix);
+    }
+    case DistanceKind::kFrechet: {
+      FrechetColumnDp<EuclideanSub> dp(m, EuclideanSub{query, data});
+      return SplitScanT(dp, n, suffix, use_suffix);
+    }
+    default:
+      return VisitWedCosts(spec, query, data, [&](const auto& costs) {
+        WedColumnDp<std::decay_t<decltype(costs)>> dp(m, costs);
+        return SplitScanT(dp, n, suffix, use_suffix);
+      });
+  }
+}
+
+}  // namespace
+
+std::vector<double> SuffixDistances(const DistanceSpec& spec,
+                                    TrajectoryView query,
+                                    TrajectoryView data) {
+  const int m = static_cast<int>(query.size());
+  const int n = static_cast<int>(data.size());
+  TRAJ_CHECK(m >= 1 && n >= 1);
+  // dist(q, d[t..n-1]) equals the prefix distance of the reversed pair:
+  // one O(mn) sweep computes every suffix distance.
+  const std::vector<Point> rq = ReversedPoints(query);
+  const std::vector<Point> rd = ReversedPoints(data);
+  const TrajectoryView rqv(rq), rdv(rd);
+  std::vector<double> out(static_cast<size_t>(n) + 1, kDpInfinity);
+  auto sweep = [&](auto& dp) {
+    dp.Reset();
+    for (int j = 0; j < n; ++j) {
+      out[static_cast<size_t>(n - 1 - j)] = dp.Extend(j);
+    }
+  };
+  switch (spec.kind) {
+    case DistanceKind::kDtw: {
+      DtwColumnDp<EuclideanSub> dp(m, EuclideanSub{rqv, rdv});
+      sweep(dp);
+      break;
+    }
+    case DistanceKind::kFrechet: {
+      FrechetColumnDp<EuclideanSub> dp(m, EuclideanSub{rqv, rdv});
+      sweep(dp);
+      break;
+    }
+    default:
+      VisitWedCosts(spec, rqv, rdv, [&](const auto& costs) {
+        WedColumnDp<std::decay_t<decltype(costs)>> dp(m, costs);
+        sweep(dp);
+      });
+  }
+  return out;
+}
+
+SearchResult PosSearch(const DistanceSpec& spec, TrajectoryView query,
+                       TrajectoryView data) {
+  return SplitSearch(spec, query, data, /*use_suffix=*/false);
+}
+
+SearchResult PssSearch(const DistanceSpec& spec, TrajectoryView query,
+                       TrajectoryView data) {
+  return SplitSearch(spec, query, data, /*use_suffix=*/true);
+}
+
+}  // namespace trajsearch

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <vector>
+
+#include "distance/distance.h"
+#include "search/result.h"
+
+namespace trajsearch {
+
+/// POS and PSS (Wang et al., PVLDB 2020): O(mn) approximate splitting-based
+/// subtrajectory search, the non-learning heuristics the paper compares
+/// against. The scan keeps a candidate start s, extends the prefix DP one
+/// data point at a time, and greedily decides whether to "split" (restart
+/// the candidate) at each position.
+///
+/// The original paper specifies the split rules informally; this
+/// reconstruction (documented in DESIGN.md) uses:
+///  * POS (prefix-only): split at t when the prefix distance d(q, d[s..t])
+///    has started to increase (greedy local-minimum detection).
+///  * PSS (prefix-suffix): additionally requires that splitting is not
+///    predicted to hurt: min(prev prefix dist, d(q, d[t..n-1])) must not
+///    exceed d(q, d[s..n-1]) (suffix distances precomputed in O(mn)).
+/// Both return valid ranges whose exact distance is reported; quality is
+/// approximate (AR >= 1), matching the paper's Table 2 behaviour.
+
+/// Suffix distances H[t] = dist(query, data[t..n-1]) for t in [0, n), plus
+/// H[n] = +infinity; computed with one reversed DP sweep in O(mn).
+std::vector<double> SuffixDistances(const DistanceSpec& spec,
+                                    TrajectoryView query, TrajectoryView data);
+
+/// \brief POS: prefix-only split search.
+SearchResult PosSearch(const DistanceSpec& spec, TrajectoryView query,
+                       TrajectoryView data);
+
+/// \brief PSS: prefix-suffix split search.
+SearchResult PssSearch(const DistanceSpec& spec, TrajectoryView query,
+                       TrajectoryView data);
+
+}  // namespace trajsearch

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+
+#include "core/subrange.h"
+#include "util/table.h"
+
+namespace trajsearch {
+
+/// \brief Result of a similar-subtrajectory search on one data trajectory:
+/// the optimal (or heuristically found) range and its distance to the query.
+struct SearchResult {
+  Subrange range;
+  double distance = 1e300;
+
+  /// True if a subtrajectory was found (always true for valid inputs).
+  bool found() const { return range.valid(); }
+
+  std::string ToString() const {
+    return range.ToString() + " dist=" + TablePrinter::Num(distance, 6);
+  }
+
+  friend bool operator==(const SearchResult& a, const SearchResult& b) {
+    return a.range == b.range && a.distance == b.distance;
+  }
+};
+
+}  // namespace trajsearch

@@ -1,0 +1,146 @@
+#include "search/rls.h"
+
+#include <algorithm>
+
+#include "distance/dp.h"
+#include "search/pos_pss.h"
+
+namespace trajsearch {
+
+namespace {
+
+enum RlsAction { kContinue = 0, kSplit = 1, kSkip = 2 };
+
+std::vector<double> MakeFeatures(double cur, double best, double suffix_next,
+                                 int candidate_len, int m, bool rising) {
+  constexpr double kEps = 1e-9;
+  const double suffix_ratio = suffix_next >= kDpInfinity
+                                  ? 1.0
+                                  : suffix_next / (suffix_next + cur + kEps);
+  return {1.0, cur / (cur + best + kEps),
+          std::min(2.0, static_cast<double>(candidate_len) /
+                            static_cast<double>(m)),
+          suffix_ratio, rising ? 1.0 : 0.0};
+}
+
+/// One scan of the data trajectory under the policy. When `learn` is set,
+/// performs epsilon-greedy exploration and TD updates; otherwise greedy.
+template <typename ColumnDp>
+SearchResult RlsScanT(ColumnDp& dp, int n, const std::vector<double>& suffix,
+                      RlsPolicy* policy, bool learn, Rng* rng,
+                      double reward_scale) {
+  LinearQ& q = policy->q();
+  const RlsOptions& opt = policy->options();
+  const int m = dp.query_size();
+  SearchResult best;
+  int s = 0;
+  dp.Reset();
+  double prev = kDpInfinity;
+  std::vector<double> feat, prev_feat;
+  int prev_action = -1;
+  double prev_best = kDpInfinity;
+  int t = 0;
+  while (t < n) {
+    double cur = dp.Extend(t);
+    if (cur < best.distance) best = SearchResult{Subrange{s, t}, cur};
+    const bool rising = cur > prev;
+    const double suffix_next =
+        t + 1 <= n ? suffix[static_cast<size_t>(t + 1)] : kDpInfinity;
+    feat = MakeFeatures(cur, best.distance, suffix_next, t - s + 1, m, rising);
+    if (learn && prev_action >= 0) {
+      const double reward = (prev_best - best.distance) / reward_scale;
+      q.Update(prev_feat, prev_action, reward, feat, /*terminal=*/false);
+    }
+    int action = kContinue;
+    if (t < n - 1) {
+      action = learn ? q.Select(feat, opt.explore_epsilon, rng) : q.Greedy(feat);
+    }
+    prev_feat = feat;
+    prev_action = action;
+    prev_best = best.distance;
+    prev = cur;
+    if (action == kSplit) {
+      s = t + 1;
+      dp.Reset();
+      prev = kDpInfinity;
+      t += 1;
+    } else if (action == kSkip) {
+      // RLS-Skip: jump over points without extending the DP column.
+      t += 1 + opt.skip_length;
+    } else {
+      t += 1;
+    }
+  }
+  if (learn && prev_action >= 0) {
+    const double reward = (prev_best - best.distance) / reward_scale;
+    q.Update(prev_feat, prev_action, reward, feat, /*terminal=*/true);
+  }
+  return best;
+}
+
+SearchResult RlsScan(const DistanceSpec& spec, RlsPolicy* policy,
+                     TrajectoryView query, TrajectoryView data, bool learn,
+                     Rng* rng) {
+  const int m = static_cast<int>(query.size());
+  const int n = static_cast<int>(data.size());
+  TRAJ_CHECK(m >= 1 && n >= 1);
+  const std::vector<double> suffix = SuffixDistances(spec, query, data);
+  double reward_scale = suffix[0];
+  if (!(reward_scale > 1e-12) || reward_scale >= kDpInfinity) {
+    reward_scale = 1.0;
+  }
+  switch (spec.kind) {
+    case DistanceKind::kDtw: {
+      DtwColumnDp<EuclideanSub> dp(m, EuclideanSub{query, data});
+      return RlsScanT(dp, n, suffix, policy, learn, rng, reward_scale);
+    }
+    case DistanceKind::kFrechet: {
+      FrechetColumnDp<EuclideanSub> dp(m, EuclideanSub{query, data});
+      return RlsScanT(dp, n, suffix, policy, learn, rng, reward_scale);
+    }
+    default:
+      return VisitWedCosts(spec, query, data, [&](const auto& costs) {
+        WedColumnDp<std::decay_t<decltype(costs)>> dp(m, costs);
+        return RlsScanT(dp, n, suffix, policy, learn, rng, reward_scale);
+      });
+  }
+}
+
+}  // namespace
+
+RlsPolicy::RlsPolicy(const RlsOptions& options)
+    : options_(options),
+      q_(options.allow_skip ? 3 : 2, kNumFeatures, options.learning_rate,
+         options.discount) {}
+
+RlsPolicy TrainRlsPolicy(
+    const DistanceSpec& spec,
+    const std::vector<std::pair<TrajectoryView, TrajectoryView>>& pairs,
+    const RlsOptions& options) {
+  RlsPolicy policy(options);
+  if (pairs.empty()) return policy;
+  Rng rng(options.seed);
+  for (int episode = 0; episode < options.training_episodes; ++episode) {
+    const auto& [query, data] =
+        pairs[static_cast<size_t>(episode) % pairs.size()];
+    RlsScan(spec, &policy, query, data, /*learn=*/true, &rng);
+  }
+  return policy;
+}
+
+SearchResult RlsSearch(const DistanceSpec& spec, const RlsPolicy& policy,
+                       TrajectoryView query, TrajectoryView data) {
+  RlsPolicy* mutable_policy = const_cast<RlsPolicy*>(&policy);
+  SearchResult result =
+      RlsScan(spec, mutable_policy, query, data, /*learn=*/false, nullptr);
+  if (result.found()) {
+    // Report the true distance of the returned range (skips thin the DP).
+    const TrajectoryView slice = data.subspan(
+        static_cast<size_t>(result.range.start),
+        static_cast<size_t>(result.range.Length()));
+    result.distance = FullDistance(spec, query, slice);
+  }
+  return result;
+}
+
+}  // namespace trajsearch

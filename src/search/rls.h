@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "distance/distance.h"
+#include "rl/linear_q.h"
+#include "search/result.h"
+
+namespace trajsearch {
+
+/// RLS and RLS-Skip (Wang et al., PVLDB 2020): reinforcement-learning split
+/// policies for approximate O(mn) subtrajectory search. The agent scans the
+/// data trajectory; at each point it observes features of the ongoing
+/// candidate (prefix distance, length ratio, suffix estimate) and chooses
+/// CONTINUE, SPLIT, or (RLS-Skip only) SKIP, which jumps over points
+/// without extending the DP column — faster traversal, lower quality.
+/// The returned range's distance is re-evaluated exactly before reporting.
+
+/// \brief Hyper-parameters for the RLS policy and its training loop.
+struct RlsOptions {
+  /// Enables the SKIP action (RLS-Skip).
+  bool allow_skip = false;
+  /// Number of data points jumped by one SKIP.
+  int skip_length = 2;
+  /// Training episodes (one episode = one (query, data) scan).
+  int training_episodes = 60;
+  /// Epsilon-greedy exploration rate during training.
+  double explore_epsilon = 0.2;
+  /// TD learning rate.
+  double learning_rate = 0.05;
+  /// Discount factor.
+  double discount = 0.95;
+  /// RNG seed for exploration.
+  uint64_t seed = 17;
+};
+
+/// \brief A trained split policy (wraps the linear Q-function).
+class RlsPolicy {
+ public:
+  explicit RlsPolicy(const RlsOptions& options);
+
+  const RlsOptions& options() const { return options_; }
+  LinearQ& q() { return q_; }
+  const LinearQ& q() const { return q_; }
+
+  /// Number of state features used by the policy.
+  static constexpr int kNumFeatures = 5;
+
+ private:
+  RlsOptions options_;
+  LinearQ q_;
+};
+
+/// Trains a policy by Q-learning over the given (query, data) pairs.
+/// Rewards are improvements of the best-found distance, normalized per pair.
+RlsPolicy TrainRlsPolicy(
+    const DistanceSpec& spec,
+    const std::vector<std::pair<TrajectoryView, TrajectoryView>>& pairs,
+    const RlsOptions& options);
+
+/// Runs the trained (greedy) policy on one (query, data) pair.
+SearchResult RlsSearch(const DistanceSpec& spec, const RlsPolicy& policy,
+                       TrajectoryView query, TrajectoryView data);
+
+}  // namespace trajsearch

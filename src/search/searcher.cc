@@ -1,0 +1,158 @@
+#include "search/searcher.h"
+
+#include <string>
+#include <utility>
+
+#include "search/cma.h"
+#include "search/exacts.h"
+#include "search/greedy_backtracking.h"
+#include "search/pos_pss.h"
+#include "search/spring.h"
+
+namespace trajsearch {
+
+std::string_view ToString(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kCma: return "CMA";
+    case Algorithm::kExactS: return "ExactS";
+    case Algorithm::kSpring: return "Spring";
+    case Algorithm::kGreedyBacktracking: return "GB";
+    case Algorithm::kPos: return "POS";
+    case Algorithm::kPss: return "PSS";
+    case Algorithm::kRls: return "RLS";
+    case Algorithm::kRlsSkip: return "RLS-Skip";
+  }
+  return "?";
+}
+
+bool Supports(Algorithm algorithm, DistanceKind kind) {
+  switch (algorithm) {
+    case Algorithm::kSpring:
+      return kind == DistanceKind::kDtw;
+    case Algorithm::kGreedyBacktracking:
+      return kind == DistanceKind::kFrechet;
+    default:
+      return true;
+  }
+}
+
+bool IsExact(Algorithm algorithm, DistanceKind kind) {
+  if (!Supports(algorithm, kind)) return false;
+  switch (algorithm) {
+    case Algorithm::kCma:
+    case Algorithm::kExactS:
+    case Algorithm::kSpring:
+    case Algorithm::kGreedyBacktracking:
+      return true;
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+/// Adapter for the stateless algorithm entry points.
+class FunctionSearcher : public Searcher {
+ public:
+  using Fn = SearchResult (*)(const DistanceSpec&, TrajectoryView,
+                              TrajectoryView);
+  FunctionSearcher(std::string name, DistanceSpec spec, Fn fn)
+      : name_(std::move(name)), spec_(spec), fn_(fn) {}
+
+  SearchResult Search(TrajectoryView query,
+                      TrajectoryView data) const override {
+    return fn_(spec_, query, data);
+  }
+  std::string_view name() const override { return name_; }
+
+ private:
+  std::string name_;
+  DistanceSpec spec_;
+  Fn fn_;
+};
+
+SearchResult CmaEntry(const DistanceSpec& spec, TrajectoryView q,
+                      TrajectoryView d) {
+  return CmaSearch(spec, q, d);
+}
+SearchResult ExactSEntry(const DistanceSpec& spec, TrajectoryView q,
+                         TrajectoryView d) {
+  return ExactSSearch(spec, q, d);
+}
+SearchResult SpringEntry(const DistanceSpec&, TrajectoryView q,
+                         TrajectoryView d) {
+  return SpringDtw::BestMatch(q, d);
+}
+SearchResult GbEntry(const DistanceSpec&, TrajectoryView q, TrajectoryView d) {
+  return GreedyBacktrackingSearch(q, d);
+}
+
+class RlsSearcher : public Searcher {
+ public:
+  RlsSearcher(DistanceSpec spec, RlsPolicy policy)
+      : spec_(spec),
+        policy_(std::move(policy)),
+        name_(policy_.options().allow_skip ? "RLS-Skip" : "RLS") {}
+
+  SearchResult Search(TrajectoryView query,
+                      TrajectoryView data) const override {
+    return RlsSearch(spec_, policy_, query, data);
+  }
+  std::string_view name() const override { return name_; }
+
+ private:
+  DistanceSpec spec_;
+  RlsPolicy policy_;
+  std::string name_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Searcher>> MakeSearcher(Algorithm algorithm,
+                                               const DistanceSpec& spec) {
+  if (!Supports(algorithm, spec.kind)) {
+    return Status::Unsupported(std::string(ToString(algorithm)) +
+                               " does not support " +
+                               std::string(ToString(spec.kind)));
+  }
+  switch (algorithm) {
+    case Algorithm::kCma:
+      return std::unique_ptr<Searcher>(
+          new FunctionSearcher("CMA", spec, &CmaEntry));
+    case Algorithm::kExactS:
+      return std::unique_ptr<Searcher>(
+          new FunctionSearcher("ExactS", spec, &ExactSEntry));
+    case Algorithm::kSpring:
+      return std::unique_ptr<Searcher>(
+          new FunctionSearcher("Spring", spec, &SpringEntry));
+    case Algorithm::kGreedyBacktracking:
+      return std::unique_ptr<Searcher>(
+          new FunctionSearcher("GB", spec, &GbEntry));
+    case Algorithm::kPos:
+      return std::unique_ptr<Searcher>(
+          new FunctionSearcher("POS", spec, &PosSearch));
+    case Algorithm::kPss:
+      return std::unique_ptr<Searcher>(
+          new FunctionSearcher("PSS", spec, &PssSearch));
+    case Algorithm::kRls: {
+      RlsOptions options;
+      options.allow_skip = false;
+      return std::unique_ptr<Searcher>(
+          new RlsSearcher(spec, RlsPolicy(options)));
+    }
+    case Algorithm::kRlsSkip: {
+      RlsOptions options;
+      options.allow_skip = true;
+      return std::unique_ptr<Searcher>(
+          new RlsSearcher(spec, RlsPolicy(options)));
+    }
+  }
+  return Status::Internal("unknown algorithm");
+}
+
+std::unique_ptr<Searcher> MakeRlsSearcher(const DistanceSpec& spec,
+                                          RlsPolicy policy) {
+  return std::unique_ptr<Searcher>(new RlsSearcher(spec, std::move(policy)));
+}
+
+}  // namespace trajsearch

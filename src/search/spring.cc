@@ -1,0 +1,115 @@
+#include "search/spring.h"
+
+#include "distance/dp.h"
+#include "util/check.h"
+
+namespace trajsearch {
+
+SpringDtw::SpringDtw(TrajectoryView query, double epsilon)
+    : query_(query.begin(), query.end()),
+      epsilon_(epsilon),
+      d_prev_(query_.size()),
+      d_cur_(query_.size()),
+      s_prev_(query_.size()),
+      s_cur_(query_.size()),
+      dmin_(kDpInfinity) {
+  TRAJ_CHECK(!query_.empty());
+}
+
+void SpringDtw::Push(const Point& p) {
+  const int m = static_cast<int>(query_.size());
+  const int j = t_;
+  std::swap(d_prev_, d_cur_);
+  std::swap(s_prev_, s_cur_);
+  for (int i = 0; i < m; ++i) {
+    const double sub = EuclideanDistance(query_[static_cast<size_t>(i)], p);
+    if (i == 0) {
+      // SPRING's d_0(t) = 0 boundary: a match may start fresh at any point,
+      // and starting fresh (cost 0) is never worse than extending.
+      d_cur_[0] = sub;
+      s_cur_[0] = j;
+      continue;
+    }
+    // min(diag, up, left) with start propagation.
+    double best = j > 0 ? d_prev_[static_cast<size_t>(i - 1)] : kDpInfinity;
+    int s = j > 0 ? s_prev_[static_cast<size_t>(i - 1)] : j;
+    if (j > 0 && d_prev_[static_cast<size_t>(i)] < best) {
+      best = d_prev_[static_cast<size_t>(i)];
+      s = s_prev_[static_cast<size_t>(i)];
+    }
+    if (d_cur_[static_cast<size_t>(i - 1)] < best) {
+      best = d_cur_[static_cast<size_t>(i - 1)];
+      s = s_cur_[static_cast<size_t>(i - 1)];
+    }
+    d_cur_[static_cast<size_t>(i)] = best + sub;
+    s_cur_[static_cast<size_t>(i)] = s;
+  }
+  ++t_;
+
+  // Candidate update: the final row holds dtw(query, data[s..j]).
+  const double dm = d_cur_[static_cast<size_t>(m - 1)];
+  if (dm <= epsilon_ && dm < dmin_) {
+    dmin_ = dm;
+    cand_ = Subrange{s_cur_[static_cast<size_t>(m - 1)], j};
+  }
+
+  // SPRING report condition: no ongoing warping path that overlaps the
+  // candidate can still beat it. This O(m) scan at every step is the extra
+  // work the paper contrasts with CMA's single final check.
+  if (dmin_ < kDpInfinity) {
+    bool can_report = true;
+    for (int i = 0; i < m; ++i) {
+      if (d_cur_[static_cast<size_t>(i)] < dmin_ &&
+          s_cur_[static_cast<size_t>(i)] <= cand_.end) {
+        can_report = false;
+        break;
+      }
+    }
+    if (can_report) {
+      ReportCandidate();
+      // Invalidate paths overlapping the reported range (disjointness).
+      for (int i = 0; i < m; ++i) {
+        if (s_cur_[static_cast<size_t>(i)] <= cand_.end) {
+          d_cur_[static_cast<size_t>(i)] = kDpInfinity;
+        }
+      }
+      dmin_ = kDpInfinity;
+    }
+  }
+}
+
+void SpringDtw::Finish() {
+  if (dmin_ < kDpInfinity) {
+    ReportCandidate();
+    dmin_ = kDpInfinity;
+  }
+}
+
+void SpringDtw::ReportCandidate() {
+  matches_.push_back(SpringMatch{cand_, dmin_});
+}
+
+SearchResult SpringDtw::BestMatch(TrajectoryView query, TrajectoryView data) {
+  SpringDtw spring(query, kDpInfinity);
+  for (const Point& p : data) spring.Push(p);
+  spring.Finish();
+  SearchResult best;
+  for (const SpringMatch& match : spring.matches()) {
+    if (match.distance < best.distance) {
+      best.distance = match.distance;
+      best.range = match.range;
+    }
+  }
+  return best;
+}
+
+std::vector<SpringMatch> SpringDtw::AllMatches(TrajectoryView query,
+                                               TrajectoryView data,
+                                               double epsilon) {
+  SpringDtw spring(query, epsilon);
+  for (const Point& p : data) spring.Push(p);
+  spring.Finish();
+  return spring.matches();
+}
+
+}  // namespace trajsearch

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "distance/distance.h"
+#include "search/result.h"
+
+namespace trajsearch {
+
+/// Spring (Sakurai, Faloutsos, Yamamuro, ICDE 2007): exact O(mn) subsequence
+/// matching under DTW for streams. Per the paper's §3.2/§6, Spring's
+/// recurrence coincides with CMA-DTW, but Spring additionally maintains the
+/// disjoint-match reporting machinery (threshold checks over the whole DP
+/// column at every step), which is the constant-factor overhead the paper
+/// measures against CMA. DTW-only; it does not generalize to WED/EDR/ERP.
+
+/// \brief One reported disjoint subsequence match.
+struct SpringMatch {
+  Subrange range;
+  double distance = 0;
+};
+
+/// \brief Streaming Spring matcher over a data trajectory.
+///
+/// Reports every locally-optimal subsequence with DTW distance <= epsilon
+/// such that reported matches do not overlap (the original SPRING
+/// semantics). Use epsilon = +infinity and BestMatch() to obtain the global
+/// optimum (the mode used in the paper's comparison).
+class SpringDtw {
+ public:
+  /// \param query the query trajectory (length >= 1)
+  /// \param epsilon report threshold (kDpInfinity for best-only search)
+  SpringDtw(TrajectoryView query, double epsilon);
+
+  /// Consumes one data point (streaming interface); any match whose
+  /// optimality is established by this step is appended to matches().
+  void Push(const Point& p);
+
+  /// Flushes the pending candidate (call after the last point).
+  void Finish();
+
+  /// All reported matches so far (disjoint ranges).
+  const std::vector<SpringMatch>& matches() const { return matches_; }
+
+  /// Convenience: run the full stream and return the best match found.
+  static SearchResult BestMatch(TrajectoryView query, TrajectoryView data);
+
+  /// Convenience: all disjoint matches under the threshold.
+  static std::vector<SpringMatch> AllMatches(TrajectoryView query,
+                                             TrajectoryView data,
+                                             double epsilon);
+
+ private:
+  void ReportCandidate();
+
+  std::vector<Point> query_;
+  double epsilon_;
+  int t_ = 0;  // number of points consumed
+  std::vector<double> d_prev_, d_cur_;
+  std::vector<int> s_prev_, s_cur_;
+  double dmin_;
+  Subrange cand_{};
+  std::vector<SpringMatch> matches_;
+};
+
+}  // namespace trajsearch

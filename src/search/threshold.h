@@ -1,0 +1,25 @@
+#pragma once
+
+#include <vector>
+
+#include "distance/distance.h"
+#include "search/result.h"
+
+namespace trajsearch {
+
+/// Threshold ("range") subtrajectory queries: all disjoint subtrajectories
+/// with distance <= tau. Spring provides this natively for DTW (§3.2); CMA's
+/// final row C[m-1][j] with start pointers extends the capability to every
+/// distance the library supports — one of the paper's implicit extensions
+/// (its §6 notes Spring's extra machinery is the only functional difference).
+///
+/// Semantics: candidate matches are the (start s_j, end j) pairs with
+/// C[m-1][j] <= tau; matches are selected greedily by ascending distance,
+/// discarding candidates that overlap an already-selected range. The result
+/// is a set of disjoint matches each within the threshold, containing the
+/// global optimum.
+std::vector<SearchResult> CmaThresholdSearch(const DistanceSpec& spec,
+                                             TrajectoryView query,
+                                             TrajectoryView data, double tau);
+
+}  // namespace trajsearch

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace trajsearch::internal {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "TRAJ_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace trajsearch::internal
+
+/// Always-on invariant check (used at API boundaries on user input).
+#define TRAJ_CHECK(expr)                                            \
+  do {                                                              \
+    if (!(expr))                                                    \
+      ::trajsearch::internal::CheckFailed(#expr, __FILE__, __LINE__); \
+  } while (false)
+
+/// Debug-only invariant check (hot paths).
+#ifndef NDEBUG
+#define TRAJ_DCHECK(expr) TRAJ_CHECK(expr)
+#else
+#define TRAJ_DCHECK(expr) \
+  do {                    \
+  } while (false)
+#endif

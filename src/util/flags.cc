@@ -1,0 +1,57 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+
+namespace trajsearch {
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "";
+    }
+  }
+}
+
+bool Flags::Has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::string Flags::GetString(const std::string& key, std::string def) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? def : it->second;
+}
+
+long long Flags::GetInt(const std::string& key, long long def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end() || it->second.empty()) return def;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  return (end && *end == '\0') ? v : def;
+}
+
+double Flags::GetDouble(const std::string& key, double def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end() || it->second.empty()) return def;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  return (end && *end == '\0') ? v : def;
+}
+
+bool Flags::GetBool(const std::string& key, bool def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  const std::string& v = it->second;
+  if (v.empty() || v == "1" || v == "true" || v == "yes") return true;
+  if (v == "0" || v == "false" || v == "no") return false;
+  return def;
+}
+
+}  // namespace trajsearch

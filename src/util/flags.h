@@ -1,0 +1,34 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace trajsearch {
+
+/// \brief Minimal command-line flag parser for benches and examples.
+///
+/// Accepts `--key=value`, `--key value` and bare `--key` (boolean true).
+/// Unrecognized positional arguments are ignored. Typed getters fall back to
+/// the provided default when the flag is absent or malformed.
+class Flags {
+ public:
+  /// Parses argv; safe to call with argc==0.
+  Flags(int argc, char** argv);
+
+  /// True if the flag was passed at all.
+  bool Has(const std::string& key) const;
+
+  /// String value or default.
+  std::string GetString(const std::string& key, std::string def) const;
+  /// Integer value or default.
+  long long GetInt(const std::string& key, long long def) const;
+  /// Double value or default.
+  double GetDouble(const std::string& key, double def) const;
+  /// Boolean value or default ("true"/"1"/"" => true, "false"/"0" => false).
+  bool GetBool(const std::string& key, bool def) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace trajsearch

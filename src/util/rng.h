@@ -1,0 +1,115 @@
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace trajsearch {
+
+/// \brief Deterministic, cross-platform pseudo-random generator
+/// (xoshiro256++ seeded via splitmix64).
+///
+/// All data generation in the repository goes through this class so that
+/// datasets, workloads and experiments are exactly reproducible from a seed.
+class Rng {
+ public:
+  /// Creates a generator from a 64-bit seed (expanded with splitmix64).
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    uint64_t x = seed;
+    for (auto& s : state_) s = SplitMix64(&x);
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double Uniform() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    TRAJ_DCHECK(lo <= hi);
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(Next() % span);
+  }
+
+  /// Standard normal deviate (Box-Muller; deterministic across platforms).
+  double Normal() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1 = Uniform();
+    double u2 = Uniform();
+    if (u1 < 1e-300) u1 = 1e-300;
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * 3.14159265358979323846 * u2;
+    cached_ = r * std::sin(theta);
+    has_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+  /// Normal deviate with the given mean and standard deviation.
+  double Normal(double mean, double stddev) { return mean + stddev * Normal(); }
+
+  /// Gamma deviate (Marsaglia-Tsang), used for skewed trajectory-length
+  /// distributions. Requires shape > 0, scale > 0.
+  double Gamma(double shape, double scale) {
+    TRAJ_DCHECK(shape > 0 && scale > 0);
+    if (shape < 1.0) {
+      // Boost to shape+1 and correct with a power of a uniform.
+      const double u = Uniform();
+      return Gamma(shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+    }
+    const double d = shape - 1.0 / 3.0;
+    const double c = 1.0 / std::sqrt(9.0 * d);
+    for (;;) {
+      double x = Normal();
+      double v = 1.0 + c * x;
+      if (v <= 0) continue;
+      v = v * v * v;
+      const double u = Uniform();
+      if (u < 1.0 - 0.0331 * x * x * x * x) return d * v * scale;
+      if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+        return d * v * scale;
+      }
+    }
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Chance(double p) { return Uniform() < p; }
+
+  /// Forks an independent, deterministic child stream (for parallel or
+  /// per-entity generation).
+  Rng Fork() { return Rng(Next() ^ 0xa0761d6478bd642fULL); }
+
+ private:
+  static uint64_t SplitMix64(uint64_t* x) {
+    uint64_t z = (*x += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  static uint64_t Rotl(uint64_t v, int k) { return (v << k) | (v >> (64 - k)); }
+
+  uint64_t state_[4];
+  double cached_ = 0;
+  bool has_cached_ = false;
+};
+
+}  // namespace trajsearch

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace trajsearch {
+
+/// \brief Streaming accumulator for mean / variance / min / max (Welford).
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Number of observations added.
+  size_t count() const { return n_; }
+  /// Arithmetic mean (0 if empty).
+  double Mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample standard deviation (0 if fewer than two observations).
+  double Stddev() const;
+  /// Smallest observation (+inf if empty).
+  double Min() const { return min_; }
+  /// Largest observation (-inf if empty).
+  double Max() const { return max_; }
+  /// Sum of all observations.
+  double Sum() const { return sum_; }
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double sum_ = 0;
+  double min_ = 1e300;
+  double max_ = -1e300;
+};
+
+/// Returns the p-th percentile (0..100) of the values; linear interpolation
+/// between closest ranks. Returns 0 for an empty vector.
+double Percentile(std::vector<double> values, double p);
+
+}  // namespace trajsearch

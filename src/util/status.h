@@ -1,0 +1,98 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace trajsearch {
+
+/// \brief Error codes used across the library (Arrow/RocksDB-style status).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kIoError,
+  kNotFound,
+  kUnsupported,
+  kInternal,
+};
+
+/// \brief Lightweight status object for fallible operations (mainly I/O and
+/// configuration). Algorithms on validated in-memory data use DCHECKs instead.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: empty trajectory".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string name;
+    switch (code_) {
+      case StatusCode::kOk: name = "OK"; break;
+      case StatusCode::kInvalidArgument: name = "InvalidArgument"; break;
+      case StatusCode::kIoError: name = "IoError"; break;
+      case StatusCode::kNotFound: name = "NotFound"; break;
+      case StatusCode::kUnsupported: name = "Unsupported"; break;
+      case StatusCode::kInternal: name = "Internal"; break;
+    }
+    return name + ": " + message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief Value-or-status result type, analogous to arrow::Result.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Value accessors; only valid when ok().
+  const T& value() const& { return value_; }
+  T& value() & { return value_; }
+  T&& MoveValue() { return std::move(value_); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+/// Propagate a non-OK Status from an expression.
+#define TRAJ_RETURN_NOT_OK(expr)                \
+  do {                                          \
+    ::trajsearch::Status _st = (expr);          \
+    if (!_st.ok()) return _st;                  \
+  } while (false)
+
+}  // namespace trajsearch

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace trajsearch {
+
+/// \brief Fixed-width ASCII table printer used by the benchmark harnesses to
+/// emit rows shaped like the paper's tables and figure series.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends one row; missing cells are blank, extra cells are dropped.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table (header, separator, rows) to a string.
+  std::string ToString() const;
+
+  /// Prints to stdout.
+  void Print() const;
+
+  /// Formats a double with the given precision (helper for cells).
+  static std::string Num(double v, int precision = 4);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace trajsearch

@@ -1,0 +1,249 @@
+#include "search/cma.h"
+
+#include <gtest/gtest.h>
+
+#include "core/matching.h"
+#include "search/exacts.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace trajsearch {
+namespace {
+
+using testing::BruteForceSearch;
+using testing::LetterTrajectory;
+using testing::PaperGpsSpecs;
+using testing::RandomTrajectory;
+using testing::RandomWalk;
+
+// ---------------------------------------------------------------------------
+// The paper's headline claim: CMA is exact. For every supported distance,
+// CMA == ExactS == brute force over all subranges, on random inputs.
+// ---------------------------------------------------------------------------
+
+class CmaExactnessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CmaExactnessTest, CmaMatchesExactSAndBruteForceOnRandomPoints) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  for (int round = 0; round < 15; ++round) {
+    const int m = static_cast<int>(rng.UniformInt(1, 7));
+    const int n = static_cast<int>(rng.UniformInt(1, 14));
+    const Trajectory q = RandomTrajectory(&rng, m);
+    const Trajectory d = RandomTrajectory(&rng, n);
+    for (const DistanceSpec& spec : PaperGpsSpecs()) {
+      const SearchResult cma = CmaSearch(spec, q, d);
+      const SearchResult exacts = ExactSSearch(spec, q, d);
+      const SearchResult brute = BruteForceSearch(spec, q, d);
+      EXPECT_NEAR(cma.distance, brute.distance, 1e-9)
+          << ToString(spec.kind) << " m=" << m << " n=" << n;
+      EXPECT_NEAR(exacts.distance, brute.distance, 1e-9)
+          << ToString(spec.kind);
+      // The returned range must reproduce the reported distance.
+      ASSERT_TRUE(cma.range.WithinLength(n));
+      const double recomputed = FullDistance(
+          spec, q,
+          d.View().subspan(static_cast<size_t>(cma.range.start),
+                           static_cast<size_t>(cma.range.Length())));
+      EXPECT_NEAR(recomputed, cma.distance, 1e-9) << ToString(spec.kind);
+    }
+  }
+}
+
+TEST_P(CmaExactnessTest, CmaMatchesBruteForceOnContinuousWalks) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 31 + 7);
+  const Trajectory q = RandomWalk(&rng, static_cast<int>(rng.UniformInt(2, 6)));
+  const Trajectory d = RandomWalk(&rng, static_cast<int>(rng.UniformInt(4, 16)));
+  for (const DistanceSpec& spec : PaperGpsSpecs()) {
+    const SearchResult cma = CmaSearch(spec, q, d);
+    const SearchResult brute = BruteForceSearch(spec, q, d);
+    EXPECT_NEAR(cma.distance, brute.distance, 1e-9) << ToString(spec.kind);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CmaExactnessTest, ::testing::Range(0, 16));
+
+// ---------------------------------------------------------------------------
+// Theorem 4.1: the optimal subtrajectory needs no redundant prefix/suffix —
+// equivalently, shrinking the returned optimal range never helps, and the
+// full distance of the returned range equals the matching-cost optimum.
+// ---------------------------------------------------------------------------
+
+TEST(CmaTheoremTest, OptimalRangeHasNoRedundantPrefixOrSuffix) {
+  Rng rng(99);
+  for (int round = 0; round < 40; ++round) {
+    const Trajectory q = RandomTrajectory(&rng, 4);
+    const Trajectory d = RandomTrajectory(&rng, 10);
+    const DistanceSpec spec = DistanceSpec::Erp(Point{5, 5});
+    const SearchResult cma = CmaSearch(spec, q, d);
+    // Any wider range that contains the optimum costs at least as much once
+    // the mandatory prefix/suffix insertions are accounted (Theorem 4.1's
+    // consequence: the optimum over ranges equals the matching optimum).
+    const SearchResult brute = BruteForceSearch(spec, q, d);
+    EXPECT_NEAR(cma.distance, brute.distance, 1e-9);
+  }
+}
+
+// Equation 5/6 for DTW: the optimal matching-sequence cost over *all*
+// matchings equals CMA's answer (checked by exhaustive enumeration).
+TEST(CmaTheoremTest, DtwMatchingEnumerationMatchesCma) {
+  Rng rng(123);
+  for (int round = 0; round < 10; ++round) {
+    const int m = static_cast<int>(rng.UniformInt(1, 4));
+    const int n = static_cast<int>(rng.UniformInt(1, 6));
+    const Trajectory q = RandomTrajectory(&rng, m);
+    const Trajectory d = RandomTrajectory(&rng, n);
+    const EuclideanSub sub{q.View(), d.View()};
+    double best = kMatchingInfinity;
+    ForEachMatching(m, n, [&](const MatchingSequence& a) {
+      ASSERT_TRUE(IsValidMatching(a, n));
+      best = std::min(best, DtwMatchingCost(a, sub));
+    });
+    const SearchResult cma = CmaDtwSearch(m, n, sub);
+    EXPECT_NEAR(best, cma.distance, 1e-9) << "m=" << m << " n=" << n;
+  }
+}
+
+// For WED-family costs the matching enumeration is an upper bound: the
+// Definition-4 assignment ("first tied point gets the substitution") misses
+// prefix-deletion scripts that the corrected DP includes.
+TEST(CmaTheoremTest, WedMatchingEnumerationUpperBoundsCma) {
+  Rng rng(321);
+  for (int round = 0; round < 10; ++round) {
+    const int m = static_cast<int>(rng.UniformInt(1, 4));
+    const int n = static_cast<int>(rng.UniformInt(1, 6));
+    const Trajectory q = RandomTrajectory(&rng, m);
+    const Trajectory d = RandomTrajectory(&rng, n);
+    const ErpCosts costs{q.View(), d.View(), Point{5, 5}};
+    double best = kMatchingInfinity;
+    ForEachMatching(m, n, [&](const MatchingSequence& a) {
+      best = std::min(best, WedMatchingCost(a, costs));
+    });
+    const SearchResult cma = CmaWedSearch(m, n, costs);
+    EXPECT_GE(best + 1e-9, cma.distance);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reproduction findings: boundary behaviour of the printed Equation 7.
+// ---------------------------------------------------------------------------
+
+// Finding 1: the paper's recurrence admits "delete the whole query prefix
+// then substitute" only at the first data point (its j = 1 case). Under ERP,
+// when a query point lies on the gap point g (deletion is free), the optimal
+// script can start a match mid-trajectory with a deleted prefix; without the
+// generalized prefix candidate the DP overestimates.
+TEST(CmaFindingsTest, PrefixDeletionMidTrajectoryRequiresCorrection) {
+  const Trajectory q{Point{0, 0}, Point{5, 5}};
+  const Trajectory d{Point{100, 100}, Point{5, 5}};
+  const ErpCosts costs{q.View(), d.View(), Point{0, 0}};  // gap g = q[0]!
+
+  // True optimum: subtrajectory [d[1]] via "delete q[0] (cost 0, it sits on
+  // g), substitute q[1] -> d[1] (cost 0)".
+  const SearchResult brute =
+      BruteForceSearch(DistanceSpec::Erp(Point{0, 0}), q, d);
+  EXPECT_NEAR(brute.distance, 0.0, 1e-9);
+
+  const SearchResult corrected =
+      CmaWedSearch(2, 2, costs, CmaWedVariant::kExact);
+  EXPECT_NEAR(corrected.distance, 0.0, 1e-9);
+
+  const SearchResult eq7 =
+      CmaWedSearch(2, 2, costs, CmaWedVariant::kEq7Rolling);
+  EXPECT_GT(eq7.distance, 10.0);  // ~14.14: strictly suboptimal
+}
+
+// Finding 2: Equation 7's rolling term C[i][j-1] - sub(q_i, d_{j-1}) +
+// ins(d_{j-1}) silently assumes sub(a,b) <= del(a) + ins(b). With an
+// adversarial cost model violating it, Eq 7 *underestimates* (returns an
+// unachievable distance); the stable auxiliary recurrence stays exact.
+TEST(CmaFindingsTest, Eq7UnderestimatesUnderNonMetricCosts) {
+  const Trajectory q{Point{0, 0}, Point{100, 0}};
+  const Trajectory d{Point{0, 0}, Point{100000, 0}, Point{100, 0}};
+  WedCostFns fns;
+  fns.sub = [](const Point& a, const Point& b) { return std::abs(a.x - b.x); };
+  fns.ins = [](const Point&) { return 0.01; };
+  fns.del = [](const Point&) { return 0.01; };
+  const CustomWedCosts costs{q.View(), d.View(), &fns};
+
+  const SearchResult brute =
+      BruteForceSearch(DistanceSpec::Wed(&fns), q, d);
+  const SearchResult corrected =
+      CmaWedSearch(2, 3, costs, CmaWedVariant::kExact);
+  EXPECT_NEAR(corrected.distance, brute.distance, 1e-9);
+  EXPECT_NEAR(corrected.distance, 0.01, 1e-9);
+
+  const SearchResult eq7 =
+      CmaWedSearch(2, 3, costs, CmaWedVariant::kEq7Rolling);
+  EXPECT_LT(eq7.distance, 0.0);  // negative "distance": clearly invalid
+}
+
+// On the paper's actual evaluation costs (EDR with uniform edits; DTW), the
+// printed recurrence and the corrected variant agree — the findings above
+// never bite the published experiments.
+TEST(CmaFindingsTest, Eq7AgreesWithExactVariantOnEdr) {
+  Rng rng(2024);
+  for (int round = 0; round < 60; ++round) {
+    const int m = static_cast<int>(rng.UniformInt(1, 7));
+    const int n = static_cast<int>(rng.UniformInt(1, 14));
+    const Trajectory q = RandomTrajectory(&rng, m);
+    const Trajectory d = RandomTrajectory(&rng, n);
+    const EdrCosts costs{q.View(), d.View(), 1.5};
+    const SearchResult exact = CmaWedSearch(m, n, costs, CmaWedVariant::kExact);
+    const SearchResult eq7 =
+        CmaWedSearch(m, n, costs, CmaWedVariant::kEq7Rolling);
+    EXPECT_NEAR(exact.distance, eq7.distance, 1e-9);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Edge cases.
+// ---------------------------------------------------------------------------
+
+TEST(CmaEdgeTest, SinglePointQueryPicksNearestDataPoint) {
+  const Trajectory q{Point{3, 3}};
+  const Trajectory d{Point{0, 0}, Point{3, 4}, Point{10, 10}};
+  const SearchResult r = CmaSearch(DistanceSpec::Dtw(), q, d);
+  EXPECT_EQ(r.range, (Subrange{1, 1}));
+  EXPECT_NEAR(r.distance, 1.0, 1e-9);
+}
+
+TEST(CmaEdgeTest, SinglePointDataIsHandled) {
+  const Trajectory q{Point{0, 0}, Point{1, 0}, Point{2, 0}};
+  const Trajectory d{Point{1, 1}};
+  for (const DistanceSpec& spec : PaperGpsSpecs()) {
+    const SearchResult r = CmaSearch(spec, q, d);
+    EXPECT_EQ(r.range, (Subrange{0, 0})) << ToString(spec.kind);
+    const SearchResult brute = BruteForceSearch(spec, q, d);
+    EXPECT_NEAR(r.distance, brute.distance, 1e-9) << ToString(spec.kind);
+  }
+}
+
+TEST(CmaEdgeTest, ExactSubtrajectoryEmbeddedInDataIsFoundWithZeroDistance) {
+  Rng rng(55);
+  const Trajectory full = RandomWalk(&rng, 30);
+  std::vector<Point> qpts(full.points().begin() + 10,
+                          full.points().begin() + 18);
+  const Trajectory q(std::move(qpts));
+  for (const DistanceSpec& spec : PaperGpsSpecs()) {
+    const SearchResult r = CmaSearch(spec, q, full);
+    EXPECT_NEAR(r.distance, 0.0, 1e-9) << ToString(spec.kind);
+    // The embedded copy [10, 17] must be among the optima.
+    const double direct = FullDistance(
+        spec, q, full.View().subspan(10, 8));
+    EXPECT_NEAR(direct, 0.0, 1e-9);
+  }
+}
+
+TEST(CmaEdgeTest, Figure5StyleLetterExample) {
+  // A letter-grid example in the spirit of the paper's Figure 5: the query
+  // matches a middle portion of the data trajectory.
+  const Trajectory q = LetterTrajectory("cdef");
+  const Trajectory d = LetterTrajectory("bacdefzz");
+  const UniformEditCosts costs{q.View(), d.View()};
+  const SearchResult r = CmaWedSearch(q.size(), d.size(), costs);
+  EXPECT_DOUBLE_EQ(r.distance, 0.0);
+  EXPECT_EQ(r.range, (Subrange{2, 5}));
+}
+
+}  // namespace
+}  // namespace trajsearch

@@ -1,0 +1,233 @@
+#include "distance/distance.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "distance/cost_model.h"
+#include "distance/dp.h"
+#include "search/pos_pss.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace trajsearch {
+namespace {
+
+using testing::LetterTrajectory;
+using testing::RandomTrajectory;
+
+// ---------------------------------------------------------------------------
+// Reference implementations: full O(mn) matrices straight from the paper's
+// equations, kept deliberately naive and independent of the column steppers.
+// ---------------------------------------------------------------------------
+
+template <typename Costs>
+double ReferenceWed(int m, int n, const Costs& c) {
+  // Equation 2 with boundary wed(q[0..i], empty) / wed(empty, d[0..j]).
+  std::vector<std::vector<double>> t(static_cast<size_t>(m) + 1,
+                                     std::vector<double>(static_cast<size_t>(n) + 1, 0));
+  for (int i = 1; i <= m; ++i) t[i][0] = t[i - 1][0] + c.Del(i - 1);
+  for (int j = 1; j <= n; ++j) t[0][j] = t[0][j - 1] + c.Ins(j - 1);
+  for (int i = 1; i <= m; ++i) {
+    for (int j = 1; j <= n; ++j) {
+      t[i][j] = std::min({t[i - 1][j - 1] + c.Sub(i - 1, j - 1),
+                          t[i][j - 1] + c.Ins(j - 1),
+                          t[i - 1][j] + c.Del(i - 1)});
+    }
+  }
+  return t[m][n];
+}
+
+double ReferenceDtw(TrajectoryView q, TrajectoryView d) {
+  // Equation 3 with cumulative-substitution boundary rows.
+  const int m = static_cast<int>(q.size()), n = static_cast<int>(d.size());
+  std::vector<std::vector<double>> t(static_cast<size_t>(m),
+                                     std::vector<double>(static_cast<size_t>(n), 0));
+  EuclideanSub sub{q, d};
+  t[0][0] = sub(0, 0);
+  for (int j = 1; j < n; ++j) t[0][j] = t[0][j - 1] + sub(0, j);
+  for (int i = 1; i < m; ++i) t[i][0] = t[i - 1][0] + sub(i, 0);
+  for (int i = 1; i < m; ++i) {
+    for (int j = 1; j < n; ++j) {
+      t[i][j] = std::min({t[i - 1][j], t[i][j - 1], t[i - 1][j - 1]}) +
+                sub(i, j);
+    }
+  }
+  return t[m - 1][n - 1];
+}
+
+double ReferenceFrechet(TrajectoryView q, TrajectoryView d) {
+  const int m = static_cast<int>(q.size()), n = static_cast<int>(d.size());
+  std::vector<std::vector<double>> t(static_cast<size_t>(m),
+                                     std::vector<double>(static_cast<size_t>(n), 0));
+  EuclideanSub sub{q, d};
+  t[0][0] = sub(0, 0);
+  for (int j = 1; j < n; ++j) t[0][j] = std::max(t[0][j - 1], sub(0, j));
+  for (int i = 1; i < m; ++i) t[i][0] = std::max(t[i - 1][0], sub(i, 0));
+  for (int i = 1; i < m; ++i) {
+    for (int j = 1; j < n; ++j) {
+      const double reach =
+          std::min({t[i - 1][j], t[i][j - 1], t[i - 1][j - 1]});
+      t[i][j] = std::max(reach, sub(i, j));
+    }
+  }
+  return t[m - 1][n - 1];
+}
+
+// ---------------------------------------------------------------------------
+// Hand-checked examples.
+// ---------------------------------------------------------------------------
+
+TEST(DistanceTest, UniformEditDistanceMatchesClassicExamples) {
+  // "abc" -> "axbc": one insertion.
+  const Trajectory q = LetterTrajectory("abc");
+  const Trajectory d = LetterTrajectory("axbc");
+  const UniformEditCosts costs{q.View(), d.View()};
+  EXPECT_DOUBLE_EQ(WedDistanceT(3, 4, costs), 1.0);
+
+  // "kitten" -> "sitting": the classic distance 3.
+  const Trajectory kitten = LetterTrajectory("kitten");
+  const Trajectory sitting = LetterTrajectory("sitting");
+  const UniformEditCosts classic{kitten.View(), sitting.View()};
+  EXPECT_DOUBLE_EQ(WedDistanceT(6, 7, classic), 3.0);
+}
+
+TEST(DistanceTest, PaperExampleOneWedDistanceIsFour) {
+  // Example 1 / Figure 4(a): converting tau_q into tau_d costs 4 under
+  // uniform WED (delete q[2], insert d[3], substitute q[5] and q[8]).
+  // Letters reconstructed to produce the example's operations.
+  const Trajectory q = LetterTrajectory("bbcdfghjk");
+  const Trajectory d = LetterTrajectory("bcedfxhyk");
+  // q: b b c d f g h j k  -> delete one 'b', insert 'e', sub g->x, sub j->y.
+  const UniformEditCosts costs{q.View(), d.View()};
+  EXPECT_DOUBLE_EQ(WedDistanceT(q.size(), d.size(), costs), 4.0);
+}
+
+TEST(DistanceTest, DtwOfIdenticalTrajectoriesIsZero) {
+  Rng rng(1);
+  const Trajectory t = RandomTrajectory(&rng, 12);
+  EXPECT_DOUBLE_EQ(Dtw(t, t), 0.0);
+  EXPECT_DOUBLE_EQ(Frechet(t, t), 0.0);
+  EXPECT_DOUBLE_EQ(Edr(t, t, 0.1), 0.0);
+  EXPECT_DOUBLE_EQ(Erp(t, t, Point{0, 0}), 0.0);
+}
+
+TEST(DistanceTest, DtwHandlesDifferentSamplingRates) {
+  // The same path sampled at 1x and 3x should have DTW distance 0.
+  std::vector<Point> coarse, fine;
+  for (int i = 0; i < 5; ++i) {
+    const Point p{static_cast<double>(i), 0.0};
+    coarse.push_back(p);
+    fine.push_back(p);
+    fine.push_back(p);
+    fine.push_back(p);
+  }
+  EXPECT_DOUBLE_EQ(
+      Dtw(TrajectoryView(coarse), TrajectoryView(fine)), 0.0);
+}
+
+TEST(DistanceTest, ErpIsAMetricOnExamples) {
+  // ERP satisfies the triangle inequality (Chen & Ng 2004).
+  Rng rng(7);
+  const Point gap{5, 5};
+  for (int round = 0; round < 30; ++round) {
+    const Trajectory a = RandomTrajectory(&rng, 4);
+    const Trajectory b = RandomTrajectory(&rng, 6);
+    const Trajectory c = RandomTrajectory(&rng, 5);
+    const double ab = Erp(a, b, gap);
+    const double bc = Erp(b, c, gap);
+    const double ac = Erp(a, c, gap);
+    EXPECT_LE(ac, ab + bc + 1e-9);
+    EXPECT_NEAR(ab, Erp(b, a, gap), 1e-9);
+  }
+}
+
+TEST(DistanceTest, FrechetIsMaxOfPointwiseForEqualLengthAlignedPaths) {
+  std::vector<Point> a, b;
+  for (int i = 0; i < 6; ++i) {
+    a.push_back(Point{static_cast<double>(i), 0});
+    b.push_back(Point{static_cast<double>(i), i == 3 ? 2.0 : 0.5});
+  }
+  EXPECT_DOUBLE_EQ(Frechet(TrajectoryView(a), TrajectoryView(b)), 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized equivalence with the reference matrices.
+// ---------------------------------------------------------------------------
+
+class DistanceSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistanceSweepTest, ColumnSteppersMatchReferenceMatrices) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  for (int round = 0; round < 20; ++round) {
+    const int m = static_cast<int>(rng.UniformInt(1, 8));
+    const int n = static_cast<int>(rng.UniformInt(1, 10));
+    const Trajectory q = RandomTrajectory(&rng, m);
+    const Trajectory d = RandomTrajectory(&rng, n);
+
+    EXPECT_NEAR(Dtw(q, d), ReferenceDtw(q, d), 1e-9);
+    EXPECT_NEAR(Frechet(q, d), ReferenceFrechet(q, d), 1e-9);
+
+    const EdrCosts edr{q.View(), d.View(), 1.5};
+    EXPECT_NEAR(WedDistanceT(m, n, edr), ReferenceWed(m, n, edr), 1e-9);
+
+    const ErpCosts erp{q.View(), d.View(), Point{5, 5}};
+    EXPECT_NEAR(WedDistanceT(m, n, erp), ReferenceWed(m, n, erp), 1e-9);
+  }
+}
+
+TEST_P(DistanceSweepTest, SuffixDistancesMatchDirectComputation) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 77 + 5);
+  const int m = static_cast<int>(rng.UniformInt(1, 6));
+  const int n = static_cast<int>(rng.UniformInt(1, 12));
+  const Trajectory q = RandomTrajectory(&rng, m);
+  const Trajectory d = RandomTrajectory(&rng, n);
+  for (const DistanceSpec& spec : testing::PaperGpsSpecs()) {
+    const std::vector<double> suffix = SuffixDistances(spec, q, d);
+    ASSERT_EQ(suffix.size(), static_cast<size_t>(n) + 1);
+    for (int t = 0; t < n; ++t) {
+      const double direct = FullDistance(
+          spec, q,
+          d.View().subspan(static_cast<size_t>(t),
+                           static_cast<size_t>(n - t)));
+      EXPECT_NEAR(suffix[static_cast<size_t>(t)], direct, 1e-9)
+          << ToString(spec.kind) << " t=" << t;
+    }
+    EXPECT_GE(suffix[static_cast<size_t>(n)], kDpInfinity);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DistanceSweepTest, ::testing::Range(0, 12));
+
+// ---------------------------------------------------------------------------
+// WED custom-cost plumbing.
+// ---------------------------------------------------------------------------
+
+TEST(DistanceTest, CustomWedCostsAreHonored) {
+  const Trajectory q = LetterTrajectory("ab");
+  const Trajectory d = LetterTrajectory("b");
+  WedCostFns fns;
+  fns.sub = [](const Point& a, const Point& b) {
+    return std::abs(a.x - b.x) * 10.0;
+  };
+  fns.ins = [](const Point&) { return 1.0; };
+  fns.del = [](const Point&) { return 1.0; };
+  // Best script: delete 'a' (1), substitute b->b (0).
+  EXPECT_DOUBLE_EQ(Wed(q, d, fns), 1.0);
+}
+
+TEST(DistanceTest, FullDistanceDispatchesOnSpec) {
+  Rng rng(3);
+  const Trajectory q = RandomTrajectory(&rng, 5);
+  const Trajectory d = RandomTrajectory(&rng, 7);
+  EXPECT_DOUBLE_EQ(FullDistance(DistanceSpec::Dtw(), q, d), Dtw(q, d));
+  EXPECT_DOUBLE_EQ(FullDistance(DistanceSpec::Edr(1.5), q, d),
+                   Edr(q, d, 1.5));
+  EXPECT_DOUBLE_EQ(FullDistance(DistanceSpec::Erp(Point{5, 5}), q, d),
+                   Erp(q, d, Point{5, 5}));
+  EXPECT_DOUBLE_EQ(FullDistance(DistanceSpec::Frechet(), q, d),
+                   Frechet(q, d));
+}
+
+}  // namespace
+}  // namespace trajsearch

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "distance/lcss.h"
+#include "search/alignment.h"
+#include "search/cma.h"
+#include "search/engine.h"
+#include "search/spring.h"
+#include "search/threshold.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace trajsearch {
+namespace {
+
+using testing::BruteForceSearch;
+using testing::LetterTrajectory;
+using testing::RandomTrajectory;
+using testing::RandomWalk;
+
+// ---------------------------------------------------------------------------
+// LCSS: the order-sensitive boundary (§5.3, Table 4).
+// ---------------------------------------------------------------------------
+
+TEST(LcssTest, ClassicSubsequences) {
+  // "abcbdab" vs "bdcaba": LCS length 4 (e.g. "bcba").
+  const Trajectory a = LetterTrajectory("abcbdab");
+  const Trajectory b = LetterTrajectory("bdcaba");
+  EXPECT_EQ(LcssLength(a, b, 0.0), 4);
+  EXPECT_EQ(LcssLength(a, a, 0.0), a.size());
+  EXPECT_NEAR(LcssDistance(a, a, 0.0), 0.0, 1e-12);
+}
+
+TEST(LcssTest, EpsilonToleranceCountsNearbyPoints) {
+  const Trajectory a{Point{0, 0}, Point{1, 0}, Point{2, 0}};
+  const Trajectory b{Point{0.1, 0}, Point{1.1, 0}, Point{2.1, 0}};
+  EXPECT_EQ(LcssLength(a, b, 0.05), 0);
+  EXPECT_EQ(LcssLength(a, b, 0.2), 3);
+}
+
+class LcssSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LcssSweepTest, ExactSLcssMatchesBruteForce) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 11 + 1);
+  const Trajectory q =
+      RandomTrajectory(&rng, static_cast<int>(rng.UniformInt(1, 5)), 4.0);
+  const Trajectory d =
+      RandomTrajectory(&rng, static_cast<int>(rng.UniformInt(1, 10)), 4.0);
+  const double eps = 1.2;
+  // Brute force over all subranges.
+  double best = 1e300;
+  for (int i = 0; i < d.size(); ++i) {
+    for (int j = i; j < d.size(); ++j) {
+      best = std::min(
+          best, LcssDistance(q, d.View().subspan(static_cast<size_t>(i),
+                                                 static_cast<size_t>(j - i + 1)),
+                             eps));
+    }
+  }
+  const SearchResult r = ExactSLcssSearch(q, d, eps);
+  EXPECT_NEAR(r.distance, best, 1e-9);
+  ASSERT_TRUE(r.range.WithinLength(d.size()));
+  EXPECT_NEAR(LcssDistance(q, d.View().subspan(
+                                  static_cast<size_t>(r.range.start),
+                                  static_cast<size_t>(r.range.Length())),
+                           eps),
+              r.distance, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LcssSweepTest, ::testing::Range(0, 12));
+
+// ---------------------------------------------------------------------------
+// DTW alignment backtrace.
+// ---------------------------------------------------------------------------
+
+class AlignmentSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AlignmentSweepTest, AlignmentMatchesCmaAndRealizesItsCost) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 3 + 8);
+  const Trajectory q = RandomWalk(&rng, static_cast<int>(rng.UniformInt(1, 6)));
+  const Trajectory d =
+      RandomWalk(&rng, static_cast<int>(rng.UniformInt(2, 15)));
+  const AlignmentResult a = CmaDtwAlignment(q, d);
+  const SearchResult cma = CmaSearch(DistanceSpec::Dtw(), q, d);
+  EXPECT_NEAR(a.result.distance, cma.distance, 1e-9);
+
+  // The matching is valid, spans the returned range, and realizes the cost.
+  ASSERT_EQ(a.matching.size(), static_cast<size_t>(q.size()));
+  EXPECT_TRUE(IsValidMatching(a.matching, d.size()));
+  EXPECT_EQ(a.matching.front(), a.result.range.start);
+  EXPECT_EQ(a.matching.back(), a.result.range.end);
+  const double matching_cost =
+      DtwMatchingCost(a.matching, EuclideanSub{q.View(), d.View()});
+  EXPECT_NEAR(matching_cost, a.result.distance, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlignmentSweepTest, ::testing::Range(0, 20));
+
+TEST(AlignmentTest, PerfectEmbeddingAlignsPointwise) {
+  Rng rng(5);
+  const Trajectory host = RandomWalk(&rng, 20);
+  std::vector<Point> qpts(host.points().begin() + 6,
+                          host.points().begin() + 12);
+  const Trajectory q(std::move(qpts));
+  const AlignmentResult a = CmaDtwAlignment(q, host);
+  EXPECT_NEAR(a.result.distance, 0.0, 1e-9);
+  for (size_t i = 0; i < a.matching.size(); ++i) {
+    EXPECT_EQ(host[a.matching[i]], q[static_cast<int>(i)]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Threshold queries via CMA (Spring parity for all distances).
+// ---------------------------------------------------------------------------
+
+class ThresholdSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThresholdSweepTest, MatchesAreDisjointUnderThresholdAndContainOptimum) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7 + 2);
+  const Trajectory q = RandomWalk(&rng, 4);
+  const Trajectory d = RandomWalk(&rng, 30);
+  for (const DistanceSpec& spec : testing::PaperGpsSpecs()) {
+    const double optimum = CmaSearch(spec, q, d).distance;
+    const double tau = optimum * 1.5 + 1.0;
+    const std::vector<SearchResult> matches =
+        CmaThresholdSearch(spec, q, d, tau);
+    ASSERT_FALSE(matches.empty()) << ToString(spec.kind);
+    int prev_end = -1;
+    double best = 1e300;
+    for (const SearchResult& match : matches) {
+      EXPECT_LE(match.distance, tau);
+      EXPECT_GT(match.range.start, prev_end);  // disjoint, sorted
+      prev_end = match.range.end;
+      best = std::min(best, match.distance);
+    }
+    EXPECT_NEAR(best, optimum, 1e-9) << ToString(spec.kind);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ThresholdSweepTest, ::testing::Range(0, 12));
+
+TEST(ThresholdTest, FindsBothEmbeddedOccurrencesLikeSpring) {
+  Rng rng(9);
+  const Trajectory q = RandomWalk(&rng, 5);
+  std::vector<Point> data;
+  for (int i = 0; i < 8; ++i) data.push_back(Point{50.0 + i, 50.0});
+  for (const Point& p : q.points()) data.push_back(p);
+  for (int i = 0; i < 8; ++i) data.push_back(Point{90.0 + i, 90.0});
+  for (const Point& p : q.points()) data.push_back(p);
+  const Trajectory d(std::move(data));
+
+  const std::vector<SearchResult> matches =
+      CmaThresholdSearch(DistanceSpec::Dtw(), q, d, 0.25);
+  ASSERT_GE(matches.size(), 2u);
+  // Spring (DTW-native threshold reporting) agrees on the same regions.
+  const std::vector<SpringMatch> spring = SpringDtw::AllMatches(q, d, 0.25);
+  ASSERT_GE(spring.size(), 2u);
+  EXPECT_NEAR(matches[0].distance, spring[0].distance, 1e-9);
+  EXPECT_NEAR(matches[1].distance, spring[1].distance, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel engine.
+// ---------------------------------------------------------------------------
+
+TEST(ParallelEngineTest, ResultsMatchSerialEngine) {
+  Rng rng(12);
+  Dataset dataset("parallel");
+  for (int i = 0; i < 60; ++i) dataset.Add(RandomWalk(&rng, 25));
+  const Trajectory query = RandomWalk(&rng, 6);
+  for (const DistanceSpec& spec : testing::PaperGpsSpecs()) {
+    EngineOptions serial;
+    serial.spec = spec;
+    serial.top_k = 4;
+    const SearchEngine engine1(&dataset, serial);
+    EngineOptions parallel = serial;
+    parallel.threads = 4;
+    const SearchEngine engine4(&dataset, parallel);
+
+    const std::vector<EngineHit> a = engine1.Query(query);
+    const std::vector<EngineHit> b = engine4.Query(query);
+    ASSERT_EQ(a.size(), b.size()) << ToString(spec.kind);
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_NEAR(a[i].result.distance, b[i].result.distance, 1e-9)
+          << ToString(spec.kind) << " rank " << i;
+    }
+  }
+}
+
+TEST(ParallelEngineTest, ExclusionAndStatsWorkInParallelMode) {
+  Rng rng(14);
+  Dataset dataset("parallel2");
+  for (int i = 0; i < 40; ++i) dataset.Add(RandomWalk(&rng, 20));
+  std::vector<Point> qpts(dataset[3].points().begin() + 2,
+                          dataset[3].points().begin() + 9);
+  const Trajectory query(std::move(qpts));
+  EngineOptions options;
+  options.spec = DistanceSpec::Dtw();
+  options.threads = 3;
+  options.use_gbp = false;
+  options.use_kpf = false;
+  const SearchEngine engine(&dataset, options);
+  QueryStats stats;
+  const std::vector<EngineHit> hits =
+      engine.Query(query, &stats, /*excluded_id=*/3);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].trajectory_id, 3);
+  EXPECT_EQ(stats.searched, dataset.size() - 1);
+}
+
+}  // namespace
+}  // namespace trajsearch

@@ -1,0 +1,187 @@
+// End-to-end scenarios across module boundaries: generator -> CSV -> engine
+// -> metrics, RLS inside the engine, threshold queries against engine
+// results, and the road-network pipeline from GPS to SURS.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "distance/road_costs.h"
+#include "gen/taxi.h"
+#include "gen/workload.h"
+#include "io/traj_csv.h"
+#include "roadnet/distance_oracle.h"
+#include "roadnet/generator.h"
+#include "roadnet/map_match.h"
+#include "search/cma.h"
+#include "search/engine.h"
+#include "search/oracle.h"
+#include "search/threshold.h"
+#include "tests/test_util.h"
+
+namespace trajsearch {
+namespace {
+
+TEST(IntegrationTest, GenerateSaveLoadSearchPipeline) {
+  // Generate a corpus, round-trip it through CSV, and verify the engine
+  // produces identical results on the loaded copy.
+  const Dataset original = GenerateTaxiDataset(PortoProfile(80));
+  const std::string path = ::testing::TempDir() + "/integration.csv";
+  ASSERT_TRUE(WriteTrajectoryCsv(original, path).ok());
+  const Result<Dataset> loaded = ReadTrajectoryCsv(path, "copy");
+  ASSERT_TRUE(loaded.ok());
+  std::remove(path.c_str());
+
+  WorkloadOptions wopts;
+  wopts.count = 3;
+  wopts.min_length = 8;
+  wopts.max_length = 16;
+  const Workload workload = SampleQueries(original, wopts);
+
+  EngineOptions options;
+  options.spec = DistanceSpec::Dtw();
+  options.use_gbp = false;  // deterministic result set for the comparison
+  const SearchEngine engine_a(&original, options);
+  const SearchEngine engine_b(&loaded.value(), options);
+  for (size_t qi = 0; qi < workload.queries.size(); ++qi) {
+    const auto a = engine_a.Query(workload.queries[qi], nullptr,
+                                  workload.source_ids[qi]);
+    const auto b = engine_b.Query(workload.queries[qi], nullptr,
+                                  workload.source_ids[qi]);
+    ASSERT_EQ(a.size(), 1u);
+    ASSERT_EQ(b.size(), 1u);
+    EXPECT_EQ(a[0].trajectory_id, b[0].trajectory_id);
+    EXPECT_NEAR(a[0].result.distance, b[0].result.distance, 1e-7);
+  }
+}
+
+TEST(IntegrationTest, RlsPolicyInsideEngine) {
+  const Dataset corpus = GenerateTaxiDataset(PortoProfile(60));
+  WorkloadOptions wopts;
+  wopts.count = 2;
+  wopts.min_length = 8;
+  wopts.max_length = 16;
+  const Workload workload = SampleQueries(corpus, wopts);
+  const DistanceSpec spec = DistanceSpec::Edr(0.003);
+
+  std::vector<std::pair<TrajectoryView, TrajectoryView>> pairs;
+  for (int i = 0; i < 5; ++i) {
+    pairs.push_back({workload.queries[0].View(), corpus[i].View()});
+  }
+  RlsOptions rls_options;
+  rls_options.training_episodes = 20;
+  const RlsPolicy policy = TrainRlsPolicy(spec, pairs, rls_options);
+
+  EngineOptions options;
+  options.spec = spec;
+  options.algorithm = Algorithm::kRls;
+  options.rls_policy = &policy;
+  options.use_gbp = false;
+  options.use_kpf = false;
+  const SearchEngine rls_engine(&corpus, options);
+  options.algorithm = Algorithm::kCma;
+  const SearchEngine cma_engine(&corpus, options);
+
+  for (size_t qi = 0; qi < workload.queries.size(); ++qi) {
+    const auto approx = rls_engine.Query(workload.queries[qi], nullptr,
+                                         workload.source_ids[qi]);
+    const auto exact = cma_engine.Query(workload.queries[qi], nullptr,
+                                        workload.source_ids[qi]);
+    ASSERT_EQ(approx.size(), 1u);
+    ASSERT_EQ(exact.size(), 1u);
+    // RLS is an approximation: never better than the exact engine.
+    EXPECT_GE(approx[0].result.distance + 1e-9, exact[0].result.distance);
+  }
+}
+
+TEST(IntegrationTest, ThresholdQueryConsistentWithEngineOptimum) {
+  const Dataset corpus = GenerateTaxiDataset(PortoProfile(40));
+  WorkloadOptions wopts;
+  wopts.count = 1;
+  wopts.min_length = 10;
+  wopts.max_length = 14;
+  const Workload workload = SampleQueries(corpus, wopts);
+  const DistanceSpec spec = DistanceSpec::Dtw();
+
+  EngineOptions options;
+  options.spec = spec;
+  options.use_gbp = false;
+  options.use_kpf = false;
+  const SearchEngine engine(&corpus, options);
+  const auto hits =
+      engine.Query(workload.queries[0], nullptr, workload.source_ids[0]);
+  ASSERT_EQ(hits.size(), 1u);
+
+  // Threshold search on the winning trajectory must rediscover the optimum.
+  const std::vector<SearchResult> matches = CmaThresholdSearch(
+      spec, workload.queries[0], corpus[hits[0].trajectory_id],
+      hits[0].result.distance + 1e-9);
+  ASSERT_FALSE(matches.empty());
+  double best = 1e300;
+  for (const SearchResult& match : matches) {
+    best = std::min(best, match.distance);
+  }
+  EXPECT_NEAR(best, hits[0].result.distance, 1e-9);
+}
+
+TEST(IntegrationTest, GpsToRoadNetworkPipeline) {
+  // GPS trace -> map matching -> node path -> NetEDR search -> the matched
+  // window covers the true section of the route.
+  RoadNetworkOptions net_options;
+  net_options.rows = 20;
+  net_options.cols = 20;
+  const RoadNetwork net = GenerateRoadNetwork(net_options);
+  const NetworkDistanceOracle oracle(&net);
+  Rng rng(77);
+  const NodePath route = RandomRouteWithLength(net, &rng, 80);
+
+  std::vector<Point> gps;
+  for (size_t i = 30; i < 50; ++i) {
+    Point p = net.position(route[i]);
+    p.x += rng.Normal(0, 0.1);
+    p.y += rng.Normal(0, 0.1);
+    gps.push_back(p);
+  }
+  const NodeSnapper snapper(&net, 1.0);
+  const NodePath query = snapper.MapMatch(TrajectoryView(gps));
+  ASSERT_GE(query.size(), 2u);
+
+  const NetEdrCosts costs{&query, &route, &oracle, /*epsilon=*/1.2};
+  const SearchResult r = CmaWedSearch(static_cast<int>(query.size()),
+                                      static_cast<int>(route.size()), costs);
+  // The found window overlaps the true section [30, 49].
+  EXPECT_LE(r.range.start, 49);
+  EXPECT_GE(r.range.end, 30);
+  // Map-matching noise keeps the edit distance small relative to |query|.
+  EXPECT_LE(r.distance, static_cast<double>(query.size()) * 0.5);
+}
+
+TEST(IntegrationTest, EffectivenessMetricsEndToEnd) {
+  // The full Table-2 measurement loop on a tiny corpus: oracle-based
+  // metrics for one exact and one approximate algorithm.
+  const Dataset corpus = GenerateTaxiDataset(PortoProfile(30));
+  WorkloadOptions wopts;
+  wopts.count = 3;
+  wopts.min_length = 6;
+  wopts.max_length = 12;
+  const Workload workload = SampleQueries(corpus, wopts);
+  const DistanceSpec spec = DistanceSpec::Edr(0.003);
+  Rng rng(5);
+  for (size_t qi = 0; qi < workload.queries.size(); ++qi) {
+    int partner = workload.source_ids[qi];
+    while (partner == workload.source_ids[qi]) {
+      partner = static_cast<int>(rng.UniformInt(0, corpus.size() - 1));
+    }
+    const SubtrajectoryOracle oracle(spec, workload.queries[qi],
+                                     corpus[partner]);
+    const SearchResult exact =
+        CmaSearch(spec, workload.queries[qi], corpus[partner]);
+    const EffectivenessSample s = Evaluate(oracle, exact.distance);
+    EXPECT_NEAR(s.approximate_ratio, 1.0, 1e-9);
+    EXPECT_EQ(s.mean_rank, 1.0);
+    EXPECT_EQ(s.relative_rank, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace trajsearch

@@ -1,0 +1,143 @@
+// Cross-cutting invariants, checked on randomized instances:
+//  * extension monotonicity — appending data points can only improve the
+//    best subtrajectory distance (new subranges are a superset);
+//  * geometric invariances — translation (all distances) and uniform
+//    scaling (DTW/ERP/FD scale linearly; EDR with a scaled epsilon is
+//    unchanged);
+//  * symmetric-cost equivalence — with SURS-style costs (sub = del + ins),
+//    the printed Eq 7 and the corrected recurrence agree exactly;
+//  * threshold-search boundary semantics.
+
+#include <gtest/gtest.h>
+
+#include "search/cma.h"
+#include "search/threshold.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace trajsearch {
+namespace {
+
+using testing::PaperGpsSpecs;
+using testing::RandomWalk;
+
+class PropertySweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PropertySweepTest, ExtendingDataNeverWorsensTheOptimum) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 19 + 3);
+  const Trajectory q = RandomWalk(&rng, static_cast<int>(rng.UniformInt(2, 6)));
+  const Trajectory d = RandomWalk(&rng, 20);
+  for (const DistanceSpec& spec : PaperGpsSpecs()) {
+    double prev = 1e300;
+    for (int n = 5; n <= 20; n += 5) {
+      const double dist =
+          CmaSearch(spec, q, d.View().subspan(0, static_cast<size_t>(n)))
+              .distance;
+      EXPECT_LE(dist, prev + 1e-9)
+          << ToString(spec.kind) << " worsened when extending to n=" << n;
+      prev = dist;
+      EXPECT_GE(dist, 0.0);
+    }
+  }
+}
+
+TEST_P(PropertySweepTest, TranslationInvariance) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 23 + 5);
+  const Trajectory q = RandomWalk(&rng, 4);
+  const Trajectory d = RandomWalk(&rng, 12);
+  const double dx = rng.Uniform(-100, 100), dy = rng.Uniform(-100, 100);
+  auto shift = [&](const Trajectory& t) {
+    std::vector<Point> pts = t.points();
+    for (Point& p : pts) {
+      p.x += dx;
+      p.y += dy;
+    }
+    return Trajectory(std::move(pts));
+  };
+  const Trajectory qs = shift(q), ds = shift(d);
+  // ERP's gap point must be translated along for invariance to hold.
+  const Point gap{5, 5};
+  const Point gap_shifted{5 + dx, 5 + dy};
+  EXPECT_NEAR(CmaSearch(DistanceSpec::Dtw(), q, d).distance,
+              CmaSearch(DistanceSpec::Dtw(), qs, ds).distance, 1e-7);
+  EXPECT_NEAR(CmaSearch(DistanceSpec::Edr(1.0), q, d).distance,
+              CmaSearch(DistanceSpec::Edr(1.0), qs, ds).distance, 1e-7);
+  EXPECT_NEAR(CmaSearch(DistanceSpec::Frechet(), q, d).distance,
+              CmaSearch(DistanceSpec::Frechet(), qs, ds).distance, 1e-7);
+  EXPECT_NEAR(CmaSearch(DistanceSpec::Erp(gap), q, d).distance,
+              CmaSearch(DistanceSpec::Erp(gap_shifted), qs, ds).distance,
+              1e-7);
+}
+
+TEST_P(PropertySweepTest, UniformScalingScalesMetricDistances) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 29 + 7);
+  const Trajectory q = RandomWalk(&rng, 4);
+  const Trajectory d = RandomWalk(&rng, 12);
+  const double s = rng.Uniform(0.5, 4.0);
+  auto scale = [&](const Trajectory& t) {
+    std::vector<Point> pts = t.points();
+    for (Point& p : pts) {
+      p.x *= s;
+      p.y *= s;
+    }
+    return Trajectory(std::move(pts));
+  };
+  const Trajectory qs = scale(q), ds = scale(d);
+  EXPECT_NEAR(CmaSearch(DistanceSpec::Dtw(), q, d).distance * s,
+              CmaSearch(DistanceSpec::Dtw(), qs, ds).distance, 1e-7);
+  EXPECT_NEAR(CmaSearch(DistanceSpec::Frechet(), q, d).distance * s,
+              CmaSearch(DistanceSpec::Frechet(), qs, ds).distance, 1e-7);
+  EXPECT_NEAR(CmaSearch(DistanceSpec::Erp(Point{0, 0}), q, d).distance * s,
+              CmaSearch(DistanceSpec::Erp(Point{0, 0}), qs, ds).distance,
+              1e-7);
+  // EDR is invariant when epsilon is scaled along.
+  EXPECT_NEAR(CmaSearch(DistanceSpec::Edr(1.0), q, d).distance,
+              CmaSearch(DistanceSpec::Edr(s), qs, ds).distance, 1e-9);
+}
+
+TEST_P(PropertySweepTest, Eq7AgreesUnderSymmetricSursStyleCosts) {
+  // SURS satisfies sub(a,b) = del(a) + ins(b) for distinct items, the
+  // equality case of Eq 7's implicit assumption — the variants must agree.
+  Rng rng(static_cast<uint64_t>(GetParam()) * 31 + 9);
+  const int m = static_cast<int>(rng.UniformInt(1, 6));
+  const int n = static_cast<int>(rng.UniformInt(1, 12));
+  const Trajectory q = RandomWalk(&rng, m);
+  const Trajectory d = RandomWalk(&rng, n);
+  WedCostFns fns;
+  fns.ins = [](const Point& p) { return 1.0 + std::abs(p.x) * 0.01; };
+  fns.del = [](const Point& p) { return 1.0 + std::abs(p.y) * 0.01; };
+  fns.sub = [&fns](const Point& a, const Point& b) {
+    return a == b ? 0.0 : fns.del(a) + fns.ins(b);
+  };
+  const CustomWedCosts costs{q.View(), d.View(), &fns};
+  const SearchResult exact = CmaWedSearch(m, n, costs, CmaWedVariant::kExact);
+  const SearchResult eq7 =
+      CmaWedSearch(m, n, costs, CmaWedVariant::kEq7Rolling);
+  EXPECT_NEAR(exact.distance, eq7.distance, 1e-9);
+}
+
+TEST_P(PropertySweepTest, ThresholdBoundarySemantics) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 37 + 11);
+  const Trajectory q = RandomWalk(&rng, 4);
+  const Trajectory d = RandomWalk(&rng, 18);
+  for (const DistanceSpec& spec : PaperGpsSpecs()) {
+    const double optimum = CmaSearch(spec, q, d).distance;
+    // Just below the optimum: nothing qualifies.
+    const auto below =
+        CmaThresholdSearch(spec, q, d, optimum - 1e-6);
+    for (const SearchResult& match : below) {
+      EXPECT_GE(match.distance, optimum - 1e-6);
+    }
+    if (optimum > 1e-6) {
+      EXPECT_TRUE(below.empty()) << ToString(spec.kind);
+    }
+    // Exactly at the optimum: at least the optimal match qualifies.
+    const auto at = CmaThresholdSearch(spec, q, d, optimum + 1e-9);
+    ASSERT_FALSE(at.empty()) << ToString(spec.kind);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertySweepTest, ::testing::Range(0, 14));
+
+}  // namespace
+}  // namespace trajsearch

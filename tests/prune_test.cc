@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "gen/taxi.h"
+#include "prune/grid_index.h"
+#include "prune/key_point_filter.h"
+#include "search/cma.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace trajsearch {
+namespace {
+
+using testing::PaperGpsSpecs;
+using testing::RandomWalk;
+
+Dataset SmallDataset(int count, int mean_len, uint64_t seed) {
+  Dataset dataset("test");
+  Rng rng(seed);
+  for (int i = 0; i < count; ++i) {
+    dataset.Add(RandomWalk(&rng, mean_len + static_cast<int>(rng.UniformInt(
+                                     -mean_len / 2, mean_len / 2))));
+  }
+  return dataset;
+}
+
+// ---------------------------------------------------------------------------
+// GridIndex (GBP).
+// ---------------------------------------------------------------------------
+
+TEST(GridIndexTest, CloseCountsMatchDirectComputation) {
+  const Dataset dataset = SmallDataset(12, 20, 3);
+  const double cell = 2.0;
+  const GridIndex index(dataset, cell);
+  Rng rng(9);
+  const Trajectory query = RandomWalk(&rng, 8);
+
+  // Direct: a query point is close to T iff some point of T lies in its
+  // 3x3 cell neighbourhood.
+  auto cell_of = [&](double v) {
+    return static_cast<long long>(std::floor(v / cell));
+  };
+  std::vector<int> direct(static_cast<size_t>(dataset.size()), 0);
+  for (const Point& qp : query.points()) {
+    for (int id = 0; id < dataset.size(); ++id) {
+      bool close = false;
+      for (const Point& dp : dataset[id].points()) {
+        if (std::llabs(cell_of(qp.x) - cell_of(dp.x)) <= 1 &&
+            std::llabs(cell_of(qp.y) - cell_of(dp.y)) <= 1) {
+          close = true;
+          break;
+        }
+      }
+      if (close) ++direct[static_cast<size_t>(id)];
+    }
+  }
+  std::vector<int> indexed(static_cast<size_t>(dataset.size()), 0);
+  for (const auto& [id, count] : index.CloseCounts(query)) {
+    indexed[static_cast<size_t>(id)] = count;
+  }
+  for (int id = 0; id < dataset.size(); ++id) {
+    EXPECT_EQ(indexed[static_cast<size_t>(id)],
+              direct[static_cast<size_t>(id)])
+        << "trajectory " << id;
+  }
+}
+
+TEST(GridIndexTest, CandidatesRespectMuThreshold) {
+  const Dataset dataset = SmallDataset(20, 15, 5);
+  const GridIndex index(dataset, 1.5);
+  Rng rng(11);
+  const Trajectory query = RandomWalk(&rng, 10);
+  const auto counts = index.CloseCounts(query);
+  for (const double mu : {0.1, 0.4, 0.9}) {
+    const auto candidates = index.Candidates(query, mu);
+    size_t expected = 0;
+    for (const auto& [id, count] : counts) {
+      if (count >= mu * query.size()) ++expected;
+    }
+    EXPECT_EQ(candidates.size(), expected) << "mu=" << mu;
+    // Larger mu never yields more candidates.
+  }
+  EXPECT_GE(index.Candidates(query, 0.1).size(),
+            index.Candidates(query, 0.9).size());
+}
+
+TEST(GridIndexTest, TrajectoryContainingQueryAlwaysSurvives) {
+  // A data trajectory that embeds the query must have close count == m.
+  Rng rng(17);
+  Dataset dataset("embed");
+  const Trajectory host = RandomWalk(&rng, 40);
+  dataset.Add(host);
+  dataset.Add(RandomWalk(&rng, 30));
+  std::vector<Point> qpts(host.points().begin() + 10,
+                          host.points().begin() + 16);
+  const Trajectory query(std::move(qpts));
+  const GridIndex index(dataset, 0.5);
+  const auto counts = index.CloseCounts(query);
+  ASSERT_FALSE(counts.empty());
+  EXPECT_EQ(counts.front().first, 0);
+  EXPECT_EQ(counts.front().second, query.size());
+}
+
+// ---------------------------------------------------------------------------
+// KPF / OSF lower bounds (Theorem B.1).
+// ---------------------------------------------------------------------------
+
+class KpfBoundTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KpfBoundTest, FullRateBoundNeverExceedsOptimum) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 3 + 2);
+  const Trajectory q = RandomWalk(&rng, static_cast<int>(rng.UniformInt(2, 8)));
+  const Trajectory d =
+      RandomWalk(&rng, static_cast<int>(rng.UniformInt(4, 25)));
+  for (const DistanceSpec& spec : PaperGpsSpecs()) {
+    const double optimum = CmaSearch(spec, q, d).distance;
+    const double bound = OsfLowerBound(spec, q, d);
+    EXPECT_LE(bound, optimum + 1e-9)
+        << ToString(spec.kind) << ": Theorem B.1 violated";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KpfBoundTest, ::testing::Range(0, 24));
+
+TEST(KpfBoundTest, SampledEstimateIsFiniteAndNonNegative) {
+  Rng rng(77);
+  const Trajectory q = RandomWalk(&rng, 20);
+  const Trajectory d = RandomWalk(&rng, 50);
+  for (const DistanceSpec& spec : PaperGpsSpecs()) {
+    for (const double r : {0.05, 0.2, 0.5, 1.0}) {
+      const double est = KpfLowerBoundEstimate(spec, q, d, r);
+      EXPECT_GE(est, 0.0);
+      EXPECT_LT(est, 1e200);
+    }
+  }
+}
+
+TEST(KpfBoundTest, BoundIsZeroWhenQueryEmbedded) {
+  Rng rng(31);
+  const Trajectory host = RandomWalk(&rng, 30);
+  std::vector<Point> qpts(host.points().begin() + 5,
+                          host.points().begin() + 12);
+  const Trajectory query(std::move(qpts));
+  // Every query point coincides with a data point => min sub = 0, and for
+  // EDR/DTW/FD the bound must be exactly 0.
+  EXPECT_DOUBLE_EQ(OsfLowerBound(DistanceSpec::Dtw(), query, host), 0.0);
+  EXPECT_DOUBLE_EQ(OsfLowerBound(DistanceSpec::Edr(0.1), query, host), 0.0);
+  EXPECT_DOUBLE_EQ(OsfLowerBound(DistanceSpec::Frechet(), query, host), 0.0);
+}
+
+TEST(KpfBoundTest, PointMinCostUsesDeletionWhenCheaper) {
+  // ERP: a query point on the gap point has free deletion, so its minCost
+  // term must be 0 even when all data points are far away.
+  const Trajectory q{Point{0, 0}};
+  const Trajectory d{Point{100, 100}, Point{200, 200}};
+  const DistanceSpec spec = DistanceSpec::Erp(Point{0, 0});
+  EXPECT_DOUBLE_EQ(KpfPointMinCost(spec, q, 0, d), 0.0);
+}
+
+}  // namespace
+}  // namespace trajsearch

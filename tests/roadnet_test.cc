@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "distance/road_costs.h"
+#include "roadnet/dijkstra.h"
+#include "roadnet/distance_oracle.h"
+#include "roadnet/generator.h"
+#include "roadnet/graph.h"
+#include "roadnet/map_match.h"
+#include "search/cma.h"
+#include "search/exacts.h"
+#include "util/rng.h"
+
+namespace trajsearch {
+namespace {
+
+RoadNetwork LineNetwork(int nodes) {
+  RoadNetwork net;
+  for (int i = 0; i < nodes; ++i) {
+    net.AddNode(Point{static_cast<double>(i), 0});
+  }
+  for (int i = 1; i < nodes; ++i) net.AddEdge(i - 1, i, 1.0);
+  return net;
+}
+
+// ---------------------------------------------------------------------------
+// Graph + Dijkstra.
+// ---------------------------------------------------------------------------
+
+TEST(DijkstraTest, LineGraphDistancesAreExact) {
+  const RoadNetwork net = LineNetwork(10);
+  const std::vector<double> dist = ShortestDistancesFrom(net, 3);
+  for (int v = 0; v < 10; ++v) {
+    EXPECT_DOUBLE_EQ(dist[static_cast<size_t>(v)], std::abs(v - 3));
+  }
+}
+
+TEST(DijkstraTest, PrefersLighterDetour) {
+  RoadNetwork net;
+  for (int i = 0; i < 4; ++i) net.AddNode(Point{0, 0});
+  net.AddEdge(0, 1, 10.0);   // heavy direct street
+  net.AddEdge(0, 2, 1.0);    // light detour via 2 and 3
+  net.AddEdge(2, 3, 1.0);
+  net.AddEdge(3, 1, 1.0);
+  const std::vector<double> dist = ShortestDistancesFrom(net, 0);
+  EXPECT_DOUBLE_EQ(dist[1], 3.0);
+  const NodePath path = ShortestPath(net, 0, 1);
+  EXPECT_EQ(path, (NodePath{0, 2, 3, 1}));
+}
+
+TEST(DijkstraTest, DisconnectedNodesAreUnreachable) {
+  RoadNetwork net;
+  net.AddNode(Point{0, 0});
+  net.AddNode(Point{1, 0});
+  EXPECT_GE(ShortestDistancesFrom(net, 0)[1], kUnreachable);
+  EXPECT_TRUE(ShortestPath(net, 0, 1).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Distance oracle.
+// ---------------------------------------------------------------------------
+
+TEST(OracleCacheTest, CachesSourcesAndServesReverseLookups) {
+  const RoadNetwork net = LineNetwork(20);
+  const NetworkDistanceOracle oracle(&net, 8);
+  EXPECT_DOUBLE_EQ(oracle.Distance(2, 9), 7.0);
+  EXPECT_EQ(oracle.dijkstra_runs(), 1u);
+  EXPECT_DOUBLE_EQ(oracle.Distance(2, 15), 13.0);
+  EXPECT_EQ(oracle.dijkstra_runs(), 1u);  // same source, cached
+  EXPECT_DOUBLE_EQ(oracle.Distance(9, 2), 7.0);
+  EXPECT_EQ(oracle.dijkstra_runs(), 1u);  // reverse lookup served from cache
+  EXPECT_DOUBLE_EQ(oracle.Distance(5, 5), 0.0);
+  EXPECT_EQ(oracle.dijkstra_runs(), 1u);  // trivial query, no run
+}
+
+// ---------------------------------------------------------------------------
+// Generator.
+// ---------------------------------------------------------------------------
+
+TEST(RoadGenTest, GeneratedNetworkIsConnected) {
+  RoadNetworkOptions options;
+  options.rows = 12;
+  options.cols = 15;
+  options.drop_probability = 0.3;  // aggressive drops; backbone must save us
+  const RoadNetwork net = GenerateRoadNetwork(options);
+  EXPECT_EQ(net.node_count(), 12 * 15);
+  const std::vector<double> dist = ShortestDistancesFrom(net, 0);
+  for (int v = 0; v < net.node_count(); ++v) {
+    EXPECT_LT(dist[static_cast<size_t>(v)], kUnreachable)
+        << "node " << v << " unreachable";
+  }
+}
+
+TEST(RoadGenTest, RandomRoutesAreConnectedNodeSequences) {
+  const RoadNetwork net = GenerateRoadNetwork(RoadNetworkOptions{});
+  Rng rng(9);
+  for (int round = 0; round < 5; ++round) {
+    const NodePath route = RandomRoute(net, &rng, 3);
+    ASSERT_GE(route.size(), 2u);
+    EdgePath edges;
+    EXPECT_TRUE(NodePathToEdgePath(net, route, &edges));
+    EXPECT_EQ(edges.size(), route.size() - 1);
+  }
+  const NodePath long_route = RandomRouteWithLength(net, &rng, 60);
+  EXPECT_GE(long_route.size(), 60u);
+}
+
+// ---------------------------------------------------------------------------
+// Map matching.
+// ---------------------------------------------------------------------------
+
+TEST(MapMatchTest, SnapsToNearestNodeExactly) {
+  const RoadNetwork net = GenerateRoadNetwork(RoadNetworkOptions{});
+  const NodeSnapper snapper(&net, 1.0);
+  Rng rng(13);
+  for (int round = 0; round < 50; ++round) {
+    const Point p{rng.Uniform(0, 23), rng.Uniform(0, 23)};
+    const int snapped = snapper.Nearest(p);
+    double best = 1e300;
+    int want = -1;
+    for (int v = 0; v < net.node_count(); ++v) {
+      const double d = SquaredDistance(net.position(v), p);
+      if (d < best) {
+        best = d;
+        want = v;
+      }
+    }
+    EXPECT_NEAR(SquaredDistance(net.position(snapped), p), best, 1e-12);
+    (void)want;
+  }
+}
+
+TEST(MapMatchTest, MapMatchDropsConsecutiveDuplicates) {
+  const RoadNetwork net = LineNetwork(5);
+  const NodeSnapper snapper(&net, 1.0);
+  const std::vector<Point> pts = {Point{0.1, 0},  Point{0.2, 0},
+                                  Point{1.1, 0},  Point{1.05, 0},
+                                  Point{3.9, 0}};
+  const NodePath matched = snapper.MapMatch(TrajectoryView(pts));
+  EXPECT_EQ(matched, (NodePath{0, 1, 4}));
+}
+
+// ---------------------------------------------------------------------------
+// Road-network distances + CMA (Appendix D): CMA stays exact for NetEDR /
+// NetERP / SURS, agreeing with ExactS.
+// ---------------------------------------------------------------------------
+
+class RoadCmaTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoadCmaTest, CmaMatchesExactSOnRoadDistances) {
+  RoadNetworkOptions options;
+  options.rows = 8;
+  options.cols = 8;
+  options.seed = static_cast<uint64_t>(GetParam()) + 100;
+  const RoadNetwork net = GenerateRoadNetwork(options);
+  const NetworkDistanceOracle oracle(&net);
+  Rng rng(static_cast<uint64_t>(GetParam()) * 5 + 3);
+
+  const NodePath query = RandomRouteWithLength(net, &rng, 4);
+  const NodePath data = RandomRouteWithLength(net, &rng, 15);
+  const int m = static_cast<int>(query.size());
+  const int n = static_cast<int>(data.size());
+
+  {
+    const NetErpCosts costs{&query, &data, &oracle, /*gap_node=*/0};
+    const SearchResult cma = CmaWedSearch(m, n, costs);
+    const SearchResult exact = ExactSWedSearch(m, n, costs);
+    EXPECT_NEAR(cma.distance, exact.distance, 1e-9) << "NetERP";
+  }
+  {
+    const NetEdrCosts costs{&query, &data, &oracle, /*epsilon=*/1.1};
+    const SearchResult cma = CmaWedSearch(m, n, costs);
+    const SearchResult exact = ExactSWedSearch(m, n, costs);
+    EXPECT_NEAR(cma.distance, exact.distance, 1e-9) << "NetEDR";
+  }
+  {
+    EdgePath query_edges, data_edges;
+    ASSERT_TRUE(NodePathToEdgePath(net, query, &query_edges));
+    ASSERT_TRUE(NodePathToEdgePath(net, data, &data_edges));
+    if (!query_edges.empty() && !data_edges.empty()) {
+      const SursCosts costs{&query_edges, &data_edges, &net};
+      const SearchResult cma = CmaWedSearch(
+          static_cast<int>(query_edges.size()),
+          static_cast<int>(data_edges.size()), costs);
+      const SearchResult exact = ExactSWedSearch(
+          static_cast<int>(query_edges.size()),
+          static_cast<int>(data_edges.size()), costs);
+      EXPECT_NEAR(cma.distance, exact.distance, 1e-9) << "SURS";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoadCmaTest, ::testing::Range(0, 10));
+
+TEST(RoadCmaTest, EmbeddedRouteIsFoundWithZeroDistance) {
+  const RoadNetwork net = GenerateRoadNetwork(RoadNetworkOptions{});
+  const NetworkDistanceOracle oracle(&net);
+  Rng rng(31);
+  const NodePath data = RandomRouteWithLength(net, &rng, 40);
+  const NodePath query(data.begin() + 10, data.begin() + 20);
+  const NetEdrCosts costs{&query, &data, &oracle, 0.0};
+  const SearchResult r = CmaWedSearch(static_cast<int>(query.size()),
+                                      static_cast<int>(data.size()), costs);
+  EXPECT_DOUBLE_EQ(r.distance, 0.0);
+  EXPECT_EQ(r.range.Length(), static_cast<int>(query.size()));
+}
+
+}  // namespace
+}  // namespace trajsearch

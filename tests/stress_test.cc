@@ -1,0 +1,123 @@
+// Larger-scale differential tests: brute force is too slow here, but ExactS
+// is an independent O(mn^2) oracle — CMA must agree with it on hundreds of
+// randomized (query, data) pairs at realistic sizes, for every distance,
+// including taxi-profile geometry and degenerate shapes (stationary taxis,
+// duplicated points, collinear runs).
+
+#include <gtest/gtest.h>
+
+#include "gen/taxi.h"
+#include "search/cma.h"
+#include "search/exacts.h"
+#include "search/engine.h"
+#include "search/greedy_backtracking.h"
+#include "search/spring.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace trajsearch {
+namespace {
+
+using testing::RandomWalk;
+
+class StressDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StressDifferentialTest, CmaAgreesWithExactSAtRealisticSizes) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 41 + 13);
+  const TaxiProfile profile = XianProfile(1);
+  for (int round = 0; round < 4; ++round) {
+    const int m = static_cast<int>(rng.UniformInt(5, 30));
+    const int n = static_cast<int>(rng.UniformInt(40, 200));
+    Rng qr = rng.Fork(), dr = rng.Fork();
+    const Trajectory q = GenerateTaxiTrajectory(profile, &qr, m);
+    const Trajectory d = GenerateTaxiTrajectory(profile, &dr, n);
+    for (const DistanceSpec& spec : testing::PaperGpsSpecs()) {
+      const double cma = CmaSearch(spec, q, d).distance;
+      const double exacts = ExactSSearch(spec, q, d).distance;
+      EXPECT_NEAR(cma, exacts, 1e-7)
+          << ToString(spec.kind) << " m=" << m << " n=" << n;
+    }
+    // The DTW- and FD-specific exact algorithms agree too.
+    EXPECT_NEAR(SpringDtw::BestMatch(q, d).distance,
+                CmaSearch(DistanceSpec::Dtw(), q, d).distance, 1e-7);
+    EXPECT_NEAR(GreedyBacktrackingSearch(q, d).distance,
+                CmaSearch(DistanceSpec::Frechet(), q, d).distance, 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StressDifferentialTest, ::testing::Range(0, 8));
+
+TEST(DegenerateShapeTest, StationaryTaxiAllPointsIdentical) {
+  // A taxi parked for an hour: every data point identical.
+  const Trajectory q{Point{1, 1}, Point{2, 2}, Point{3, 3}};
+  std::vector<Point> parked(50, Point{2, 2});
+  const Trajectory d(std::move(parked));
+  for (const DistanceSpec& spec : testing::PaperGpsSpecs()) {
+    const SearchResult cma = CmaSearch(spec, q, d);
+    const SearchResult exacts = ExactSSearch(spec, q, d);
+    EXPECT_NEAR(cma.distance, exacts.distance, 1e-9) << ToString(spec.kind);
+    ASSERT_TRUE(cma.range.WithinLength(d.size()));
+  }
+}
+
+TEST(DegenerateShapeTest, QueryLongerThanData) {
+  Rng rng(3);
+  const Trajectory q = RandomWalk(&rng, 25);
+  const Trajectory d = RandomWalk(&rng, 6);
+  for (const DistanceSpec& spec : testing::PaperGpsSpecs()) {
+    const double cma = CmaSearch(spec, q, d).distance;
+    const double exacts = ExactSSearch(spec, q, d).distance;
+    EXPECT_NEAR(cma, exacts, 1e-9) << ToString(spec.kind);
+  }
+}
+
+TEST(DegenerateShapeTest, CollinearRunsWithDuplicates) {
+  // Collinear points with exact duplicates (GPS fixes during a stop).
+  std::vector<Point> qp, dp;
+  for (int i = 0; i < 8; ++i) qp.push_back(Point{i * 1.0, 0});
+  for (int i = 0; i < 40; ++i) {
+    dp.push_back(Point{(i / 2) * 1.0 - 5.0, 0});  // each point twice
+  }
+  const Trajectory q(std::move(qp)), d(std::move(dp));
+  for (const DistanceSpec& spec : testing::PaperGpsSpecs()) {
+    const double cma = CmaSearch(spec, q, d).distance;
+    const double exacts = ExactSSearch(spec, q, d).distance;
+    EXPECT_NEAR(cma, exacts, 1e-9) << ToString(spec.kind);
+  }
+  // DTW absorbs the duplicated sampling exactly.
+  EXPECT_NEAR(CmaSearch(DistanceSpec::Dtw(), q, d).distance, 0.0, 1e-9);
+}
+
+TEST(DegenerateShapeTest, HugeCoordinatesStayFinite) {
+  // Degenerate magnitudes must not overflow the DP sentinels.
+  const Trajectory q{Point{1e15, -1e15}, Point{-1e15, 1e15}};
+  const Trajectory d{Point{1e15, -1e15}, Point{0, 0}, Point{-1e15, 1e15}};
+  for (const DistanceSpec& spec :
+       {DistanceSpec::Dtw(), DistanceSpec::Frechet(),
+        DistanceSpec::Erp(Point{0, 0})}) {
+    const SearchResult r = CmaSearch(spec, q, d);
+    EXPECT_TRUE(std::isfinite(r.distance)) << ToString(spec.kind);
+    EXPECT_NEAR(r.distance, ExactSSearch(spec, q, d).distance, 1e-3)
+        << ToString(spec.kind);
+  }
+}
+
+TEST(DegenerateShapeTest, EngineOnSingletonAndTinyCorpora) {
+  Rng rng(9);
+  Dataset tiny("tiny");
+  tiny.Add(RandomWalk(&rng, 10));
+  const Trajectory query = RandomWalk(&rng, 3);
+  EngineOptions options;
+  options.spec = DistanceSpec::Dtw();
+  options.use_gbp = false;
+  options.top_k = 5;  // more than the corpus holds
+  const SearchEngine engine(&tiny, options);
+  const auto hits = engine.Query(query);
+  ASSERT_EQ(hits.size(), 1u);  // only one trajectory exists
+  // Excluding the only trajectory yields an empty result, not a crash.
+  const auto none = engine.Query(query, nullptr, /*excluded_id=*/0);
+  EXPECT_TRUE(none.empty());
+}
+
+}  // namespace
+}  // namespace trajsearch

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "core/matching.h"
+#include "rl/linear_q.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/table.h"
+
+namespace trajsearch {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rng.
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, IsDeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  EXPECT_NE(Rng(42).Next(), c.Next());
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusively) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 7);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NormalAndGammaHaveExpectedMoments) {
+  Rng rng(11);
+  RunningStats normal, gamma;
+  for (int i = 0; i < 20000; ++i) {
+    normal.Add(rng.Normal(5, 2));
+    gamma.Add(rng.Gamma(4, 25));  // mean 100
+  }
+  EXPECT_NEAR(normal.Mean(), 5, 0.1);
+  EXPECT_NEAR(normal.Stddev(), 2, 0.1);
+  EXPECT_NEAR(gamma.Mean(), 100, 2.5);
+}
+
+// ---------------------------------------------------------------------------
+// Stats.
+// ---------------------------------------------------------------------------
+
+TEST(StatsTest, RunningStatsComputeMoments) {
+  RunningStats s;
+  for (const double v : {1.0, 2.0, 3.0, 4.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.Mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.Sum(), 10.0);
+  EXPECT_NEAR(s.Stddev(), 1.2909944487, 1e-9);
+  EXPECT_EQ(s.count(), 4u);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  EXPECT_DOUBLE_EQ(Percentile({}, 50), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile({5.0}, 99), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile({1, 2, 3, 4}, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile({1, 2, 3, 4}, 100), 4.0);
+  EXPECT_DOUBLE_EQ(Percentile({1, 2, 3, 4}, 50), 2.5);
+}
+
+// ---------------------------------------------------------------------------
+// Status / Result.
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, CarriesCodeAndMessage) {
+  const Status ok = Status::OK();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ToString(), "OK");
+  const Status bad = Status::InvalidArgument("boom");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.ToString(), "InvalidArgument: boom");
+}
+
+TEST(StatusTest, ResultHoldsValueOrStatus) {
+  const Result<int> good(17);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 17);
+  const Result<int> bad(Status::NotFound("nope"));
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// Flags.
+// ---------------------------------------------------------------------------
+
+TEST(FlagsTest, ParsesAllForms) {
+  const char* argv[] = {"prog",      "--alpha=3", "--beta", "7",
+                        "--gamma",   "--delta=x", "pos"};
+  Flags flags(7, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("alpha", 0), 3);
+  EXPECT_EQ(flags.GetInt("beta", 0), 7);
+  EXPECT_TRUE(flags.GetBool("gamma", false));
+  EXPECT_EQ(flags.GetString("delta", ""), "x");
+  EXPECT_FALSE(flags.Has("epsilon"));
+  EXPECT_EQ(flags.GetInt("epsilon", 12), 12);
+  EXPECT_EQ(flags.GetDouble("alpha", 0), 3.0);
+}
+
+// ---------------------------------------------------------------------------
+// Table printer.
+// ---------------------------------------------------------------------------
+
+TEST(TableTest, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"longer-name", "2.5"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("longer-name"), std::string::npos);
+  EXPECT_NE(s.find("value"), std::string::npos);
+  EXPECT_EQ(TablePrinter::Num(3.14159, 2), "3.14");
+}
+
+// ---------------------------------------------------------------------------
+// Matching utilities.
+// ---------------------------------------------------------------------------
+
+TEST(MatchingTest, ValidityChecks) {
+  EXPECT_TRUE(IsValidMatching({0, 0, 2, 2, 4}, 5));
+  EXPECT_FALSE(IsValidMatching({0, 2, 1}, 5));   // decreasing
+  EXPECT_FALSE(IsValidMatching({0, 5}, 5));      // out of range
+  EXPECT_FALSE(IsValidMatching({}, 5));          // empty
+}
+
+TEST(MatchingTest, EnumerationCountsAreBinomial) {
+  // #non-decreasing sequences of length m over [0, n) = C(n+m-1, m).
+  int count = 0;
+  ForEachMatching(3, 4, [&](const MatchingSequence&) { ++count; });
+  EXPECT_EQ(count, 20);  // C(6,3)
+  count = 0;
+  ForEachMatching(2, 5, [&](const MatchingSequence&) { ++count; });
+  EXPECT_EQ(count, 15);  // C(6,2)
+}
+
+// ---------------------------------------------------------------------------
+// LinearQ.
+// ---------------------------------------------------------------------------
+
+TEST(LinearQTest, LearnsATrivialBandit) {
+  // Two actions, constant state; action 1 always pays 1, action 0 pays 0.
+  LinearQ q(2, 1, 0.1, 0.0);
+  const std::vector<double> f = {1.0};
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const int a = q.Select(f, 0.3, &rng);
+    q.Update(f, a, a == 1 ? 1.0 : 0.0, f, true);
+  }
+  EXPECT_EQ(q.Greedy(f), 1);
+  EXPECT_GT(q.Value(f, 1), q.Value(f, 0));
+}
+
+TEST(LinearQTest, DiscountPropagatesValue) {
+  // Single action; state A leads to state B with terminal reward 1.
+  LinearQ q(1, 2, 0.2, 0.9);
+  const std::vector<double> fa = {1.0, 0.0};
+  const std::vector<double> fb = {0.0, 1.0};
+  for (int i = 0; i < 300; ++i) {
+    q.Update(fb, 0, 1.0, fb, true);
+    q.Update(fa, 0, 0.0, fb, false);
+  }
+  EXPECT_NEAR(q.Value(fb, 0), 1.0, 0.05);
+  EXPECT_NEAR(q.Value(fa, 0), 0.9, 0.1);
+}
+
+}  // namespace
+}  // namespace trajsearch
