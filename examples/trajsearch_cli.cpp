@@ -12,13 +12,26 @@
 //   trajsearch_cli search --data=corpus.csv --query-id=7 --from=10 --to=25
 //       --dist=edr --eps=0.003 --k=5
 //   trajsearch_cli search --data=corpus.csv --query-file=query.csv --dist=dtw
+//
+//   # convert between CSV and the binary snapshot format (fast startup);
+//   # the output format follows the --out extension (.snap = snapshot)
+//   trajsearch_cli snapshot --in=corpus.csv --out=corpus.snap
+//   trajsearch_cli snapshot --in=corpus.snap --out=corpus.csv
+//
+//   # serve a whole query file through the sharded QueryService: every
+//   # trajectory of --queries is one query; repeats exercise the cache
+//   trajsearch_cli batch --data=corpus.snap --queries=queries.csv
+//       --dist=dtw --k=5 --shards=4 --workers=4 --cache=256 --repeat=2
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "gen/taxi.h"
+#include "io/snapshot.h"
 #include "io/traj_csv.h"
 #include "search/engine.h"
+#include "service/query_service.h"
 #include "util/flags.h"
 #include "util/stopwatch.h"
 
@@ -29,6 +42,24 @@ namespace {
 int Fail(const std::string& message) {
   std::fprintf(stderr, "error: %s\n", message.c_str());
   return 1;
+}
+
+/// Builds the distance spec from --dist/--eps; false on an unknown name.
+bool ParseSpec(const Flags& flags, const Dataset& dataset,
+               DistanceSpec* spec) {
+  const std::string dist = flags.GetString("dist", "dtw");
+  if (dist == "dtw") {
+    *spec = DistanceSpec::Dtw();
+  } else if (dist == "edr") {
+    *spec = DistanceSpec::Edr(flags.GetDouble("eps", 0.003));
+  } else if (dist == "erp") {
+    *spec = DistanceSpec::Erp(dataset.Bounds().Center());
+  } else if (dist == "fd") {
+    *spec = DistanceSpec::Frechet();
+  } else {
+    return false;
+  }
+  return true;
 }
 
 int CmdGenerate(const Flags& flags) {
@@ -56,8 +87,8 @@ int CmdGenerate(const Flags& flags) {
 
 int CmdStats(const Flags& flags) {
   const std::string path = flags.GetString("data", "");
-  if (path.empty()) return Fail("--data=<csv> required");
-  const Result<Dataset> loaded = ReadTrajectoryCsv(path, path);
+  if (path.empty()) return Fail("--data=<csv|snap> required");
+  const Result<Dataset> loaded = LoadDataset(path, path);
   if (!loaded.ok()) return Fail(loaded.status().ToString());
   const DatasetStats s = loaded.value().Stats();
   std::printf("trajectories: %zu\npoints:       %zu\nmean length:  %.1f\n",
@@ -70,8 +101,8 @@ int CmdStats(const Flags& flags) {
 
 int CmdSearch(const Flags& flags) {
   const std::string path = flags.GetString("data", "");
-  if (path.empty()) return Fail("--data=<csv> required");
-  const Result<Dataset> loaded = ReadTrajectoryCsv(path, path);
+  if (path.empty()) return Fail("--data=<csv|snap> required");
+  const Result<Dataset> loaded = LoadDataset(path, path);
   if (!loaded.ok()) return Fail(loaded.status().ToString());
   const Dataset& dataset = loaded.value();
 
@@ -100,18 +131,10 @@ int CmdSearch(const Flags& flags) {
   }
 
   EngineOptions options;
-  const std::string dist = flags.GetString("dist", "dtw");
-  if (dist == "dtw") {
-    options.spec = DistanceSpec::Dtw();
-  } else if (dist == "edr") {
-    options.spec = DistanceSpec::Edr(flags.GetDouble("eps", 0.003));
-  } else if (dist == "erp") {
-    options.spec = DistanceSpec::Erp(dataset.Bounds().Center());
-  } else if (dist == "fd") {
-    options.spec = DistanceSpec::Frechet();
-  } else {
+  if (!ParseSpec(flags, dataset, &options.spec)) {
     return Fail("unknown --dist (dtw|edr|erp|fd)");
   }
+  const std::string dist = flags.GetString("dist", "dtw");
   options.top_k = static_cast<int>(flags.GetInt("k", 5));
   options.mu = flags.GetDouble("mu", 0.2);
   options.use_gbp = flags.GetBool("gbp", true);
@@ -139,6 +162,104 @@ int CmdSearch(const Flags& flags) {
   return 0;
 }
 
+int CmdSnapshot(const Flags& flags) {
+  const std::string in = flags.GetString("in", flags.GetString("data", ""));
+  const std::string out = flags.GetString("out", "");
+  if (in.empty() || out.empty()) {
+    return Fail("--in=<csv|snap> and --out=<csv|snap> required");
+  }
+  Stopwatch load_watch;
+  const Result<Dataset> loaded = LoadDataset(in, in);
+  if (!loaded.ok()) return Fail(loaded.status().ToString());
+  const double load_seconds = load_watch.Seconds();
+
+  const bool to_snapshot =
+      out.size() >= 5 && out.compare(out.size() - 5, 5, ".snap") == 0;
+  Stopwatch write_watch;
+  const Status st = to_snapshot ? WriteSnapshot(loaded.value(), out)
+                                : WriteTrajectoryCsv(loaded.value(), out);
+  if (!st.ok()) return Fail(st.ToString());
+  std::printf("converted %d trajectories: read %s in %.3f s, wrote %s (%s) "
+              "in %.3f s\n",
+              loaded.value().size(), in.c_str(), load_seconds, out.c_str(),
+              to_snapshot ? "snapshot" : "csv", write_watch.Seconds());
+  return 0;
+}
+
+int CmdBatch(const Flags& flags) {
+  const std::string path = flags.GetString("data", "");
+  if (path.empty()) return Fail("--data=<csv|snap> required");
+  Stopwatch load_watch;
+  Result<Dataset> loaded = LoadDataset(path, path);
+  if (!loaded.ok()) return Fail(loaded.status().ToString());
+  const double load_seconds = load_watch.Seconds();
+
+  const std::string query_path = flags.GetString("queries", "");
+  if (query_path.empty()) return Fail("--queries=<csv|snap> required");
+  const Result<Dataset> query_set = LoadDataset(query_path, query_path);
+  if (!query_set.ok()) return Fail(query_set.status().ToString());
+
+  ServiceOptions options;
+  if (!ParseSpec(flags, loaded.value(), &options.engine.spec)) {
+    return Fail("unknown --dist (dtw|edr|erp|fd)");
+  }
+  options.engine.top_k = static_cast<int>(flags.GetInt("k", 5));
+  options.engine.mu = flags.GetDouble("mu", 0.2);
+  options.engine.use_gbp = flags.GetBool("gbp", true);
+  options.engine.use_kpf = flags.GetBool("kpf", true);
+  options.shards = static_cast<int>(flags.GetInt("shards", 4));
+  options.worker_threads = static_cast<int>(flags.GetInt("workers", 0));
+  options.cache_capacity =
+      static_cast<size_t>(flags.GetInt("cache", 256));
+  const int repeat = static_cast<int>(flags.GetInt("repeat", 1));
+  const bool verbose = flags.GetBool("verbose", false);
+
+  const int corpus_size = loaded.value().size();
+  QueryService service(loaded.MoveValue(), options);
+  std::printf("corpus: %d trajectories (loaded in %.3f s), %d shards, "
+              "%d workers, cache %zu entries\n",
+              corpus_size, load_seconds, service.shard_count(),
+              service.options().worker_threads, options.cache_capacity);
+
+  std::vector<TrajectoryView> queries;
+  queries.reserve(static_cast<size_t>(query_set.value().size()));
+  for (const Trajectory& q : query_set.value().trajectories()) {
+    queries.push_back(q.View());
+  }
+
+  Stopwatch watch;
+  std::vector<std::vector<EngineHit>> results;
+  for (int r = 0; r < repeat; ++r) {
+    results = service.SubmitBatch(queries);
+  }
+  const double seconds = watch.Seconds();
+
+  if (verbose) {
+    for (size_t qi = 0; qi < results.size(); ++qi) {
+      std::printf("query %zu (%zu points):\n", qi, queries[qi].size());
+      for (size_t i = 0; i < results[qi].size(); ++i) {
+        const EngineHit& hit = results[qi][i];
+        std::printf("  #%zu  traj %d  points [%d..%d]  distance %.6f\n",
+                    i + 1, hit.trajectory_id, hit.result.range.start,
+                    hit.result.range.end, hit.result.distance);
+      }
+    }
+  }
+
+  const ServiceStats stats = service.Stats();
+  const double total_queries =
+      static_cast<double>(queries.size()) * static_cast<double>(repeat);
+  std::printf("%zu queries x %d passes in %.3f s  (%.1f queries/s)\n",
+              queries.size(), repeat, seconds, total_queries / seconds);
+  std::printf("cache: %llu hits, %llu misses (hit rate %.1f%%), "
+              "%llu evictions\n",
+              static_cast<unsigned long long>(stats.cache_hits),
+              static_cast<unsigned long long>(stats.cache_misses),
+              stats.HitRate() * 100.0,
+              static_cast<unsigned long long>(stats.cache_evictions));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -147,8 +268,11 @@ int main(int argc, char** argv) {
   if (command == "generate") return CmdGenerate(flags);
   if (command == "stats") return CmdStats(flags);
   if (command == "search") return CmdSearch(flags);
+  if (command == "snapshot") return CmdSnapshot(flags);
+  if (command == "batch") return CmdBatch(flags);
   std::fprintf(stderr,
-               "usage: trajsearch_cli <generate|stats|search> [--flags]\n"
+               "usage: trajsearch_cli <generate|stats|search|snapshot|batch> "
+               "[--flags]\n"
                "see the header comment of examples/trajsearch_cli.cpp\n");
   return command.empty() ? 0 : 1;
 }

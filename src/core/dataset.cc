@@ -9,6 +9,11 @@ int Dataset::Add(Trajectory traj) {
   return id;
 }
 
+void Dataset::AddAll(std::vector<Trajectory> trajs) {
+  Reserve(trajs.size());
+  for (Trajectory& t : trajs) Add(std::move(t));
+}
+
 DatasetStats Dataset::Stats() const {
   DatasetStats stats;
   stats.trajectory_count = trajectories_.size();

@@ -30,6 +30,17 @@ class Dataset {
   /// Adds a trajectory; its id is overwritten with its index. Returns the id.
   int Add(Trajectory traj);
 
+  /// Pre-allocates room for `n` trajectories (loaders and sharding know the
+  /// final count up front; avoids per-Add reallocation).
+  void Reserve(size_t n) { trajectories_.reserve(trajectories_.size() + n); }
+
+  /// Moves every trajectory of `trajs` into the dataset (ids reassigned).
+  void AddAll(std::vector<Trajectory> trajs);
+
+  /// Moves all trajectories out, leaving the dataset empty (used by the
+  /// service layer to re-partition a corpus into shards without copying).
+  std::vector<Trajectory> Release() { return std::move(trajectories_); }
+
   /// Number of trajectories.
   int size() const { return static_cast<int>(trajectories_.size()); }
   bool empty() const { return trajectories_.empty(); }

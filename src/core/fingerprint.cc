@@ -1,0 +1,50 @@
+#include "core/fingerprint.h"
+
+#include <cstring>
+
+namespace trajsearch {
+
+namespace {
+
+constexpr uint64_t kFnvBasis = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+inline uint64_t FnvBytes(uint64_t hash, const void* data, size_t length) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < length; ++i) {
+    hash ^= bytes[i];
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+}  // namespace
+
+uint64_t CombineHash(uint64_t hash, uint64_t value) {
+  return FnvBytes(hash, &value, sizeof(value));
+}
+
+uint64_t Fingerprint(TrajectoryView view) {
+  uint64_t hash = kFnvBasis;
+  for (const Point& p : view) {
+    // Hash the bit patterns: distinguishes -0.0 from 0.0 but is exact and
+    // stable, which is what a cache key / checksum needs.
+    uint64_t bits_x = 0, bits_y = 0;
+    std::memcpy(&bits_x, &p.x, sizeof(bits_x));
+    std::memcpy(&bits_y, &p.y, sizeof(bits_y));
+    hash = CombineHash(hash, bits_x);
+    hash = CombineHash(hash, bits_y);
+  }
+  return hash;
+}
+
+uint64_t Fingerprint(const Dataset& dataset) {
+  uint64_t hash = kFnvBasis;
+  hash = CombineHash(hash, static_cast<uint64_t>(dataset.size()));
+  for (const Trajectory& t : dataset.trajectories()) {
+    hash = CombineHash(hash, Fingerprint(t.View()));
+  }
+  return hash;
+}
+
+}  // namespace trajsearch

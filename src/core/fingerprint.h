@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/dataset.h"
+#include "core/trajectory.h"
+
+namespace trajsearch {
+
+/// \name Content fingerprints
+///
+/// Stable 64-bit FNV-1a hashes over raw coordinate bytes. Used as the query
+/// key of the service-layer result cache and as the integrity checksum of
+/// binary dataset snapshots. The hash depends only on point values and their
+/// order, never on ids or dataset names, so a dataset round-tripped through
+/// any storage format keeps its fingerprint.
+/// @{
+
+/// Seed/combine helper: folds `value` into an existing hash.
+uint64_t CombineHash(uint64_t hash, uint64_t value);
+
+/// Fingerprint of a point sequence (empty view hashes to the FNV basis).
+uint64_t Fingerprint(TrajectoryView view);
+
+/// Fingerprint of a whole dataset: trajectory fingerprints combined in id
+/// order, plus the trajectory count (so [ab][c] != [a][bc]).
+uint64_t Fingerprint(const Dataset& dataset);
+
+/// @}
+
+}  // namespace trajsearch

@@ -105,6 +105,7 @@ Trajectory GenerateTaxiTrajectory(const TaxiProfile& profile, Rng* rng,
 
 Dataset GenerateTaxiDataset(const TaxiProfile& profile) {
   Dataset dataset(profile.name);
+  dataset.Reserve(static_cast<size_t>(std::max(profile.trajectory_count, 0)));
   Rng rng(profile.seed);
   for (int i = 0; i < profile.trajectory_count; ++i) {
     const double scale = profile.mean_length / profile.length_shape;

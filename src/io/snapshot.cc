@@ -1,0 +1,176 @@
+#include "io/snapshot.h"
+
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <vector>
+
+#include "core/fingerprint.h"
+#include "io/traj_csv.h"
+
+namespace trajsearch {
+
+namespace {
+
+constexpr char kMagic[8] = {'T', 'R', 'A', 'J', 'S', 'N', 'A', 'P'};
+
+/// Fixed-size on-disk header. Serialized field by field (not by struct dump)
+/// so padding and ABI differences can never leak into the format.
+struct SnapshotHeader {
+  uint32_t version = kSnapshotVersion;
+  uint32_t name_length = 0;
+  uint64_t trajectory_count = 0;
+  uint64_t point_count = 0;
+  uint64_t fingerprint = 0;
+};
+
+template <typename T>
+void PutScalar(std::ofstream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <typename T>
+bool GetScalar(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(*value));
+  return in.gcount() == static_cast<std::streamsize>(sizeof(*value));
+}
+
+bool GetBytes(std::ifstream& in, void* data, size_t length) {
+  in.read(static_cast<char*>(data), static_cast<std::streamsize>(length));
+  return in.gcount() == static_cast<std::streamsize>(length);
+}
+
+}  // namespace
+
+Status WriteSnapshot(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+
+  const DatasetStats stats = dataset.Stats();
+  SnapshotHeader header;
+  header.name_length = static_cast<uint32_t>(dataset.name().size());
+  header.trajectory_count = stats.trajectory_count;
+  header.point_count = stats.point_count;
+  header.fingerprint = Fingerprint(dataset);
+
+  out.write(kMagic, sizeof(kMagic));
+  PutScalar(out, header.version);
+  PutScalar(out, header.name_length);
+  PutScalar(out, header.trajectory_count);
+  PutScalar(out, header.point_count);
+  PutScalar(out, header.fingerprint);
+  out.write(dataset.name().data(),
+            static_cast<std::streamsize>(dataset.name().size()));
+
+  for (const Trajectory& t : dataset.trajectories()) {
+    PutScalar(out, static_cast<uint32_t>(t.size()));
+  }
+  for (const Trajectory& t : dataset.trajectories()) {
+    // Point is two contiguous doubles; write each trajectory in one block.
+    static_assert(sizeof(Point) == 2 * sizeof(double));
+    out.write(reinterpret_cast<const char*>(t.points().data()),
+              static_cast<std::streamsize>(t.points().size() * sizeof(Point)));
+  }
+
+  out.flush();
+  if (!out.good()) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Dataset> ReadSnapshot(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+
+  char magic[sizeof(kMagic)] = {};
+  if (!GetBytes(in, magic, sizeof(magic))) {
+    return Status::IoError("truncated snapshot header: " + path);
+  }
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a trajectory snapshot: " + path);
+  }
+
+  SnapshotHeader header;
+  if (!GetScalar(in, &header.version) || !GetScalar(in, &header.name_length) ||
+      !GetScalar(in, &header.trajectory_count) ||
+      !GetScalar(in, &header.point_count) ||
+      !GetScalar(in, &header.fingerprint)) {
+    return Status::IoError("truncated snapshot header: " + path);
+  }
+  if (header.version != kSnapshotVersion) {
+    return Status::Unsupported("snapshot version " +
+                               std::to_string(header.version) +
+                               " (expected " +
+                               std::to_string(kSnapshotVersion) + "): " + path);
+  }
+  // Sanity bounds before any allocation sized from the file: the declared
+  // counts can never need more bytes than the file actually has.
+  const std::streampos payload_start = in.tellg();
+  in.seekg(0, std::ios::end);
+  const uint64_t remaining_bytes =
+      static_cast<uint64_t>(in.tellg() - payload_start);
+  in.seekg(payload_start);
+  const uint64_t needed_bytes = header.name_length +
+                                header.trajectory_count * sizeof(uint32_t) +
+                                header.point_count * sizeof(Point);
+  if (header.point_count < header.trajectory_count) {
+    return Status::InvalidArgument("implausible snapshot header: " + path);
+  }
+  if (header.trajectory_count > remaining_bytes ||
+      header.point_count > remaining_bytes || needed_bytes > remaining_bytes) {
+    return Status::IoError("snapshot shorter than its header declares: " +
+                           path);
+  }
+
+  std::string name(header.name_length, '\0');
+  if (!GetBytes(in, name.data(), name.size())) {
+    return Status::IoError("truncated snapshot name: " + path);
+  }
+
+  std::vector<uint32_t> lengths(header.trajectory_count);
+  if (!GetBytes(in, lengths.data(), lengths.size() * sizeof(uint32_t))) {
+    return Status::IoError("truncated snapshot length table: " + path);
+  }
+  uint64_t total_points = 0;
+  for (const uint32_t len : lengths) total_points += len;
+  if (total_points != header.point_count) {
+    return Status::InvalidArgument(
+        "snapshot length table disagrees with point count: " + path);
+  }
+
+  Dataset dataset(name);
+  std::vector<Trajectory> trajectories;
+  trajectories.reserve(lengths.size());
+  for (const uint32_t len : lengths) {
+    std::vector<Point> points(len);
+    if (!GetBytes(in, points.data(), points.size() * sizeof(Point))) {
+      return Status::IoError("truncated snapshot points: " + path);
+    }
+    trajectories.emplace_back(std::move(points));
+  }
+  dataset.AddAll(std::move(trajectories));
+
+  if (Fingerprint(dataset) != header.fingerprint) {
+    return Status::InvalidArgument("snapshot checksum mismatch: " + path);
+  }
+  return dataset;
+}
+
+bool IsSnapshotFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return false;
+  char magic[sizeof(kMagic)] = {};
+  if (!GetBytes(in, magic, sizeof(magic))) return false;
+  return std::memcmp(magic, kMagic, sizeof(kMagic)) == 0;
+}
+
+Result<Dataset> LoadDataset(const std::string& path,
+                            const std::string& dataset_name) {
+  if (IsSnapshotFile(path)) return ReadSnapshot(path);
+  return ReadTrajectoryCsv(path, dataset_name);
+}
+
+}  // namespace trajsearch

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/dataset.h"
+#include "util/status.h"
+
+namespace trajsearch {
+
+/// Binary dataset snapshots.
+///
+/// A snapshot is the serving-time storage format of a Dataset: a versioned
+/// fixed-size header, the dataset name, one uint32 length per trajectory and
+/// the raw little-endian double coordinates, trajectory-major. Loading is a
+/// single pass of size-checked block reads — roughly an order of magnitude
+/// faster than re-parsing CSV text — so service startup can memory-load a
+/// corpus instead of re-ingesting it.
+///
+/// Layout (all integers little-endian):
+///   magic      8 bytes  "TRAJSNAP"
+///   version    uint32   kSnapshotVersion
+///   name_len   uint32
+///   traj_count uint64
+///   point_count uint64
+///   fingerprint uint64  Fingerprint(dataset) — content checksum
+///   name       name_len bytes
+///   lengths    traj_count x uint32
+///   points     point_count x (double x, double y)
+///
+/// Load rejects bad magic/version/size invariants with InvalidArgument,
+/// truncated files with IoError, and payload corruption (fingerprint
+/// mismatch) with InvalidArgument.
+
+inline constexpr uint32_t kSnapshotVersion = 1;
+
+/// Writes the dataset as a snapshot; fails with IoError on filesystem errors.
+Status WriteSnapshot(const Dataset& dataset, const std::string& path);
+
+/// Reads a snapshot written by WriteSnapshot, restoring the stored name.
+Result<Dataset> ReadSnapshot(const std::string& path);
+
+/// True if the file starts with the snapshot magic (format sniffing).
+bool IsSnapshotFile(const std::string& path);
+
+/// Loads a dataset from either format: snapshot when the magic matches,
+/// CSV otherwise. `dataset_name` is used only for the CSV path (snapshots
+/// carry their own name).
+Result<Dataset> LoadDataset(const std::string& path,
+                            const std::string& dataset_name);
+
+}  // namespace trajsearch

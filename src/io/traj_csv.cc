@@ -32,7 +32,6 @@ Result<Dataset> ReadTrajectoryCsv(const std::string& path,
   if (!in.is_open()) {
     return Status::IoError("cannot open for reading: " + path);
   }
-  Dataset dataset(dataset_name);
   std::string line;
   if (!std::getline(in, line)) {
     return Status::IoError("empty file: " + path);
@@ -40,6 +39,7 @@ Result<Dataset> ReadTrajectoryCsv(const std::string& path,
   if (line.rfind("traj_id", 0) != 0) {
     return Status::InvalidArgument("missing header in " + path);
   }
+  std::vector<Trajectory> trajectories;
   int current_id = -1;
   std::vector<Point> points;
   size_t line_no = 1;
@@ -54,7 +54,7 @@ Result<Dataset> ReadTrajectoryCsv(const std::string& path,
     }
     if (id != current_id) {
       if (current_id >= 0 && !points.empty()) {
-        dataset.Add(Trajectory(std::move(points)));
+        trajectories.emplace_back(std::move(points));
         points = {};
       }
       current_id = id;
@@ -62,11 +62,13 @@ Result<Dataset> ReadTrajectoryCsv(const std::string& path,
     points.push_back(Point{x, y});
   }
   if (current_id >= 0 && !points.empty()) {
-    dataset.Add(Trajectory(std::move(points)));
+    trajectories.emplace_back(std::move(points));
   }
-  if (dataset.empty()) {
+  if (trajectories.empty()) {
     return Status::InvalidArgument("no trajectories in " + path);
   }
+  Dataset dataset(dataset_name);
+  dataset.AddAll(std::move(trajectories));
   return dataset;
 }
 

@@ -1,57 +1,14 @@
 #include "search/engine.h"
 
 #include <algorithm>
-#include <queue>
 #include <thread>
 
 #include "prune/key_point_filter.h"
+#include "search/topk.h"
 #include "util/check.h"
 #include "util/stopwatch.h"
 
 namespace trajsearch {
-
-namespace {
-
-/// Bounded worst-first heap of engine hits (Appendix E).
-class TopKHeap {
- public:
-  explicit TopKHeap(int k) : k_(k) {}
-
-  bool Full() const { return static_cast<int>(heap_.size()) == k_; }
-  double Worst() const { return heap_.top().result.distance; }
-
-  void Offer(const EngineHit& hit) {
-    if (static_cast<int>(heap_.size()) < k_) {
-      heap_.push(hit);
-    } else if (hit.result.distance < heap_.top().result.distance) {
-      heap_.pop();
-      heap_.push(hit);
-    }
-  }
-
-  /// Drains into a best-first vector.
-  std::vector<EngineHit> Sorted() {
-    std::vector<EngineHit> hits;
-    hits.reserve(heap_.size());
-    while (!heap_.empty()) {
-      hits.push_back(heap_.top());
-      heap_.pop();
-    }
-    std::reverse(hits.begin(), hits.end());
-    return hits;
-  }
-
- private:
-  struct Worse {
-    bool operator()(const EngineHit& a, const EngineHit& b) const {
-      return a.result.distance < b.result.distance;
-    }
-  };
-  int k_;
-  std::priority_queue<EngineHit, std::vector<EngineHit>, Worse> heap_;
-};
-
-}  // namespace
 
 SearchEngine::SearchEngine(const Dataset* dataset, EngineOptions options)
     : dataset_(dataset), options_(options) {

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "search/engine.h"
+#include "util/check.h"
+
+namespace trajsearch {
+
+/// Canonical hit ordering: ascending distance, ties broken by ascending
+/// trajectory id. Integer-valued distances (EDR edit counts) tie often; the
+/// id tie-break makes the top-K set a pure function of the corpus, so the
+/// serial engine, the threaded engine and the sharded service all return
+/// bit-identical results.
+inline bool BetterHit(const EngineHit& a, const EngineHit& b) {
+  if (a.result.distance != b.result.distance) {
+    return a.result.distance < b.result.distance;
+  }
+  return a.trajectory_id < b.trajectory_id;
+}
+
+/// \brief Bounded worst-first heap of engine hits (Appendix E).
+///
+/// Shared by the engine's serial and multi-threaded search stages and by the
+/// service layer, which merges per-shard top-K heaps into a global top-K.
+class TopKHeap {
+ public:
+  explicit TopKHeap(int k) : k_(k) { TRAJ_CHECK(k >= 1); }
+
+  bool Full() const { return static_cast<int>(heap_.size()) == k_; }
+  /// Distance of the K-th best hit (bound-pruning threshold).
+  double Worst() const { return heap_.top().result.distance; }
+
+  void Offer(const EngineHit& hit) {
+    if (static_cast<int>(heap_.size()) < k_) {
+      heap_.push(hit);
+    } else if (BetterHit(hit, heap_.top())) {
+      heap_.pop();
+      heap_.push(hit);
+    }
+  }
+
+  /// Drains into a best-first vector.
+  std::vector<EngineHit> Sorted() {
+    std::vector<EngineHit> hits;
+    hits.reserve(heap_.size());
+    while (!heap_.empty()) {
+      hits.push_back(heap_.top());
+      heap_.pop();
+    }
+    std::reverse(hits.begin(), hits.end());
+    return hits;
+  }
+
+ private:
+  struct Worse {
+    bool operator()(const EngineHit& a, const EngineHit& b) const {
+      return BetterHit(a, b);
+    }
+  };
+  int k_;
+  std::priority_queue<EngineHit, std::vector<EngineHit>, Worse> heap_;
+};
+
+/// Merges several already-searched hit lists (e.g. one per shard) into a
+/// global best-first top-K.
+inline std::vector<EngineHit> MergeTopK(
+    const std::vector<std::vector<EngineHit>>& parts, int k) {
+  TopKHeap merged(k);
+  for (const std::vector<EngineHit>& part : parts) {
+    for (const EngineHit& hit : part) merged.Offer(hit);
+  }
+  return merged.Sorted();
+}
+
+}  // namespace trajsearch

@@ -1,0 +1,260 @@
+#include "service/query_service.h"
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+
+#include "core/fingerprint.h"
+#include "search/topk.h"
+#include "util/check.h"
+
+namespace trajsearch {
+
+namespace {
+
+uint64_t CombineDoubleBits(uint64_t hash, double value) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return CombineHash(hash, bits);
+}
+
+uint64_t CombinePointer(uint64_t hash, const void* ptr) {
+  return CombineHash(hash, reinterpret_cast<uintptr_t>(ptr));
+}
+
+}  // namespace
+
+uint64_t EngineOptionsFingerprint(const EngineOptions& options) {
+  // `threads` is deliberately excluded: it changes scheduling, not results.
+  uint64_t hash = 0x51a7e5e5u;
+  hash = CombineHash(hash, static_cast<uint64_t>(options.spec.kind));
+  hash = CombineDoubleBits(hash, options.spec.edr_epsilon);
+  hash = CombineDoubleBits(hash, options.spec.erp_gap.x);
+  hash = CombineDoubleBits(hash, options.spec.erp_gap.y);
+  hash = CombinePointer(hash, options.spec.wed);
+  hash = CombineHash(hash, static_cast<uint64_t>(options.algorithm));
+  hash = CombineHash(hash, static_cast<uint64_t>(options.use_gbp));
+  hash = CombineHash(hash, static_cast<uint64_t>(options.use_kpf));
+  hash = CombineHash(hash, static_cast<uint64_t>(options.use_osf));
+  hash = CombineDoubleBits(hash, options.cell_size);
+  hash = CombineDoubleBits(hash, options.mu);
+  hash = CombineDoubleBits(hash, options.sample_rate);
+  hash = CombineHash(hash, static_cast<uint64_t>(options.top_k));
+  hash = CombinePointer(hash, options.rls_policy);
+  return hash;
+}
+
+// ---------------------------------------------------------------------------
+// ResultCache
+// ---------------------------------------------------------------------------
+
+bool QueryService::ResultCache::Get(uint64_t key, std::vector<EngineHit>* out) {
+  if (capacity_ == 0) return false;
+  auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  *out = it->second->second;
+  return true;
+}
+
+bool QueryService::ResultCache::Put(uint64_t key,
+                                    std::vector<EngineHit> value) {
+  if (capacity_ == 0) return false;
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(value);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return false;
+  }
+  lru_.emplace_front(key, std::move(value));
+  index_[key] = lru_.begin();
+  if (index_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    return true;
+  }
+  return false;
+}
+
+void QueryService::ResultCache::Clear() {
+  lru_.clear();
+  index_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// QueryService
+// ---------------------------------------------------------------------------
+
+QueryService::QueryService(Dataset dataset, ServiceOptions options)
+    : options_(options), cache_(options.cache_capacity) {
+  corpus_size_ = dataset.size();
+
+  // Pin GBP's derived cell size to the full-corpus bounding box before
+  // sharding; per-shard boxes would otherwise derive different grids and the
+  // sharded candidate set could diverge from the unsharded engine's.
+  if (options_.engine.use_gbp && options_.engine.cell_size <= 0 &&
+      !dataset.empty()) {
+    const BoundingBox box = dataset.Bounds();
+    double cell = std::max(box.Width(), box.Height()) / 256.0;
+    if (cell <= 0) cell = 1.0;
+    options_.engine.cell_size = cell;
+  }
+
+  options_fingerprint_ = EngineOptionsFingerprint(options_.engine);
+
+  const int shard_count =
+      std::clamp(options_.shards, 1, std::max(corpus_size_, 1));
+  options_.shards = shard_count;
+
+  // Round-robin partition: corpus id g lives in shard g % N at local index
+  // g / N (relied upon by the excluded-id and accessor routing below).
+  const std::string corpus_name = dataset.name();
+  std::vector<Trajectory> all = dataset.Release();
+  shards_.resize(static_cast<size_t>(shard_count));
+  for (int s = 0; s < shard_count; ++s) {
+    Shard& shard = shards_[static_cast<size_t>(s)];
+    // Shard s holds corpus ids s, s+N, s+2N, ...: ceil((size - s) / N).
+    const size_t count =
+        s < corpus_size_
+            ? (static_cast<size_t>(corpus_size_ - s) +
+               static_cast<size_t>(shard_count) - 1) /
+                  static_cast<size_t>(shard_count)
+            : 0;
+    shard.data = Dataset(corpus_name + "/shard-" + std::to_string(s));
+    shard.data.Reserve(count);
+    shard.corpus_ids.reserve(count);
+  }
+  for (int g = 0; g < corpus_size_; ++g) {
+    Shard& shard = shards_[static_cast<size_t>(g % shard_count)];
+    shard.data.Add(std::move(all[static_cast<size_t>(g)]));
+    shard.corpus_ids.push_back(g);
+  }
+  for (Shard& shard : shards_) {
+    shard.engine =
+        std::make_unique<SearchEngine>(&shard.data, options_.engine);
+  }
+
+  const int hardware =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  const int workers = options_.worker_threads > 0
+                          ? options_.worker_threads
+                          : std::min(shard_count, hardware);
+  options_.worker_threads = workers;
+  pool_ = std::make_unique<ThreadPool>(workers);
+}
+
+QueryService::~QueryService() = default;
+
+const Trajectory& QueryService::trajectory(int corpus_id) const {
+  TRAJ_CHECK(corpus_id >= 0 && corpus_id < corpus_size_);
+  const Shard& shard = shards_[static_cast<size_t>(corpus_id % shard_count())];
+  return shard.data[corpus_id / shard_count()];
+}
+
+uint64_t QueryService::CacheKey(TrajectoryView query, int excluded_id) const {
+  uint64_t key = Fingerprint(query);
+  key = CombineHash(key, options_fingerprint_);
+  key = CombineHash(key, static_cast<uint64_t>(static_cast<int64_t>(excluded_id)));
+  return key;
+}
+
+std::vector<EngineHit> QueryService::Submit(TrajectoryView query,
+                                            int excluded_id) {
+  return SubmitBatch({query}, {excluded_id})[0];
+}
+
+std::vector<std::vector<EngineHit>> QueryService::SubmitBatch(
+    const std::vector<TrajectoryView>& queries,
+    const std::vector<int>& excluded_ids) {
+  TRAJ_CHECK(excluded_ids.empty() || excluded_ids.size() == queries.size());
+  std::vector<std::vector<EngineHit>> results(queries.size());
+
+  // Cache pass: satisfy hits, collect misses. Keys hash every query point,
+  // so they are computed outside the lock (and not at all when caching is
+  // off); only the lookup itself serializes.
+  const bool caching = options_.cache_capacity != 0;
+  std::vector<size_t> misses;
+  std::vector<uint64_t> keys(caching ? queries.size() : 0);
+  if (caching) {
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      const int excluded = excluded_ids.empty() ? -1 : excluded_ids[qi];
+      keys[qi] = CacheKey(queries[qi], excluded);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.batches;
+    stats_.queries += queries.size();
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      if (caching && cache_.Get(keys[qi], &results[qi])) {
+        ++stats_.cache_hits;
+      } else {
+        if (caching) ++stats_.cache_misses;
+        misses.push_back(qi);
+      }
+    }
+  }
+  if (misses.empty()) return results;
+
+  // Fan every missed query out across every shard in one go, so the pool
+  // sees the whole batch at once and dispatch overhead is paid per batch.
+  const int n = shard_count();
+  std::vector<std::vector<EngineHit>> parts(misses.size() *
+                                            static_cast<size_t>(n));
+  CountdownLatch latch(static_cast<int>(misses.size()) * n);
+  for (size_t mi = 0; mi < misses.size(); ++mi) {
+    const size_t qi = misses[mi];
+    const TrajectoryView query = queries[qi];
+    const int excluded = excluded_ids.empty() ? -1 : excluded_ids[qi];
+    for (int s = 0; s < n; ++s) {
+      pool_->Submit([this, s, n, mi, query, excluded, &parts, &latch]() {
+        const Shard& shard = shards_[static_cast<size_t>(s)];
+        int local_excluded = -1;
+        if (excluded >= 0 && excluded % n == s) {
+          local_excluded = excluded / n;
+          TRAJ_DCHECK(shard.corpus_ids[static_cast<size_t>(local_excluded)] ==
+                      excluded);
+        }
+        std::vector<EngineHit> hits =
+            shard.engine->Query(query, nullptr, local_excluded);
+        for (EngineHit& hit : hits) {
+          hit.trajectory_id =
+              shard.corpus_ids[static_cast<size_t>(hit.trajectory_id)];
+        }
+        parts[mi * static_cast<size_t>(n) + static_cast<size_t>(s)] =
+            std::move(hits);
+        latch.CountDown();
+      });
+    }
+  }
+  latch.Wait();
+
+  for (size_t mi = 0; mi < misses.size(); ++mi) {
+    const size_t qi = misses[mi];
+    std::vector<std::vector<EngineHit>> shard_parts(
+        parts.begin() + static_cast<std::ptrdiff_t>(mi * static_cast<size_t>(n)),
+        parts.begin() +
+            static_cast<std::ptrdiff_t>((mi + 1) * static_cast<size_t>(n)));
+    results[qi] = MergeTopK(shard_parts, options_.engine.top_k);
+  }
+
+  if (caching) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const size_t qi : misses) {
+      if (cache_.Put(keys[qi], results[qi])) ++stats_.cache_evictions;
+    }
+  }
+  return results;
+}
+
+ServiceStats QueryService::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void QueryService::ClearCache() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.Clear();
+}
+
+}  // namespace trajsearch

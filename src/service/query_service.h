@@ -1,0 +1,132 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/dataset.h"
+#include "search/engine.h"
+#include "service/thread_pool.h"
+
+namespace trajsearch {
+
+/// \brief Configuration of the serving layer on top of SearchEngine.
+struct ServiceOptions {
+  /// Per-shard engine configuration. When GBP is enabled with a derived cell
+  /// size (cell_size == 0), the service fixes the cell size from the *full*
+  /// dataset bounding box before sharding, so shard grids agree with the
+  /// unsharded engine and results are identical.
+  EngineOptions engine;
+  /// Number of dataset shards (each with its own SearchEngine); clamped to
+  /// [1, dataset size].
+  int shards = 1;
+  /// Worker threads in the shared pool; 0 uses one thread per shard, capped
+  /// at the hardware concurrency.
+  int worker_threads = 0;
+  /// Result-cache capacity in entries; 0 disables caching.
+  size_t cache_capacity = 256;
+};
+
+/// \brief Service counters (monotonic since construction).
+struct ServiceStats {
+  uint64_t queries = 0;
+  uint64_t batches = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+  /// Cache hit fraction in [0, 1] (0 when nothing was looked up).
+  double HitRate() const {
+    const uint64_t total = cache_hits + cache_misses;
+    return total == 0 ? 0.0 : static_cast<double>(cache_hits) /
+                                  static_cast<double>(total);
+  }
+};
+
+/// Hash of every EngineOptions field that can change query *results* (used in
+/// cache keys; pointer-valued fields hash by identity).
+uint64_t EngineOptionsFingerprint(const EngineOptions& options);
+
+/// \brief Sharded, cached serving layer for similar-subtrajectory search.
+///
+/// Owns the corpus, split round-robin into N shards, each with its own
+/// SearchEngine. A query fans out across all shards on a fixed worker pool;
+/// per-shard top-K results are merged into a global top-K, with shard-local
+/// trajectory ids translated back to corpus ids. Results are identical to an
+/// unsharded SearchEngine over the same corpus whenever the engine's bound
+/// pruning is sound (e.g. KPF at sample_rate 1.0, or KPF/OSF off).
+///
+/// An LRU cache keyed by query fingerprint + engine-options hash + exclusion
+/// id short-circuits repeated queries; hit/miss counters are surfaced via
+/// Stats(). Submit/SubmitBatch are safe to call from multiple threads.
+class QueryService {
+ public:
+  /// Takes ownership of the dataset (it is re-partitioned into shards).
+  QueryService(Dataset dataset, ServiceOptions options);
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Runs one query; hits are best-first with corpus trajectory ids.
+  /// `excluded_id` removes one corpus trajectory from the data side.
+  std::vector<EngineHit> Submit(TrajectoryView query, int excluded_id = -1);
+
+  /// Runs a batch: all (query, shard) tasks are enqueued at once, so the
+  /// pool dispatch cost is amortized and shards stay busy across queries.
+  /// `excluded_ids` (optional) must be empty or parallel to `queries`.
+  std::vector<std::vector<EngineHit>> SubmitBatch(
+      const std::vector<TrajectoryView>& queries,
+      const std::vector<int>& excluded_ids = {});
+
+  ServiceStats Stats() const;
+  void ClearCache();
+
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+  const ServiceOptions& options() const { return options_; }
+  /// Total trajectories across all shards.
+  int corpus_size() const { return corpus_size_; }
+  /// Trajectory accessor by corpus id (routes into the owning shard).
+  const Trajectory& trajectory(int corpus_id) const;
+
+ private:
+  struct Shard {
+    Dataset data;
+    /// Maps shard-local trajectory id -> corpus id.
+    std::vector<int> corpus_ids;
+    std::unique_ptr<SearchEngine> engine;
+  };
+
+  /// LRU map from cache key to a cached best-first hit list.
+  class ResultCache {
+   public:
+    explicit ResultCache(size_t capacity) : capacity_(capacity) {}
+    bool Get(uint64_t key, std::vector<EngineHit>* out);
+    /// Returns true if an old entry was evicted.
+    bool Put(uint64_t key, std::vector<EngineHit> value);
+    void Clear();
+    size_t size() const { return index_.size(); }
+
+   private:
+    using Entry = std::pair<uint64_t, std::vector<EngineHit>>;
+    size_t capacity_;
+    std::list<Entry> lru_;  // front = most recent
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
+  };
+
+  uint64_t CacheKey(TrajectoryView query, int excluded_id) const;
+
+  ServiceOptions options_;
+  uint64_t options_fingerprint_ = 0;
+  int corpus_size_ = 0;
+  std::vector<Shard> shards_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  mutable std::mutex mu_;  // guards cache_ and stats_
+  ResultCache cache_;
+  ServiceStats stats_;
+};
+
+}  // namespace trajsearch

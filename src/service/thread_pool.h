@@ -1,0 +1,99 @@
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/check.h"
+
+namespace trajsearch {
+
+/// \brief Fixed-size worker pool for the query service.
+///
+/// Workers are started once at service construction and reused across
+/// queries, so per-query dispatch cost is one enqueue instead of a thread
+/// spawn. Tasks are plain closures; completion is tracked by the caller
+/// (QueryService batches carry their own countdown latch).
+class ThreadPool {
+ public:
+  explicit ThreadPool(int threads) {
+    TRAJ_CHECK(threads >= 1);
+    workers_.reserve(static_cast<size_t>(threads));
+    for (int i = 0; i < threads; ++i) {
+      workers_.emplace_back([this]() { WorkerLoop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task. Never blocks (unbounded queue).
+  void Submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      TRAJ_CHECK(!stopping_);
+      queue_.push_back(std::move(task));
+    }
+    wake_.notify_one();
+  }
+
+  int thread_count() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        wake_.wait(lock, [this]() { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping_ and drained
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// \brief Countdown latch: a batch submitter waits until every fanned-out
+/// (query, shard) task has finished.
+class CountdownLatch {
+ public:
+  explicit CountdownLatch(int count) : remaining_(count) {}
+
+  void CountDown() {
+    std::lock_guard<std::mutex> lock(mu_);
+    TRAJ_CHECK(remaining_ > 0);
+    if (--remaining_ == 0) done_.notify_all();
+  }
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_.wait(lock, [this]() { return remaining_ == 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable done_;
+  int remaining_;
+};
+
+}  // namespace trajsearch

@@ -198,6 +198,45 @@ TEST(EngineTest, OsfModeAlsoPreservesTheOptimum) {
   EXPECT_NEAR(hits[0].result.distance, truth[0].result.distance, 1e-9);
 }
 
+TEST(EngineTest, MultiThreadedSearchMatchesSerialHitForHit) {
+  // The header claims "results are identical to the serial engine" for
+  // threads > 1; verify hit-for-hit across distances, K values and pruning
+  // configurations (KPF at rate 1.0 is a sound bound, so pruning cannot
+  // change the result set either way).
+  const Dataset dataset = WalkDataset(60, 18, 67);
+  Rng rng(22);
+  const Trajectory query = RandomWalk(&rng, 6);
+  for (const DistanceSpec& spec : testing::PaperGpsSpecs()) {
+    for (const int top_k : {1, 5}) {
+      for (const bool use_kpf : {false, true}) {
+        EngineOptions serial_options;
+        serial_options.spec = spec;
+        serial_options.use_gbp = false;
+        serial_options.use_kpf = use_kpf;
+        serial_options.sample_rate = 1.0;
+        serial_options.top_k = top_k;
+        EngineOptions threaded_options = serial_options;
+        threaded_options.threads = 4;
+
+        const SearchEngine serial(&dataset, serial_options);
+        const SearchEngine threaded(&dataset, threaded_options);
+        const std::vector<EngineHit> expected = serial.Query(query);
+        const std::vector<EngineHit> actual = threaded.Query(query);
+        ASSERT_EQ(actual.size(), expected.size())
+            << ToString(spec.kind) << " k=" << top_k << " kpf=" << use_kpf;
+        for (size_t i = 0; i < expected.size(); ++i) {
+          EXPECT_EQ(actual[i].trajectory_id, expected[i].trajectory_id)
+              << ToString(spec.kind) << " rank " << i;
+          EXPECT_EQ(actual[i].result.distance, expected[i].result.distance)
+              << ToString(spec.kind) << " rank " << i;
+          EXPECT_EQ(actual[i].result.range, expected[i].result.range)
+              << ToString(spec.kind) << " rank " << i;
+        }
+      }
+    }
+  }
+}
+
 TEST(EngineTest, StatsTimingBreakdownIsPopulated) {
   const Dataset dataset = WalkDataset(15, 30, 61);
   Rng rng(20);

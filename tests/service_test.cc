@@ -1,0 +1,307 @@
+#include "service/query_service.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/fingerprint.h"
+#include "gen/taxi.h"
+#include "gen/workload.h"
+#include "search/topk.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace trajsearch {
+namespace {
+
+using testing::RandomWalk;
+
+Dataset WalkDataset(int count, int mean_len, uint64_t seed) {
+  Dataset dataset("service-test");
+  Rng rng(seed);
+  for (int i = 0; i < count; ++i) {
+    dataset.Add(RandomWalk(
+        &rng, mean_len + static_cast<int>(rng.UniformInt(-5, 5))));
+  }
+  return dataset;
+}
+
+/// Engine options whose bound pruning is sound, so sharded results must be
+/// bit-identical to the unsharded engine.
+EngineOptions SoundOptions(const DistanceSpec& spec, int top_k) {
+  EngineOptions options;
+  options.spec = spec;
+  options.use_gbp = false;
+  options.use_kpf = true;
+  options.sample_rate = 1.0;
+  options.top_k = top_k;
+  return options;
+}
+
+void ExpectSameHits(const std::vector<EngineHit>& a,
+                    const std::vector<EngineHit>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].trajectory_id, b[i].trajectory_id) << "rank " << i;
+    EXPECT_EQ(a[i].result.distance, b[i].result.distance) << "rank " << i;
+    EXPECT_EQ(a[i].result.range, b[i].result.range) << "rank " << i;
+  }
+}
+
+TEST(QueryServiceTest, ShardedMatchesUnshardedEngine) {
+  const Dataset dataset = WalkDataset(60, 18, 71);
+  Rng rng(3);
+  const Trajectory query = RandomWalk(&rng, 6);
+  for (const DistanceSpec& spec : testing::PaperGpsSpecs()) {
+    const EngineOptions engine_options = SoundOptions(spec, 5);
+    const SearchEngine engine(&dataset, engine_options);
+    const std::vector<EngineHit> expected = engine.Query(query);
+    for (const int shards : {1, 2, 3, 4, 7}) {
+      ServiceOptions options;
+      options.engine = engine_options;
+      options.shards = shards;
+      QueryService service(dataset, options);
+      ExpectSameHits(expected, service.Submit(query));
+    }
+  }
+}
+
+TEST(QueryServiceTest, ShardedMatchesUnshardedWithGbp) {
+  // GBP enabled with a derived cell size: the service must pin the grid to
+  // the full-corpus bbox so shard candidates agree with the global grid.
+  const Dataset dataset = WalkDataset(80, 20, 73);
+  Rng rng(5);
+  const Trajectory query = RandomWalk(&rng, 8);
+  EngineOptions engine_options = SoundOptions(DistanceSpec::Dtw(), 5);
+  engine_options.use_gbp = true;
+  engine_options.mu = 0.1;
+  const SearchEngine engine(&dataset, engine_options);
+  const std::vector<EngineHit> expected = engine.Query(query);
+  for (const int shards : {2, 4, 5}) {
+    ServiceOptions options;
+    options.engine = engine_options;
+    options.shards = shards;
+    QueryService service(dataset, options);
+    ExpectSameHits(expected, service.Submit(query));
+  }
+}
+
+TEST(QueryServiceTest, ExcludedIdIsRoutedToItsShard) {
+  const Dataset dataset = WalkDataset(30, 15, 79);
+  EngineOptions engine_options = SoundOptions(DistanceSpec::Dtw(), 3);
+  const SearchEngine engine(&dataset, engine_options);
+  ServiceOptions options;
+  options.engine = engine_options;
+  options.shards = 4;
+  QueryService service(dataset, options);
+  // Query a slice of trajectory 13; excluding 13 must drop the zero-distance
+  // self-hit exactly as in the unsharded engine.
+  const TrajectoryView query = dataset[13].Slice(Subrange{2, 9});
+  for (const int excluded : {-1, 13, 5}) {
+    ExpectSameHits(engine.Query(query, nullptr, excluded),
+                   service.Submit(query, excluded));
+    for (const EngineHit& hit : service.Submit(query, excluded)) {
+      EXPECT_NE(hit.trajectory_id, excluded);
+    }
+  }
+}
+
+TEST(QueryServiceTest, BatchMatchesIndividualSubmission) {
+  const Dataset dataset = WalkDataset(40, 16, 83);
+  WorkloadOptions wopts;
+  wopts.count = 9;
+  const Workload workload = SampleQueries(dataset, wopts);
+  ServiceOptions options;
+  options.engine = SoundOptions(DistanceSpec::Edr(0.8), 4);
+  options.shards = 3;
+  options.cache_capacity = 0;  // force every submission to search
+  QueryService service(dataset, options);
+
+  std::vector<TrajectoryView> views;
+  for (const Trajectory& q : workload.queries) views.push_back(q.View());
+  const std::vector<std::vector<EngineHit>> batch =
+      service.SubmitBatch(views, workload.source_ids);
+  ASSERT_EQ(batch.size(), views.size());
+  for (size_t qi = 0; qi < views.size(); ++qi) {
+    ExpectSameHits(batch[qi],
+                   service.Submit(views[qi], workload.source_ids[qi]));
+  }
+}
+
+TEST(QueryServiceTest, MoreShardsThanTrajectoriesClamps) {
+  const Dataset dataset = WalkDataset(3, 12, 89);
+  ServiceOptions options;
+  options.engine = SoundOptions(DistanceSpec::Dtw(), 2);
+  options.shards = 16;
+  QueryService service(dataset, options);
+  EXPECT_EQ(service.shard_count(), 3);
+  Rng rng(7);
+  const Trajectory query = RandomWalk(&rng, 5);
+  const SearchEngine engine(&dataset, options.engine);
+  ExpectSameHits(engine.Query(query), service.Submit(query));
+}
+
+TEST(QueryServiceTest, CacheHitsOnRepeatedQuery) {
+  const Dataset dataset = WalkDataset(25, 14, 97);
+  ServiceOptions options;
+  options.engine = SoundOptions(DistanceSpec::Dtw(), 3);
+  options.shards = 2;
+  options.cache_capacity = 8;
+  QueryService service(dataset, options);
+  Rng rng(9);
+  const Trajectory query = RandomWalk(&rng, 6);
+
+  const std::vector<EngineHit> first = service.Submit(query);
+  EXPECT_EQ(service.Stats().cache_hits, 0u);
+  EXPECT_EQ(service.Stats().cache_misses, 1u);
+
+  const std::vector<EngineHit> second = service.Submit(query);
+  EXPECT_EQ(service.Stats().cache_hits, 1u);
+  EXPECT_EQ(service.Stats().cache_misses, 1u);
+  ExpectSameHits(first, second);
+
+  // A different exclusion id is a different logical query.
+  service.Submit(query, 0);
+  EXPECT_EQ(service.Stats().cache_hits, 1u);
+  EXPECT_EQ(service.Stats().cache_misses, 2u);
+
+  // ClearCache invalidates.
+  service.ClearCache();
+  service.Submit(query);
+  EXPECT_EQ(service.Stats().cache_hits, 1u);
+  EXPECT_EQ(service.Stats().cache_misses, 3u);
+}
+
+TEST(QueryServiceTest, CacheEvictsLeastRecentlyUsed) {
+  const Dataset dataset = WalkDataset(20, 14, 101);
+  ServiceOptions options;
+  options.engine = SoundOptions(DistanceSpec::Dtw(), 2);
+  options.shards = 2;
+  options.cache_capacity = 2;
+  QueryService service(dataset, options);
+  Rng rng(11);
+  const Trajectory a = RandomWalk(&rng, 6);
+  const Trajectory b = RandomWalk(&rng, 6);
+  const Trajectory c = RandomWalk(&rng, 6);
+
+  service.Submit(a);  // cache: [a]
+  service.Submit(b);  // cache: [b, a]
+  service.Submit(a);  // hit; cache: [a, b]
+  service.Submit(c);  // evicts b; cache: [c, a]
+  EXPECT_EQ(service.Stats().cache_evictions, 1u);
+  service.Submit(b);  // must be a miss again
+  EXPECT_EQ(service.Stats().cache_hits, 1u);
+  EXPECT_EQ(service.Stats().cache_misses, 4u);
+}
+
+TEST(QueryServiceTest, ZeroCapacityDisablesCaching) {
+  const Dataset dataset = WalkDataset(15, 12, 103);
+  ServiceOptions options;
+  options.engine = SoundOptions(DistanceSpec::Dtw(), 2);
+  options.cache_capacity = 0;
+  QueryService service(dataset, options);
+  Rng rng(13);
+  const Trajectory query = RandomWalk(&rng, 5);
+  service.Submit(query);
+  service.Submit(query);
+  EXPECT_EQ(service.Stats().cache_hits, 0u);
+  EXPECT_EQ(service.Stats().cache_misses, 0u);
+  EXPECT_EQ(service.Stats().queries, 2u);
+}
+
+TEST(QueryServiceTest, StatsCountQueriesAndBatches) {
+  const Dataset dataset = WalkDataset(15, 12, 107);
+  ServiceOptions options;
+  options.engine = SoundOptions(DistanceSpec::Dtw(), 2);
+  options.shards = 2;
+  QueryService service(dataset, options);
+  Rng rng(15);
+  const Trajectory a = RandomWalk(&rng, 5);
+  const Trajectory b = RandomWalk(&rng, 5);
+  service.SubmitBatch({a.View(), b.View()});
+  service.Submit(a);
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.queries, 3u);
+  EXPECT_EQ(stats.batches, 2u);
+  EXPECT_EQ(stats.cache_hits, 1u);  // a was cached by the batch
+}
+
+TEST(QueryServiceTest, ConcurrentSubmittersAreSafe) {
+  const Dataset dataset = WalkDataset(30, 14, 109);
+  ServiceOptions options;
+  options.engine = SoundOptions(DistanceSpec::Dtw(), 3);
+  options.shards = 2;
+  options.worker_threads = 3;
+  options.cache_capacity = 16;
+  QueryService service(dataset, options);
+  const SearchEngine engine(&dataset, options.engine);
+
+  Rng rng(17);
+  std::vector<Trajectory> queries;
+  for (int i = 0; i < 6; ++i) queries.push_back(RandomWalk(&rng, 6));
+  std::vector<std::vector<EngineHit>> expected;
+  for (const Trajectory& q : queries) expected.push_back(engine.Query(q));
+
+  std::vector<std::thread> submitters;
+  std::vector<int> mismatches(queries.size(), 0);
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    submitters.emplace_back([&, qi]() {
+      for (int round = 0; round < 5; ++round) {
+        const std::vector<EngineHit> hits = service.Submit(queries[qi]);
+        if (hits.size() != expected[qi].size()) {
+          ++mismatches[qi];
+          continue;
+        }
+        for (size_t i = 0; i < hits.size(); ++i) {
+          if (hits[i].trajectory_id != expected[qi][i].trajectory_id ||
+              hits[i].result.distance != expected[qi][i].result.distance) {
+            ++mismatches[qi];
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    EXPECT_EQ(mismatches[qi], 0) << "query " << qi;
+  }
+  EXPECT_EQ(service.Stats().queries, 30u);
+}
+
+TEST(QueryServiceTest, TrajectoryAccessorRoutesToShards) {
+  const Dataset dataset = WalkDataset(17, 10, 113);
+  ServiceOptions options;
+  options.engine = SoundOptions(DistanceSpec::Dtw(), 1);
+  options.shards = 4;
+  QueryService service(dataset, options);
+  ASSERT_EQ(service.corpus_size(), dataset.size());
+  for (int id = 0; id < dataset.size(); ++id) {
+    EXPECT_EQ(Fingerprint(service.trajectory(id).View()),
+              Fingerprint(dataset[id].View()))
+        << "corpus id " << id;
+  }
+}
+
+TEST(MergeTopKTest, MergesPartsIntoGlobalBestFirst) {
+  auto hit = [](int id, double dist) {
+    EngineHit h;
+    h.trajectory_id = id;
+    h.result.range = Subrange{0, 0};
+    h.result.distance = dist;
+    return h;
+  };
+  const std::vector<std::vector<EngineHit>> parts = {
+      {hit(1, 0.5), hit(2, 2.0)},
+      {hit(3, 1.0)},
+      {},
+      {hit(4, 0.1), hit(5, 3.0)},
+  };
+  const std::vector<EngineHit> merged = MergeTopK(parts, 3);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].trajectory_id, 4);
+  EXPECT_EQ(merged[1].trajectory_id, 1);
+  EXPECT_EQ(merged[2].trajectory_id, 3);
+}
+
+}  // namespace
+}  // namespace trajsearch

@@ -1,0 +1,189 @@
+#include "io/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "core/fingerprint.h"
+#include "gen/taxi.h"
+#include "io/traj_csv.h"
+
+namespace trajsearch {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+/// Inverts the byte at `offset` (guaranteed to change it).
+void Corrupt(const std::string& path, std::streamoff offset) {
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(f.is_open());
+  f.seekg(offset);
+  const int byte = f.get();
+  ASSERT_NE(byte, EOF);
+  f.seekp(offset);
+  f.put(static_cast<char>(~byte));
+}
+
+/// Truncates the file to `size` bytes.
+void Truncate(const std::string& path, std::streamoff size) {
+  std::string content;
+  {
+    std::ifstream in(path, std::ios::binary);
+    content.assign(std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>());
+  }
+  ASSERT_LT(static_cast<size_t>(size), content.size());
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(content.data(), size);
+}
+
+TEST(SnapshotTest, RoundTripIsExact) {
+  const Dataset original = GenerateTaxiDataset(PortoProfile(25));
+  const std::string path = TempPath("roundtrip.snap");
+  ASSERT_TRUE(WriteSnapshot(original, path).ok());
+
+  const Result<Dataset> loaded = ReadSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Dataset& copy = loaded.value();
+
+  EXPECT_EQ(copy.name(), original.name());
+  ASSERT_EQ(copy.size(), original.size());
+  for (int id = 0; id < original.size(); ++id) {
+    ASSERT_EQ(copy[id].size(), original[id].size());
+    for (int i = 0; i < original[id].size(); ++i) {
+      // Bit-exact, not just approximately equal (unlike the CSV format).
+      EXPECT_EQ(copy[id][i], original[id][i]);
+    }
+  }
+  EXPECT_EQ(Fingerprint(copy), Fingerprint(original));
+
+  // Byte-identical summary statistics.
+  const DatasetStats a = original.Stats();
+  const DatasetStats b = copy.Stats();
+  EXPECT_EQ(a.trajectory_count, b.trajectory_count);
+  EXPECT_EQ(a.point_count, b.point_count);
+  EXPECT_EQ(a.mean_length, b.mean_length);
+  EXPECT_EQ(a.min_length, b.min_length);
+  EXPECT_EQ(a.max_length, b.max_length);
+  EXPECT_EQ(a.bounds.min_x, b.bounds.min_x);
+  EXPECT_EQ(a.bounds.max_x, b.bounds.max_x);
+  EXPECT_EQ(a.bounds.min_y, b.bounds.min_y);
+  EXPECT_EQ(a.bounds.max_y, b.bounds.max_y);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, CsvRoundTripThroughSnapshotKeepsFingerprint) {
+  // CSV -> Dataset -> snapshot -> Dataset keeps the parsed content exact.
+  const Dataset original = GenerateTaxiDataset(XianProfile(6));
+  const std::string csv = TempPath("chain.csv");
+  const std::string snap = TempPath("chain.snap");
+  ASSERT_TRUE(WriteTrajectoryCsv(original, csv).ok());
+  const Result<Dataset> parsed = ReadTrajectoryCsv(csv, "chain");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(WriteSnapshot(parsed.value(), snap).ok());
+  const Result<Dataset> reloaded = ReadSnapshot(snap);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ(Fingerprint(reloaded.value()), Fingerprint(parsed.value()));
+  std::remove(csv.c_str());
+  std::remove(snap.c_str());
+}
+
+TEST(SnapshotTest, MissingFileIsIoError) {
+  const Result<Dataset> r = ReadSnapshot("/nonexistent/corpus.snap");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(SnapshotTest, BadMagicIsRejected) {
+  const std::string path = TempPath("badmagic.snap");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOTASNAPXXXXXXXXXXXXXXXXXXXXXXXX";
+  }
+  const Result<Dataset> r = ReadSnapshot(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(IsSnapshotFile(path));
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, UnknownVersionIsRejected) {
+  const Dataset original = GenerateTaxiDataset(PortoProfile(3));
+  const std::string path = TempPath("badversion.snap");
+  ASSERT_TRUE(WriteSnapshot(original, path).ok());
+  Corrupt(path, 8);  // version field follows the 8-byte magic
+  const Result<Dataset> r = ReadSnapshot(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsupported);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, TruncatedHeaderIsIoError) {
+  const Dataset original = GenerateTaxiDataset(PortoProfile(3));
+  const std::string path = TempPath("truncheader.snap");
+  ASSERT_TRUE(WriteSnapshot(original, path).ok());
+  Truncate(path, 20);  // inside the fixed header
+  const Result<Dataset> r = ReadSnapshot(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, TruncatedPayloadIsIoError) {
+  const Dataset original = GenerateTaxiDataset(PortoProfile(5));
+  const std::string path = TempPath("truncpayload.snap");
+  ASSERT_TRUE(WriteSnapshot(original, path).ok());
+  {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    const std::streamoff size = in.tellg();
+    ASSERT_GT(size, 100);
+    in.close();
+    Truncate(path, size - 64);  // drop the tail of the point array
+  }
+  const Result<Dataset> r = ReadSnapshot(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, FlippedPayloadByteFailsChecksum) {
+  const Dataset original = GenerateTaxiDataset(PortoProfile(5));
+  const std::string path = TempPath("bitflip.snap");
+  ASSERT_TRUE(WriteSnapshot(original, path).ok());
+  std::streamoff size = 0;
+  {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    size = in.tellg();
+  }
+  Corrupt(path, size - 9);  // inside the last point's y coordinate
+  const Result<Dataset> r = ReadSnapshot(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, LoadDatasetSniffsBothFormats) {
+  const Dataset original = GenerateTaxiDataset(PortoProfile(4));
+  const std::string csv = TempPath("sniff.csv");
+  const std::string snap = TempPath("sniff.snap");
+  ASSERT_TRUE(WriteTrajectoryCsv(original, csv).ok());
+  ASSERT_TRUE(WriteSnapshot(original, snap).ok());
+  EXPECT_FALSE(IsSnapshotFile(csv));
+  EXPECT_TRUE(IsSnapshotFile(snap));
+  const Result<Dataset> from_csv = LoadDataset(csv, "sniff");
+  const Result<Dataset> from_snap = LoadDataset(snap, "ignored");
+  ASSERT_TRUE(from_csv.ok());
+  ASSERT_TRUE(from_snap.ok());
+  EXPECT_EQ(from_csv.value().size(), original.size());
+  EXPECT_EQ(Fingerprint(from_snap.value()), Fingerprint(original));
+  EXPECT_EQ(from_snap.value().name(), original.name());
+  std::remove(csv.c_str());
+  std::remove(snap.c_str());
+}
+
+}  // namespace
+}  // namespace trajsearch
