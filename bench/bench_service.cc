@@ -1,16 +1,150 @@
 // Service-layer benchmark: aggregate queries/sec of the sharded QueryService
-// vs shard count, result identity against the unsharded SearchEngine, and
-// result-cache hit rate under repeated traffic.
+// vs shard count, result identity against the unsharded SearchEngine,
+// result-cache hit rate under repeated traffic, and a storage-layout section
+// that measures the pooled dataset / CSR grid / snapshot-v2 stack against
+// reimplementations of the pre-refactor layouts in the same run.
 //
-// Flags: --scale (corpus multiplier), --queries, --seed, --passes.
+// Flags: --scale (corpus multiplier), --queries, --seed, --passes,
+// --json=<path> (write the storage-layout metrics as JSON, e.g.
+// BENCH_pr2.json).
 
+#include <cstdio>
+#include <fstream>
 #include <thread>
 
 #include "bench/bench_common.h"
+#include "core/fingerprint.h"
+#include "io/snapshot.h"
+#include "prune/grid_index.h"
 #include "service/query_service.h"
+#include "tests/legacy_baseline.h"
 
 namespace trajsearch::bench {
 namespace {
+
+// ---------------------------------------------------------------------------
+// Pre-refactor storage baselines (PR-1 layout), so every run records the new
+// layout against the one it replaced rather than against stale numbers. The
+// legacy hash-map grid itself lives in tests/legacy_baseline.h, shared with
+// the pooled-storage equivalence tests.
+// ---------------------------------------------------------------------------
+
+using testing::LegacyGrid;
+
+std::vector<TrajectoryView> CorpusViews(const Dataset& dataset) {
+  std::vector<TrajectoryView> views;
+  views.reserve(static_cast<size_t>(dataset.size()));
+  for (const TrajectoryRef t : dataset) views.push_back(t.View());
+  return views;
+}
+
+/// Pre-refactor snapshot load: parses a v1 file the way PR 1's reader did —
+/// header, length table, then one heap allocation + block read per
+/// trajectory — instead of a single contiguous read into the pool.
+Dataset LegacyReadSnapshot(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  uint32_t version = 0, name_length = 0;
+  uint64_t trajectory_count = 0, point_count = 0, fingerprint = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  in.read(reinterpret_cast<char*>(&name_length), sizeof(name_length));
+  in.read(reinterpret_cast<char*>(&trajectory_count),
+          sizeof(trajectory_count));
+  in.read(reinterpret_cast<char*>(&point_count), sizeof(point_count));
+  in.read(reinterpret_cast<char*>(&fingerprint), sizeof(fingerprint));
+  std::string name(name_length, '\0');
+  in.read(name.data(), static_cast<std::streamsize>(name.size()));
+  std::vector<uint32_t> lengths(trajectory_count);
+  in.read(reinterpret_cast<char*>(lengths.data()),
+          static_cast<std::streamsize>(lengths.size() * sizeof(uint32_t)));
+  std::vector<Trajectory> trajectories;
+  trajectories.reserve(lengths.size());
+  for (const uint32_t len : lengths) {
+    std::vector<Point> points(len);
+    in.read(reinterpret_cast<char*>(points.data()),
+            static_cast<std::streamsize>(points.size() * sizeof(Point)));
+    trajectories.emplace_back(std::move(points));
+  }
+  Dataset dataset(name);
+  dataset.AddAll(std::move(trajectories));
+  // The v1 reader verified the content checksum on load; keep the
+  // comparison honest by paying the same cost here.
+  if (Fingerprint(dataset) != fingerprint) {
+    std::fprintf(stderr, "legacy snapshot checksum mismatch\n");
+  }
+  return dataset;
+}
+
+/// Best-of-N wall-clock seconds of `fn`.
+template <typename Fn>
+double BestSeconds(int reps, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch watch;
+    fn();
+    best = std::min(best, watch.Seconds());
+  }
+  return best;
+}
+
+/// Best-of-N seconds to *construct* the value `make` returns; the value is
+/// destroyed after the stopwatch is read, so teardown cost (per-node frees
+/// in the legacy hash map vs a few vector frees in the CSR index) never
+/// leaks into the build timing of either side.
+template <typename Fn>
+double BestBuildSeconds(int reps, Fn&& make) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch watch;
+    auto built = make();
+    best = std::min(best, watch.Seconds());
+    (void)built;
+  }
+  return best;
+}
+
+struct StorageMetrics {
+  size_t corpus_trajectories = 0;
+  size_t corpus_points = 0;
+  double grid_build_seconds = 0;
+  double grid_build_seconds_legacy = 0;
+  double grid_query_seconds = 0;
+  double grid_query_seconds_legacy = 0;
+  double snapshot_load_seconds = 0;
+  double snapshot_load_seconds_legacy = 0;
+  double query_latency_seconds = 0;
+  double service_qps = 0;
+};
+
+void WriteMetricsJson(const StorageMetrics& m, const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"pr2_storage\",\n"
+               "  \"corpus_trajectories\": %zu,\n"
+               "  \"corpus_points\": %zu,\n"
+               "  \"grid_build_seconds\": %.6f,\n"
+               "  \"grid_build_seconds_legacy\": %.6f,\n"
+               "  \"grid_query_seconds\": %.6f,\n"
+               "  \"grid_query_seconds_legacy\": %.6f,\n"
+               "  \"snapshot_load_seconds\": %.6f,\n"
+               "  \"snapshot_load_seconds_legacy\": %.6f,\n"
+               "  \"query_latency_seconds\": %.6f,\n"
+               "  \"service_qps\": %.1f\n"
+               "}\n",
+               m.corpus_trajectories, m.corpus_points, m.grid_build_seconds,
+               m.grid_build_seconds_legacy, m.grid_query_seconds,
+               m.grid_query_seconds_legacy, m.snapshot_load_seconds,
+               m.snapshot_load_seconds_legacy, m.query_latency_seconds,
+               m.service_qps);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
 
 struct Workbench {
   Dataset corpus;
@@ -163,11 +297,116 @@ void Main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.queries));
   }
 
+  // -------------------------------------------------------------------
+  // Storage layout: pooled dataset / CSR grid / snapshot v2 vs the PR-1
+  // layouts they replaced, measured head to head in this same run.
+  // -------------------------------------------------------------------
+  {
+    PrintHeader("[PR2] Storage layout: pool + CSR grid + snapshot v2 "
+                "vs legacy layouts");
+    StorageMetrics m;
+    const DatasetStats stats = w.corpus.Stats();
+    m.corpus_trajectories = stats.trajectory_count;
+    m.corpus_points = stats.point_count;
+    const int reps = 3;
+
+    const double cell = DefaultCellSize(w.corpus.Bounds());
+    const std::vector<TrajectoryView> corpus_views = CorpusViews(w.corpus);
+
+    m.grid_build_seconds = BestBuildSeconds(
+        reps, [&]() { return GridIndex(w.corpus, cell); });
+    m.grid_build_seconds_legacy = BestBuildSeconds(
+        reps, [&]() { return LegacyGrid(corpus_views, cell); });
+
+    const GridIndex index(w.corpus, cell);
+    const LegacyGrid legacy(corpus_views, cell);
+    // Equal counts first, then timings over the same query set.
+    bool counts_match = true;
+    for (const TrajectoryView& q : queries) {
+      if (index.CloseCounts(q) != legacy.CloseCounts(q, w.corpus.size())) {
+        counts_match = false;
+      }
+    }
+    std::vector<std::pair<int, int>> scratch;
+    m.grid_query_seconds = BestSeconds(reps, [&]() {
+                             for (const TrajectoryView& q : queries) {
+                               index.CloseCounts(q, &scratch);
+                             }
+                           }) /
+                           static_cast<double>(queries.size());
+    m.grid_query_seconds_legacy =
+        BestSeconds(reps, [&]() {
+          for (const TrajectoryView& q : queries) {
+            legacy.CloseCounts(q, w.corpus.size());
+          }
+        }) /
+        static_cast<double>(queries.size());
+
+    const std::string v2_path = "bench_pr2_corpus.snap";
+    const std::string v1_path = "bench_pr2_corpus_v1.snap";
+    WriteSnapshot(w.corpus, v2_path);
+    WriteSnapshotV1(w.corpus, v1_path);
+    m.snapshot_load_seconds =
+        BestBuildSeconds(reps, [&]() { return ReadSnapshot(v2_path); });
+    m.snapshot_load_seconds_legacy = BestBuildSeconds(
+        reps, [&]() { return LegacyReadSnapshot(v1_path); });
+    std::remove(v2_path.c_str());
+    std::remove(v1_path.c_str());
+
+    // Single-query latency through the serving stack (4 shards, no cache).
+    {
+      ServiceOptions options;
+      options.engine = engine_options;
+      options.shards = 4;
+      options.cache_capacity = 0;
+      QueryService service(w.corpus, options);
+      service.SubmitBatch(queries, w.excluded);  // warm-up
+      Stopwatch watch;
+      for (size_t qi = 0; qi < queries.size(); ++qi) {
+        service.Submit(queries[qi], w.excluded[qi]);
+      }
+      m.query_latency_seconds =
+          watch.Seconds() / static_cast<double>(queries.size());
+      Stopwatch batch_watch;
+      service.SubmitBatch(queries, w.excluded);
+      m.service_qps = static_cast<double>(queries.size()) /
+                      batch_watch.Seconds();
+    }
+
+    TablePrinter layout({"Metric", "Pooled/CSR/v2", "Legacy", "Speedup"});
+    auto row = [&](const std::string& name, double now, double before) {
+      layout.AddRow({name, TablePrinter::Num(now * 1e3, 3) + " ms",
+                     TablePrinter::Num(before * 1e3, 3) + " ms",
+                     TablePrinter::Num(before / std::max(now, 1e-12), 2) +
+                         "x"});
+    };
+    row("grid build", m.grid_build_seconds, m.grid_build_seconds_legacy);
+    row("grid query (per query)", m.grid_query_seconds,
+        m.grid_query_seconds_legacy);
+    row("snapshot load", m.snapshot_load_seconds,
+        m.snapshot_load_seconds_legacy);
+    layout.Print();
+    std::printf("grid counts identical to legacy grid: %s\n",
+                counts_match ? "IDENTICAL" : "MISMATCH");
+    if (!counts_match) {
+      // This line is CI's correctness gate for the CSR index; a divergence
+      // must fail the smoke step, not just print.
+      std::fprintf(stderr, "FATAL: CSR grid diverges from legacy grid\n");
+      std::exit(1);
+    }
+    std::printf("service: %.3f ms/query (4 shards), %.1f queries/s batched\n",
+                m.query_latency_seconds * 1e3, m.service_qps);
+
+    const std::string json = flags.GetString("json", "");
+    if (!json.empty()) WriteMetricsJson(m, json);
+  }
+
   std::printf(
       "\nShape check: on a machine with >= 4 hardware threads, queries/s "
       "grows with shard\ncount (the 4-shard row exceeds 1.5x the 1-shard "
       "baseline; near-linear until the\ncore count). The cache absorbs "
-      "passes 2-3 (hit rate -> 2/3 of lookups).\n");
+      "passes 2-3 (hit rate -> 2/3 of lookups). The\n[PR2] grid query and "
+      "snapshot load rows must be at least 1x vs legacy.\n");
 }
 
 }  // namespace

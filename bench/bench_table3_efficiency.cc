@@ -68,7 +68,7 @@ void RunDataset(const DatasetEntry& entry, const BenchConfig& config,
         for (int s = 0; s < sample; ++s) {
           const int id =
               static_cast<int>(rng.UniformInt(0, bench.data.size() - 1));
-          const Trajectory& data = bench.data[id];
+          const TrajectoryRef data = bench.data[id];
           const int n = data.size();
           const int n0 = std::min(n, prefix_cap);
           Stopwatch watch;

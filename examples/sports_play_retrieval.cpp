@@ -80,7 +80,7 @@ int main(int argc, char** argv) {
   std::printf("most similar recorded runs (DTW):\n");
   for (size_t i = 0; i < hits.size(); ++i) {
     const EngineHit& hit = hits[i];
-    const Trajectory& play = archive[hit.trajectory_id];
+    const TrajectoryRef play = archive[hit.trajectory_id];
     const Point& from = play[hit.result.range.start];
     const Point& to = play[hit.result.range.end];
     std::printf(

@@ -30,6 +30,7 @@
 #include "gen/taxi.h"
 #include "io/snapshot.h"
 #include "io/traj_csv.h"
+#include "prune/grid_index.h"
 #include "search/engine.h"
 #include "service/query_service.h"
 #include "util/flags.h"
@@ -88,14 +89,32 @@ int CmdGenerate(const Flags& flags) {
 int CmdStats(const Flags& flags) {
   const std::string path = flags.GetString("data", "");
   if (path.empty()) return Fail("--data=<csv|snap> required");
+  Stopwatch load_watch;
   const Result<Dataset> loaded = LoadDataset(path, path);
   if (!loaded.ok()) return Fail(loaded.status().ToString());
-  const DatasetStats s = loaded.value().Stats();
+  const double load_seconds = load_watch.Seconds();
+  const Dataset& dataset = loaded.value();
+  const DatasetStats s = dataset.Stats();
   std::printf("trajectories: %zu\npoints:       %zu\nmean length:  %.1f\n",
               s.trajectory_count, s.point_count, s.mean_length);
   std::printf("length range: [%d, %d]\nbbox:         [%.6f, %.6f] x [%.6f, %.6f]\n",
               s.min_length, s.max_length, s.bounds.min_x, s.bounds.max_x,
               s.bounds.min_y, s.bounds.max_y);
+  std::printf("pool bytes:   %zu\nload time:    %.3f s\n", s.pool_bytes,
+              load_seconds);
+
+  // Grid-index shape at the given (or derived) cell size, so storage-layout
+  // regressions show up in numbers rather than in a profiler.
+  if (!dataset.empty()) {
+    double cell = flags.GetDouble("cell", 0);
+    if (cell <= 0) cell = DefaultCellSize(s.bounds);
+    const GridIndex index(dataset, cell);
+    const GridIndexStats& g = index.stats();
+    std::printf("grid index:   cell size %.6f, %zu cells, %zu entries, "
+                "%zu bytes, built in %.3f s\n",
+                index.cell_size(), g.cell_count, g.entry_count, g.index_bytes,
+                g.build_seconds);
+  }
   return 0;
 }
 
@@ -113,11 +132,11 @@ int CmdSearch(const Flags& flags) {
   if (!query_file.empty()) {
     const Result<Dataset> q = ReadTrajectoryCsv(query_file, query_file);
     if (!q.ok()) return Fail(q.status().ToString());
-    query = q.value()[0];
+    query = Trajectory(q.value()[0].View());
   } else {
     const int id = static_cast<int>(flags.GetInt("query-id", 0));
     if (id < 0 || id >= dataset.size()) return Fail("--query-id out of range");
-    const Trajectory& source = dataset[id];
+    const TrajectoryRef source = dataset[id];
     const int from = static_cast<int>(flags.GetInt("from", 0));
     const int to = static_cast<int>(
         flags.GetInt("to", std::min(source.size() - 1, from + 19)));
@@ -223,7 +242,7 @@ int CmdBatch(const Flags& flags) {
 
   std::vector<TrajectoryView> queries;
   queries.reserve(static_cast<size_t>(query_set.value().size()));
-  for (const Trajectory& q : query_set.value().trajectories()) {
+  for (const TrajectoryRef q : query_set.value()) {
     queries.push_back(q.View());
   }
 

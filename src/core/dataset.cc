@@ -1,37 +1,87 @@
 #include "core/dataset.h"
 
+#include <algorithm>
+
 namespace trajsearch {
 
-int Dataset::Add(Trajectory traj) {
+int Dataset::Add(TrajectoryView points) {
   const int id = size();
-  traj.set_id(id);
-  trajectories_.push_back(std::move(traj));
+  if (!points.empty() && points.data() >= pool_.data() &&
+      points.data() < pool_.data() + pool_.size()) {
+    // The view aliases this dataset's own pool (e.g. Add(dataset[i]) to
+    // duplicate a trajectory): materialize it first, since the insert below
+    // may reallocate the buffer the view points into.
+    const std::vector<Point> copy(points.begin(), points.end());
+    pool_.insert(pool_.end(), copy.begin(), copy.end());
+  } else {
+    pool_.insert(pool_.end(), points.begin(), points.end());
+  }
+  offsets_.push_back(static_cast<uint64_t>(pool_.size()));
   return id;
 }
 
 void Dataset::AddAll(std::vector<Trajectory> trajs) {
   Reserve(trajs.size());
-  for (Trajectory& t : trajs) Add(std::move(t));
+  size_t total = 0;
+  for (const Trajectory& t : trajs) total += static_cast<size_t>(t.size());
+  ReservePoints(total);
+  for (const Trajectory& t : trajs) Add(t);
+}
+
+Dataset Dataset::FromPool(std::string name, std::vector<Point> pool,
+                          std::vector<uint64_t> offsets) {
+  TRAJ_CHECK(!offsets.empty() && offsets.front() == 0 &&
+             offsets.back() == pool.size());
+  TRAJ_CHECK(std::is_sorted(offsets.begin(), offsets.end()));
+  Dataset dataset(std::move(name));
+  dataset.pool_ = std::move(pool);
+  dataset.offsets_ = std::move(offsets);
+  return dataset;
 }
 
 DatasetStats Dataset::Stats() const {
   DatasetStats stats;
-  stats.trajectory_count = trajectories_.size();
-  stats.min_length = trajectories_.empty() ? 0 : trajectories_[0].size();
-  for (const Trajectory& t : trajectories_) {
-    stats.point_count += static_cast<size_t>(t.size());
-    stats.min_length = std::min(stats.min_length, t.size());
-    stats.max_length = std::max(stats.max_length, t.size());
-    for (const Point& p : t.points()) stats.bounds.Extend(p);
+  stats.trajectory_count = static_cast<size_t>(size());
+  stats.point_count = pool_.size();
+  stats.pool_bytes = pool_.size() * sizeof(Point);
+  stats.min_length = empty() ? 0 : length(0);
+  for (int id = 0; id < size(); ++id) {
+    stats.min_length = std::min(stats.min_length, length(id));
+    stats.max_length = std::max(stats.max_length, length(id));
   }
+  for (const Point& p : pool_) stats.bounds.Extend(p);
   stats.mean_length =
-      trajectories_.empty()
-          ? 0
-          : static_cast<double>(stats.point_count) /
-                static_cast<double>(stats.trajectory_count);
+      empty() ? 0
+              : static_cast<double>(stats.point_count) /
+                    static_cast<double>(stats.trajectory_count);
   return stats;
 }
 
-BoundingBox Dataset::Bounds() const { return Stats().bounds; }
+BoundingBox Dataset::Bounds() const {
+  BoundingBox box;
+  for (const Point& p : pool_) box.Extend(p);
+  return box;
+}
+
+size_t DatasetView::point_count() const {
+  if (count_ == 0) return 0;
+  const std::vector<uint64_t>& offsets = dataset_->offsets();
+  return static_cast<size_t>(offsets[static_cast<size_t>(begin_ + count_)] -
+                             offsets[static_cast<size_t>(begin_)]);
+}
+
+BoundingBox DatasetView::Bounds() const {
+  // The viewed trajectories are contiguous in the pool, so this is one flat
+  // scan of the covered pool range.
+  BoundingBox box;
+  if (count_ == 0) return box;
+  const std::vector<uint64_t>& offsets = dataset_->offsets();
+  const std::span<const Point> pool = dataset_->pool();
+  const size_t lo = static_cast<size_t>(offsets[static_cast<size_t>(begin_)]);
+  const size_t hi =
+      static_cast<size_t>(offsets[static_cast<size_t>(begin_ + count_)]);
+  for (size_t i = lo; i < hi; ++i) box.Extend(pool[i]);
+  return box;
+}
 
 }  // namespace trajsearch

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -16,42 +18,93 @@ struct DatasetStats {
   int min_length = 0;
   int max_length = 0;
   BoundingBox bounds;
+  /// Bytes held by the contiguous point pool (capacity excluded).
+  size_t pool_bytes = 0;
 };
 
-/// \brief An in-memory collection of data trajectories.
+/// \brief An in-memory collection of data trajectories, stored as one
+/// contiguous structure-of-arrays point pool.
 ///
-/// Trajectory ids are assigned densely (their index in the collection) so
-/// pruning indexes can use plain arrays.
+/// All points of all trajectories live back to back in a single flat buffer;
+/// a per-trajectory offset table maps trajectory id i to the half-open pool
+/// range [offsets[i], offsets[i+1]). Trajectory ids are assigned densely
+/// (their index in the collection) so pruning indexes can use plain arrays,
+/// and operator[] hands out zero-copy TrajectoryRef handles into the pool.
+/// The layout is also the snapshot-v2 on-disk layout, so loading a snapshot
+/// is a header check plus one contiguous read.
 class Dataset {
  public:
   Dataset() = default;
   explicit Dataset(std::string name) : name_(std::move(name)) {}
 
-  /// Adds a trajectory; its id is overwritten with its index. Returns the id.
-  int Add(Trajectory traj);
+  /// Copies the viewed points into the pool as a new trajectory; its id is
+  /// its index. Returns the id. Accepts Trajectory via implicit conversion.
+  int Add(TrajectoryView points);
 
-  /// Pre-allocates room for `n` trajectories (loaders and sharding know the
-  /// final count up front; avoids per-Add reallocation).
-  void Reserve(size_t n) { trajectories_.reserve(trajectories_.size() + n); }
+  /// Pre-allocates room for `n` more trajectories (loaders and generators
+  /// know the final count up front; avoids per-Add reallocation).
+  void Reserve(size_t n) { offsets_.reserve(offsets_.size() + n); }
+
+  /// Pre-allocates room for `n` more points in the pool.
+  void ReservePoints(size_t n) { pool_.reserve(pool_.size() + n); }
 
   /// Moves every trajectory of `trajs` into the dataset (ids reassigned).
   void AddAll(std::vector<Trajectory> trajs);
 
-  /// Moves all trajectories out, leaving the dataset empty (used by the
-  /// service layer to re-partition a corpus into shards without copying).
-  std::vector<Trajectory> Release() { return std::move(trajectories_); }
+  /// Adopts an already-assembled pool. `offsets` must have one entry per
+  /// trajectory plus a trailing entry equal to pool.size(), start at 0, and
+  /// be non-decreasing (checked). Used by the snapshot loader so a corpus is
+  /// read straight into place.
+  static Dataset FromPool(std::string name, std::vector<Point> pool,
+                          std::vector<uint64_t> offsets);
 
   /// Number of trajectories.
-  int size() const { return static_cast<int>(trajectories_.size()); }
-  bool empty() const { return trajectories_.empty(); }
+  int size() const { return static_cast<int>(offsets_.size()) - 1; }
+  bool empty() const { return size() == 0; }
 
-  /// Trajectory accessor by id/index.
-  const Trajectory& operator[](int id) const {
+  /// Total points across all trajectories.
+  size_t point_count() const { return pool_.size(); }
+
+  /// Point count of trajectory `id`.
+  int length(int id) const {
     TRAJ_DCHECK(id >= 0 && id < size());
-    return trajectories_[static_cast<size_t>(id)];
+    return static_cast<int>(offsets_[static_cast<size_t>(id) + 1] -
+                            offsets_[static_cast<size_t>(id)]);
   }
 
-  const std::vector<Trajectory>& trajectories() const { return trajectories_; }
+  /// Trajectory accessor by id/index: a zero-copy handle into the pool.
+  TrajectoryRef operator[](int id) const {
+    TRAJ_DCHECK(id >= 0 && id < size());
+    return TrajectoryRef(pool_.data() + offsets_[static_cast<size_t>(id)],
+                         length(id), id);
+  }
+
+  /// \brief Iteration over all trajectories as TrajectoryRef handles.
+  class ConstIterator {
+   public:
+    ConstIterator(const Dataset* dataset, int id)
+        : dataset_(dataset), id_(id) {}
+    TrajectoryRef operator*() const { return (*dataset_)[id_]; }
+    ConstIterator& operator++() {
+      ++id_;
+      return *this;
+    }
+    bool operator==(const ConstIterator& o) const { return id_ == o.id_; }
+    bool operator!=(const ConstIterator& o) const { return id_ != o.id_; }
+
+   private:
+    const Dataset* dataset_;
+    int id_;
+  };
+  ConstIterator begin() const { return ConstIterator(this, 0); }
+  ConstIterator end() const { return ConstIterator(this, size()); }
+
+  /// The shared point pool (trajectory-major, contiguous).
+  std::span<const Point> pool() const { return pool_; }
+  /// Per-trajectory pool offsets; size() + 1 entries, first 0, last
+  /// point_count().
+  const std::vector<uint64_t>& offsets() const { return offsets_; }
+
   const std::string& name() const { return name_; }
 
   /// Computes summary statistics over all trajectories.
@@ -62,7 +115,59 @@ class Dataset {
 
  private:
   std::string name_;
-  std::vector<Trajectory> trajectories_;
+  std::vector<Point> pool_;
+  std::vector<uint64_t> offsets_ = {0};
+};
+
+/// \brief A contiguous range of a Dataset's trajectories.
+///
+/// The serving layer hands each shard a DatasetView over the one shared
+/// corpus instead of physically re-partitioning it; search code indexes the
+/// view with *local* ids [0, size()) and translates back with begin_id().
+/// Converts implicitly from Dataset so single-shard call sites keep passing
+/// the dataset itself.
+class DatasetView {
+ public:
+  DatasetView() = default;
+  /// Whole-dataset view (implicit: any API taking a view accepts a Dataset).
+  DatasetView(const Dataset& dataset)
+      : dataset_(&dataset), begin_(0), count_(dataset.size()) {}
+  DatasetView(const Dataset* dataset) {
+    TRAJ_CHECK(dataset != nullptr);
+    dataset_ = dataset;
+    count_ = dataset->size();
+  }
+  /// View of trajectories [begin, begin + count).
+  DatasetView(const Dataset& dataset, int begin, int count)
+      : dataset_(&dataset), begin_(begin), count_(count) {
+    TRAJ_CHECK(begin >= 0 && count >= 0 && begin + count <= dataset.size());
+  }
+
+  int size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// Trajectory accessor by view-local id in [0, size()).
+  TrajectoryRef operator[](int local_id) const {
+    TRAJ_DCHECK(local_id >= 0 && local_id < count_);
+    return (*dataset_)[begin_ + local_id];
+  }
+
+  /// First global trajectory id covered; global id = begin_id() + local id.
+  int begin_id() const { return begin_; }
+  int global_id(int local_id) const { return begin_ + local_id; }
+
+  /// Total points across the viewed trajectories.
+  size_t point_count() const;
+
+  const Dataset& dataset() const { return *dataset_; }
+
+  /// Bounding box over the viewed trajectories' points.
+  BoundingBox Bounds() const;
+
+ private:
+  const Dataset* dataset_ = nullptr;
+  int begin_ = 0;
+  int count_ = 0;
 };
 
 }  // namespace trajsearch

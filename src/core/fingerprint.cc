@@ -41,8 +41,8 @@ uint64_t Fingerprint(TrajectoryView view) {
 uint64_t Fingerprint(const Dataset& dataset) {
   uint64_t hash = kFnvBasis;
   hash = CombineHash(hash, static_cast<uint64_t>(dataset.size()));
-  for (const Trajectory& t : dataset.trajectories()) {
-    hash = CombineHash(hash, Fingerprint(t.View()));
+  for (int id = 0; id < dataset.size(); ++id) {
+    hash = CombineHash(hash, Fingerprint(dataset[id].View()));
   }
   return hash;
 }

@@ -4,16 +4,16 @@
 
 namespace trajsearch {
 
-BoundingBox Trajectory::Bounds() const {
+BoundingBox Bounds(TrajectoryView view) {
   BoundingBox box;
-  for (const Point& p : points_) box.Extend(p);
+  for (const Point& p : view) box.Extend(p);
   return box;
 }
 
-double Trajectory::PathLength() const {
+double PathLength(TrajectoryView view) {
   double total = 0;
-  for (size_t i = 1; i < points_.size(); ++i) {
-    total += EuclideanDistance(points_[i - 1], points_[i]);
+  for (size_t i = 1; i < view.size(); ++i) {
+    total += EuclideanDistance(view[i - 1], view[i]);
   }
   return total;
 }

@@ -14,16 +14,31 @@ namespace trajsearch {
 /// \brief Non-owning view of a sequence of trajectory points.
 ///
 /// All search algorithms take views so that subtrajectories never copy.
+/// Since the dataset refactor views point either into a Trajectory's own
+/// buffer or straight into the Dataset's shared point pool.
 using TrajectoryView = std::span<const Point>;
+
+/// Bounding box of a point sequence (empty box if no points).
+BoundingBox Bounds(TrajectoryView view);
+
+/// Total polyline length (sum of consecutive Euclidean distances).
+double PathLength(TrajectoryView view);
 
 /// \brief An ordered sequence of 2-D points (Definition 1 of the paper),
 /// optionally carrying a dataset-unique id.
+///
+/// Trajectory owns its points and is the *builder* type: generators, loaders
+/// and tests assemble one point by point. Stored corpora live in Dataset's
+/// contiguous pool instead; use TrajectoryRef to refer to those.
 class Trajectory {
  public:
   Trajectory() = default;
   /// Takes ownership of the points.
   explicit Trajectory(std::vector<Point> points, int id = -1)
       : points_(std::move(points)), id_(id) {}
+  /// Copies the viewed points (materializes a pool slice or subspan).
+  explicit Trajectory(TrajectoryView view, int id = -1)
+      : points_(view.begin(), view.end()), id_(id) {}
   /// Convenience literal constructor (tests, examples).
   Trajectory(std::initializer_list<Point> points)
       : points_(points.begin(), points.end()) {}
@@ -62,16 +77,71 @@ class Trajectory {
   void Append(const Point& p) { points_.push_back(p); }
 
   /// Bounding box of all points (empty box if no points).
-  BoundingBox Bounds() const;
+  BoundingBox Bounds() const { return trajsearch::Bounds(View()); }
 
   /// Total polyline length (sum of consecutive Euclidean distances).
-  double PathLength() const;
+  double PathLength() const { return trajsearch::PathLength(View()); }
 
   /// A new trajectory with point order reversed (used by suffix-distance DP).
   Trajectory Reversed() const;
 
  private:
   std::vector<Point> points_;
+  int id_ = -1;
+};
+
+/// \brief Non-owning, Trajectory-shaped handle to one trajectory of a
+/// Dataset's point pool.
+///
+/// Dataset::operator[] returns these so call sites keep the familiar
+/// `dataset[id].size()` / `.Slice(r)` / `.points()` idioms while the storage
+/// underneath is one flat buffer. Copying a TrajectoryRef copies two words;
+/// the points are never copied. The ref is valid for the Dataset's lifetime.
+class TrajectoryRef {
+ public:
+  TrajectoryRef() = default;
+  TrajectoryRef(const Point* data, int size, int id)
+      : data_(data), size_(size), id_(id) {}
+
+  /// Number of points.
+  int size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Point accessor (0-based).
+  const Point& operator[](int i) const {
+    TRAJ_DCHECK(i >= 0 && i < size_);
+    return data_[i];
+  }
+
+  /// Dataset-unique identifier.
+  int id() const { return id_; }
+
+  /// Whole-trajectory view into the pool.
+  TrajectoryView View() const {
+    return TrajectoryView(data_, static_cast<size_t>(size_));
+  }
+  operator TrajectoryView() const { return View(); }
+
+  /// View of the subtrajectory given by an inclusive range (zero-copy).
+  TrajectoryView Slice(const Subrange& r) const {
+    TRAJ_CHECK(r.WithinLength(size_));
+    return View().subspan(static_cast<size_t>(r.start),
+                          static_cast<size_t>(r.Length()));
+  }
+
+  /// Point sequence as a span (mirrors Trajectory::points()).
+  TrajectoryView points() const { return View(); }
+
+  /// Range-for support.
+  const Point* begin() const { return data_; }
+  const Point* end() const { return data_ + size_; }
+
+  BoundingBox Bounds() const { return trajsearch::Bounds(View()); }
+  double PathLength() const { return trajsearch::PathLength(View()); }
+
+ private:
+  const Point* data_ = nullptr;
+  int size_ = 0;
   int id_ = -1;
 };
 

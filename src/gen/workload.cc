@@ -32,7 +32,7 @@ Workload SampleQueries(const Dataset& dataset,
       std::min(eligible.size(), static_cast<size_t>(options.count));
   for (size_t i = 0; i < take; ++i) {
     const int id = eligible[i];
-    workload.queries.push_back(dataset[id]);
+    workload.queries.push_back(Trajectory(dataset[id].View(), id));
     workload.source_ids.push_back(id);
   }
 

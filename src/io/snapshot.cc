@@ -1,5 +1,6 @@
 #include "io/snapshot.h"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <limits>
@@ -13,6 +14,7 @@ namespace trajsearch {
 namespace {
 
 constexpr char kMagic[8] = {'T', 'R', 'A', 'J', 'S', 'N', 'A', 'P'};
+constexpr uint32_t kVersionV1 = 1;
 
 /// Fixed-size on-disk header. Serialized field by field (not by struct dump)
 /// so padding and ABI differences can never leak into the format.
@@ -40,19 +42,13 @@ bool GetBytes(std::ifstream& in, void* data, size_t length) {
   return in.gcount() == static_cast<std::streamsize>(length);
 }
 
-}  // namespace
-
-Status WriteSnapshot(const Dataset& dataset, const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out.is_open()) {
-    return Status::IoError("cannot open for writing: " + path);
-  }
-
-  const DatasetStats stats = dataset.Stats();
+void PutHeaderAndName(std::ofstream& out, const Dataset& dataset,
+                      uint32_t version) {
   SnapshotHeader header;
+  header.version = version;
   header.name_length = static_cast<uint32_t>(dataset.name().size());
-  header.trajectory_count = stats.trajectory_count;
-  header.point_count = stats.point_count;
+  header.trajectory_count = static_cast<uint64_t>(dataset.size());
+  header.point_count = dataset.point_count();
   header.fingerprint = Fingerprint(dataset);
 
   out.write(kMagic, sizeof(kMagic));
@@ -63,17 +59,43 @@ Status WriteSnapshot(const Dataset& dataset, const std::string& path) {
   PutScalar(out, header.fingerprint);
   out.write(dataset.name().data(),
             static_cast<std::streamsize>(dataset.name().size()));
+}
 
-  for (const Trajectory& t : dataset.trajectories()) {
-    PutScalar(out, static_cast<uint32_t>(t.size()));
-  }
-  for (const Trajectory& t : dataset.trajectories()) {
-    // Point is two contiguous doubles; write each trajectory in one block.
-    static_assert(sizeof(Point) == 2 * sizeof(double));
-    out.write(reinterpret_cast<const char*>(t.points().data()),
-              static_cast<std::streamsize>(t.points().size() * sizeof(Point)));
-  }
+void PutPool(std::ofstream& out, const Dataset& dataset) {
+  // Point is two contiguous doubles; the pool is the payload, verbatim.
+  static_assert(sizeof(Point) == 2 * sizeof(double));
+  out.write(reinterpret_cast<const char*>(dataset.pool().data()),
+            static_cast<std::streamsize>(dataset.pool().size() *
+                                         sizeof(Point)));
+}
 
+}  // namespace
+
+Status WriteSnapshot(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  PutHeaderAndName(out, dataset, kSnapshotVersion);
+  out.write(reinterpret_cast<const char*>(dataset.offsets().data()),
+            static_cast<std::streamsize>(dataset.offsets().size() *
+                                         sizeof(uint64_t)));
+  PutPool(out, dataset);
+  out.flush();
+  if (!out.good()) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Status WriteSnapshotV1(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  PutHeaderAndName(out, dataset, kVersionV1);
+  for (int id = 0; id < dataset.size(); ++id) {
+    PutScalar(out, static_cast<uint32_t>(dataset.length(id)));
+  }
+  PutPool(out, dataset);
   out.flush();
   if (!out.good()) return Status::IoError("write failed: " + path);
   return Status::OK();
@@ -100,11 +122,12 @@ Result<Dataset> ReadSnapshot(const std::string& path) {
       !GetScalar(in, &header.fingerprint)) {
     return Status::IoError("truncated snapshot header: " + path);
   }
-  if (header.version != kSnapshotVersion) {
+  if (header.version != kSnapshotVersion && header.version != kVersionV1) {
     return Status::Unsupported("snapshot version " +
                                std::to_string(header.version) +
-                               " (expected " +
-                               std::to_string(kSnapshotVersion) + "): " + path);
+                               " (expected " + std::to_string(kVersionV1) +
+                               " or " + std::to_string(kSnapshotVersion) +
+                               "): " + path);
   }
   // Sanity bounds before any allocation sized from the file: the declared
   // counts can never need more bytes than the file actually has.
@@ -113,12 +136,12 @@ Result<Dataset> ReadSnapshot(const std::string& path) {
   const uint64_t remaining_bytes =
       static_cast<uint64_t>(in.tellg() - payload_start);
   in.seekg(payload_start);
-  const uint64_t needed_bytes = header.name_length +
-                                header.trajectory_count * sizeof(uint32_t) +
+  const uint64_t index_bytes =
+      header.version == kVersionV1
+          ? header.trajectory_count * sizeof(uint32_t)
+          : (header.trajectory_count + 1) * sizeof(uint64_t);
+  const uint64_t needed_bytes = header.name_length + index_bytes +
                                 header.point_count * sizeof(Point);
-  if (header.point_count < header.trajectory_count) {
-    return Status::InvalidArgument("implausible snapshot header: " + path);
-  }
   if (header.trajectory_count > remaining_bytes ||
       header.point_count > remaining_bytes || needed_bytes > remaining_bytes) {
     return Status::IoError("snapshot shorter than its header declares: " +
@@ -130,28 +153,40 @@ Result<Dataset> ReadSnapshot(const std::string& path) {
     return Status::IoError("truncated snapshot name: " + path);
   }
 
-  std::vector<uint32_t> lengths(header.trajectory_count);
-  if (!GetBytes(in, lengths.data(), lengths.size() * sizeof(uint32_t))) {
-    return Status::IoError("truncated snapshot length table: " + path);
+  // Index table: v2 stores the pool offsets verbatim; v1 stores lengths,
+  // converted here. Either way the coordinate block that follows is one
+  // contiguous trajectory-major array — exactly the pool layout — so the
+  // points land in place with a single size-checked read.
+  std::vector<uint64_t> offsets(header.trajectory_count + 1, 0);
+  if (header.version == kVersionV1) {
+    std::vector<uint32_t> lengths(header.trajectory_count);
+    if (!GetBytes(in, lengths.data(), lengths.size() * sizeof(uint32_t))) {
+      return Status::IoError("truncated snapshot length table: " + path);
+    }
+    for (size_t i = 0; i < lengths.size(); ++i) {
+      offsets[i + 1] = offsets[i] + lengths[i];
+    }
+  } else {
+    if (!GetBytes(in, offsets.data(), offsets.size() * sizeof(uint64_t))) {
+      return Status::IoError("truncated snapshot offset table: " + path);
+    }
+    if (offsets.front() != 0 ||
+        !std::is_sorted(offsets.begin(), offsets.end())) {
+      return Status::InvalidArgument(
+          "snapshot offset table is not a valid pool layout: " + path);
+    }
   }
-  uint64_t total_points = 0;
-  for (const uint32_t len : lengths) total_points += len;
-  if (total_points != header.point_count) {
+  if (offsets.back() != header.point_count) {
     return Status::InvalidArgument(
-        "snapshot length table disagrees with point count: " + path);
+        "snapshot index table disagrees with point count: " + path);
   }
 
-  Dataset dataset(name);
-  std::vector<Trajectory> trajectories;
-  trajectories.reserve(lengths.size());
-  for (const uint32_t len : lengths) {
-    std::vector<Point> points(len);
-    if (!GetBytes(in, points.data(), points.size() * sizeof(Point))) {
-      return Status::IoError("truncated snapshot points: " + path);
-    }
-    trajectories.emplace_back(std::move(points));
+  std::vector<Point> pool(header.point_count);
+  if (!GetBytes(in, pool.data(), pool.size() * sizeof(Point))) {
+    return Status::IoError("truncated snapshot points: " + path);
   }
-  dataset.AddAll(std::move(trajectories));
+  Dataset dataset =
+      Dataset::FromPool(std::move(name), std::move(pool), std::move(offsets));
 
   if (Fingerprint(dataset) != header.fingerprint) {
     return Status::InvalidArgument("snapshot checksum mismatch: " + path);

@@ -10,34 +10,46 @@ namespace trajsearch {
 
 /// Binary dataset snapshots.
 ///
-/// A snapshot is the serving-time storage format of a Dataset: a versioned
-/// fixed-size header, the dataset name, one uint32 length per trajectory and
-/// the raw little-endian double coordinates, trajectory-major. Loading is a
-/// single pass of size-checked block reads — roughly an order of magnitude
-/// faster than re-parsing CSV text — so service startup can memory-load a
-/// corpus instead of re-ingesting it.
+/// A snapshot is the serving-time storage format of a Dataset. Since v2 the
+/// on-disk payload *is* the in-memory pool layout: a versioned fixed-size
+/// header, the dataset name, the per-trajectory offset table and one
+/// contiguous block of little-endian double coordinates. Loading is a header
+/// check plus two block reads straight into the pool — no per-trajectory
+/// allocation at all — so service startup cost is dominated by raw I/O.
 ///
-/// Layout (all integers little-endian):
+/// v2 layout (all integers little-endian):
 ///   magic      8 bytes  "TRAJSNAP"
-///   version    uint32   kSnapshotVersion
+///   version    uint32   2
 ///   name_len   uint32
 ///   traj_count uint64
 ///   point_count uint64
 ///   fingerprint uint64  Fingerprint(dataset) — content checksum
 ///   name       name_len bytes
-///   lengths    traj_count x uint32
-///   points     point_count x (double x, double y)
+///   offsets    (traj_count + 1) x uint64   pool offsets; first 0, last
+///                                          point_count (the Dataset offset
+///                                          table, verbatim)
+///   points     point_count x (double x, double y)   the pool, verbatim
+///
+/// v1 (PR 1) differs only in the index table: one uint32 *length* per
+/// trajectory instead of the offset table. Its points were already written
+/// trajectory-major and back to back, so the v1 read path below still loads
+/// the coordinate block with a single contiguous read.
 ///
 /// Load rejects bad magic/version/size invariants with InvalidArgument,
-/// truncated files with IoError, and payload corruption (fingerprint
-/// mismatch) with InvalidArgument.
+/// truncated files with IoError, and payload corruption (fingerprint or
+/// offset-table mismatch) with InvalidArgument.
 
-inline constexpr uint32_t kSnapshotVersion = 1;
+inline constexpr uint32_t kSnapshotVersion = 2;
 
-/// Writes the dataset as a snapshot; fails with IoError on filesystem errors.
+/// Writes the dataset as a v2 snapshot; IoError on filesystem errors.
 Status WriteSnapshot(const Dataset& dataset, const std::string& path);
 
-/// Reads a snapshot written by WriteSnapshot, restoring the stored name.
+/// Writes the legacy v1 format (length table instead of offsets). Kept for
+/// compatibility tooling and for testing the v1 read path.
+Status WriteSnapshotV1(const Dataset& dataset, const std::string& path);
+
+/// Reads a snapshot written by WriteSnapshot (v2) or by a pre-refactor
+/// build (v1), restoring the stored name.
 Result<Dataset> ReadSnapshot(const std::string& path);
 
 /// True if the file starts with the snapshot magic (format sniffing).

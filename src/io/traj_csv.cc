@@ -13,7 +13,7 @@ Status WriteTrajectoryCsv(const Dataset& dataset, const std::string& path) {
   }
   out << "traj_id,seq,x,y\n";
   for (int id = 0; id < dataset.size(); ++id) {
-    const Trajectory& t = dataset[id];
+    const TrajectoryRef t = dataset[id];
     for (int i = 0; i < t.size(); ++i) {
       char buf[96];
       std::snprintf(buf, sizeof(buf), "%d,%d,%.9f,%.9f\n", id, i, t[i].x,

@@ -4,19 +4,115 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/stopwatch.h"
 
 namespace trajsearch {
 
-GridIndex::GridIndex(const Dataset& dataset, double cell_size)
-    : cell_size_(cell_size), dataset_size_(dataset.size()) {
-  TRAJ_CHECK(cell_size > 0);
-  for (int id = 0; id < dataset.size(); ++id) {
-    for (const Point& p : dataset[id].points()) {
-      std::vector<int>& bucket = cells_[CellKey(p.x, p.y)];
-      // Ids arrive in ascending order; dedupe per cell with a tail check.
-      if (bucket.empty() || bucket.back() != id) bucket.push_back(id);
+namespace {
+
+/// Per-thread counting scratch, shared by every GridIndex on the thread.
+///
+/// Tokens are monotonically increasing across queries, so arrays never need
+/// clearing between queries (a stale stamp can never equal a fresh token);
+/// they only grow to the largest dataset seen on the thread.
+struct GridScratch {
+  /// Token of the last query point that counted this id.
+  std::vector<uint64_t> point_stamp;
+  /// Base token of the query that last touched this id's counter.
+  std::vector<uint64_t> query_stamp;
+  std::vector<int> counts;
+  std::vector<int> touched;
+  uint64_t next_token = 1;
+
+  void EnsureSize(size_t n) {
+    if (point_stamp.size() < n) {
+      point_stamp.resize(n, 0);
+      query_stamp.resize(n, 0);
+      counts.resize(n, 0);
     }
   }
+};
+
+GridScratch& LocalScratch() {
+  thread_local GridScratch scratch;
+  return scratch;
+}
+
+/// splitmix64 finalizer: cheap, well-mixed hash for the slot table.
+inline uint64_t HashKey(int64_t key) {
+  uint64_t x = static_cast<uint64_t>(key);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+double DefaultCellSize(const BoundingBox& box) {
+  const double cell = std::max(box.Width(), box.Height()) / 256.0;
+  return cell > 0 ? cell : 1.0;
+}
+
+GridIndex::GridIndex(DatasetView data, double cell_size)
+    : cell_size_(cell_size), dataset_size_(data.size()) {
+  TRAJ_CHECK(cell_size > 0);
+  Stopwatch build_watch;
+
+  // Collect (cell, id) postings, then sort + dedupe into CSR. The temporary
+  // doubles the pool's footprint for the duration of the build only.
+  std::vector<std::pair<int64_t, int32_t>> entries;
+  entries.reserve(data.point_count());
+  for (int id = 0; id < data.size(); ++id) {
+    int64_t last_key = 0;
+    bool have_last = false;
+    for (const Point& p : data[id].points()) {
+      const int64_t key = CellKey(p.x, p.y);
+      // Consecutive points usually share a cell; skip the exact duplicates
+      // cheaply and leave the rest to the post-sort unique pass.
+      if (have_last && key == last_key) continue;
+      entries.emplace_back(key, static_cast<int32_t>(id));
+      last_key = key;
+      have_last = true;
+    }
+  }
+  std::sort(entries.begin(), entries.end());
+  entries.erase(std::unique(entries.begin(), entries.end()), entries.end());
+
+  cell_offsets_.push_back(0);
+  ids_.reserve(entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (cell_keys_.empty() || cell_keys_.back() != entries[i].first) {
+      if (!cell_keys_.empty()) cell_offsets_.push_back(ids_.size());
+      cell_keys_.push_back(entries[i].first);
+    }
+    ids_.push_back(entries[i].second);
+  }
+  if (!cell_keys_.empty()) cell_offsets_.push_back(ids_.size());
+
+  // Slot table at load factor <= 0.5 (power-of-two size, linear probing).
+  size_t slots = 16;
+  while (slots < cell_keys_.size() * 2) slots <<= 1;
+  slot_mask_ = slots - 1;
+  slot_key_.assign(slots, 0);
+  slot_cell_.assign(slots, -1);
+  for (size_t c = 0; c < cell_keys_.size(); ++c) {
+    size_t h = HashKey(cell_keys_[c]) & slot_mask_;
+    while (slot_cell_[h] != -1) h = (h + 1) & slot_mask_;
+    slot_key_[h] = cell_keys_[c];
+    slot_cell_[h] = static_cast<int32_t>(c);
+  }
+
+  stats_.cell_count = cell_keys_.size();
+  stats_.entry_count = ids_.size();
+  stats_.index_bytes = cell_keys_.size() * sizeof(int64_t) +
+                       cell_offsets_.size() * sizeof(uint64_t) +
+                       ids_.size() * sizeof(int32_t) +
+                       slot_key_.size() * sizeof(int64_t) +
+                       slot_cell_.size() * sizeof(int32_t);
+  stats_.build_seconds = build_watch.Seconds();
 }
 
 int64_t GridIndex::CellKey(double x, double y) const {
@@ -25,48 +121,84 @@ int64_t GridIndex::CellKey(double x, double y) const {
   return (ix << 32) ^ (iy & 0xffffffffLL);
 }
 
-std::vector<std::pair<int, int>> GridIndex::CloseCounts(
-    TrajectoryView query) const {
-  std::vector<int> stamp(static_cast<size_t>(dataset_size_), -1);
-  std::vector<int> counts(static_cast<size_t>(dataset_size_), 0);
-  std::vector<int> touched;
+std::pair<const int32_t*, const int32_t*> GridIndex::CellRange(
+    int64_t key) const {
+  size_t h = HashKey(key) & slot_mask_;
+  while (true) {
+    const int32_t c = slot_cell_[h];
+    if (c == -1) return {nullptr, nullptr};
+    if (slot_key_[h] == key) {
+      return {ids_.data() + cell_offsets_[static_cast<size_t>(c)],
+              ids_.data() + cell_offsets_[static_cast<size_t>(c) + 1]};
+    }
+    h = (h + 1) & slot_mask_;
+  }
+}
+
+void GridIndex::CloseCounts(TrajectoryView query,
+                            std::vector<std::pair<int, int>>* out) const {
+  GridScratch& scratch = LocalScratch();
+  scratch.EnsureSize(static_cast<size_t>(dataset_size_));
+  scratch.touched.clear();
+  // One token per query point plus the base marking "this query".
+  const uint64_t base = scratch.next_token;
+  scratch.next_token += query.size() + 1;
+
   for (size_t qi = 0; qi < query.size(); ++qi) {
+    const uint64_t token = base + 1 + qi;
     const Point& p = query[qi];
     const auto ix = static_cast<int64_t>(std::floor(p.x / cell_size_));
     const auto iy = static_cast<int64_t>(std::floor(p.y / cell_size_));
     for (int64_t dx = -1; dx <= 1; ++dx) {
       for (int64_t dy = -1; dy <= 1; ++dy) {
         const int64_t key = ((ix + dx) << 32) ^ ((iy + dy) & 0xffffffffLL);
-        const auto it = cells_.find(key);
-        if (it == cells_.end()) continue;
-        for (const int id : it->second) {
-          if (stamp[static_cast<size_t>(id)] ==
-              static_cast<int>(qi)) {
+        const auto [it, end] = CellRange(key);
+        for (const int32_t* id_ptr = it; id_ptr != end; ++id_ptr) {
+          const size_t id = static_cast<size_t>(*id_ptr);
+          if (scratch.point_stamp[id] == token) {
             continue;  // this query point already counted for id
           }
-          stamp[static_cast<size_t>(id)] = static_cast<int>(qi);
-          if (counts[static_cast<size_t>(id)] == 0) touched.push_back(id);
-          ++counts[static_cast<size_t>(id)];
+          scratch.point_stamp[id] = token;
+          if (scratch.query_stamp[id] != base) {
+            scratch.query_stamp[id] = base;
+            scratch.counts[id] = 0;
+            scratch.touched.push_back(static_cast<int>(id));
+          }
+          ++scratch.counts[id];
         }
       }
     }
   }
-  std::sort(touched.begin(), touched.end());
-  std::vector<std::pair<int, int>> result;
-  result.reserve(touched.size());
-  for (const int id : touched) {
-    result.emplace_back(id, counts[static_cast<size_t>(id)]);
+  std::sort(scratch.touched.begin(), scratch.touched.end());
+  out->clear();
+  out->reserve(scratch.touched.size());
+  for (const int id : scratch.touched) {
+    out->emplace_back(id, scratch.counts[static_cast<size_t>(id)]);
   }
+}
+
+std::vector<std::pair<int, int>> GridIndex::CloseCounts(
+    TrajectoryView query) const {
+  std::vector<std::pair<int, int>> result;
+  CloseCounts(query, &result);
   return result;
+}
+
+void GridIndex::Candidates(TrajectoryView query, double mu,
+                           std::vector<int>* out) const {
+  thread_local std::vector<std::pair<int, int>> counts;
+  CloseCounts(query, &counts);
+  const double threshold = mu * static_cast<double>(query.size());
+  out->clear();
+  for (const auto& [id, count] : counts) {
+    if (static_cast<double>(count) >= threshold) out->push_back(id);
+  }
 }
 
 std::vector<int> GridIndex::Candidates(TrajectoryView query,
                                        double mu) const {
-  const double threshold = mu * static_cast<double>(query.size());
   std::vector<int> ids;
-  for (const auto& [id, count] : CloseCounts(query)) {
-    if (static_cast<double>(count) >= threshold) ids.push_back(id);
-  }
+  Candidates(query, mu, &ids);
   return ids;
 }
 

@@ -1,13 +1,32 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "core/dataset.h"
 
 namespace trajsearch {
+
+/// The engine's default GBP cell side for a corpus bounding box:
+/// max(width, height) / 256, or 1.0 for degenerate boxes. Shared by
+/// SearchEngine, QueryService (which pins it to the full-corpus box before
+/// sharding) and the CLI, so every layer derives the same grid.
+double DefaultCellSize(const BoundingBox& box);
+
+/// \brief Size/cost breakdown of a built GridIndex (surfaced by the CLI's
+/// `stats` subcommand so layout regressions are observable without a
+/// profiler).
+struct GridIndexStats {
+  /// Number of non-empty cells.
+  size_t cell_count = 0;
+  /// Total (cell, trajectory) postings across all cells.
+  size_t entry_count = 0;
+  /// Bytes held by the CSR arrays (keys + offsets + postings).
+  size_t index_bytes = 0;
+  /// Wall-clock seconds spent building the index.
+  double build_seconds = 0;
+};
 
 /// \brief Grid-Based Pruning index (GBP, Appendix B).
 ///
@@ -17,28 +36,61 @@ namespace trajsearch {
 /// the query point's cell or one of its 8 neighbours; close(q, T) counts the
 /// query points close to T. Trajectories with close(q, T) >= mu * m survive
 /// the filter (Equation 27).
+///
+/// Storage is CSR: sorted unique cell keys, per-cell offsets and one flat
+/// posting array of trajectory ids — contiguous buffers instead of a
+/// node-based hash map — plus a flat open-addressed slot table for O(1)
+/// key-to-cell lookup, so a cell probe is one hash, a short linear scan over
+/// two flat arrays and a contiguous run of ids that prefetches cleanly.
+/// Per-query counting uses an epoch-stamped dense counter array held in
+/// thread-local scratch, so steady-state queries allocate nothing. Ids are
+/// local to the DatasetView the index was built over (identical to global
+/// ids for a whole-dataset view).
 class GridIndex {
  public:
-  /// Builds the inverted index in O(total points).
-  GridIndex(const Dataset& dataset, double cell_size);
+  /// Builds the inverted index in O(total points * log cells).
+  GridIndex(DatasetView data, double cell_size);
 
-  /// Computes close(q, T) for every trajectory with a nonzero count.
-  /// Returns (trajectory id, close count) pairs in ascending id order.
+  /// Computes close(q, T) for every trajectory with a nonzero count, into
+  /// `out` as (trajectory id, close count) pairs in ascending id order.
+  /// Reuses `out`'s capacity; safe to call concurrently from many threads.
+  void CloseCounts(TrajectoryView query,
+                   std::vector<std::pair<int, int>>* out) const;
+
+  /// Allocating convenience wrapper around the scratch-reusing overload.
   std::vector<std::pair<int, int>> CloseCounts(TrajectoryView query) const;
 
-  /// Ids of trajectories with close(q, T) >= mu * |query| (ascending).
+  /// Ids of trajectories with close(q, T) >= mu * |query| (ascending), into
+  /// `out` (capacity reused across calls).
+  void Candidates(TrajectoryView query, double mu,
+                  std::vector<int>* out) const;
+
+  /// Allocating convenience wrapper around the scratch-reusing overload.
   std::vector<int> Candidates(TrajectoryView query, double mu) const;
 
   double cell_size() const { return cell_size_; }
-  size_t cell_count() const { return cells_.size(); }
+  size_t cell_count() const { return cell_keys_.size(); }
   int dataset_size() const { return dataset_size_; }
+  const GridIndexStats& stats() const { return stats_; }
 
  private:
   int64_t CellKey(double x, double y) const;
+  /// Postings of the cell with `key`, or an empty range.
+  std::pair<const int32_t*, const int32_t*> CellRange(int64_t key) const;
 
   double cell_size_;
   int dataset_size_;
-  std::unordered_map<int64_t, std::vector<int>> cells_;
+  /// CSR layout: cell_keys_ sorted ascending; ids of cell c are
+  /// ids_[cell_offsets_[c] .. cell_offsets_[c+1]), ascending.
+  std::vector<int64_t> cell_keys_;
+  std::vector<uint64_t> cell_offsets_;
+  std::vector<int32_t> ids_;
+  /// Open-addressed (linear probing) key -> cell slot table; slot_cell_ is
+  /// -1 for empty slots, slot table size is a power of two.
+  std::vector<int64_t> slot_key_;
+  std::vector<int32_t> slot_cell_;
+  size_t slot_mask_ = 0;
+  GridIndexStats stats_;
 };
 
 }  // namespace trajsearch

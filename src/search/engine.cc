@@ -1,6 +1,7 @@
 #include "search/engine.h"
 
 #include <algorithm>
+#include <span>
 #include <thread>
 
 #include "prune/key_point_filter.h"
@@ -10,19 +11,16 @@
 
 namespace trajsearch {
 
-SearchEngine::SearchEngine(const Dataset* dataset, EngineOptions options)
-    : dataset_(dataset), options_(options) {
-  TRAJ_CHECK(dataset != nullptr);
+SearchEngine::SearchEngine(DatasetView data, EngineOptions options)
+    : data_(data), options_(options) {
   TRAJ_CHECK(options_.top_k >= 1);
-  if (options_.use_gbp && !dataset->empty()) {
+  if (options_.use_gbp && !data_.empty()) {
     double cell = options_.cell_size;
     if (cell <= 0) {
-      const BoundingBox box = dataset->Bounds();
-      cell = std::max(box.Width(), box.Height()) / 256.0;
-      if (cell <= 0) cell = 1.0;
+      cell = DefaultCellSize(data_.Bounds());
       options_.cell_size = cell;
     }
-    grid_ = std::make_unique<GridIndex>(*dataset, cell);
+    grid_ = std::make_unique<GridIndex>(data_, cell);
   }
   if ((options_.algorithm == Algorithm::kRls ||
        options_.algorithm == Algorithm::kRlsSkip) &&
@@ -41,17 +39,22 @@ std::vector<EngineHit> SearchEngine::Query(TrajectoryView query,
   QueryStats local;
   IntervalTimer prune_timer, search_timer;
 
-  // Stage 1: GBP candidate generation.
+  // Stage 1: GBP candidate generation. The candidate buffer is per-thread
+  // scratch so steady-state queries reuse its capacity instead of
+  // reallocating (the parallel search stage below only reads it).
   prune_timer.Start();
-  std::vector<int> candidates;
+  thread_local std::vector<int> candidate_scratch;
   if (grid_ != nullptr) {
-    candidates = grid_->Candidates(query, options_.mu);
+    grid_->Candidates(query, options_.mu, &candidate_scratch);
   } else {
-    candidates.resize(static_cast<size_t>(dataset_->size()));
-    for (int id = 0; id < dataset_->size(); ++id) {
-      candidates[static_cast<size_t>(id)] = id;
+    candidate_scratch.resize(static_cast<size_t>(data_.size()));
+    for (int id = 0; id < data_.size(); ++id) {
+      candidate_scratch[static_cast<size_t>(id)] = id;
     }
   }
+  // Bind the scratch on this thread: thread_local names are not captured by
+  // lambdas, so the parallel workers below must go through this span.
+  const std::span<const int> candidates(candidate_scratch);
   prune_timer.Stop();
   local.candidates_after_gbp = static_cast<int>(candidates.size());
 
@@ -62,7 +65,7 @@ std::vector<EngineHit> SearchEngine::Query(TrajectoryView query,
   auto process = [&](int id, TopKHeap* heap, IntervalTimer* bound_timer,
                      IntervalTimer* pair_timer, int* pruned) {
     if (id == excluded_id) return false;
-    const Trajectory& data = (*dataset_)[id];
+    const TrajectoryRef data = data_[id];
     if (data.empty()) return false;
     if (bound_enabled && heap->Full()) {
       if (bound_timer != nullptr) bound_timer->Start();

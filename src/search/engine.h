@@ -57,10 +57,16 @@ struct QueryStats {
 /// Owns the pruning index and a per-trajectory searcher; Query() returns the
 /// top-K most similar subtrajectories across all data trajectories,
 /// maintaining a bounded heap exactly as described in Appendix E.
+///
+/// The engine searches a DatasetView — the whole dataset in the common case,
+/// or one shard's contiguous range of the shared corpus pool under the
+/// service layer. Hit ids and `excluded_id` are view-local; for a
+/// whole-dataset view they equal the global trajectory ids.
 class SearchEngine {
  public:
-  /// The dataset must outlive the engine.
-  SearchEngine(const Dataset* dataset, EngineOptions options);
+  /// The viewed dataset must outlive the engine. A Dataset (or pointer to
+  /// one) converts implicitly to a whole-dataset view.
+  SearchEngine(DatasetView data, EngineOptions options);
 
   /// Runs one query; hits are sorted by ascending distance (best first).
   /// `excluded_id` removes one trajectory from the data side — used when
@@ -71,12 +77,12 @@ class SearchEngine {
                                int excluded_id = -1) const;
 
   const EngineOptions& options() const { return options_; }
-  const Dataset& dataset() const { return *dataset_; }
+  const DatasetView& data() const { return data_; }
   /// The pruning index (null when GBP is disabled).
   const GridIndex* grid() const { return grid_.get(); }
 
  private:
-  const Dataset* dataset_;
+  DatasetView data_;
   EngineOptions options_;
   std::unique_ptr<GridIndex> grid_;
   std::unique_ptr<Searcher> searcher_;

@@ -86,52 +86,37 @@ void QueryService::ResultCache::Clear() {
 // ---------------------------------------------------------------------------
 
 QueryService::QueryService(Dataset dataset, ServiceOptions options)
-    : options_(options), cache_(options.cache_capacity) {
-  corpus_size_ = dataset.size();
-
+    : options_(options), corpus_(std::move(dataset)),
+      cache_(options.cache_capacity) {
   // Pin GBP's derived cell size to the full-corpus bounding box before
   // sharding; per-shard boxes would otherwise derive different grids and the
   // sharded candidate set could diverge from the unsharded engine's.
   if (options_.engine.use_gbp && options_.engine.cell_size <= 0 &&
-      !dataset.empty()) {
-    const BoundingBox box = dataset.Bounds();
-    double cell = std::max(box.Width(), box.Height()) / 256.0;
-    if (cell <= 0) cell = 1.0;
-    options_.engine.cell_size = cell;
+      !corpus_.empty()) {
+    options_.engine.cell_size = DefaultCellSize(corpus_.Bounds());
   }
 
   options_fingerprint_ = EngineOptionsFingerprint(options_.engine);
 
+  const int corpus_size = corpus_.size();
   const int shard_count =
-      std::clamp(options_.shards, 1, std::max(corpus_size_, 1));
+      std::clamp(options_.shards, 1, std::max(corpus_size, 1));
   options_.shards = shard_count;
 
-  // Round-robin partition: corpus id g lives in shard g % N at local index
-  // g / N (relied upon by the excluded-id and accessor routing below).
-  const std::string corpus_name = dataset.name();
-  std::vector<Trajectory> all = dataset.Release();
+  // Contiguous range partition over the shared pool: shard s views corpus
+  // ids [s*base + min(s, rem), ...) — no points move, and translating a
+  // shard-local hit id back to a corpus id is one addition.
+  const int base = corpus_size / shard_count;
+  const int rem = corpus_size % shard_count;
   shards_.resize(static_cast<size_t>(shard_count));
+  int next_begin = 0;
   for (int s = 0; s < shard_count; ++s) {
     Shard& shard = shards_[static_cast<size_t>(s)];
-    // Shard s holds corpus ids s, s+N, s+2N, ...: ceil((size - s) / N).
-    const size_t count =
-        s < corpus_size_
-            ? (static_cast<size_t>(corpus_size_ - s) +
-               static_cast<size_t>(shard_count) - 1) /
-                  static_cast<size_t>(shard_count)
-            : 0;
-    shard.data = Dataset(corpus_name + "/shard-" + std::to_string(s));
-    shard.data.Reserve(count);
-    shard.corpus_ids.reserve(count);
-  }
-  for (int g = 0; g < corpus_size_; ++g) {
-    Shard& shard = shards_[static_cast<size_t>(g % shard_count)];
-    shard.data.Add(std::move(all[static_cast<size_t>(g)]));
-    shard.corpus_ids.push_back(g);
-  }
-  for (Shard& shard : shards_) {
+    const int count = base + (s < rem ? 1 : 0);
+    shard.view = DatasetView(corpus_, next_begin, count);
+    next_begin += count;
     shard.engine =
-        std::make_unique<SearchEngine>(&shard.data, options_.engine);
+        std::make_unique<SearchEngine>(shard.view, options_.engine);
   }
 
   const int hardware =
@@ -145,10 +130,9 @@ QueryService::QueryService(Dataset dataset, ServiceOptions options)
 
 QueryService::~QueryService() = default;
 
-const Trajectory& QueryService::trajectory(int corpus_id) const {
-  TRAJ_CHECK(corpus_id >= 0 && corpus_id < corpus_size_);
-  const Shard& shard = shards_[static_cast<size_t>(corpus_id % shard_count())];
-  return shard.data[corpus_id / shard_count()];
+TrajectoryRef QueryService::trajectory(int corpus_id) const {
+  TRAJ_CHECK(corpus_id >= 0 && corpus_id < corpus_.size());
+  return corpus_[corpus_id];
 }
 
 uint64_t QueryService::CacheKey(TrajectoryView query, int excluded_id) const {
@@ -209,17 +193,15 @@ std::vector<std::vector<EngineHit>> QueryService::SubmitBatch(
     for (int s = 0; s < n; ++s) {
       pool_->Submit([this, s, n, mi, query, excluded, &parts, &latch]() {
         const Shard& shard = shards_[static_cast<size_t>(s)];
+        const int begin = shard.view.begin_id();
         int local_excluded = -1;
-        if (excluded >= 0 && excluded % n == s) {
-          local_excluded = excluded / n;
-          TRAJ_DCHECK(shard.corpus_ids[static_cast<size_t>(local_excluded)] ==
-                      excluded);
+        if (excluded >= begin && excluded < begin + shard.view.size()) {
+          local_excluded = excluded - begin;
         }
         std::vector<EngineHit> hits =
             shard.engine->Query(query, nullptr, local_excluded);
         for (EngineHit& hit : hits) {
-          hit.trajectory_id =
-              shard.corpus_ids[static_cast<size_t>(hit.trajectory_id)];
+          hit.trajectory_id += begin;
         }
         parts[mi * static_cast<size_t>(n) + static_cast<size_t>(s)] =
             std::move(hits);

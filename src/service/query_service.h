@@ -51,19 +51,22 @@ uint64_t EngineOptionsFingerprint(const EngineOptions& options);
 
 /// \brief Sharded, cached serving layer for similar-subtrajectory search.
 ///
-/// Owns the corpus, split round-robin into N shards, each with its own
-/// SearchEngine. A query fans out across all shards on a fixed worker pool;
-/// per-shard top-K results are merged into a global top-K, with shard-local
-/// trajectory ids translated back to corpus ids. Results are identical to an
-/// unsharded SearchEngine over the same corpus whenever the engine's bound
-/// pruning is sound (e.g. KPF at sample_rate 1.0, or KPF/OSF off).
+/// Owns the corpus once, in its pooled Dataset form; shards are contiguous
+/// DatasetViews over that one shared pool, each with its own SearchEngine,
+/// so sharding adds near-zero per-shard memory and never copies a point. A
+/// query fans out across all shards on a fixed worker pool; per-shard top-K
+/// results are merged into a global top-K, with shard-local trajectory ids
+/// translated back to corpus ids by adding the shard's range offset. Results
+/// are identical to an unsharded SearchEngine over the same corpus whenever
+/// the engine's bound pruning is sound (e.g. KPF at sample_rate 1.0, or
+/// KPF/OSF off).
 ///
 /// An LRU cache keyed by query fingerprint + engine-options hash + exclusion
 /// id short-circuits repeated queries; hit/miss counters are surfaced via
 /// Stats(). Submit/SubmitBatch are safe to call from multiple threads.
 class QueryService {
  public:
-  /// Takes ownership of the dataset (it is re-partitioned into shards).
+  /// Takes ownership of the dataset (shards view it in place).
   QueryService(Dataset dataset, ServiceOptions options);
   ~QueryService();
 
@@ -87,15 +90,15 @@ class QueryService {
   int shard_count() const { return static_cast<int>(shards_.size()); }
   const ServiceOptions& options() const { return options_; }
   /// Total trajectories across all shards.
-  int corpus_size() const { return corpus_size_; }
-  /// Trajectory accessor by corpus id (routes into the owning shard).
-  const Trajectory& trajectory(int corpus_id) const;
+  int corpus_size() const { return corpus_.size(); }
+  /// Trajectory accessor by corpus id (a zero-copy handle into the pool).
+  TrajectoryRef trajectory(int corpus_id) const;
 
  private:
   struct Shard {
-    Dataset data;
-    /// Maps shard-local trajectory id -> corpus id.
-    std::vector<int> corpus_ids;
+    /// Contiguous range [view.begin_id(), view.begin_id() + view.size()) of
+    /// the shared corpus; corpus id = view.begin_id() + shard-local id.
+    DatasetView view;
     std::unique_ptr<SearchEngine> engine;
   };
 
@@ -120,7 +123,7 @@ class QueryService {
 
   ServiceOptions options_;
   uint64_t options_fingerprint_ = 0;
-  int corpus_size_ = 0;
+  Dataset corpus_;
   std::vector<Shard> shards_;
   std::unique_ptr<ThreadPool> pool_;
 

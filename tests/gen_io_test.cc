@@ -30,7 +30,7 @@ TEST(TaxiGenTest, PortoProfileMatchesPaperStatistics) {
   EXPECT_LE(stats.bounds.max_y, profile.bbox.max_y + 1e-9);
   // Short trips (the Figure 6 Porto query buckets, lengths 4-20) exist.
   int short_trips = 0;
-  for (const Trajectory& t : dataset.trajectories()) {
+  for (const TrajectoryRef t : dataset) {
     if (t.size() >= 4 && t.size() <= 20) ++short_trips;
   }
   EXPECT_GT(short_trips, 5);
@@ -67,7 +67,7 @@ TEST(TaxiGenTest, GenerationIsDeterministic) {
 TEST(TaxiGenTest, TrajectoriesAreSpatiallyContinuous) {
   const TaxiProfile profile = XianProfile(5);
   const Dataset dataset = GenerateTaxiDataset(profile);
-  for (const Trajectory& t : dataset.trajectories()) {
+  for (const TrajectoryRef t : dataset) {
     for (int i = 1; i < t.size(); ++i) {
       // No teleporting: each step bounded by ~2x the nominal step size.
       EXPECT_LE(EuclideanDistance(t[i - 1], t[i]), profile.step * 2.0);

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/trajectory.h"
+
+namespace trajsearch::testing {
+
+/// \brief The pre-refactor (PR-1) GBP grid, kept verbatim as a reference:
+/// node-based unordered_map from cell key to id bucket, with per-query
+/// allocation of the counting arrays.
+///
+/// Shared by the pooled-storage equivalence tests (which assert the CSR
+/// GridIndex produces identical close counts) and by bench_service's
+/// storage-layout section (which measures the CSR index against this
+/// layout in the same run) — one definition, so both always exercise the
+/// same legacy algorithm.
+struct LegacyGrid {
+  double cell = 0;
+  std::unordered_map<int64_t, std::vector<int>> cells;
+
+  LegacyGrid(const std::vector<TrajectoryView>& data, double cell_size)
+      : cell(cell_size) {
+    for (int id = 0; id < static_cast<int>(data.size()); ++id) {
+      for (const Point& p : data[static_cast<size_t>(id)]) {
+        std::vector<int>& bucket = cells[Key(p.x, p.y)];
+        if (bucket.empty() || bucket.back() != id) bucket.push_back(id);
+      }
+    }
+  }
+
+  int64_t Key(double x, double y) const {
+    const auto ix = static_cast<int64_t>(std::floor(x / cell));
+    const auto iy = static_cast<int64_t>(std::floor(y / cell));
+    return (ix << 32) ^ (iy & 0xffffffffLL);
+  }
+
+  std::vector<std::pair<int, int>> CloseCounts(TrajectoryView query,
+                                               int dataset_size) const {
+    std::vector<int> stamp(static_cast<size_t>(dataset_size), -1);
+    std::vector<int> counts(static_cast<size_t>(dataset_size), 0);
+    std::vector<int> touched;
+    for (size_t qi = 0; qi < query.size(); ++qi) {
+      const auto ix = static_cast<int64_t>(std::floor(query[qi].x / cell));
+      const auto iy = static_cast<int64_t>(std::floor(query[qi].y / cell));
+      for (int64_t dx = -1; dx <= 1; ++dx) {
+        for (int64_t dy = -1; dy <= 1; ++dy) {
+          const int64_t key = ((ix + dx) << 32) ^ ((iy + dy) & 0xffffffffLL);
+          const auto it = cells.find(key);
+          if (it == cells.end()) continue;
+          for (const int id : it->second) {
+            if (stamp[static_cast<size_t>(id)] == static_cast<int>(qi)) {
+              continue;
+            }
+            stamp[static_cast<size_t>(id)] = static_cast<int>(qi);
+            if (counts[static_cast<size_t>(id)] == 0) touched.push_back(id);
+            ++counts[static_cast<size_t>(id)];
+          }
+        }
+      }
+    }
+    std::sort(touched.begin(), touched.end());
+    std::vector<std::pair<int, int>> result;
+    result.reserve(touched.size());
+    for (const int id : touched) {
+      result.emplace_back(id, counts[static_cast<size_t>(id)]);
+    }
+    return result;
+  }
+};
+
+}  // namespace trajsearch::testing

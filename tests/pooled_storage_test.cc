@@ -1,0 +1,264 @@
+// Storage-engine equivalence: the pooled Dataset (flat point pool + offset
+// table, CSR grid index) must be hit-for-hit identical to a per-trajectory
+// baseline that replicates the pre-refactor layout — heap-allocated
+// trajectories and a node-based hash-map grid — across search algorithms and
+// every pruning toggle combination. Also pins down the pool layout
+// invariants that the snapshot v2 format and the shard views rely on.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/fingerprint.h"
+#include "prune/grid_index.h"
+#include "prune/key_point_filter.h"
+#include "search/engine.h"
+#include "search/topk.h"
+#include "tests/legacy_baseline.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace trajsearch {
+namespace {
+
+using testing::RandomWalk;
+
+std::vector<Trajectory> WalkTrajectories(int count, int mean_len,
+                                         uint64_t seed) {
+  std::vector<Trajectory> trajs;
+  Rng rng(seed);
+  for (int i = 0; i < count; ++i) {
+    trajs.push_back(RandomWalk(
+        &rng, mean_len + static_cast<int>(rng.UniformInt(-5, 5))));
+  }
+  return trajs;
+}
+
+Dataset Pooled(const std::vector<Trajectory>& trajs) {
+  Dataset dataset("pooled");
+  for (const Trajectory& t : trajs) dataset.Add(t);
+  return dataset;
+}
+
+/// \brief Pre-refactor reference engine: owns one heap allocation per
+/// trajectory and the shared LegacyGrid hash-map index, and replicates
+/// Algorithm 3's stage order (GBP candidates ascending, bound check against
+/// the current K-th best, then the per-trajectory search) line for line.
+class BaselineEngine {
+ public:
+  BaselineEngine(const std::vector<Trajectory>& data, EngineOptions options)
+      : data_(data), options_(options) {
+    if (options_.use_gbp && !data.empty()) {
+      double cell = options_.cell_size;
+      if (cell <= 0) {
+        BoundingBox box;
+        for (const Trajectory& t : data) {
+          for (const Point& p : t.points()) box.Extend(p);
+        }
+        cell = std::max(box.Width(), box.Height()) / 256.0;
+        if (cell <= 0) cell = 1.0;
+      }
+      std::vector<TrajectoryView> views(data.begin(), data.end());
+      grid_ = std::make_unique<testing::LegacyGrid>(views, cell);
+    }
+    auto made = MakeSearcher(options_.algorithm, options_.spec);
+    searcher_ = made.MoveValue();
+  }
+
+  std::vector<std::pair<int, int>> CloseCounts(TrajectoryView query) const {
+    return grid_->CloseCounts(query, static_cast<int>(data_.size()));
+  }
+
+  std::vector<EngineHit> Query(TrajectoryView query,
+                               int excluded_id = -1) const {
+    std::vector<int> candidates;
+    if (options_.use_gbp) {
+      const double threshold = options_.mu * static_cast<double>(query.size());
+      for (const auto& [id, count] : CloseCounts(query)) {
+        if (static_cast<double>(count) >= threshold) candidates.push_back(id);
+      }
+    } else {
+      for (int id = 0; id < static_cast<int>(data_.size()); ++id) {
+        candidates.push_back(id);
+      }
+    }
+    const bool bound_enabled = options_.use_kpf || options_.use_osf;
+    TopKHeap heap(options_.top_k);
+    for (const int id : candidates) {
+      if (id == excluded_id) continue;
+      const Trajectory& data = data_[static_cast<size_t>(id)];
+      if (data.empty()) continue;
+      if (bound_enabled && heap.Full()) {
+        const double bound =
+            options_.use_osf
+                ? OsfLowerBound(options_.spec, query, data)
+                : KpfLowerBoundEstimate(options_.spec, query, data,
+                                        options_.sample_rate);
+        if (bound >= heap.Worst()) continue;
+      }
+      heap.Offer(EngineHit{id, searcher_->Search(query, data)});
+    }
+    return heap.Sorted();
+  }
+
+ private:
+  const std::vector<Trajectory>& data_;
+  EngineOptions options_;
+  std::unique_ptr<testing::LegacyGrid> grid_;
+  std::unique_ptr<Searcher> searcher_;
+};
+
+void ExpectIdenticalHits(const std::vector<EngineHit>& pooled,
+                         const std::vector<EngineHit>& baseline,
+                         const std::string& label) {
+  ASSERT_EQ(pooled.size(), baseline.size()) << label;
+  for (size_t i = 0; i < pooled.size(); ++i) {
+    EXPECT_EQ(pooled[i].trajectory_id, baseline[i].trajectory_id)
+        << label << " rank " << i;
+    // Bitwise-equal distances: same storage bits in, same arithmetic out.
+    EXPECT_EQ(pooled[i].result.distance, baseline[i].result.distance)
+        << label << " rank " << i;
+    EXPECT_EQ(pooled[i].result.range, baseline[i].result.range)
+        << label << " rank " << i;
+  }
+}
+
+TEST(PooledStorageTest, PoolLayoutIsBitwiseIdenticalToSources) {
+  const std::vector<Trajectory> trajs = WalkTrajectories(20, 15, 301);
+  const Dataset dataset = Pooled(trajs);
+  ASSERT_EQ(dataset.size(), static_cast<int>(trajs.size()));
+  size_t expected_points = 0;
+  for (int id = 0; id < dataset.size(); ++id) {
+    const TrajectoryRef ref = dataset[id];
+    EXPECT_EQ(ref.id(), id);
+    ASSERT_EQ(ref.size(), trajs[static_cast<size_t>(id)].size());
+    for (int i = 0; i < ref.size(); ++i) {
+      EXPECT_EQ(ref[i], trajs[static_cast<size_t>(id)][i]);
+    }
+    // Views are zero-copy: each trajectory starts where the previous ended.
+    EXPECT_EQ(ref.points().data(), dataset.pool().data() + expected_points);
+    expected_points += static_cast<size_t>(ref.size());
+    EXPECT_EQ(Fingerprint(ref.View()),
+              Fingerprint(trajs[static_cast<size_t>(id)].View()));
+  }
+  EXPECT_EQ(dataset.point_count(), expected_points);
+  EXPECT_EQ(dataset.offsets().size(), trajs.size() + 1);
+  EXPECT_EQ(dataset.offsets().back(), expected_points);
+}
+
+TEST(PooledStorageTest, CsrGridMatchesHashMapGridExactly) {
+  const std::vector<Trajectory> trajs = WalkTrajectories(25, 20, 303);
+  const Dataset dataset = Pooled(trajs);
+  const GridIndex index(dataset, /*cell_size=*/1.5);
+  EngineOptions ref_options;
+  ref_options.use_gbp = true;
+  ref_options.cell_size = 1.5;
+  const BaselineEngine reference(trajs, ref_options);
+  Rng rng(7);
+  for (int round = 0; round < 8; ++round) {
+    const Trajectory query = RandomWalk(&rng, 4 + round);
+    EXPECT_EQ(index.CloseCounts(query), reference.CloseCounts(query))
+        << "round " << round;
+  }
+}
+
+class PooledEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PooledEquivalenceTest, EngineMatchesPerTrajectoryBaseline) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam()) * 53 + 19;
+  const std::vector<Trajectory> trajs = WalkTrajectories(30, 16, seed);
+  const Dataset dataset = Pooled(trajs);
+  Rng rng(seed + 1);
+  const Trajectory query = RandomWalk(&rng, 6);
+
+  // Pruning toggle grid: GBP x (KPF | OSF | neither), the engine's full
+  // configuration space (OSF replaces KPF when both are set, so the pair
+  // (kpf, osf) = (true, true) is not a distinct configuration).
+  struct Toggle {
+    bool gbp, kpf, osf;
+  };
+  const Toggle toggles[] = {
+      {false, false, false}, {true, false, false}, {false, true, false},
+      {true, true, false},   {false, false, true}, {true, false, true},
+  };
+  for (const Algorithm algorithm :
+       {Algorithm::kCma, Algorithm::kExactS, Algorithm::kPos,
+        Algorithm::kPss}) {
+    for (const DistanceSpec& spec : testing::PaperGpsSpecs()) {
+      for (const Toggle& t : toggles) {
+        EngineOptions options;
+        options.spec = spec;
+        options.algorithm = algorithm;
+        options.use_gbp = t.gbp;
+        options.use_kpf = t.kpf;
+        options.use_osf = t.osf;
+        options.mu = 0.2;
+        options.sample_rate = 0.5;  // sampled KPF: estimate, still exact DP
+        options.top_k = 3;
+        const SearchEngine engine(&dataset, options);
+        const BaselineEngine baseline(trajs, options);
+        const std::string label =
+            std::string(ToString(algorithm)) + "/" +
+            std::string(ToString(spec.kind)) + " gbp=" +
+            std::to_string(t.gbp) + " kpf=" + std::to_string(t.kpf) +
+            " osf=" + std::to_string(t.osf);
+        ExpectIdenticalHits(engine.Query(query), baseline.Query(query),
+                            label);
+        // Exclusion routes identically through both storage layouts.
+        ExpectIdenticalHits(engine.Query(query, nullptr, 3),
+                            baseline.Query(query, 3), label + " excl");
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PooledEquivalenceTest, ::testing::Range(0, 4));
+
+TEST(PooledStorageTest, AddingAViewOfTheOwnPoolIsSafe) {
+  // Add(dataset[i]) duplicates a trajectory; the inserted view aliases the
+  // pool that grows underneath it, which must not invalidate the copy.
+  Dataset dataset("self");
+  Rng rng(11);
+  for (int i = 0; i < 4; ++i) dataset.Add(RandomWalk(&rng, 50));
+  const Trajectory snapshot(dataset[2].View());
+  for (int round = 0; round < 6; ++round) {  // force pool reallocations
+    const int id = dataset.Add(dataset[2]);
+    ASSERT_EQ(dataset[id].size(), snapshot.size());
+    for (int i = 0; i < snapshot.size(); ++i) {
+      ASSERT_EQ(dataset[id][i], snapshot[i]) << "round " << round;
+    }
+  }
+}
+
+TEST(DatasetViewTest, RangeViewsCoverTheCorpusWithStableIds) {
+  const std::vector<Trajectory> trajs = WalkTrajectories(17, 12, 307);
+  const Dataset dataset = Pooled(trajs);
+  const DatasetView all(dataset);
+  EXPECT_EQ(all.size(), dataset.size());
+  EXPECT_EQ(all.point_count(), dataset.point_count());
+
+  const DatasetView mid(dataset, 5, 7);
+  EXPECT_EQ(mid.size(), 7);
+  EXPECT_EQ(mid.begin_id(), 5);
+  for (int local = 0; local < mid.size(); ++local) {
+    EXPECT_EQ(mid.global_id(local), 5 + local);
+    // The view hands out the same pool bytes as the global accessor.
+    EXPECT_EQ(mid[local].points().data(), dataset[5 + local].points().data());
+    EXPECT_EQ(mid[local].id(), 5 + local);
+  }
+  // A view's bounds equal the bounds over exactly its trajectories.
+  BoundingBox expected;
+  for (int id = 5; id < 12; ++id) {
+    for (const Point& p : dataset[id].points()) expected.Extend(p);
+  }
+  const BoundingBox got = mid.Bounds();
+  EXPECT_EQ(got.min_x, expected.min_x);
+  EXPECT_EQ(got.max_x, expected.max_x);
+  EXPECT_EQ(got.min_y, expected.min_y);
+  EXPECT_EQ(got.max_y, expected.max_y);
+}
+
+}  // namespace
+}  // namespace trajsearch

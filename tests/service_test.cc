@@ -276,6 +276,7 @@ TEST(QueryServiceTest, TrajectoryAccessorRoutesToShards) {
   QueryService service(dataset, options);
   ASSERT_EQ(service.corpus_size(), dataset.size());
   for (int id = 0; id < dataset.size(); ++id) {
+    EXPECT_EQ(service.trajectory(id).id(), id);
     EXPECT_EQ(Fingerprint(service.trajectory(id).View()),
               Fingerprint(dataset[id].View()))
         << "corpus id " << id;

@@ -92,6 +92,66 @@ TEST(SnapshotTest, CsvRoundTripThroughSnapshotKeepsFingerprint) {
   std::remove(snap.c_str());
 }
 
+TEST(SnapshotTest, EmptyTrajectoriesRoundTrip) {
+  // Empty trajectories are legal (the engine skips them); the reader must
+  // not reject a file the writer produced for such a corpus.
+  Dataset original("with-empties");
+  original.Add(TrajectoryView{});
+  original.Add(Trajectory{Point{1, 2}, Point{3, 4}});
+  original.Add(TrajectoryView{});
+  const std::string path = TempPath("empties.snap");
+  ASSERT_TRUE(WriteSnapshot(original, path).ok());
+  const Result<Dataset> loaded = ReadSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().size(), 3);
+  EXPECT_EQ(loaded.value()[0].size(), 0);
+  EXPECT_EQ(loaded.value()[1].size(), 2);
+  EXPECT_EQ(loaded.value()[2].size(), 0);
+  EXPECT_EQ(Fingerprint(loaded.value()), Fingerprint(original));
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, LegacyV1SnapshotStillLoads) {
+  // Files written by pre-refactor builds (v1: length table instead of the
+  // pool offset table) must keep loading byte-exactly.
+  const Dataset original = GenerateTaxiDataset(PortoProfile(12));
+  const std::string path = TempPath("legacy.snap");
+  ASSERT_TRUE(WriteSnapshotV1(original, path).ok());
+  const Result<Dataset> loaded = ReadSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().name(), original.name());
+  EXPECT_EQ(Fingerprint(loaded.value()), Fingerprint(original));
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, V2OffsetTableCorruptionIsRejected) {
+  const Dataset original = GenerateTaxiDataset(PortoProfile(5));
+  const std::string path = TempPath("badoffsets.snap");
+  ASSERT_TRUE(WriteSnapshot(original, path).ok());
+  // First offset entry follows the 8-byte magic, 32-byte header and name;
+  // flipping its low byte breaks the required offsets[0] == 0 invariant.
+  const std::streamoff offset0 =
+      8 + 32 + static_cast<std::streamoff>(original.name().size());
+  Corrupt(path, offset0);
+  const Result<Dataset> r = ReadSnapshot(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, TruncatedOffsetTableIsIoError) {
+  const Dataset original = GenerateTaxiDataset(PortoProfile(5));
+  const std::string path = TempPath("truncoffsets.snap");
+  ASSERT_TRUE(WriteSnapshot(original, path).ok());
+  // Cut inside the offset table (just past the header + name + one entry).
+  Truncate(path, 8 + 32 +
+                     static_cast<std::streamoff>(original.name().size()) + 12);
+  const Result<Dataset> r = ReadSnapshot(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
 TEST(SnapshotTest, MissingFileIsIoError) {
   const Result<Dataset> r = ReadSnapshot("/nonexistent/corpus.snap");
   ASSERT_FALSE(r.ok());
