@@ -110,10 +110,10 @@ int CmdStats(const Flags& flags) {
     if (cell <= 0) cell = DefaultCellSize(s.bounds);
     const GridIndex index(dataset, cell);
     const GridIndexStats& g = index.stats();
-    std::printf("grid index:   cell size %.6f, %zu cells, %zu entries, "
+    std::printf("grid index:   cell size %.6f%s, %zu cells, %zu entries, "
                 "%zu bytes, built in %.3f s\n",
-                index.cell_size(), g.cell_count, g.entry_count, g.index_bytes,
-                g.build_seconds);
+                g.cell_size, flags.GetDouble("cell", 0) <= 0 ? " (derived)" : "",
+                g.cell_count, g.entry_count, g.index_bytes, g.build_seconds);
   }
   return 0;
 }
@@ -178,6 +178,8 @@ int CmdSearch(const Flags& flags) {
   std::printf("%.3f s (prune %.3f s, search %.3f s, %d searched, %d pruned)\n",
               watch.Seconds(), stats.prune_seconds, stats.search_seconds,
               stats.searched, stats.pruned_by_bound);
+  std::printf("engine split: bound checks %.3f s, pair search %.3f s\n",
+              stats.bound_seconds, stats.pair_search_seconds);
   return 0;
 }
 
@@ -276,6 +278,10 @@ int CmdBatch(const Flags& flags) {
               static_cast<unsigned long long>(stats.cache_misses),
               stats.HitRate() * 100.0,
               static_cast<unsigned long long>(stats.cache_evictions));
+  std::printf("engine split (cpu s, all shards): prune %.3f, bound checks "
+              "%.3f, pair search %.3f\n",
+              stats.prune_seconds, stats.bound_seconds,
+              stats.pair_search_seconds);
   return 0;
 }
 

@@ -100,4 +100,16 @@ struct EuclideanSub {
   }
 };
 
+/// \brief Indirection over a substitution functor. The DTW/Fréchet column
+/// steppers copy their functor by value; a query plan instead hands them a
+/// SubRef to a plan-owned functor so rebinding the underlying trajectory
+/// views (new query at Bind, new data trajectory per Run) is visible to an
+/// already-constructed stepper.
+template <typename F>
+struct SubRef {
+  const F* fn = nullptr;
+
+  double operator()(int i, int j) const { return (*fn)(i, j); }
+};
+
 }  // namespace trajsearch

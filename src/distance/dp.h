@@ -1,5 +1,6 @@
 #pragma once
 
+#include <deque>
 #include <vector>
 
 #include "util/check.h"
@@ -10,70 +11,147 @@ namespace trajsearch {
 /// sums of a few sentinels still compare as "infinite" without overflowing.
 inline constexpr double kDpInfinity = 1e270;
 
+/// \brief Grow-only pool of DP scratch vectors shared by the query execution
+/// plans (search/query_run.h).
+///
+/// A plan owns one arena; at every (re-)Bind it calls Rewind() and the
+/// steppers it constructs check their column storage out of the pool again.
+/// Checked-out vectors keep their capacity across Rewind cycles, so binding
+/// a plan to a new query of similar size — and every candidate evaluated
+/// under that plan — allocates nothing in steady state.
+class DpArena {
+ public:
+  /// Hands out the next pooled double vector (empty content, old capacity).
+  std::vector<double>* Doubles() { return Next(&double_pool_, &next_double_); }
+  /// Hands out the next pooled int vector.
+  std::vector<int>* Ints() { return Next(&int_pool_, &next_int_); }
+
+  /// Returns all checked-out vectors to the pool (capacity retained).
+  /// Invalidates the *contents* of previously handed-out vectors, not the
+  /// pointers: a stepper built after Rewind may reuse the same storage.
+  void Rewind() {
+    next_double_ = 0;
+    next_int_ = 0;
+  }
+
+ private:
+  // deque: growth never moves existing vectors, so handed-out pointers stay
+  // valid while more scratch is checked out.
+  template <typename T>
+  static std::vector<T>* Next(std::deque<std::vector<T>>* pool, size_t* next) {
+    if (*next == pool->size()) pool->emplace_back();
+    return &(*pool)[(*next)++];
+  }
+
+  std::deque<std::vector<double>> double_pool_;
+  std::deque<std::vector<int>> int_pool_;
+  size_t next_double_ = 0;
+  size_t next_int_ = 0;
+};
+
 /// The three column steppers below incrementally compute
 /// dist(query, data[start..j]) for a fixed start and growing end j, in O(m)
 /// per step. They are the shared engine behind the full-trajectory distance
 /// functions, the ExactS baseline (Algorithm 1: one sweep per start), the
-/// rank oracle (AR/MR/RR metrics) and the POS/PSS prefix scans.
+/// rank oracle (AR/MR/RR metrics), the POS/PSS prefix scans and the
+/// bind-once execution plans.
 ///
 /// Protocol: call Reset(), then Extend(j) for consecutive absolute data
 /// indices j = start, start+1, ...; each Extend returns the distance of the
 /// query against data[start..j].
+///
+/// Bound-aware early abandoning: every Extend also tracks the minimum cell
+/// of the current column, and SweepLowerBound() returns a value no future
+/// Extend of the *same sweep* can beat (valid for non-negative costs, which
+/// all supported cost models guarantee). Once SweepLowerBound() >= cutoff
+/// the rest of the sweep can be abandoned without losing any result below
+/// the cutoff — the monotone-DP abandon used by the ExactS plan.
+///
+/// Each stepper can be built with an optional DpArena; column storage then
+/// comes from the arena instead of a fresh heap allocation, so plans that
+/// rebuild their steppers at Bind time reuse the same memory.
 
 /// \brief Column stepper for WED-family distances (Equation 2).
 template <typename Costs>
 class WedColumnDp {
  public:
-  /// Binds costs for a (query, data) pair; m is the query length.
-  WedColumnDp(int m, const Costs& costs) : m_(m), costs_(&costs), col_(m) {
+  /// Binds costs for a (query, data) pair; m is the query length. The costs
+  /// object is held by pointer, so a plan may update its data-side view
+  /// between sweeps. Del/Ins/Sub must be non-negative.
+  WedColumnDp(int m, const Costs& costs, DpArena* arena = nullptr)
+      : m_(m),
+        costs_(&costs),
+        col_store_(arena != nullptr ? arena->Doubles() : &owned_col_),
+        del_store_(arena != nullptr ? arena->Doubles() : &owned_del_) {
     TRAJ_CHECK(m >= 1);
-    // del_prefix_[x] = cost of deleting query[0..x] entirely.
-    del_prefix_.resize(static_cast<size_t>(m));
+    col_store_->resize(static_cast<size_t>(m));
+    // del_prefix_[x] = cost of deleting query[0..x] entirely — query-side
+    // state, computed once per bind and reused across every data sweep.
+    del_store_->resize(static_cast<size_t>(m));
     double acc = 0;
     for (int x = 0; x < m; ++x) {
       acc += costs.Del(x);
-      del_prefix_[static_cast<size_t>(x)] = acc;
+      (*del_store_)[static_cast<size_t>(x)] = acc;
     }
   }
+
+  // Owned storage is self-referenced via col_store_; construct in place.
+  WedColumnDp(const WedColumnDp&) = delete;
+  WedColumnDp& operator=(const WedColumnDp&) = delete;
 
   /// Start a new sweep: the column represents dist(query[0..x], empty).
   void Reset() {
     ins_boundary_ = 0;
-    for (int x = 0; x < m_; ++x) {
-      col_[static_cast<size_t>(x)] = del_prefix_[static_cast<size_t>(x)];
-    }
+    col_min_ = kDpInfinity;
+    double* col = col_store_->data();
+    const double* del = del_store_->data();
+    for (int x = 0; x < m_; ++x) col[x] = del[x];
   }
 
   /// Appends data point j to the range; returns dist(query, data[start..j]).
   double Extend(int j) {
+    double* col = col_store_->data();
     const double new_boundary = ins_boundary_ + costs_->Ins(j);
     double diag = ins_boundary_;  // dist(empty, previous range)
     double left = new_boundary;   // dist(empty, range incl. j)
+    double col_min = kDpInfinity;
     for (int x = 0; x < m_; ++x) {
-      const double up = col_[static_cast<size_t>(x)];
+      const double up = col[x];
       double best = diag + costs_->Sub(x, j);
       const double via_ins = up + costs_->Ins(j);
       if (via_ins < best) best = via_ins;
       const double via_del = left + costs_->Del(x);
       if (via_del < best) best = via_del;
       diag = up;
-      col_[static_cast<size_t>(x)] = best;
+      col[x] = best;
       left = best;
+      if (best < col_min) col_min = best;
     }
     ins_boundary_ = new_boundary;
-    return col_[static_cast<size_t>(m_ - 1)];
+    col_min_ = col_min;
+    return col[m_ - 1];
+  }
+
+  /// A value no cell of any *future* column of this sweep can beat: every
+  /// later cell derives from the current column or from the empty-prefix
+  /// boundary, both only ever increased by non-negative costs.
+  double SweepLowerBound() const {
+    return ins_boundary_ < col_min_ ? ins_boundary_ : col_min_;
   }
 
   /// Current column value for query prefix length x+1.
-  double Cell(int x) const { return col_[static_cast<size_t>(x)]; }
+  double Cell(int x) const { return (*col_store_)[static_cast<size_t>(x)]; }
   int query_size() const { return m_; }
 
  private:
   int m_;
   const Costs* costs_;
-  std::vector<double> col_;
-  std::vector<double> del_prefix_;
+  std::vector<double> owned_col_;
+  std::vector<double> owned_del_;
+  std::vector<double>* col_store_;
+  std::vector<double>* del_store_;
   double ins_boundary_ = 0;
+  double col_min_ = kDpInfinity;
 };
 
 /// \brief Column stepper for DTW (Equation 3: boundary rows accumulate
@@ -82,41 +160,60 @@ class WedColumnDp {
 template <typename SubFn>
 class DtwColumnDp {
  public:
-  DtwColumnDp(int m, SubFn sub) : m_(m), sub_(sub), col_(m) {
+  DtwColumnDp(int m, SubFn sub, DpArena* arena = nullptr)
+      : m_(m),
+        sub_(sub),
+        col_store_(arena != nullptr ? arena->Doubles() : &owned_col_) {
     TRAJ_CHECK(m >= 1);
+    col_store_->resize(static_cast<size_t>(m));
   }
+
+  // Owned storage is self-referenced via col_store_; construct in place.
+  DtwColumnDp(const DtwColumnDp&) = delete;
+  DtwColumnDp& operator=(const DtwColumnDp&) = delete;
 
   /// Start a new sweep over an empty data range.
   void Reset() {
     first_ = true;
-    for (double& c : col_) c = kDpInfinity;
+    col_min_ = kDpInfinity;
+    for (double& c : *col_store_) c = kDpInfinity;
   }
 
   /// Appends data point j; returns dtw(query, data[start..j]).
   double Extend(int j) {
+    double* col = col_store_->data();
     double diag = first_ ? 0.0 : kDpInfinity;  // virtual (empty, empty) corner
     double new_left = kDpInfinity;             // freshly written col_[x-1]
+    double col_min = kDpInfinity;
     for (int x = 0; x < m_; ++x) {
-      const double up = col_[static_cast<size_t>(x)];
+      const double up = col[x];
       double best = diag;
       if (up < best) best = up;
       if (new_left < best) best = new_left;
       const double value = best + sub_(x, j);
       diag = up;
-      col_[static_cast<size_t>(x)] = value;
+      col[x] = value;
       new_left = value;
+      if (value < col_min) col_min = value;
     }
     first_ = false;
-    return col_[static_cast<size_t>(m_ - 1)];
+    col_min_ = col_min;
+    return col[m_ - 1];
   }
 
-  double Cell(int x) const { return col_[static_cast<size_t>(x)]; }
+  /// A value no future cell of this sweep can beat (before the first Extend
+  /// the virtual corner is still reachable, so the bound is 0).
+  double SweepLowerBound() const { return first_ ? 0.0 : col_min_; }
+
+  double Cell(int x) const { return (*col_store_)[static_cast<size_t>(x)]; }
   int query_size() const { return m_; }
 
  private:
   int m_;
   SubFn sub_;
-  std::vector<double> col_;
+  std::vector<double> owned_col_;
+  std::vector<double>* col_store_;
+  double col_min_ = kDpInfinity;
   bool first_ = true;
 };
 
@@ -125,42 +222,61 @@ class DtwColumnDp {
 template <typename SubFn>
 class FrechetColumnDp {
  public:
-  FrechetColumnDp(int m, SubFn sub) : m_(m), sub_(sub), col_(m) {
+  FrechetColumnDp(int m, SubFn sub, DpArena* arena = nullptr)
+      : m_(m),
+        sub_(sub),
+        col_store_(arena != nullptr ? arena->Doubles() : &owned_col_) {
     TRAJ_CHECK(m >= 1);
+    col_store_->resize(static_cast<size_t>(m));
   }
+
+  // Owned storage is self-referenced via col_store_; construct in place.
+  FrechetColumnDp(const FrechetColumnDp&) = delete;
+  FrechetColumnDp& operator=(const FrechetColumnDp&) = delete;
 
   /// Start a new sweep over an empty data range.
   void Reset() {
     first_ = true;
-    for (double& c : col_) c = kDpInfinity;
+    col_min_ = kDpInfinity;
+    for (double& c : *col_store_) c = kDpInfinity;
   }
 
   /// Appends data point j; returns frechet(query, data[start..j]).
   double Extend(int j) {
+    double* col = col_store_->data();
     double diag_prev = first_ ? 0.0 : kDpInfinity;
     double new_left = kDpInfinity;
+    double col_min = kDpInfinity;
     for (int x = 0; x < m_; ++x) {
-      const double up = col_[static_cast<size_t>(x)];
+      const double up = col[x];
       double reach = diag_prev;
       if (up < reach) reach = up;
       if (new_left < reach) reach = new_left;
       const double s = sub_(x, j);
       const double value = reach > s ? reach : s;
       diag_prev = up;
-      col_[static_cast<size_t>(x)] = value;
+      col[x] = value;
       new_left = value;
+      if (value < col_min) col_min = value;
     }
     first_ = false;
-    return col_[static_cast<size_t>(m_ - 1)];
+    col_min_ = col_min;
+    return col[m_ - 1];
   }
 
-  double Cell(int x) const { return col_[static_cast<size_t>(x)]; }
+  /// A value no future cell of this sweep can beat (max-recurrence cells
+  /// also never drop below the minimum reachable predecessor).
+  double SweepLowerBound() const { return first_ ? 0.0 : col_min_; }
+
+  double Cell(int x) const { return (*col_store_)[static_cast<size_t>(x)]; }
   int query_size() const { return m_; }
 
  private:
   int m_;
   SubFn sub_;
-  std::vector<double> col_;
+  std::vector<double> owned_col_;
+  std::vector<double>* col_store_;
+  double col_min_ = kDpInfinity;
   bool first_ = true;
 };
 

@@ -105,6 +105,7 @@ GridIndex::GridIndex(DatasetView data, double cell_size)
     slot_cell_[h] = static_cast<int32_t>(c);
   }
 
+  stats_.cell_size = cell_size_;
   stats_.cell_count = cell_keys_.size();
   stats_.entry_count = ids_.size();
   stats_.index_bytes = cell_keys_.size() * sizeof(int64_t) +

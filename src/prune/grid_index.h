@@ -18,6 +18,11 @@ double DefaultCellSize(const BoundingBox& box);
 /// `stats` subcommand so layout regressions are observable without a
 /// profiler).
 struct GridIndexStats {
+  /// The cell side the index was actually built with. When EngineOptions
+  /// leaves cell_size at 0 the engine derives one (DefaultCellSize) without
+  /// mutating the caller's options; this field is where the derived value
+  /// is observable.
+  double cell_size = 0;
   /// Number of non-empty cells.
   size_t cell_count = 0;
   /// Total (cell, trajectory) postings across all cells.

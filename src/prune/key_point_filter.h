@@ -1,5 +1,7 @@
 #pragma once
 
+#include <vector>
+
 #include "distance/distance.h"
 
 namespace trajsearch {
@@ -32,5 +34,35 @@ double KpfLowerBoundEstimate(const DistanceSpec& spec, TrajectoryView query,
 /// sampling and no grid acceleration — a correct but slower filter.
 double OsfLowerBound(const DistanceSpec& spec, TrajectoryView query,
                      TrajectoryView data);
+
+/// \brief Query-bound KPF/OSF plan: the key-point sample — index positions,
+/// the query-side deletion cost of each key point, and the 1/r rescale — is
+/// computed once per Bind instead of once per (query, data) pair, leaving
+/// only the min-substitution scan against the candidate in LowerBound().
+///
+/// LowerBound() reproduces KpfLowerBoundEstimate bit for bit (same key
+/// points, same accumulation order), so an engine switching between the two
+/// makes identical pruning decisions. A bound plan is immutable after Bind
+/// and LowerBound is const, so one bound plan may be shared by all worker
+/// threads of a query. With sample_rate == 1.0 this is the OSF comparator.
+class KpfBoundPlan {
+ public:
+  /// (Re-)computes the key-point sample for `query` (non-empty; the view
+  /// must stay valid while LowerBound is used). Scratch capacity is reused.
+  void Bind(const DistanceSpec& spec, TrajectoryView query,
+            double sample_rate);
+
+  /// The KPF estimate (Theorem B.1 / Equation 28) against one candidate.
+  double LowerBound(TrajectoryView data) const;
+
+ private:
+  DistanceSpec spec_;
+  TrajectoryView query_;
+  bool use_max_ = false;        // Fréchet aggregates by max, not sum
+  bool wed_family_ = false;     // true when deletion costs participate
+  double effective_rate_ = 1.0;
+  std::vector<int> key_points_;     // sampled query indices, ascending
+  std::vector<double> key_del_;     // del(q_i) per key point (WED family)
+};
 
 }  // namespace trajsearch

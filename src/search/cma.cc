@@ -18,4 +18,64 @@ SearchResult CmaSearch(const DistanceSpec& spec, TrajectoryView query,
   }
 }
 
+namespace {
+
+/// Bind-once CMA plan. CMA has no query-sized precomputation beyond the
+/// recurrence itself, so the plan's value is (a) the four O(n) row buffers
+/// kept across candidates and queries, and (b) cutoff-driven row abandoning.
+class CmaPlan final : public QueryRun {
+ public:
+  CmaPlan(DistanceSpec spec, CmaWedVariant variant)
+      : spec_(spec), variant_(variant) {}
+
+  void Bind(TrajectoryView query) override { query_ = query; }
+
+  SearchResult Run(TrajectoryView data, double cutoff) override {
+    const int m = static_cast<int>(query_.size());
+    const int n = static_cast<int>(data.size());
+    TRAJ_CHECK(m >= 1 && n >= 1);
+    // The monotone row floor that justifies abandoning relies on the kExact
+    // rolling minimum; the paper's Eq-7 rolled term can locally decrease, so
+    // under kEq7Rolling the plan runs unbounded (still matching the
+    // stateless path bit for bit).
+    const double effective_cutoff =
+        variant_ == CmaWedVariant::kExact ? cutoff : kNoCutoff;
+    bool complete = true;
+    switch (spec_.kind) {
+      case DistanceKind::kDtw:
+        complete = CmaDtwRows(m, n, EuclideanSub{query_, data}, cutoff,
+                              &c_prev_, &c_cur_, &s_prev_, &s_cur_);
+        break;
+      case DistanceKind::kFrechet:
+        complete = CmaFrechetRows(m, n, EuclideanSub{query_, data}, cutoff,
+                                  &c_prev_, &c_cur_, &s_prev_, &s_cur_);
+        break;
+      default:
+        complete = VisitWedCosts(
+            spec_, query_, data, [&](const auto& costs) {
+              return CmaWedRows(m, n, costs, variant_, effective_cutoff,
+                                &c_prev_, &c_cur_, &s_prev_, &s_cur_);
+            });
+    }
+    if (!complete) return SearchResult{};  // nothing below the cutoff exists
+    return PickBestFromRow(c_cur_, s_cur_);
+  }
+
+  std::string_view name() const override { return "CMA"; }
+
+ private:
+  DistanceSpec spec_;
+  CmaWedVariant variant_;
+  TrajectoryView query_;
+  std::vector<double> c_prev_, c_cur_;
+  std::vector<int> s_prev_, s_cur_;
+};
+
+}  // namespace
+
+std::unique_ptr<QueryRun> MakeCmaRun(const DistanceSpec& spec,
+                                     CmaWedVariant variant) {
+  return std::make_unique<CmaPlan>(spec, variant);
+}
+
 }  // namespace trajsearch

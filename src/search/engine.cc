@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <span>
 #include <thread>
+#include <utility>
 
-#include "prune/key_point_filter.h"
 #include "search/topk.h"
 #include "util/check.h"
 #include "util/stopwatch.h"
@@ -15,11 +15,10 @@ SearchEngine::SearchEngine(DatasetView data, EngineOptions options)
     : data_(data), options_(options) {
   TRAJ_CHECK(options_.top_k >= 1);
   if (options_.use_gbp && !data_.empty()) {
+    // Derive the default cell size locally; options_ stays exactly what the
+    // caller passed (the derived value is observable via grid()->stats()).
     double cell = options_.cell_size;
-    if (cell <= 0) {
-      cell = DefaultCellSize(data_.Bounds());
-      options_.cell_size = cell;
-    }
+    if (cell <= 0) cell = DefaultCellSize(data_.Bounds());
     grid_ = std::make_unique<GridIndex>(data_, cell);
   }
   if ((options_.algorithm == Algorithm::kRls ||
@@ -33,16 +32,50 @@ SearchEngine::SearchEngine(DatasetView data, EngineOptions options)
   }
 }
 
+std::unique_ptr<QueryRun> SearchEngine::AcquireRun() const {
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    if (!run_pool_.empty()) {
+      std::unique_ptr<QueryRun> run = std::move(run_pool_.back());
+      run_pool_.pop_back();
+      return run;
+    }
+  }
+  return searcher_->NewRun();
+}
+
+void SearchEngine::ReleaseRun(std::unique_ptr<QueryRun> run) const {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  run_pool_.push_back(std::move(run));
+}
+
+std::unique_ptr<KpfBoundPlan> SearchEngine::AcquireBound() const {
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    if (!bound_pool_.empty()) {
+      std::unique_ptr<KpfBoundPlan> bound = std::move(bound_pool_.back());
+      bound_pool_.pop_back();
+      return bound;
+    }
+  }
+  return std::make_unique<KpfBoundPlan>();
+}
+
+void SearchEngine::ReleaseBound(std::unique_ptr<KpfBoundPlan> bound) const {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  bound_pool_.push_back(std::move(bound));
+}
+
 std::vector<EngineHit> SearchEngine::Query(TrajectoryView query,
                                            QueryStats* stats,
                                            int excluded_id) const {
   QueryStats local;
-  IntervalTimer prune_timer, search_timer;
+  IntervalTimer gbp_timer;
 
   // Stage 1: GBP candidate generation. The candidate buffer is per-thread
   // scratch so steady-state queries reuse its capacity instead of
   // reallocating (the parallel search stage below only reads it).
-  prune_timer.Start();
+  gbp_timer.Start();
   thread_local std::vector<int> candidate_scratch;
   if (grid_ != nullptr) {
     grid_->Candidates(query, options_.mu, &candidate_scratch);
@@ -55,82 +88,113 @@ std::vector<EngineHit> SearchEngine::Query(TrajectoryView query,
   // Bind the scratch on this thread: thread_local names are not captured by
   // lambdas, so the parallel workers below must go through this span.
   const std::span<const int> candidates(candidate_scratch);
-  prune_timer.Stop();
+  gbp_timer.Stop();
   local.candidates_after_gbp = static_cast<int>(candidates.size());
 
+  // Stage 2 setup: one query-bound KPF/OSF plan, shared read-only by every
+  // worker (key points and deletion costs are per-query state).
   const bool bound_enabled = options_.use_kpf || options_.use_osf;
+  std::unique_ptr<KpfBoundPlan> bound;
+  if (bound_enabled && !query.empty()) {
+    bound = AcquireBound();
+    bound->Bind(options_.spec, query,
+                options_.use_osf ? 1.0 : options_.sample_rate);
+  }
 
-  // Stages 2+3 for one candidate, against the given heap. Returns true if
-  // the candidate was searched, false if it was pruned or skipped.
-  auto process = [&](int id, TopKHeap* heap, IntervalTimer* bound_timer,
-                     IntervalTimer* pair_timer, int* pruned) {
+  // Stages 2+3 for one candidate, against the given heap and plan. Returns
+  // true if the candidate was searched, false if it was pruned or skipped.
+  auto process = [&](int id, TopKHeap* heap, QueryRun* run,
+                     IntervalTimer* bound_timer, IntervalTimer* pair_timer,
+                     int* pruned) {
     if (id == excluded_id) return false;
     const TrajectoryRef data = data_[id];
     if (data.empty()) return false;
-    if (bound_enabled && heap->Full()) {
-      if (bound_timer != nullptr) bound_timer->Start();
-      const double bound =
-          options_.use_osf
-              ? OsfLowerBound(options_.spec, query, data)
-              : KpfLowerBoundEstimate(options_.spec, query, data,
-                                      options_.sample_rate);
-      if (bound_timer != nullptr) bound_timer->Stop();
-      if (bound >= heap->Worst()) {
+    if (bound != nullptr && heap->Full()) {
+      bound_timer->Start();
+      const double lower = bound->LowerBound(data);
+      bound_timer->Stop();
+      if (lower >= heap->Worst()) {
         ++*pruned;
         return false;
       }
     }
-    if (pair_timer != nullptr) pair_timer->Start();
-    const SearchResult result = searcher_->Search(query, data);
-    if (pair_timer != nullptr) pair_timer->Stop();
+    // Early abandoning: once the heap is full, a result at or above the
+    // K-th best distance can never displace it (ties lose to the smaller
+    // id already present — candidates arrive in ascending id order), so
+    // the plan may stop as soon as it can prove the threshold unbeatable.
+    const double cutoff = options_.use_early_abandon && heap->Full()
+                              ? heap->Worst()
+                              : kNoCutoff;
+    pair_timer->Start();
+    const SearchResult result = run->Run(data, cutoff);
+    pair_timer->Stop();
     heap->Offer(EngineHit{id, result});
     return true;
   };
 
   TopKHeap merged(options_.top_k);
-  if (options_.threads <= 1) {
+  if (candidates.empty()) {
+    local.prune_seconds = gbp_timer.TotalSeconds();
+  } else if (options_.threads <= 1) {
+    IntervalTimer bound_timer, pair_timer;
+    std::unique_ptr<QueryRun> run = AcquireRun();
+    run->Bind(query);
     for (const int id : candidates) {
-      if (process(id, &merged, &prune_timer, &search_timer,
+      if (process(id, &merged, run.get(), &bound_timer, &pair_timer,
                   &local.pruned_by_bound)) {
         ++local.searched;
       }
     }
-    local.prune_seconds = prune_timer.TotalSeconds();
-    local.search_seconds = search_timer.TotalSeconds();
+    ReleaseRun(std::move(run));
+    local.bound_seconds = bound_timer.TotalSeconds();
+    local.pair_search_seconds = pair_timer.TotalSeconds();
+    local.prune_seconds = gbp_timer.TotalSeconds() + local.bound_seconds;
+    local.search_seconds = local.pair_search_seconds;
   } else {
-    // Parallel search stage: static partitioning, thread-local heaps,
-    // merge at the end. Timing reports wall-clock for the whole stage.
+    // Parallel search stage: static partitioning, thread-local heaps and
+    // plans, merge at the end. search_seconds reports wall-clock for the
+    // whole stage; bound/pair seconds are summed across workers.
     const int workers = std::min<int>(
         options_.threads, std::max<size_t>(candidates.size(), 1));
     std::vector<TopKHeap> heaps(static_cast<size_t>(workers),
                                 TopKHeap(options_.top_k));
     std::vector<int> pruned(static_cast<size_t>(workers), 0);
     std::vector<int> searched(static_cast<size_t>(workers), 0);
+    std::vector<IntervalTimer> bound_timers(static_cast<size_t>(workers));
+    std::vector<IntervalTimer> pair_timers(static_cast<size_t>(workers));
     Stopwatch stage;
     std::vector<std::thread> pool;
     pool.reserve(static_cast<size_t>(workers));
     for (int w = 0; w < workers; ++w) {
       pool.emplace_back([&, w]() {
-        for (size_t c = static_cast<size_t>(w); c < candidates.size();
+        const size_t wi = static_cast<size_t>(w);
+        std::unique_ptr<QueryRun> run = AcquireRun();
+        run->Bind(query);
+        for (size_t c = wi; c < candidates.size();
              c += static_cast<size_t>(workers)) {
-          if (process(candidates[c], &heaps[static_cast<size_t>(w)], nullptr,
-                      nullptr, &pruned[static_cast<size_t>(w)])) {
-            ++searched[static_cast<size_t>(w)];
+          if (process(candidates[c], &heaps[wi], run.get(),
+                      &bound_timers[wi], &pair_timers[wi], &pruned[wi])) {
+            ++searched[wi];
           }
         }
+        ReleaseRun(std::move(run));
       });
     }
     for (std::thread& t : pool) t.join();
     local.search_seconds = stage.Seconds();
-    local.prune_seconds = prune_timer.TotalSeconds();
+    local.prune_seconds = gbp_timer.TotalSeconds();
     for (int w = 0; w < workers; ++w) {
       local.pruned_by_bound += pruned[static_cast<size_t>(w)];
       local.searched += searched[static_cast<size_t>(w)];
+      local.bound_seconds += bound_timers[static_cast<size_t>(w)].TotalSeconds();
+      local.pair_search_seconds +=
+          pair_timers[static_cast<size_t>(w)].TotalSeconds();
       for (const EngineHit& hit : heaps[static_cast<size_t>(w)].Sorted()) {
         merged.Offer(hit);
       }
     }
   }
+  if (bound != nullptr) ReleaseBound(std::move(bound));
 
   std::vector<EngineHit> hits = merged.Sorted();
   if (stats != nullptr) *stats = local;

@@ -1,10 +1,12 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/dataset.h"
 #include "prune/grid_index.h"
+#include "prune/key_point_filter.h"
 #include "search/searcher.h"
 
 namespace trajsearch {
@@ -21,6 +23,9 @@ struct EngineOptions {
   /// Replaces KPF's sampled bound with the OSF comparator (full bound).
   bool use_osf = false;
   /// GBP grid cell side (the paper's epsilon); 0 derives bbox width / 256.
+  /// The engine never writes the derived value back — options() always
+  /// returns what the caller passed; read the actual cell side from
+  /// grid()->stats().cell_size.
   double cell_size = 0;
   /// GBP close-count fraction mu in (0, 1) (paper default 0.4).
   double mu = 0.4;
@@ -32,9 +37,17 @@ struct EngineOptions {
   const RlsPolicy* rls_policy = nullptr;
   /// Worker threads for the search stage (1 = the paper's serial pipeline).
   /// With more threads, candidates are partitioned and each worker keeps a
-  /// local top-K (bound pruning uses the local K-th best, so slightly fewer
-  /// prunes than serial); results are identical to the serial engine.
+  /// local top-K (bound pruning and early abandoning use the local K-th
+  /// best, so slightly fewer prunes than serial); results are identical to
+  /// the serial engine whenever the bound is sound (KPF at sample_rate 1.0,
+  /// OSF, or bounds off) — a *sampled* KPF estimate may prune differently
+  /// under the local vs global threshold.
   int threads = 1;
+  /// Threads the live top-K threshold (heap->Worst()) into QueryRun::Run as
+  /// an early-abandon cutoff. Results are identical either way — the plans
+  /// only abandon work that provably cannot beat the threshold — so this
+  /// exists for benchmarking/ablation, like `threads`.
+  bool use_early_abandon = true;
 };
 
 /// \brief One result of a database query.
@@ -45,8 +58,19 @@ struct EngineHit {
 
 /// \brief Timing/pruning breakdown of one query (feeds Figures 9-11).
 struct QueryStats {
+  /// Candidate generation + bound filtering (GBP + KPF/OSF) in serial mode;
+  /// GBP only when threads > 1 (bound checks then run inside the workers —
+  /// see bound_seconds).
   double prune_seconds = 0;
+  /// Wall-clock of the whole search stage (equals pair_search_seconds in
+  /// serial mode).
   double search_seconds = 0;
+  /// Time in KPF/OSF bound checks alone; summed across workers when
+  /// threads > 1 (CPU seconds, not wall-clock).
+  double bound_seconds = 0;
+  /// Time in per-pair QueryRun::Run calls alone; summed across workers when
+  /// threads > 1 (CPU seconds, not wall-clock).
+  double pair_search_seconds = 0;
   int candidates_after_gbp = 0;
   int pruned_by_bound = 0;
   int searched = 0;
@@ -57,6 +81,16 @@ struct QueryStats {
 /// Owns the pruning index and a per-trajectory searcher; Query() returns the
 /// top-K most similar subtrajectories across all data trajectories,
 /// maintaining a bounded heap exactly as described in Appendix E.
+///
+/// Execution model (since PR 3): Query() binds the searcher once per query —
+/// Searcher::NewRun() yields a QueryRun that owns all query-derived state
+/// (DP columns, deletion-prefix tables, reversed-query copies, scratch
+/// rows) — and evaluates every pruning survivor through QueryRun::Run with
+/// the live heap threshold as an early-abandon cutoff. Plans and KPF bound
+/// plans are pooled per engine: a worker thread checks one out, rebinds it
+/// to the query, and returns it, so steady-state queries (e.g. batched
+/// service traffic) run the whole search stage without heap allocations per
+/// candidate.
 ///
 /// The engine searches a DatasetView — the whole dataset in the common case,
 /// or one shard's contiguous range of the shared corpus pool under the
@@ -71,21 +105,34 @@ class SearchEngine {
   /// Runs one query; hits are sorted by ascending distance (best first).
   /// `excluded_id` removes one trajectory from the data side — used when
   /// the query was sampled from the corpus (§6.1: "the other trajectories
-  /// are used as data trajectories").
+  /// are used as data trajectories"). Safe to call concurrently.
   std::vector<EngineHit> Query(TrajectoryView query,
                                QueryStats* stats = nullptr,
                                int excluded_id = -1) const;
 
+  /// Exactly what the caller passed (derived values are never written back).
   const EngineOptions& options() const { return options_; }
   const DatasetView& data() const { return data_; }
-  /// The pruning index (null when GBP is disabled).
+  /// The pruning index (null when GBP is disabled); stats().cell_size holds
+  /// the derived cell side when options().cell_size was 0.
   const GridIndex* grid() const { return grid_.get(); }
 
  private:
+  /// Checks a pooled plan out / back in (pools are grow-only; steady state
+  /// reuses the same plans and their scratch across queries).
+  std::unique_ptr<QueryRun> AcquireRun() const;
+  void ReleaseRun(std::unique_ptr<QueryRun> run) const;
+  std::unique_ptr<KpfBoundPlan> AcquireBound() const;
+  void ReleaseBound(std::unique_ptr<KpfBoundPlan> bound) const;
+
   DatasetView data_;
   EngineOptions options_;
   std::unique_ptr<GridIndex> grid_;
   std::unique_ptr<Searcher> searcher_;
+
+  mutable std::mutex pool_mu_;
+  mutable std::vector<std::unique_ptr<QueryRun>> run_pool_;
+  mutable std::vector<std::unique_ptr<KpfBoundPlan>> bound_pool_;
 };
 
 }  // namespace trajsearch

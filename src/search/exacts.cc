@@ -1,5 +1,9 @@
 #include "search/exacts.h"
 
+#include <optional>
+
+#include "util/check.h"
+
 namespace trajsearch {
 
 SearchResult ExactSSearch(const DistanceSpec& spec, TrajectoryView query,
@@ -16,6 +20,91 @@ SearchResult ExactSSearch(const DistanceSpec& spec, TrajectoryView query,
         return ExactSWedSearch(m, n, costs);
       });
   }
+}
+
+namespace {
+
+/// ExactS plan for WED-family costs: the stepper (holding the query-sized
+/// column and deletion-prefix table) is built once per Bind; each Run only
+/// repoints the plan-owned cost object at the candidate trajectory.
+template <typename Costs>
+class ExactSWedPlan final : public QueryRun {
+ public:
+  explicit ExactSWedPlan(Costs prototype) : costs_(prototype) {}
+
+  void Bind(TrajectoryView query) override {
+    TRAJ_CHECK(!query.empty());
+    costs_.q = query;
+    costs_.d = TrajectoryView();
+    arena_.Rewind();
+    dp_.emplace(static_cast<int>(query.size()), costs_, &arena_);
+  }
+
+  SearchResult Run(TrajectoryView data, double cutoff) override {
+    costs_.d = data;
+    return ExactSWithDp(*dp_, static_cast<int>(data.size()), cutoff);
+  }
+
+  std::string_view name() const override { return "ExactS"; }
+
+ private:
+  Costs costs_;
+  DpArena arena_;
+  std::optional<WedColumnDp<Costs>> dp_;
+};
+
+/// ExactS plan for the substitution-only distances (DTW / Fréchet). The
+/// stepper sees the plan-owned EuclideanSub through a SubRef, so rebinding
+/// the views reaches an already-built stepper.
+template <template <typename> class Dp>
+class ExactSSubPlan final : public QueryRun {
+ public:
+  explicit ExactSSubPlan(std::string_view name) : name_(name) {}
+
+  void Bind(TrajectoryView query) override {
+    TRAJ_CHECK(!query.empty());
+    sub_.q = query;
+    sub_.d = TrajectoryView();
+    arena_.Rewind();
+    dp_.emplace(static_cast<int>(query.size()), SubRef<EuclideanSub>{&sub_},
+                &arena_);
+  }
+
+  SearchResult Run(TrajectoryView data, double cutoff) override {
+    sub_.d = data;
+    return ExactSWithDp(*dp_, static_cast<int>(data.size()), cutoff);
+  }
+
+  std::string_view name() const override { return name_; }
+
+ private:
+  std::string_view name_;
+  EuclideanSub sub_;
+  DpArena arena_;
+  std::optional<Dp<SubRef<EuclideanSub>>> dp_;
+};
+
+}  // namespace
+
+std::unique_ptr<QueryRun> MakeExactSRun(const DistanceSpec& spec) {
+  switch (spec.kind) {
+    case DistanceKind::kDtw:
+      return std::make_unique<ExactSSubPlan<DtwColumnDp>>("ExactS");
+    case DistanceKind::kFrechet:
+      return std::make_unique<ExactSSubPlan<FrechetColumnDp>>("ExactS");
+    case DistanceKind::kEdr:
+      return std::make_unique<ExactSWedPlan<EdrCosts>>(
+          EdrCosts{{}, {}, spec.edr_epsilon});
+    case DistanceKind::kErp:
+      return std::make_unique<ExactSWedPlan<ErpCosts>>(
+          ErpCosts{{}, {}, spec.erp_gap});
+    case DistanceKind::kWed:
+      TRAJ_CHECK(spec.wed != nullptr);
+      return std::make_unique<ExactSWedPlan<CustomWedCosts>>(
+          CustomWedCosts{{}, {}, spec.wed});
+  }
+  TRAJ_CHECK(false && "unknown distance kind");
+  return nullptr;
 }
 
 }  // namespace trajsearch

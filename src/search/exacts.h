@@ -1,6 +1,9 @@
 #pragma once
 
+#include <memory>
+
 #include "distance/distance.h"
+#include "search/query_run.h"
 #include "search/result.h"
 
 namespace trajsearch {
@@ -11,9 +14,12 @@ namespace trajsearch {
 /// Exact for every distance function the library supports.
 
 /// \brief ExactS over an arbitrary column stepper (WedColumnDp, DtwColumnDp
-/// or FrechetColumnDp).
+/// or FrechetColumnDp), with bound-aware early abandoning: a start's sweep
+/// stops once the stepper's SweepLowerBound() proves every remaining cell is
+/// >= cutoff. Any result below the cutoff is identical to the unbounded
+/// scan; with cutoff == kNoCutoff this is the full Algorithm 1.
 template <typename ColumnDp>
-SearchResult ExactSWithDp(ColumnDp& dp, int n) {
+SearchResult ExactSWithDp(ColumnDp& dp, int n, double cutoff = kNoCutoff) {
   TRAJ_CHECK(n >= 1);
   SearchResult result;
   for (int start = 0; start < n; ++start) {
@@ -24,6 +30,7 @@ SearchResult ExactSWithDp(ColumnDp& dp, int n) {
         result.distance = dist;
         result.range = Subrange{start, j};
       }
+      if (dp.SweepLowerBound() >= cutoff) break;  // monotone-DP abandon
     }
   }
   return result;
@@ -53,5 +60,10 @@ SearchResult ExactSFrechetSearch(int m, int n, SubFn sub) {
 /// \brief Type-erased ExactS over GPS trajectories.
 SearchResult ExactSSearch(const DistanceSpec& spec, TrajectoryView query,
                           TrajectoryView data);
+
+/// \brief Bind-once ExactS execution plan: the O(m) DP column and the
+/// WED deletion-prefix table are built once per query, and every sweep
+/// honors the Run cutoff via the stepper's SweepLowerBound().
+std::unique_ptr<QueryRun> MakeExactSRun(const DistanceSpec& spec);
 
 }  // namespace trajsearch

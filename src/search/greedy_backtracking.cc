@@ -1,5 +1,8 @@
 #include "search/greedy_backtracking.h"
 
+#include <algorithm>
+#include <cstdint>
+#include <functional>
 #include <queue>
 #include <vector>
 
@@ -64,6 +67,87 @@ SearchResult GreedyBacktrackingSearch(TrajectoryView query,
   return GreedyBacktrackingSearchT(static_cast<int>(query.size()),
                                    static_cast<int>(data.size()),
                                    EuclideanSub{query, data});
+}
+
+namespace {
+
+/// Bind-once GB plan. The heap vector mirrors std::priority_queue exactly
+/// (push_back + push_heap / pop_heap + pop_back with the same comparator and
+/// push order), so popped-node sequences — and therefore tie-breaking among
+/// equal-cost cells — are identical to the stateless search. The visited
+/// array is epoch-stamped: one int compare replaces an O(mn) clear per
+/// candidate.
+class GbPlan final : public QueryRun {
+ public:
+  void Bind(TrajectoryView query) override {
+    TRAJ_CHECK(!query.empty());
+    query_ = query;
+  }
+
+  SearchResult Run(TrajectoryView data, double cutoff) override {
+    const int m = static_cast<int>(query_.size());
+    const int n = static_cast<int>(data.size());
+    TRAJ_CHECK(m >= 1 && n >= 1);
+    const EuclideanSub sub{query_, data};
+    const size_t cells = static_cast<size_t>(m) * static_cast<size_t>(n);
+    if (visited_.size() < cells) visited_.resize(cells, 0);
+    if (++epoch_ == 0) {  // stamp wrap: flush stale epochs, restart at 1
+      std::fill(visited_.begin(), visited_.end(), 0u);
+      epoch_ = 1;
+    }
+    const uint32_t epoch = epoch_;
+
+    const auto worse = std::greater<GbNode>();
+    heap_.clear();
+    for (int j = 0; j < n; ++j) {
+      heap_.push_back(GbNode{sub(0, j), j, j});
+      std::push_heap(heap_.begin(), heap_.end(), worse);
+    }
+    while (!heap_.empty()) {
+      const GbNode node = heap_.front();
+      std::pop_heap(heap_.begin(), heap_.end(), worse);
+      heap_.pop_back();
+      // Pops are non-decreasing in cost: once the frontier minimum reaches
+      // the cutoff, no remaining path can beat it.
+      if (node.cost >= cutoff) return SearchResult{};
+      if (visited_[static_cast<size_t>(node.cell)] == epoch) continue;
+      visited_[static_cast<size_t>(node.cell)] = epoch;
+      const int i = node.cell / n;
+      const int j = node.cell % n;
+      if (i == m - 1) {
+        return SearchResult{Subrange{node.start, j}, node.cost};
+      }
+      auto relax = [&](int ni, int nj) {
+        const int cell = ni * n + nj;
+        if (visited_[static_cast<size_t>(cell)] == epoch) return;
+        const double c = sub(ni, nj);
+        heap_.push_back(GbNode{node.cost > c ? node.cost : c, cell,
+                               node.start});
+        std::push_heap(heap_.begin(), heap_.end(), worse);
+      };
+      relax(i + 1, j);
+      if (j + 1 < n) {
+        relax(i, j + 1);
+        relax(i + 1, j + 1);
+      }
+    }
+    TRAJ_CHECK(false && "GB: search space exhausted without reaching last row");
+    return SearchResult{};
+  }
+
+  std::string_view name() const override { return "GB"; }
+
+ private:
+  TrajectoryView query_;
+  std::vector<GbNode> heap_;
+  std::vector<uint32_t> visited_;
+  uint32_t epoch_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<QueryRun> MakeGreedyBacktrackingRun() {
+  return std::make_unique<GbPlan>();
 }
 
 }  // namespace trajsearch

@@ -1,6 +1,9 @@
 #pragma once
 
+#include <memory>
+
 #include "distance/distance.h"
+#include "search/query_run.h"
 #include "search/result.h"
 
 namespace trajsearch {
@@ -23,5 +26,13 @@ SearchResult GreedyBacktrackingSearchT(int m, int n, SubFn sub);
 /// \brief Type-erased GB over GPS trajectories (Fréchet distance).
 SearchResult GreedyBacktrackingSearch(TrajectoryView query,
                                       TrajectoryView data);
+
+/// \brief Bind-once GB execution plan. The visited set is epoch-stamped and
+/// the frontier heap's storage is reused, so a candidate evaluation
+/// allocates nothing in steady state. Best-first expansion pops cells in
+/// non-decreasing bottleneck cost, so the cutoff maps onto GB naturally:
+/// the first pop with cost >= cutoff proves every remaining path — and thus
+/// the optimum, if not yet found — is >= cutoff, and the run abandons.
+std::unique_ptr<QueryRun> MakeGreedyBacktrackingRun();
 
 }  // namespace trajsearch

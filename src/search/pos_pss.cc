@@ -1,14 +1,17 @@
 #include "search/pos_pss.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "distance/dp.h"
+#include "search/scan_plans.h"
 
 namespace trajsearch {
 
 namespace {
 
-/// Shared greedy split scan. `suffix` has size n+1 with suffix[n] = +inf.
+/// Shared greedy split scan. `suffix` has size n+1 with suffix[n] = +inf
+/// (only read when `use_suffix` is set, so POS may pass an empty vector).
 template <typename ColumnDp>
 SearchResult SplitScanT(ColumnDp& dp, int n, const std::vector<double>& suffix,
                         bool use_suffix) {
@@ -70,6 +73,64 @@ SearchResult SplitSearch(const DistanceSpec& spec, TrajectoryView query,
   }
 }
 
+/// Bind-once POS/PSS plan over one cost kind (see scan_plans.h).
+template <typename Kind>
+class SplitScanPlan final : public QueryRun {
+ public:
+  SplitScanPlan(typename Kind::Costs prototype, bool use_suffix)
+      : prototype_(prototype), use_suffix_(use_suffix) {}
+
+  void Bind(TrajectoryView query) override {
+    arena_.Rewind();
+    main_.Bind(query, prototype_, &arena_);
+    if (use_suffix_) suffix_.Bind(query, prototype_, &arena_);
+  }
+
+  SearchResult Run(TrajectoryView data, double /*cutoff*/) override {
+    const int n = static_cast<int>(data.size());
+    main_.SetData(data);
+    const std::vector<double>& suffix =
+        use_suffix_ ? suffix_.Compute(data) : empty_suffix_;
+    return SplitScanT(*main_.dp, n, suffix, use_suffix_);
+  }
+
+  std::string_view name() const override {
+    return use_suffix_ ? "PSS" : "POS";
+  }
+
+ private:
+  typename Kind::Costs prototype_;
+  bool use_suffix_;
+  DpArena arena_;
+  detail::ScanState<Kind> main_;
+  detail::SuffixState<Kind> suffix_;
+  std::vector<double> empty_suffix_;
+};
+
+std::unique_ptr<QueryRun> MakeSplitScanRun(const DistanceSpec& spec,
+                                           bool use_suffix) {
+  switch (spec.kind) {
+    case DistanceKind::kDtw:
+      return std::make_unique<SplitScanPlan<detail::SubKind<DtwColumnDp>>>(
+          EuclideanSub{}, use_suffix);
+    case DistanceKind::kFrechet:
+      return std::make_unique<SplitScanPlan<detail::SubKind<FrechetColumnDp>>>(
+          EuclideanSub{}, use_suffix);
+    case DistanceKind::kEdr:
+      return std::make_unique<SplitScanPlan<detail::WedKind<EdrCosts>>>(
+          EdrCosts{{}, {}, spec.edr_epsilon}, use_suffix);
+    case DistanceKind::kErp:
+      return std::make_unique<SplitScanPlan<detail::WedKind<ErpCosts>>>(
+          ErpCosts{{}, {}, spec.erp_gap}, use_suffix);
+    case DistanceKind::kWed:
+      TRAJ_CHECK(spec.wed != nullptr);
+      return std::make_unique<SplitScanPlan<detail::WedKind<CustomWedCosts>>>(
+          CustomWedCosts{{}, {}, spec.wed}, use_suffix);
+  }
+  TRAJ_CHECK(false && "unknown distance kind");
+  return nullptr;
+}
+
 }  // namespace
 
 std::vector<double> SuffixDistances(const DistanceSpec& spec,
@@ -118,6 +179,14 @@ SearchResult PosSearch(const DistanceSpec& spec, TrajectoryView query,
 SearchResult PssSearch(const DistanceSpec& spec, TrajectoryView query,
                        TrajectoryView data) {
   return SplitSearch(spec, query, data, /*use_suffix=*/true);
+}
+
+std::unique_ptr<QueryRun> MakePosRun(const DistanceSpec& spec) {
+  return MakeSplitScanRun(spec, /*use_suffix=*/false);
+}
+
+std::unique_ptr<QueryRun> MakePssRun(const DistanceSpec& spec) {
+  return MakeSplitScanRun(spec, /*use_suffix=*/true);
 }
 
 }  // namespace trajsearch

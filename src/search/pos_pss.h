@@ -1,8 +1,10 @@
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "distance/distance.h"
+#include "search/query_run.h"
 #include "search/result.h"
 
 namespace trajsearch {
@@ -35,5 +37,15 @@ SearchResult PosSearch(const DistanceSpec& spec, TrajectoryView query,
 /// \brief PSS: prefix-suffix split search.
 SearchResult PssSearch(const DistanceSpec& spec, TrajectoryView query,
                        TrajectoryView data);
+
+/// \brief Bind-once POS/PSS execution plans. Bind builds the scan stepper
+/// (query-sized column) once and, for PSS, copies the reversed query once —
+/// the per-pair reversed-query materialization of the stateless path is the
+/// dominant bind-once saving here. Run reuses the reversed-data and
+/// suffix-table scratch. The split heuristics depend on the full value
+/// sequence of the scan, so the Run cutoff is ignored and results are
+/// always identical to the stateless entry points.
+std::unique_ptr<QueryRun> MakePosRun(const DistanceSpec& spec);
+std::unique_ptr<QueryRun> MakePssRun(const DistanceSpec& spec);
 
 }  // namespace trajsearch

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <limits>
+#include <string_view>
+
+#include "core/trajectory.h"
+#include "search/result.h"
+
+namespace trajsearch {
+
+/// Cutoff value meaning "no early abandoning": every candidate is evaluated
+/// in full. True +infinity (not kDpInfinity), so even saturated DP cells
+/// never trigger an abandon.
+inline constexpr double kNoCutoff = std::numeric_limits<double>::infinity();
+
+/// \brief A compiled per-query execution plan for one search algorithm.
+///
+/// The database pipeline runs one query against thousands of pruning
+/// survivors. A QueryRun separates the two timescales of that loop:
+/// Bind(query) performs every query-side precomputation once (DP columns
+/// sized to the query, deletion-prefix tables, reversed-query copies for the
+/// POS/PSS/RLS suffix scans, key-point samples) and retains all scratch
+/// buffers; Run(data, cutoff) then evaluates one candidate trajectory
+/// reusing that state — zero heap allocations per candidate in steady state.
+///
+/// Cutoff contract (early abandoning): `cutoff` is the caller's current
+/// top-K threshold — any result with distance >= cutoff is useless to it.
+///  - For the exact algorithms (CMA, ExactS, Spring, GB) Run is *exact below
+///    the cutoff*: if the optimal subtrajectory distance is < cutoff, the
+///    returned result is identical to the stateless search; otherwise the
+///    returned distance is >= cutoff (possibly the not-found sentinel).
+///    CMA/ExactS/GB use this to abandon DP sweeps early (monotone-DP
+///    abandon: stop once every reachable cell is >= cutoff); Spring's
+///    recurrence admits fresh match starts at every step, so it cannot
+///    abandon and simply returns its full result.
+///  - The approximate algorithms (POS, PSS, RLS, RLS-Skip) ignore the
+///    cutoff entirely — their heuristic scan depends on the full value
+///    sequence — so their result is always identical to the stateless path.
+///
+/// A plan may be rebound to a different query at any time; scratch capacity
+/// is retained across Binds. Plans are single-threaded objects (the engine
+/// keeps one per worker); the bound query view, and for RLS plans the
+/// creating Searcher, must outlive all Runs against them.
+class QueryRun {
+ public:
+  virtual ~QueryRun() = default;
+
+  /// (Re-)compiles the plan for `query`, reusing scratch buffers.
+  virtual void Bind(TrajectoryView query) = 0;
+
+  /// Evaluates one candidate under the cutoff contract above. Requires a
+  /// prior Bind and a non-empty candidate.
+  virtual SearchResult Run(TrajectoryView data, double cutoff = kNoCutoff) = 0;
+
+  /// Algorithm name for reports ("CMA", "ExactS", ...).
+  virtual std::string_view name() const = 0;
+};
+
+}  // namespace trajsearch

@@ -1,9 +1,11 @@
 #include "search/rls.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "distance/dp.h"
 #include "search/pos_pss.h"
+#include "search/scan_plans.h"
 
 namespace trajsearch {
 
@@ -11,24 +13,31 @@ namespace {
 
 enum RlsAction { kContinue = 0, kSplit = 1, kSkip = 2 };
 
-std::vector<double> MakeFeatures(double cur, double best, double suffix_next,
-                                 int candidate_len, int m, bool rising) {
+void MakeFeatures(double cur, double best, double suffix_next,
+                  int candidate_len, int m, bool rising,
+                  std::vector<double>* out) {
   constexpr double kEps = 1e-9;
   const double suffix_ratio = suffix_next >= kDpInfinity
                                   ? 1.0
                                   : suffix_next / (suffix_next + cur + kEps);
-  return {1.0, cur / (cur + best + kEps),
-          std::min(2.0, static_cast<double>(candidate_len) /
-                            static_cast<double>(m)),
-          suffix_ratio, rising ? 1.0 : 0.0};
+  out->assign({1.0, cur / (cur + best + kEps),
+               std::min(2.0, static_cast<double>(candidate_len) /
+                                 static_cast<double>(m)),
+               suffix_ratio, rising ? 1.0 : 0.0});
 }
+
+/// Reusable feature buffers of one scan (plan-owned in the greedy path so
+/// steady-state candidate evaluations allocate nothing).
+struct RlsScanScratch {
+  std::vector<double> feat, prev_feat;
+};
 
 /// One scan of the data trajectory under the policy. When `learn` is set,
 /// performs epsilon-greedy exploration and TD updates; otherwise greedy.
 template <typename ColumnDp>
 SearchResult RlsScanT(ColumnDp& dp, int n, const std::vector<double>& suffix,
                       RlsPolicy* policy, bool learn, Rng* rng,
-                      double reward_scale) {
+                      double reward_scale, RlsScanScratch* scratch) {
   LinearQ& q = policy->q();
   const RlsOptions& opt = policy->options();
   const int m = dp.query_size();
@@ -36,7 +45,8 @@ SearchResult RlsScanT(ColumnDp& dp, int n, const std::vector<double>& suffix,
   int s = 0;
   dp.Reset();
   double prev = kDpInfinity;
-  std::vector<double> feat, prev_feat;
+  std::vector<double>& feat = scratch->feat;
+  std::vector<double>& prev_feat = scratch->prev_feat;
   int prev_action = -1;
   double prev_best = kDpInfinity;
   int t = 0;
@@ -46,7 +56,7 @@ SearchResult RlsScanT(ColumnDp& dp, int n, const std::vector<double>& suffix,
     const bool rising = cur > prev;
     const double suffix_next =
         t + 1 <= n ? suffix[static_cast<size_t>(t + 1)] : kDpInfinity;
-    feat = MakeFeatures(cur, best.distance, suffix_next, t - s + 1, m, rising);
+    MakeFeatures(cur, best.distance, suffix_next, t - s + 1, m, rising, &feat);
     if (learn && prev_action >= 0) {
       const double reward = (prev_best - best.distance) / reward_scale;
       q.Update(prev_feat, prev_action, reward, feat, /*terminal=*/false);
@@ -78,6 +88,16 @@ SearchResult RlsScanT(ColumnDp& dp, int n, const std::vector<double>& suffix,
   return best;
 }
 
+/// Reward normalization shared by the stateless path and the plan: the
+/// whole-trajectory suffix distance, guarded against zero/saturation.
+double RewardScale(const std::vector<double>& suffix) {
+  double reward_scale = suffix[0];
+  if (!(reward_scale > 1e-12) || reward_scale >= kDpInfinity) {
+    reward_scale = 1.0;
+  }
+  return reward_scale;
+}
+
 SearchResult RlsScan(const DistanceSpec& spec, RlsPolicy* policy,
                      TrajectoryView query, TrajectoryView data, bool learn,
                      Rng* rng) {
@@ -85,26 +105,76 @@ SearchResult RlsScan(const DistanceSpec& spec, RlsPolicy* policy,
   const int n = static_cast<int>(data.size());
   TRAJ_CHECK(m >= 1 && n >= 1);
   const std::vector<double> suffix = SuffixDistances(spec, query, data);
-  double reward_scale = suffix[0];
-  if (!(reward_scale > 1e-12) || reward_scale >= kDpInfinity) {
-    reward_scale = 1.0;
-  }
+  const double reward_scale = RewardScale(suffix);
+  RlsScanScratch scratch;
   switch (spec.kind) {
     case DistanceKind::kDtw: {
       DtwColumnDp<EuclideanSub> dp(m, EuclideanSub{query, data});
-      return RlsScanT(dp, n, suffix, policy, learn, rng, reward_scale);
+      return RlsScanT(dp, n, suffix, policy, learn, rng, reward_scale,
+                      &scratch);
     }
     case DistanceKind::kFrechet: {
       FrechetColumnDp<EuclideanSub> dp(m, EuclideanSub{query, data});
-      return RlsScanT(dp, n, suffix, policy, learn, rng, reward_scale);
+      return RlsScanT(dp, n, suffix, policy, learn, rng, reward_scale,
+                      &scratch);
     }
     default:
       return VisitWedCosts(spec, query, data, [&](const auto& costs) {
         WedColumnDp<std::decay_t<decltype(costs)>> dp(m, costs);
-        return RlsScanT(dp, n, suffix, policy, learn, rng, reward_scale);
+        return RlsScanT(dp, n, suffix, policy, learn, rng, reward_scale,
+                        &scratch);
       });
   }
 }
+
+/// Bind-once RLS/RLS-Skip plan over one cost kind (see scan_plans.h).
+template <typename Kind>
+class RlsPlan final : public QueryRun {
+ public:
+  RlsPlan(typename Kind::Costs prototype, RlsPolicy policy)
+      : prototype_(prototype),
+        policy_(std::move(policy)),
+        name_(policy_.options().allow_skip ? "RLS-Skip" : "RLS") {}
+
+  void Bind(TrajectoryView query) override {
+    arena_.Rewind();
+    main_.Bind(query, prototype_, &arena_);
+    suffix_.Bind(query, prototype_, &arena_);
+  }
+
+  SearchResult Run(TrajectoryView data, double /*cutoff*/) override {
+    const int n = static_cast<int>(data.size());
+    main_.SetData(data);
+    const std::vector<double>& suffix = suffix_.Compute(data);
+    SearchResult result =
+        RlsScanT(*main_.dp, n, suffix, &policy_, /*learn=*/false, nullptr,
+                 RewardScale(suffix), &scratch_);
+    if (result.found()) {
+      // Report the true distance of the returned range (skips thin the DP).
+      // One fresh sweep of the plan's own stepper over [start..end] computes
+      // exactly dist(query, data[start..end]) — the same recurrence, and the
+      // same arithmetic, as FullDistance over the slice.
+      main_.dp->Reset();
+      double v = 0;
+      for (int j = result.range.start; j <= result.range.end; ++j) {
+        v = main_.dp->Extend(j);
+      }
+      result.distance = v;
+    }
+    return result;
+  }
+
+  std::string_view name() const override { return name_; }
+
+ private:
+  typename Kind::Costs prototype_;
+  RlsPolicy policy_;
+  std::string_view name_;
+  DpArena arena_;
+  detail::ScanState<Kind> main_;
+  detail::SuffixState<Kind> suffix_;
+  RlsScanScratch scratch_;
+};
 
 }  // namespace
 
@@ -141,6 +211,30 @@ SearchResult RlsSearch(const DistanceSpec& spec, const RlsPolicy& policy,
     result.distance = FullDistance(spec, query, slice);
   }
   return result;
+}
+
+std::unique_ptr<QueryRun> MakeRlsRun(const DistanceSpec& spec,
+                                     const RlsPolicy& policy) {
+  switch (spec.kind) {
+    case DistanceKind::kDtw:
+      return std::make_unique<RlsPlan<detail::SubKind<DtwColumnDp>>>(
+          EuclideanSub{}, policy);
+    case DistanceKind::kFrechet:
+      return std::make_unique<RlsPlan<detail::SubKind<FrechetColumnDp>>>(
+          EuclideanSub{}, policy);
+    case DistanceKind::kEdr:
+      return std::make_unique<RlsPlan<detail::WedKind<EdrCosts>>>(
+          EdrCosts{{}, {}, spec.edr_epsilon}, policy);
+    case DistanceKind::kErp:
+      return std::make_unique<RlsPlan<detail::WedKind<ErpCosts>>>(
+          ErpCosts{{}, {}, spec.erp_gap}, policy);
+    case DistanceKind::kWed:
+      TRAJ_CHECK(spec.wed != nullptr);
+      return std::make_unique<RlsPlan<detail::WedKind<CustomWedCosts>>>(
+          CustomWedCosts{{}, {}, spec.wed}, policy);
+  }
+  TRAJ_CHECK(false && "unknown distance kind");
+  return nullptr;
 }
 
 }  // namespace trajsearch

@@ -1,11 +1,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "distance/distance.h"
 #include "rl/linear_q.h"
+#include "search/query_run.h"
 #include "search/result.h"
 
 namespace trajsearch {
@@ -63,5 +65,14 @@ RlsPolicy TrainRlsPolicy(
 /// Runs the trained (greedy) policy on one (query, data) pair.
 SearchResult RlsSearch(const DistanceSpec& spec, const RlsPolicy& policy,
                        TrajectoryView query, TrajectoryView data);
+
+/// \brief Bind-once RLS/RLS-Skip execution plan around a copy of `policy`.
+/// Bind builds the scan and suffix steppers and the reversed-query copy
+/// once; Run scans greedily with reused feature buffers and re-evaluates
+/// the found range exactly with the plan's own stepper. The greedy policy's
+/// decisions depend on the full feature stream, so the Run cutoff is
+/// ignored and results always match the stateless RlsSearch.
+std::unique_ptr<QueryRun> MakeRlsRun(const DistanceSpec& spec,
+                                     const RlsPolicy& policy);
 
 }  // namespace trajsearch

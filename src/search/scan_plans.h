@@ -1,0 +1,104 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "distance/distance.h"
+#include "util/check.h"
+
+namespace trajsearch::detail {
+
+/// Internal building blocks shared by the scan-based execution plans
+/// (POS/PSS in pos_pss.cc, RLS/RLS-Skip in rls.cc). A "kind" bundles a cost
+/// holder with the matching column stepper and knows how to construct the
+/// stepper so that later updates of the holder's trajectory views are seen
+/// by the stepper (WED steppers hold the costs by pointer; DTW/Fréchet
+/// steppers receive a SubRef indirection).
+
+/// WED-family kind: Costs is EdrCosts / ErpCosts / CustomWedCosts.
+template <typename CostsT>
+struct WedKind {
+  using Costs = CostsT;
+  using Stepper = WedColumnDp<Costs>;
+
+  static void Emplace(std::optional<Stepper>* dp, int m, const Costs& costs,
+                      DpArena* arena) {
+    dp->emplace(m, costs, arena);
+  }
+};
+
+/// Substitution-only kind (DTW / Fréchet) over Euclidean point costs.
+template <template <typename> class DpT>
+struct SubKind {
+  using Costs = EuclideanSub;
+  using Stepper = DpT<SubRef<EuclideanSub>>;
+
+  static void Emplace(std::optional<Stepper>* dp, int m, const Costs& costs,
+                      DpArena* arena) {
+    dp->emplace(m, SubRef<EuclideanSub>{&costs}, arena);
+  }
+};
+
+/// Per-query state of the forward prefix scan: plan-owned costs (query view
+/// fixed at Bind, data view repointed per candidate) plus the stepper built
+/// over them.
+template <typename Kind>
+struct ScanState {
+  typename Kind::Costs costs;
+  std::optional<typename Kind::Stepper> dp;
+
+  void Bind(TrajectoryView query, const typename Kind::Costs& prototype,
+            DpArena* arena) {
+    TRAJ_CHECK(!query.empty());
+    costs = prototype;
+    costs.q = query;
+    costs.d = TrajectoryView();
+    Kind::Emplace(&dp, static_cast<int>(query.size()), costs, arena);
+  }
+
+  void SetData(TrajectoryView data) { costs.d = data; }
+};
+
+/// Per-query suffix-distance machinery: dist(q, d[t..n-1]) equals the
+/// prefix distance of the reversed pair, so one O(mn) reversed sweep fills
+/// the whole table. The reversed query is copied once per Bind (the
+/// stateless path re-materializes it for every candidate); the reversed
+/// data and the table itself are grow-only per-Run scratch.
+template <typename Kind>
+struct SuffixState {
+  typename Kind::Costs rcosts;
+  std::vector<Point> reversed_query;
+  std::vector<Point> reversed_data;
+  std::optional<typename Kind::Stepper> dp;
+  std::vector<double> suffix;
+
+  void Bind(TrajectoryView query, const typename Kind::Costs& prototype,
+            DpArena* arena) {
+    TRAJ_CHECK(!query.empty());
+    const size_t m = query.size();
+    reversed_query.resize(m);
+    for (size_t i = 0; i < m; ++i) reversed_query[i] = query[m - 1 - i];
+    rcosts = prototype;
+    rcosts.q = TrajectoryView(reversed_query);
+    rcosts.d = TrajectoryView();
+    Kind::Emplace(&dp, static_cast<int>(m), rcosts, arena);
+  }
+
+  /// Fills and returns the table: suffix[t] = dist(q, d[t..n-1]) for
+  /// t in [0, n), suffix[n] = +infinity.
+  const std::vector<double>& Compute(TrajectoryView data) {
+    const size_t n = data.size();
+    TRAJ_CHECK(n >= 1);
+    reversed_data.resize(n);
+    for (size_t j = 0; j < n; ++j) reversed_data[j] = data[n - 1 - j];
+    rcosts.d = TrajectoryView(reversed_data);
+    suffix.assign(n + 1, kDpInfinity);
+    dp->Reset();
+    for (size_t j = 0; j < n; ++j) {
+      suffix[n - 1 - j] = dp->Extend(static_cast<int>(j));
+    }
+    return suffix;
+  }
+};
+
+}  // namespace trajsearch::detail

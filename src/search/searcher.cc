@@ -51,40 +51,30 @@ bool IsExact(Algorithm algorithm, DistanceKind kind) {
 
 namespace {
 
-/// Adapter for the stateless algorithm entry points.
-class FunctionSearcher : public Searcher {
+/// Adapter turning a plan factory into a Searcher.
+class PlanSearcher : public Searcher {
  public:
-  using Fn = SearchResult (*)(const DistanceSpec&, TrajectoryView,
-                              TrajectoryView);
-  FunctionSearcher(std::string name, DistanceSpec spec, Fn fn)
-      : name_(std::move(name)), spec_(spec), fn_(fn) {}
+  using Factory = std::unique_ptr<QueryRun> (*)(const DistanceSpec&);
+  PlanSearcher(std::string name, DistanceSpec spec, Factory factory)
+      : name_(std::move(name)), spec_(spec), factory_(factory) {}
 
-  SearchResult Search(TrajectoryView query,
-                      TrajectoryView data) const override {
-    return fn_(spec_, query, data);
-  }
+  std::unique_ptr<QueryRun> NewRun() const override { return factory_(spec_); }
   std::string_view name() const override { return name_; }
 
  private:
   std::string name_;
   DistanceSpec spec_;
-  Fn fn_;
+  Factory factory_;
 };
 
-SearchResult CmaEntry(const DistanceSpec& spec, TrajectoryView q,
-                      TrajectoryView d) {
-  return CmaSearch(spec, q, d);
+std::unique_ptr<QueryRun> CmaFactory(const DistanceSpec& spec) {
+  return MakeCmaRun(spec);
 }
-SearchResult ExactSEntry(const DistanceSpec& spec, TrajectoryView q,
-                         TrajectoryView d) {
-  return ExactSSearch(spec, q, d);
+std::unique_ptr<QueryRun> SpringFactory(const DistanceSpec&) {
+  return MakeSpringRun();
 }
-SearchResult SpringEntry(const DistanceSpec&, TrajectoryView q,
-                         TrajectoryView d) {
-  return SpringDtw::BestMatch(q, d);
-}
-SearchResult GbEntry(const DistanceSpec&, TrajectoryView q, TrajectoryView d) {
-  return GreedyBacktrackingSearch(q, d);
+std::unique_ptr<QueryRun> GbFactory(const DistanceSpec&) {
+  return MakeGreedyBacktrackingRun();
 }
 
 class RlsSearcher : public Searcher {
@@ -94,9 +84,8 @@ class RlsSearcher : public Searcher {
         policy_(std::move(policy)),
         name_(policy_.options().allow_skip ? "RLS-Skip" : "RLS") {}
 
-  SearchResult Search(TrajectoryView query,
-                      TrajectoryView data) const override {
-    return RlsSearch(spec_, policy_, query, data);
+  std::unique_ptr<QueryRun> NewRun() const override {
+    return MakeRlsRun(spec_, policy_);
   }
   std::string_view name() const override { return name_; }
 
@@ -118,22 +107,22 @@ Result<std::unique_ptr<Searcher>> MakeSearcher(Algorithm algorithm,
   switch (algorithm) {
     case Algorithm::kCma:
       return std::unique_ptr<Searcher>(
-          new FunctionSearcher("CMA", spec, &CmaEntry));
+          new PlanSearcher("CMA", spec, &CmaFactory));
     case Algorithm::kExactS:
       return std::unique_ptr<Searcher>(
-          new FunctionSearcher("ExactS", spec, &ExactSEntry));
+          new PlanSearcher("ExactS", spec, &MakeExactSRun));
     case Algorithm::kSpring:
       return std::unique_ptr<Searcher>(
-          new FunctionSearcher("Spring", spec, &SpringEntry));
+          new PlanSearcher("Spring", spec, &SpringFactory));
     case Algorithm::kGreedyBacktracking:
       return std::unique_ptr<Searcher>(
-          new FunctionSearcher("GB", spec, &GbEntry));
+          new PlanSearcher("GB", spec, &GbFactory));
     case Algorithm::kPos:
       return std::unique_ptr<Searcher>(
-          new FunctionSearcher("POS", spec, &PosSearch));
+          new PlanSearcher("POS", spec, &MakePosRun));
     case Algorithm::kPss:
       return std::unique_ptr<Searcher>(
-          new FunctionSearcher("PSS", spec, &PssSearch));
+          new PlanSearcher("PSS", spec, &MakePssRun));
     case Algorithm::kRls: {
       RlsOptions options;
       options.allow_skip = false;

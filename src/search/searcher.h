@@ -4,6 +4,7 @@
 #include <string_view>
 
 #include "distance/distance.h"
+#include "search/query_run.h"
 #include "search/result.h"
 #include "search/rls.h"
 #include "util/status.h"
@@ -33,13 +34,33 @@ bool IsExact(Algorithm algorithm, DistanceKind kind);
 bool Supports(Algorithm algorithm, DistanceKind kind);
 
 /// \brief Uniform interface over all single-pair search algorithms.
+///
+/// The primary entry point is the two-phase plan API: NewRun() creates a
+/// reusable QueryRun, QueryRun::Bind(query) compiles the query-side state
+/// once, and QueryRun::Run(data, cutoff) evaluates one candidate with
+/// early-abandon support (see search/query_run.h for the cutoff contract).
+/// Search() remains as a stateless one-shot convenience over Bind + Run.
 class Searcher {
  public:
   virtual ~Searcher() = default;
 
-  /// Finds a similar subtrajectory of `data` for `query`.
-  virtual SearchResult Search(TrajectoryView query,
-                              TrajectoryView data) const = 0;
+  /// Creates an unbound execution plan. The plan may be rebound to many
+  /// queries; it must not outlive this searcher.
+  virtual std::unique_ptr<QueryRun> NewRun() const = 0;
+
+  /// Convenience: a plan already bound to `query` (the view must stay valid
+  /// while the plan is used).
+  std::unique_ptr<QueryRun> Bind(TrajectoryView query) const {
+    std::unique_ptr<QueryRun> run = NewRun();
+    run->Bind(query);
+    return run;
+  }
+
+  /// One-shot compatibility shim: finds a similar subtrajectory of `data`
+  /// for `query` by binding a fresh plan and running it without a cutoff.
+  SearchResult Search(TrajectoryView query, TrajectoryView data) const {
+    return Bind(query)->Run(data, kNoCutoff);
+  }
 
   /// Algorithm name for reports.
   virtual std::string_view name() const = 0;

@@ -1,5 +1,7 @@
 #include "search/spring.h"
 
+#include <optional>
+
 #include "distance/dp.h"
 #include "util/check.h"
 
@@ -85,22 +87,35 @@ void SpringDtw::Finish() {
   }
 }
 
+void SpringDtw::Restart() {
+  // The DP rows need no clearing: Push never reads stale cells (row 0 is
+  // always overwritten and j == 0 guards every previous-column access).
+  t_ = 0;
+  dmin_ = kDpInfinity;
+  cand_ = Subrange{};
+  matches_.clear();
+}
+
 void SpringDtw::ReportCandidate() {
   matches_.push_back(SpringMatch{cand_, dmin_});
 }
 
-SearchResult SpringDtw::BestMatch(TrajectoryView query, TrajectoryView data) {
-  SpringDtw spring(query, kDpInfinity);
-  for (const Point& p : data) spring.Push(p);
-  spring.Finish();
+SearchResult SpringDtw::Best() const {
   SearchResult best;
-  for (const SpringMatch& match : spring.matches()) {
+  for (const SpringMatch& match : matches_) {
     if (match.distance < best.distance) {
       best.distance = match.distance;
       best.range = match.range;
     }
   }
   return best;
+}
+
+SearchResult SpringDtw::BestMatch(TrajectoryView query, TrajectoryView data) {
+  SpringDtw spring(query, kDpInfinity);
+  for (const Point& p : data) spring.Push(p);
+  spring.Finish();
+  return spring.Best();
 }
 
 std::vector<SpringMatch> SpringDtw::AllMatches(TrajectoryView query,
@@ -110,6 +125,33 @@ std::vector<SpringMatch> SpringDtw::AllMatches(TrajectoryView query,
   for (const Point& p : data) spring.Push(p);
   spring.Finish();
   return spring.matches();
+}
+
+namespace {
+
+class SpringPlan final : public QueryRun {
+ public:
+  void Bind(TrajectoryView query) override {
+    spring_.emplace(query, kDpInfinity);
+  }
+
+  SearchResult Run(TrajectoryView data, double /*cutoff*/) override {
+    spring_->Restart();
+    for (const Point& p : data) spring_->Push(p);
+    spring_->Finish();
+    return spring_->Best();
+  }
+
+  std::string_view name() const override { return "Spring"; }
+
+ private:
+  std::optional<SpringDtw> spring_;
+};
+
+}  // namespace
+
+std::unique_ptr<QueryRun> MakeSpringRun() {
+  return std::make_unique<SpringPlan>();
 }
 
 }  // namespace trajsearch

@@ -1,9 +1,11 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "distance/distance.h"
+#include "search/query_run.h"
 #include "search/result.h"
 
 namespace trajsearch {
@@ -20,6 +22,14 @@ struct SpringMatch {
   Subrange range;
   double distance = 0;
 };
+
+/// \brief Bind-once Spring execution plan: the query copy and the four O(m)
+/// DP rows are built once per Bind, and each Run restarts the same matcher
+/// over the next candidate. Spring's d_0(t) = 0 boundary keeps every fresh
+/// match start reachable at every step, so no cell set is ever provably
+/// above a cutoff — Run therefore ignores the cutoff and always returns its
+/// full (exact, for DTW) result.
+std::unique_ptr<QueryRun> MakeSpringRun();
 
 /// \brief Streaming Spring matcher over a data trajectory.
 ///
@@ -40,6 +50,12 @@ class SpringDtw {
   /// Flushes the pending candidate (call after the last point).
   void Finish();
 
+  /// Rewinds the matcher to its post-construction state so the same query
+  /// can be streamed against another data trajectory; all buffers (and the
+  /// match list's capacity) are retained, so steady-state reuse is
+  /// allocation-free.
+  void Restart();
+
   /// All reported matches so far (disjoint ranges).
   const std::vector<SpringMatch>& matches() const { return matches_; }
 
@@ -50,6 +66,9 @@ class SpringDtw {
   static std::vector<SpringMatch> AllMatches(TrajectoryView query,
                                              TrajectoryView data,
                                              double epsilon);
+
+  /// The best match of the current (possibly restarted) stream so far.
+  SearchResult Best() const;
 
  private:
   void ReportCandidate();

@@ -25,7 +25,8 @@ uint64_t CombinePointer(uint64_t hash, const void* ptr) {
 }  // namespace
 
 uint64_t EngineOptionsFingerprint(const EngineOptions& options) {
-  // `threads` is deliberately excluded: it changes scheduling, not results.
+  // `threads` and `use_early_abandon` are deliberately excluded: they change
+  // scheduling and the amount of DP work, not results.
   uint64_t hash = 0x51a7e5e5u;
   hash = CombineHash(hash, static_cast<uint64_t>(options.spec.kind));
   hash = CombineDoubleBits(hash, options.spec.edr_epsilon);
@@ -182,34 +183,50 @@ std::vector<std::vector<EngineHit>> QueryService::SubmitBatch(
 
   // Fan every missed query out across every shard in one go, so the pool
   // sees the whole batch at once and dispatch overhead is paid per batch.
+  // Shard engines pool their query plans internally, so a worker that hits
+  // the same shard for the next batched query rebinds an already-warm plan
+  // instead of rebuilding query state from scratch.
   const int n = shard_count();
   std::vector<std::vector<EngineHit>> parts(misses.size() *
                                             static_cast<size_t>(n));
+  std::vector<QueryStats> part_stats(parts.size());
   CountdownLatch latch(static_cast<int>(misses.size()) * n);
   for (size_t mi = 0; mi < misses.size(); ++mi) {
     const size_t qi = misses[mi];
     const TrajectoryView query = queries[qi];
     const int excluded = excluded_ids.empty() ? -1 : excluded_ids[qi];
     for (int s = 0; s < n; ++s) {
-      pool_->Submit([this, s, n, mi, query, excluded, &parts, &latch]() {
+      pool_->Submit([this, s, n, mi, query, excluded, &parts, &part_stats,
+                     &latch]() {
         const Shard& shard = shards_[static_cast<size_t>(s)];
         const int begin = shard.view.begin_id();
         int local_excluded = -1;
         if (excluded >= begin && excluded < begin + shard.view.size()) {
           local_excluded = excluded - begin;
         }
+        const size_t part = mi * static_cast<size_t>(n) +
+                            static_cast<size_t>(s);
         std::vector<EngineHit> hits =
-            shard.engine->Query(query, nullptr, local_excluded);
+            shard.engine->Query(query, &part_stats[part], local_excluded);
         for (EngineHit& hit : hits) {
           hit.trajectory_id += begin;
         }
-        parts[mi * static_cast<size_t>(n) + static_cast<size_t>(s)] =
-            std::move(hits);
+        parts[part] = std::move(hits);
         latch.CountDown();
       });
     }
   }
   latch.Wait();
+
+  // Fold the per-task timing splits into the service counters.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const QueryStats& qs : part_stats) {
+      stats_.prune_seconds += qs.prune_seconds;
+      stats_.bound_seconds += qs.bound_seconds;
+      stats_.pair_search_seconds += qs.pair_search_seconds;
+    }
+  }
 
   for (size_t mi = 0; mi < misses.size(); ++mi) {
     const size_t qi = misses[mi];

@@ -37,6 +37,13 @@ struct ServiceStats {
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t cache_evictions = 0;
+  /// Engine-time split summed over every (query, shard) task that actually
+  /// searched (cache hits skip the engines): candidate generation + bound
+  /// filtering, bound checks alone, and per-pair QueryRun::Run time. CPU
+  /// seconds across all workers, not wall-clock.
+  double prune_seconds = 0;
+  double bound_seconds = 0;
+  double pair_search_seconds = 0;
   /// Cache hit fraction in [0, 1] (0 when nothing was looked up).
   double HitRate() const {
     const uint64_t total = cache_hits + cache_misses;

@@ -250,6 +250,62 @@ TEST(EngineTest, StatsTimingBreakdownIsPopulated) {
   EXPECT_GE(stats.search_seconds, 0.0);
   EXPECT_EQ(stats.searched + stats.pruned_by_bound,
             stats.candidates_after_gbp);
+  // The finer bound/pair split nests inside the legacy totals: in serial
+  // mode prune covers GBP + bound checks and search equals the pair time.
+  EXPECT_GE(stats.bound_seconds, 0.0);
+  EXPECT_GE(stats.pair_search_seconds, 0.0);
+  EXPECT_GE(stats.prune_seconds, stats.bound_seconds);
+  EXPECT_EQ(stats.search_seconds, stats.pair_search_seconds);
+  if (stats.searched > 0) EXPECT_GT(stats.pair_search_seconds, 0.0);
+}
+
+TEST(EngineTest, ConstructorDoesNotMutateCallerOptions) {
+  const Dataset dataset = WalkDataset(10, 20, 63);
+  EngineOptions options;
+  options.spec = DistanceSpec::Dtw();
+  options.use_gbp = true;
+  options.cell_size = 0;  // ask the engine to derive one
+  const SearchEngine engine(&dataset, options);
+  // options() echoes the caller's value; the derived cell side is exposed
+  // through the grid's stats instead.
+  EXPECT_EQ(engine.options().cell_size, 0.0);
+  ASSERT_NE(engine.grid(), nullptr);
+  EXPECT_GT(engine.grid()->stats().cell_size, 0.0);
+  EXPECT_EQ(engine.grid()->stats().cell_size, engine.grid()->cell_size());
+  EXPECT_EQ(engine.grid()->stats().cell_size,
+            DefaultCellSize(dataset.Bounds()));
+}
+
+TEST(EngineTest, EarlyAbandonToggleDoesNotChangeResults) {
+  const Dataset dataset = WalkDataset(40, 18, 71);
+  Rng rng(24);
+  const Trajectory query = RandomWalk(&rng, 6);
+  for (const DistanceSpec& spec : testing::PaperGpsSpecs()) {
+    for (const bool use_kpf : {false, true}) {
+      EngineOptions with;
+      with.spec = spec;
+      with.use_gbp = false;
+      with.use_kpf = use_kpf;
+      with.sample_rate = 1.0;
+      with.top_k = 4;
+      with.use_early_abandon = true;
+      EngineOptions without = with;
+      without.use_early_abandon = false;
+      const SearchEngine fast(&dataset, with);
+      const SearchEngine full(&dataset, without);
+      const std::vector<EngineHit> a = fast.Query(query);
+      const std::vector<EngineHit> b = full.Query(query);
+      ASSERT_EQ(a.size(), b.size()) << ToString(spec.kind);
+      for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].trajectory_id, b[i].trajectory_id)
+            << ToString(spec.kind) << " rank " << i;
+        EXPECT_EQ(a[i].result.distance, b[i].result.distance)
+            << ToString(spec.kind) << " rank " << i;
+        EXPECT_EQ(a[i].result.range, b[i].result.range)
+            << ToString(spec.kind) << " rank " << i;
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,150 @@
+// Steady-state allocation audit of the Bind/Run execution plans: after a
+// warm-up pass over the candidate set, re-running every candidate through a
+// bound plan must perform zero heap allocations — the property the engine's
+// plan pooling relies on for allocation-free search stages under sustained
+// service traffic. Verified by instrumenting global operator new/delete in
+// this test binary only.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "prune/key_point_filter.h"
+#include "search/searcher.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace {
+
+std::atomic<long long> g_allocations{0};
+
+}  // namespace
+
+// Plain counting pass-throughs; ASan still interposes on the malloc layer
+// underneath, so the sanitizer job exercises these too.
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace trajsearch {
+namespace {
+
+using testing::RandomWalk;
+
+long long AllocationCount() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+class PlanAllocTest : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(PlanAllocTest, SteadyStateRunsDoNotAllocate) {
+  const Algorithm algorithm = GetParam();
+  Rng rng(4242);
+  const Trajectory query = RandomWalk(&rng, 12);
+  std::vector<Trajectory> corpus;
+  for (int i = 0; i < 8; ++i) corpus.push_back(RandomWalk(&rng, 40));
+
+  for (const DistanceSpec& spec : testing::PaperGpsSpecs()) {
+    if (!Supports(algorithm, spec.kind)) continue;
+    auto searcher = MakeSearcher(algorithm, spec);
+    ASSERT_TRUE(searcher.ok());
+    std::unique_ptr<QueryRun> plan = searcher.value()->Bind(query);
+
+    // Warm-up: sizes all scratch (rows, heaps, suffix tables, feature
+    // buffers) to this candidate population.
+    for (const Trajectory& data : corpus) {
+      (void)plan->Run(data, kNoCutoff);
+    }
+
+    const long long before = AllocationCount();
+    double sum = 0;
+    for (int pass = 0; pass < 3; ++pass) {
+      for (const Trajectory& data : corpus) {
+        sum += plan->Run(data, kNoCutoff).distance;
+      }
+    }
+    const long long after = AllocationCount();
+    EXPECT_EQ(after - before, 0)
+        << ToString(algorithm) << "/" << ToString(spec.kind)
+        << " allocated on the steady-state path (checksum " << sum << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Algorithms, PlanAllocTest,
+    ::testing::Values(Algorithm::kCma, Algorithm::kExactS, Algorithm::kSpring,
+                      Algorithm::kGreedyBacktracking, Algorithm::kPos,
+                      Algorithm::kPss, Algorithm::kRls, Algorithm::kRlsSkip),
+    [](const ::testing::TestParamInfo<Algorithm>& info) {
+      std::string name(ToString(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(PlanAllocTest, ReboundPlanReusesScratchAcrossQueries) {
+  // Rebinding to same-sized queries must also be allocation-free for the
+  // arena-backed plans (CMA/ExactS; the scan plans additionally copy the
+  // reversed query into a grow-only buffer, which stays in capacity).
+  Rng rng(777);
+  std::vector<Trajectory> queries;
+  for (int i = 0; i < 4; ++i) queries.push_back(RandomWalk(&rng, 10));
+  std::vector<Trajectory> corpus;
+  for (int i = 0; i < 4; ++i) corpus.push_back(RandomWalk(&rng, 30));
+
+  for (const Algorithm algorithm :
+       {Algorithm::kCma, Algorithm::kExactS, Algorithm::kPos,
+        Algorithm::kPss}) {
+    const DistanceSpec spec = DistanceSpec::Dtw();
+    auto searcher = MakeSearcher(algorithm, spec);
+    ASSERT_TRUE(searcher.ok());
+    std::unique_ptr<QueryRun> plan = searcher.value()->NewRun();
+    for (const Trajectory& q : queries) {  // warm-up over all queries
+      plan->Bind(q);
+      for (const Trajectory& data : corpus) (void)plan->Run(data, kNoCutoff);
+    }
+    const long long before = AllocationCount();
+    double sum = 0;
+    for (const Trajectory& q : queries) {
+      plan->Bind(q);
+      for (const Trajectory& data : corpus) {
+        sum += plan->Run(data, kNoCutoff).distance;
+      }
+    }
+    EXPECT_EQ(AllocationCount() - before, 0)
+        << ToString(algorithm) << " re-Bind allocated (checksum " << sum
+        << ")";
+  }
+}
+
+TEST(PlanAllocTest, KpfBoundPlanLowerBoundDoesNotAllocate) {
+  Rng rng(888);
+  const Trajectory query = RandomWalk(&rng, 12);
+  std::vector<Trajectory> corpus;
+  for (int i = 0; i < 6; ++i) corpus.push_back(RandomWalk(&rng, 40));
+  KpfBoundPlan plan;
+  for (const DistanceSpec& spec : testing::PaperGpsSpecs()) {
+    plan.Bind(spec, query, 0.5);
+    const long long before = AllocationCount();
+    double sum = 0;
+    for (const Trajectory& data : corpus) sum += plan.LowerBound(data);
+    EXPECT_EQ(AllocationCount() - before, 0)
+        << ToString(spec.kind) << " bound allocated (checksum " << sum << ")";
+  }
+}
+
+}  // namespace
+}  // namespace trajsearch

@@ -224,6 +224,10 @@ TEST(QueryServiceTest, StatsCountQueriesAndBatches) {
   EXPECT_EQ(stats.queries, 3u);
   EXPECT_EQ(stats.batches, 2u);
   EXPECT_EQ(stats.cache_hits, 1u);  // a was cached by the batch
+  // The two cache misses actually hit the shard engines, so the engine-time
+  // split accumulated; with KPF on, the misses ran pair searches.
+  EXPECT_GT(stats.pair_search_seconds, 0.0);
+  EXPECT_GE(stats.prune_seconds, stats.bound_seconds);
 }
 
 TEST(QueryServiceTest, ConcurrentSubmittersAreSafe) {
