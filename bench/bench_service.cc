@@ -9,7 +9,8 @@
 // Flags: --scale (corpus multiplier), --queries, --seed, --passes,
 // --json=<path> (write the storage-layout metrics as JSON, e.g.
 // BENCH_pr2.json), --json-pr3=<path> (write the execution-model metrics,
-// e.g. BENCH_pr3.json).
+// e.g. BENCH_pr3.json), --json-pr4=<path> (write the threshold-sharing
+// metrics, e.g. BENCH_pr4.json).
 
 #include <cstdio>
 #include <fstream>
@@ -547,6 +548,138 @@ void Main(int argc, char** argv) {
     }
   }
 
+  // -------------------------------------------------------------------
+  // Threshold sharing: the PR-4 execution model on the threaded/sharded
+  // serving workload — the dense-survivor regime the plan API targets
+  // (every corpus trajectory a candidate, as in the [PR3] section), served
+  // through a 4-shard QueryService with 2 engine worker tasks per shard
+  // (cache off, so every pass really searches). Two sound sub-workloads,
+  // so every row is hit-for-hit identical to the unsharded serial engine:
+  //
+  //   abandon-only (no bound filter): the top-K threshold's only lever is
+  //     DP early abandoning inside QueryRun::Run — the cleanest measure of
+  //     local per-worker/per-shard heaps (PR-3) vs one global SharedTopK.
+  //   OSF bound (KPF at r=1.0): adds the sound bound filter; the ordered
+  //     row additionally evaluates candidates by ascending cached bound,
+  //     so the global threshold tightens at the front of the list.
+  // -------------------------------------------------------------------
+  {
+    PrintHeader("[PR4] Threshold sharing: local heaps vs shared top-K "
+                "vs shared + ordered candidates");
+    const int shards = 4;
+    const int engine_threads = 2;
+    EngineOptions dense = engine_options;
+    dense.use_gbp = false;  // dense survivors: all corpus trajectories
+    dense.use_kpf = false;
+    dense.threads = engine_threads;
+
+    // Reference: unsharded serial engine over the same dense pipeline (all
+    // five rows below must match it exactly).
+    std::vector<std::vector<EngineHit>> dense_reference(queries.size());
+    {
+      EngineOptions serial = dense;
+      serial.threads = 1;
+      const SearchEngine engine(&w.corpus, serial);
+      for (size_t qi = 0; qi < queries.size(); ++qi) {
+        dense_reference[qi] = engine.Query(queries[qi], nullptr,
+                                           w.excluded[qi]);
+      }
+    }
+
+    struct Pr4Mode {
+      const char* name;
+      bool osf_bound;  // KPF at r=1.0 (sound) vs no bound filter
+      bool share;
+      bool order;
+    };
+    const Pr4Mode modes[] = {
+        {"abandon-only, local heaps (PR3)", false, false, false},
+        {"abandon-only, shared threshold", false, true, false},
+        {"OSF bound, local heaps (PR3)", true, false, false},
+        {"OSF bound, shared threshold", true, true, false},
+        {"OSF bound, shared + ordered", true, true, true},
+    };
+    constexpr int kModes = 5;
+    double seconds[kModes];
+    bool identical[kModes];
+    for (int m = 0; m < kModes; ++m) {
+      ServiceOptions options;
+      options.engine = dense;
+      options.engine.use_kpf = modes[m].osf_bound;
+      options.engine.sample_rate = 1.0;  // sound: shared == serial results
+      options.engine.share_threshold = modes[m].share;
+      options.engine.order_candidates = modes[m].order;
+      options.shards = shards;
+      options.cache_capacity = 0;
+      QueryService service(w.corpus, options);
+      const std::vector<std::vector<EngineHit>> got =
+          service.SubmitBatch(queries, w.excluded);  // warm-up + identity
+      identical[m] = Identical(dense_reference, got);
+      double best = 1e300;
+      for (int p = 0; p < passes; ++p) {
+        Stopwatch watch;
+        service.SubmitBatch(queries, w.excluded);
+        best = std::min(best, watch.Seconds());
+      }
+      seconds[m] = best;
+    }
+
+    TablePrinter pr4_table({"Search stage", "Batch (s)", "Speedup"});
+    for (int m = 0; m < kModes; ++m) {
+      const int baseline = modes[m].osf_bound ? 2 : 0;  // vs its local row
+      pr4_table.AddRow(
+          {modes[m].name, TablePrinter::Num(seconds[m], 4),
+           TablePrinter::Num(seconds[baseline] / seconds[m], 2) + "x"});
+    }
+    pr4_table.Print();
+    bool all_identical = true;
+    for (int m = 0; m < kModes; ++m) all_identical &= identical[m];
+    std::printf("%d shards x %d engine workers, top-%d over %d dense "
+                "candidates/query;\nall rows identical to the unsharded "
+                "serial engine: %s\n",
+                shards, engine_threads, dense.top_k, w.corpus.size(),
+                all_identical ? "yes" : "NO");
+    if (!all_identical) {
+      // CI correctness gate: threshold sharing must not change results
+      // under a sound bound.
+      std::fprintf(stderr,
+                   "FATAL: threshold sharing diverges from the serial "
+                   "engine\n");
+      std::exit(1);
+    }
+
+    const std::string json_pr4 = flags.GetString("json-pr4", "");
+    if (!json_pr4.empty()) {
+      FILE* f = std::fopen(json_pr4.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", json_pr4.c_str());
+      } else {
+        std::fprintf(
+            f,
+            "{\n"
+            "  \"bench\": \"pr4_threshold_sharing\",\n"
+            "  \"corpus_trajectories\": %d,\n"
+            "  \"queries\": %zu,\n"
+            "  \"shards\": %d,\n"
+            "  \"engine_threads\": %d,\n"
+            "  \"abandon_local_heaps_seconds\": %.6f,\n"
+            "  \"abandon_shared_seconds\": %.6f,\n"
+            "  \"osf_local_heaps_seconds\": %.6f,\n"
+            "  \"osf_shared_seconds\": %.6f,\n"
+            "  \"osf_shared_ordered_seconds\": %.6f,\n"
+            "  \"speedup_shared_vs_local\": %.3f,\n"
+            "  \"speedup_ordered_vs_local\": %.3f,\n"
+            "  \"identical_results\": true\n"
+            "}\n",
+            w.corpus.size(), queries.size(), shards, engine_threads,
+            seconds[0], seconds[1], seconds[2], seconds[3], seconds[4],
+            seconds[0] / seconds[1], seconds[2] / seconds[4]);
+        std::fclose(f);
+        std::printf("wrote %s\n", json_pr4.c_str());
+      }
+    }
+  }
+
   std::printf(
       "\nShape check: on a machine with >= 4 hardware threads, queries/s "
       "grows with shard\ncount (the 4-shard row exceeds 1.5x the 1-shard "
@@ -554,7 +687,10 @@ void Main(int argc, char** argv) {
       "passes 2-3 (hit rate -> 2/3 of lookups). The\n[PR2] grid query and "
       "snapshot load rows must be at least 1x vs legacy. The\n[PR3] "
       "bind-once + cutoff row must be at least 1.2x vs the stateless "
-      "stage.\n");
+      "stage.\nThe [PR4] shared-threshold rows must beat their local-heap "
+      "baselines (the\nabandon-only pair isolates the threshold effect and "
+      "shows it even on one core,\nsince a tighter cutoff removes DP work "
+      "rather than just overlapping it).\n");
 }
 
 }  // namespace

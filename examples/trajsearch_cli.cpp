@@ -159,6 +159,8 @@ int CmdSearch(const Flags& flags) {
   options.use_gbp = flags.GetBool("gbp", true);
   options.use_kpf = flags.GetBool("kpf", true);
   options.threads = static_cast<int>(flags.GetInt("threads", 1));
+  options.order_candidates = flags.GetBool("order", true);
+  options.share_threshold = flags.GetBool("share-threshold", true);
 
   const SearchEngine engine(&dataset, options);
   Stopwatch watch;
@@ -180,6 +182,15 @@ int CmdSearch(const Flags& flags) {
               stats.searched, stats.pruned_by_bound);
   std::printf("engine split: bound checks %.3f s, pair search %.3f s\n",
               stats.bound_seconds, stats.pair_search_seconds);
+  // Ordering only applies to the shared-threshold pipeline (the local-heap
+  // ablation always runs in id order) — report what actually happened.
+  std::printf("execution: %d worker thread%s, %s top-K threshold, "
+              "candidates %s\n",
+              options.threads, options.threads == 1 ? "" : "s",
+              options.share_threshold ? "shared" : "per-worker",
+              options.order_candidates && options.share_threshold
+                  ? "ordered most-promising-first"
+                  : "in id order");
   return 0;
 }
 
@@ -228,6 +239,9 @@ int CmdBatch(const Flags& flags) {
   options.engine.mu = flags.GetDouble("mu", 0.2);
   options.engine.use_gbp = flags.GetBool("gbp", true);
   options.engine.use_kpf = flags.GetBool("kpf", true);
+  options.engine.threads = static_cast<int>(flags.GetInt("threads", 1));
+  options.engine.order_candidates = flags.GetBool("order", true);
+  options.engine.share_threshold = flags.GetBool("share-threshold", true);
   options.shards = static_cast<int>(flags.GetInt("shards", 4));
   options.worker_threads = static_cast<int>(flags.GetInt("workers", 0));
   options.cache_capacity =
@@ -241,6 +255,15 @@ int CmdBatch(const Flags& flags) {
               "%d workers, cache %zu entries\n",
               corpus_size, load_seconds, service.shard_count(),
               service.options().worker_threads, options.cache_capacity);
+  std::printf("execution: one scheduler pool for shard fan-out and engine "
+              "workers (%d tasks/query);\n           %s top-K threshold "
+              "across shards and workers, candidates %s\n",
+              service.shard_count() * std::max(1, options.engine.threads),
+              options.engine.share_threshold ? "one shared" : "per-heap",
+              options.engine.order_candidates &&
+                      options.engine.share_threshold
+                  ? "ordered most-promising-first"
+                  : "in id order");
 
   std::vector<TrajectoryView> queries;
   queries.reserve(static_cast<size_t>(query_set.value().size()));

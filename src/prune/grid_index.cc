@@ -185,15 +185,25 @@ std::vector<std::pair<int, int>> GridIndex::CloseCounts(
   return result;
 }
 
-void GridIndex::Candidates(TrajectoryView query, double mu,
-                           std::vector<int>* out) const {
+void GridIndex::SurvivorCounts(
+    TrajectoryView query, double mu,
+    std::vector<std::pair<int, int>>* out) const {
   thread_local std::vector<std::pair<int, int>> counts;
   CloseCounts(query, &counts);
   const double threshold = mu * static_cast<double>(query.size());
   out->clear();
   for (const auto& [id, count] : counts) {
-    if (static_cast<double>(count) >= threshold) out->push_back(id);
+    if (static_cast<double>(count) >= threshold) out->emplace_back(id, count);
   }
+}
+
+void GridIndex::Candidates(TrajectoryView query, double mu,
+                           std::vector<int>* out) const {
+  thread_local std::vector<std::pair<int, int>> survivors;
+  SurvivorCounts(query, mu, &survivors);
+  out->clear();
+  out->reserve(survivors.size());
+  for (const auto& [id, count] : survivors) out->push_back(id);
 }
 
 std::vector<int> GridIndex::Candidates(TrajectoryView query,
@@ -201,6 +211,24 @@ std::vector<int> GridIndex::Candidates(TrajectoryView query,
   std::vector<int> ids;
   Candidates(query, mu, &ids);
   return ids;
+}
+
+void GridIndex::OrderedCandidates(TrajectoryView query, double mu,
+                                  std::vector<int>* out) const {
+  thread_local std::vector<std::pair<int, int>> survivors;
+  thread_local std::vector<std::pair<int, int>> order;
+  SurvivorCounts(query, mu, &survivors);  // same set as Candidates()
+  order.clear();
+  order.reserve(survivors.size());
+  for (const auto& [id, count] : survivors) {
+    // Negated count so the default pair ordering yields descending count,
+    // ascending id — a deterministic most-promising-first order.
+    order.emplace_back(-count, id);
+  }
+  std::sort(order.begin(), order.end());
+  out->clear();
+  out->reserve(order.size());
+  for (const auto& [neg_count, id] : order) out->push_back(id);
 }
 
 }  // namespace trajsearch

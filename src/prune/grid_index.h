@@ -73,6 +73,17 @@ class GridIndex {
   /// Allocating convenience wrapper around the scratch-reusing overload.
   std::vector<int> Candidates(TrajectoryView query, double mu) const;
 
+  /// Candidates ordered most-promising-first for the engine's shared-
+  /// threshold search: ids with close(q, T) >= mu * |query|, sorted by
+  /// descending close count and ascending id within equal counts. A high
+  /// close count is a cheap proxy for a low distance, so evaluating these
+  /// first tightens the global top-K threshold early and lets the bound
+  /// filter and DP early abandoning prune the tail. Same candidate *set* as
+  /// Candidates() — only the order differs. Reuses `out`'s capacity; safe to
+  /// call concurrently.
+  void OrderedCandidates(TrajectoryView query, double mu,
+                         std::vector<int>* out) const;
+
   double cell_size() const { return cell_size_; }
   size_t cell_count() const { return cell_keys_.size(); }
   int dataset_size() const { return dataset_size_; }
@@ -82,6 +93,11 @@ class GridIndex {
   int64_t CellKey(double x, double y) const;
   /// Postings of the cell with `key`, or an empty range.
   std::pair<const int32_t*, const int32_t*> CellRange(int64_t key) const;
+  /// The one mu-threshold filter both Candidates() and OrderedCandidates()
+  /// select survivors with: (id, close count) pairs with
+  /// close(q, T) >= mu * |query|, ascending id.
+  void SurvivorCounts(TrajectoryView query, double mu,
+                      std::vector<std::pair<int, int>>* out) const;
 
   double cell_size_;
   int dataset_size_;

@@ -1,15 +1,31 @@
 #include "search/engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <span>
-#include <thread>
 #include <utility>
 
 #include "search/topk.h"
 #include "util/check.h"
+#include "util/scheduler.h"
 #include "util/stopwatch.h"
 
 namespace trajsearch {
+
+namespace {
+
+/// Candidate-chunk size for the pool-scheduled search stage: small enough
+/// that workers load-balance and the most promising candidates (front of the
+/// ordered list) finish early and tighten the shared threshold, large enough
+/// that the atomic chunk counter is not contended.
+size_t ChunkSize(size_t candidates, int workers) {
+  const size_t target_chunks = static_cast<size_t>(workers) * 4;
+  return std::max<size_t>(
+      1, std::min<size_t>(64, (candidates + target_chunks - 1) /
+                                  target_chunks));
+}
+
+}  // namespace
 
 SearchEngine::SearchEngine(DatasetView data, EngineOptions options)
     : data_(data), options_(options) {
@@ -69,27 +85,45 @@ void SearchEngine::ReleaseBound(std::unique_ptr<KpfBoundPlan> bound) const {
 std::vector<EngineHit> SearchEngine::Query(TrajectoryView query,
                                            QueryStats* stats,
                                            int excluded_id) const {
+  SharedTopK topk(options_.top_k);
+  QueryInto(query, &topk, /*id_offset=*/0, stats, excluded_id);
+  return topk.Sorted();
+}
+
+void SearchEngine::QueryInto(TrajectoryView query, SharedTopK* topk,
+                             int id_offset, QueryStats* stats,
+                             int excluded_id) const {
   QueryStats local;
   IntervalTimer gbp_timer;
 
-  // Stage 1: GBP candidate generation. The candidate buffer is per-thread
-  // scratch so steady-state queries reuse its capacity instead of
+  // Stage 1: GBP candidate generation, most-promising-first when ordering is
+  // on (descending close count — close counts are already computed for the
+  // mu filter, so the order is nearly free). The candidate buffer is
+  // per-thread scratch so steady-state queries reuse its capacity instead of
   // reallocating (the parallel search stage below only reads it).
   gbp_timer.Start();
   thread_local std::vector<int> candidate_scratch;
+  thread_local std::vector<double> bound_cache_scratch;
+  bound_cache_scratch.clear();
+  // The local-heap ablation (share_threshold off) reproduces PR-3, whose
+  // distance-only thresholds are only sound on id-ascending worker streams
+  // — so ordering applies to the shared-threshold pipeline only.
+  const bool ordering =
+      options_.order_candidates && options_.share_threshold;
   if (grid_ != nullptr) {
-    grid_->Candidates(query, options_.mu, &candidate_scratch);
+    if (ordering) {
+      grid_->OrderedCandidates(query, options_.mu, &candidate_scratch);
+    } else {
+      grid_->Candidates(query, options_.mu, &candidate_scratch);
+    }
   } else {
     candidate_scratch.resize(static_cast<size_t>(data_.size()));
     for (int id = 0; id < data_.size(); ++id) {
       candidate_scratch[static_cast<size_t>(id)] = id;
     }
   }
-  // Bind the scratch on this thread: thread_local names are not captured by
-  // lambdas, so the parallel workers below must go through this span.
-  const std::span<const int> candidates(candidate_scratch);
   gbp_timer.Stop();
-  local.candidates_after_gbp = static_cast<int>(candidates.size());
+  local.candidates_after_gbp = static_cast<int>(candidate_scratch.size());
 
   // Stage 2 setup: one query-bound KPF/OSF plan, shared read-only by every
   // worker (key points and deletion costs are per-query state).
@@ -101,104 +135,168 @@ std::vector<EngineHit> SearchEngine::Query(TrajectoryView query,
                 options_.use_osf ? 1.0 : options_.sample_rate);
   }
 
-  // Stages 2+3 for one candidate, against the given heap and plan. Returns
-  // true if the candidate was searched, false if it was pruned or skipped.
-  auto process = [&](int id, TopKHeap* heap, QueryRun* run,
-                     IntervalTimer* bound_timer, IntervalTimer* pair_timer,
-                     int* pruned) {
+  // Without a grid there are no close counts to order by; order by the
+  // KPF/OSF lower bound instead (ascending — the candidates most likely to
+  // beat a tight threshold run first). The bounds are computed once here and
+  // cached for the workers' bound filter, so ordering shifts the bound work
+  // up front rather than adding any.
+  IntervalTimer order_timer;
+  if (ordering && grid_ == nullptr && bound != nullptr) {
+    order_timer.Start();
+    bound->OrderByBound(data_, &candidate_scratch, &bound_cache_scratch);
+    order_timer.Stop();
+  }
+
+  // Bind the scratch on this thread: thread_local names are not captured by
+  // lambdas, so the parallel workers below must go through these spans.
+  const std::span<const int> candidates(candidate_scratch);
+  const std::span<const double> cached_bounds(bound_cache_scratch);
+
+  struct WorkerState {
+    IntervalTimer bound_timer;
+    IntervalTimer pair_timer;
+    int pruned = 0;
+    int searched = 0;
+  };
+
+  // Stages 2+3 for one candidate (by position in the ordered candidate
+  // list), pruning against `heap` when given (PR-3-style local top-K,
+  // thresholds only as tight as this worker's own hits) or against the
+  // query-global SharedTopK otherwise. Returns true if the candidate was
+  // searched, false if it was pruned or skipped. Threshold semantics: the
+  // local heap uses the legacy distance-only `lower >= Worst()` prune
+  // (sound because the worker's id-ascending stream makes the tied
+  // incumbent the smaller id, and streams are merged canonically at the
+  // end); the SharedTopK prune is tie-aware — it compares (lower, global
+  // id) against the published (K-th best, its id) in canonical order — so
+  // it makes the same decisions as the legacy rule on a single id-ascending
+  // stream while staying order-independent across workers and shards.
+  auto process = [&](size_t c, TopKHeap* heap, QueryRun* run,
+                     WorkerState* state) {
+    const int id = candidates[c];
     if (id == excluded_id) return false;
     const TrajectoryRef data = data_[id];
     if (data.empty()) return false;
-    if (bound != nullptr && heap->Full()) {
-      bound_timer->Start();
-      const double lower = bound->LowerBound(data);
-      bound_timer->Stop();
-      if (lower >= heap->Worst()) {
-        ++*pruned;
+    if (bound != nullptr &&
+        (heap != nullptr ? heap->Full()
+                         : topk->Cutoff() != kNoCutoff)) {
+      double lower;
+      if (!cached_bounds.empty()) {
+        lower = cached_bounds[c];  // paid once in the ordering pre-pass
+      } else {
+        state->bound_timer.Start();
+        lower = bound->LowerBound(data);
+        state->bound_timer.Stop();
+      }
+      const bool pruned = heap != nullptr
+                              ? lower >= heap->Worst()
+                              : topk->ShouldPrune(lower, id + id_offset);
+      if (pruned) {
+        ++state->pruned;
         return false;
       }
     }
-    // Early abandoning: once the heap is full, a result at or above the
-    // K-th best distance can never displace it (ties lose to the smaller
-    // id already present — candidates arrive in ascending id order), so
-    // the plan may stop as soon as it can prove the threshold unbeatable.
-    const double cutoff = options_.use_early_abandon && heap->Full()
-                              ? heap->Worst()
-                              : kNoCutoff;
-    pair_timer->Start();
+    // Early abandoning: a result at or above the cutoff can never enter the
+    // top-K (SharedTopK's cutoff is strictly above the K-th best, so
+    // distance ties — which may still win on the canonical id tie-break —
+    // stay below it and are computed exactly), so the plan may stop as soon
+    // as it can prove the cutoff unbeatable.
+    double cutoff = kNoCutoff;
+    if (options_.use_early_abandon) {
+      cutoff = heap != nullptr
+                   ? (heap->Full() ? heap->Worst() : kNoCutoff)
+                   : topk->Cutoff();
+    }
+    state->pair_timer.Start();
     const SearchResult result = run->Run(data, cutoff);
-    pair_timer->Stop();
-    heap->Offer(EngineHit{id, result});
+    state->pair_timer.Stop();
+    if (heap != nullptr) {
+      heap->Offer(EngineHit{id, result});
+    } else {
+      topk->Offer(EngineHit{id + id_offset, result});
+    }
     return true;
   };
 
-  TopKHeap merged(options_.top_k);
   if (candidates.empty()) {
     local.prune_seconds = gbp_timer.TotalSeconds();
+    local.bound_seconds = order_timer.TotalSeconds();
   } else if (options_.threads <= 1) {
-    IntervalTimer bound_timer, pair_timer;
+    WorkerState state;
     std::unique_ptr<QueryRun> run = AcquireRun();
     run->Bind(query);
-    for (const int id : candidates) {
-      if (process(id, &merged, run.get(), &bound_timer, &pair_timer,
-                  &local.pruned_by_bound)) {
-        ++local.searched;
-      }
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      if (process(c, nullptr, run.get(), &state)) ++local.searched;
     }
     ReleaseRun(std::move(run));
-    local.bound_seconds = bound_timer.TotalSeconds();
-    local.pair_search_seconds = pair_timer.TotalSeconds();
+    local.pruned_by_bound = state.pruned;
+    local.bound_seconds =
+        order_timer.TotalSeconds() + state.bound_timer.TotalSeconds();
+    local.pair_search_seconds = state.pair_timer.TotalSeconds();
     local.prune_seconds = gbp_timer.TotalSeconds() + local.bound_seconds;
     local.search_seconds = local.pair_search_seconds;
   } else {
-    // Parallel search stage: static partitioning, thread-local heaps and
-    // plans, merge at the end. search_seconds reports wall-clock for the
-    // whole stage; bound/pair seconds are summed across workers.
-    const int workers = std::min<int>(
-        options_.threads, std::max<size_t>(candidates.size(), 1));
-    std::vector<TopKHeap> heaps(static_cast<size_t>(workers),
-                                TopKHeap(options_.top_k));
-    std::vector<int> pruned(static_cast<size_t>(workers), 0);
-    std::vector<int> searched(static_cast<size_t>(workers), 0);
-    std::vector<IntervalTimer> bound_timers(static_cast<size_t>(workers));
-    std::vector<IntervalTimer> pair_timers(static_cast<size_t>(workers));
+    // Parallel search stage: up to `threads` worker tasks on the shared
+    // scheduler pool pull candidate chunks from an atomic counter (dynamic
+    // load balancing; the ordered front of the list runs first). Each
+    // worker binds one pooled plan to the query. search_seconds reports
+    // wall-clock for the whole stage; bound/pair seconds are summed across
+    // workers.
+    const int workers = static_cast<int>(std::min<size_t>(
+        static_cast<size_t>(options_.threads), candidates.size()));
+    const size_t chunk = ChunkSize(candidates.size(), workers);
+    std::vector<WorkerState> states(static_cast<size_t>(workers));
+    std::atomic<size_t> next{0};
     Stopwatch stage;
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<size_t>(workers));
-    for (int w = 0; w < workers; ++w) {
-      pool.emplace_back([&, w]() {
-        const size_t wi = static_cast<size_t>(w);
-        std::unique_ptr<QueryRun> run = AcquireRun();
-        run->Bind(query);
-        for (size_t c = wi; c < candidates.size();
-             c += static_cast<size_t>(workers)) {
-          if (process(candidates[c], &heaps[wi], run.get(),
-                      &bound_timers[wi], &pair_timers[wi], &pruned[wi])) {
-            ++searched[wi];
-          }
+
+    auto worker = [&](int w) {
+      WorkerState& state = states[static_cast<size_t>(w)];
+      std::unique_ptr<QueryRun> run = AcquireRun();
+      run->Bind(query);
+      // PR-3-style local heap, only consulted when threshold sharing is off
+      // (ablation/benchmark baseline).
+      TopKHeap local_heap(options_.top_k);
+      TopKHeap* heap = options_.share_threshold ? nullptr : &local_heap;
+      for (;;) {
+        const size_t begin =
+            next.fetch_add(chunk, std::memory_order_relaxed);
+        if (begin >= candidates.size()) break;
+        const size_t end = std::min(candidates.size(), begin + chunk);
+        for (size_t c = begin; c < end; ++c) {
+          if (process(c, heap, run.get(), &state)) ++state.searched;
         }
-        ReleaseRun(std::move(run));
-      });
+      }
+      if (heap != nullptr) {
+        for (const EngineHit& hit : heap->Sorted()) {
+          topk->Offer(EngineHit{hit.trajectory_id + id_offset, hit.result});
+        }
+      }
+      ReleaseRun(std::move(run));
+    };
+
+    ThreadPool& pool = options_.scheduler != nullptr ? *options_.scheduler
+                                                     : DefaultScheduler();
+    TaskGroup group;
+    for (int w = 1; w < workers; ++w) {
+      pool.Submit(&group, [&worker, w]() { worker(w); });
     }
-    for (std::thread& t : pool) t.join();
+    worker(0);  // the caller is worker 0, so progress never depends on the
+                // pool having an idle thread
+    group.Wait();
+
     local.search_seconds = stage.Seconds();
     local.prune_seconds = gbp_timer.TotalSeconds();
-    for (int w = 0; w < workers; ++w) {
-      local.pruned_by_bound += pruned[static_cast<size_t>(w)];
-      local.searched += searched[static_cast<size_t>(w)];
-      local.bound_seconds += bound_timers[static_cast<size_t>(w)].TotalSeconds();
-      local.pair_search_seconds +=
-          pair_timers[static_cast<size_t>(w)].TotalSeconds();
-      for (const EngineHit& hit : heaps[static_cast<size_t>(w)].Sorted()) {
-        merged.Offer(hit);
-      }
+    local.bound_seconds = order_timer.TotalSeconds();
+    for (const WorkerState& state : states) {
+      local.pruned_by_bound += state.pruned;
+      local.searched += state.searched;
+      local.bound_seconds += state.bound_timer.TotalSeconds();
+      local.pair_search_seconds += state.pair_timer.TotalSeconds();
     }
   }
   if (bound != nullptr) ReleaseBound(std::move(bound));
 
-  std::vector<EngineHit> hits = merged.Sorted();
   if (stats != nullptr) *stats = local;
-  return hits;
 }
 
 }  // namespace trajsearch

@@ -11,6 +11,9 @@
 
 namespace trajsearch {
 
+class SharedTopK;
+class ThreadPool;
+
 /// \brief Configuration of the database-level search pipeline (Algorithm 3):
 /// GBP candidate filter -> KPF lower-bound filter -> per-trajectory search.
 struct EngineOptions {
@@ -36,18 +39,44 @@ struct EngineOptions {
   /// Trained policy for kRls / kRlsSkip (optional; untrained if null).
   const RlsPolicy* rls_policy = nullptr;
   /// Worker threads for the search stage (1 = the paper's serial pipeline).
-  /// With more threads, candidates are partitioned and each worker keeps a
-  /// local top-K (bound pruning and early abandoning use the local K-th
-  /// best, so slightly fewer prunes than serial); results are identical to
-  /// the serial engine whenever the bound is sound (KPF at sample_rate 1.0,
-  /// OSF, or bounds off) — a *sampled* KPF estimate may prune differently
-  /// under the local vs global threshold.
+  /// With more threads, candidates are processed in chunks pulled from a
+  /// shared counter by up to `threads` worker tasks on the scheduler pool;
+  /// all workers prune against one global SharedTopK threshold. Results are
+  /// identical to the serial engine whenever the bound is sound (KPF at
+  /// sample_rate 1.0, OSF, or bounds off) — a *sampled* KPF estimate may
+  /// prune differently depending on when the shared threshold tightened.
   int threads = 1;
-  /// Threads the live top-K threshold (heap->Worst()) into QueryRun::Run as
-  /// an early-abandon cutoff. Results are identical either way — the plans
-  /// only abandon work that provably cannot beat the threshold — so this
-  /// exists for benchmarking/ablation, like `threads`.
+  /// Threads the live top-K threshold (SharedTopK::Cutoff()) into
+  /// QueryRun::Run as an early-abandon cutoff. Results are identical either
+  /// way — the plans only abandon work that provably cannot beat the
+  /// threshold — so this exists for benchmarking/ablation, like `threads`.
   bool use_early_abandon = true;
+  /// All workers of one query (and, under the service, all shards) prune
+  /// against one global SharedTopK threshold. When false, each worker keeps
+  /// a PR-3-style local top-K (merged canonically at the end) and the
+  /// service merges per-shard heaps — a strictly weaker abandon threshold,
+  /// kept as a benchmarking/ablation baseline; candidates then always run
+  /// in ascending id order (`order_candidates` is ignored), because the
+  /// local-heap thresholds are only tie-safe on id-ascending worker
+  /// streams. Results are identical either way under a sound bound; under
+  /// a *sampled* estimate the shared threshold's tightening time depends on
+  /// thread interleaving, so threaded/sharded results can additionally vary
+  /// run to run (the PR-3 local heaps varied only with the worker count) —
+  /// use sample_rate = 1.0 or OSF where determinism matters.
+  bool share_threshold = true;
+  /// Evaluate candidates most-promising-first (descending GBP close count;
+  /// with GBP off, ascending KPF/OSF lower bound) instead of ascending id,
+  /// so the top-K threshold tightens early and prunes the tail. Applies to
+  /// the shared-threshold pipeline only (see share_threshold). The
+  /// candidate *set* and, under a sound bound, the results are unchanged;
+  /// with a *sampled* KPF estimate the evaluation order can change which
+  /// candidates the estimate prunes (same caveat as `threads`).
+  bool order_candidates = true;
+  /// Scheduler pool for the multi-threaded search stage; null uses the
+  /// process-wide DefaultScheduler(). The QueryService injects its own pool
+  /// here so shard fan-out and per-query workers share one thread set
+  /// (never hashed into options fingerprints; not owned).
+  ThreadPool* scheduler = nullptr;
 };
 
 /// \brief One result of a database query.
@@ -86,11 +115,22 @@ struct QueryStats {
 /// Searcher::NewRun() yields a QueryRun that owns all query-derived state
 /// (DP columns, deletion-prefix tables, reversed-query copies, scratch
 /// rows) — and evaluates every pruning survivor through QueryRun::Run with
-/// the live heap threshold as an early-abandon cutoff. Plans and KPF bound
+/// the live top-K threshold as an early-abandon cutoff. Plans and KPF bound
 /// plans are pooled per engine: a worker thread checks one out, rebinds it
 /// to the query, and returns it, so steady-state queries (e.g. batched
 /// service traffic) run the whole search stage without heap allocations per
 /// candidate.
+///
+/// Shared-threshold pipeline (since PR 4): pruning survivors are ordered
+/// most-promising-first (descending GBP close count, or ascending KPF/OSF
+/// lower bound when GBP is off) and every worker prunes against one global
+/// SharedTopK, whose lock-free cutoff is the true K-th-best distance across
+/// *all* workers — and, through QueryInto, across all shards of a service
+/// query — instead of a per-worker local heap. The multi-threaded stage
+/// runs as chunked tasks on a shared ThreadPool scheduler (no per-query
+/// std::thread spawning): up to `threads` worker tasks pull fixed-size
+/// candidate chunks from an atomic counter, each binding one pooled plan
+/// per query.
 ///
 /// The engine searches a DatasetView — the whole dataset in the common case,
 /// or one shard's contiguous range of the shared corpus pool under the
@@ -109,6 +149,16 @@ class SearchEngine {
   std::vector<EngineHit> Query(TrajectoryView query,
                                QueryStats* stats = nullptr,
                                int excluded_id = -1) const;
+
+  /// Runs one query against an externally owned SharedTopK, offering every
+  /// hit with `id_offset` added to its view-local trajectory id. This is the
+  /// service layer's entry point: all shards of one query offer into the
+  /// same SharedTopK (offset = shard begin, so ids are corpus ids and the
+  /// canonical tie-break is global), which makes the early-abandon cutoff
+  /// the true corpus-wide K-th best instead of a per-shard one. Query() is a
+  /// wrapper over this with a private SharedTopK. Safe to call concurrently.
+  void QueryInto(TrajectoryView query, SharedTopK* topk, int id_offset,
+                 QueryStats* stats = nullptr, int excluded_id = -1) const;
 
   /// Exactly what the caller passed (derived values are never written back).
   const EngineOptions& options() const { return options_; }

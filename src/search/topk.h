@@ -1,10 +1,17 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <mutex>
 #include <queue>
 #include <vector>
 
 #include "search/engine.h"
+#include "search/query_run.h"
 #include "util/check.h"
 
 namespace trajsearch {
@@ -30,8 +37,19 @@ class TopKHeap {
   explicit TopKHeap(int k) : k_(k) { TRAJ_CHECK(k >= 1); }
 
   bool Full() const { return static_cast<int>(heap_.size()) == k_; }
-  /// Distance of the K-th best hit (bound-pruning threshold).
-  double Worst() const { return heap_.top().result.distance; }
+  /// Distance of the K-th best hit (bound-pruning threshold). Callers must
+  /// only consult the threshold once the heap is Full(); on an empty heap
+  /// priority_queue::top() would be undefined behaviour.
+  double Worst() const {
+    TRAJ_CHECK(!heap_.empty());
+    return heap_.top().result.distance;
+  }
+  /// Trajectory id of the K-th best hit (the canonical tie-break partner of
+  /// Worst()); same non-empty precondition.
+  int WorstId() const {
+    TRAJ_CHECK(!heap_.empty());
+    return heap_.top().trajectory_id;
+  }
 
   void Offer(const EngineHit& hit) {
     if (static_cast<int>(heap_.size()) < k_) {
@@ -62,6 +80,141 @@ class TopKHeap {
   };
   int k_;
   std::priority_queue<EngineHit, std::vector<EngineHit>, Worse> heap_;
+};
+
+/// \brief Concurrent top-K with a lock-free published abandon threshold.
+///
+/// One SharedTopK is the single heap for all workers of a query — and, under
+/// the service layer, for all shards evaluating that query — replacing the
+/// pre-PR-4 model of per-worker/per-shard local heaps merged at the end.
+/// Insertions serialize on a light mutex; the threshold is published through
+/// a seqlock over plain atomics so the hot path (bound checks and DP early
+/// abandoning, thousands per insertion) never takes the lock.
+///
+/// What is published is the full canonical identity of the K-th best hit —
+/// (distance, trajectory id), not the distance alone — and that is what
+/// makes the final heap a pure function of the offered set rather than of
+/// thread timing. Two places need it:
+///
+///  * ShouldPrune() compares a lower bound in canonical order: a candidate
+///    whose bound exactly ties the K-th best distance may still displace it
+///    on the id tie-break (BetterHit), so it is only pruned when its id
+///    loses that tie-break too. A distance-only `bound >= worst` prune —
+///    which is what the per-worker heaps this replaces used — was only
+///    correct because each worker's candidate stream was id-ascending, so
+///    the tied incumbent always had the smaller id. For a single-stream
+///    id-ascending caller, ShouldPrune reduces to exactly that legacy
+///    `bound >= worst` rule, so the serial engine's decisions (and hence
+///    its results, even under a *sampled* KPF estimate) are unchanged.
+///  * Cutoff(), the DP early-abandon threshold, is one ulp *above* the
+///    K-th best distance (nextafter): a candidate whose optimal distance
+///    exactly ties it must be computed exactly — not abandoned — so that
+///    Offer() can resolve the tie canonically.
+///
+/// With a sound bound, the result is therefore bit-identical to the serial
+/// engine no matter how workers interleave. (As with `threads`, a *sampled*
+/// estimate compared against the shared threshold may prune differently
+/// than against a local one; results are identical whenever the bound is
+/// sound.)
+class SharedTopK {
+ public:
+  explicit SharedTopK(int k) : heap_(k) {}
+
+  /// Current early-abandon cutoff for QueryRun::Run: +infinity until K hits
+  /// have been offered, afterwards one ulp above the K-th best distance.
+  /// Lock-free; monotonically non-increasing, so a stale read only weakens
+  /// pruning, never abandons a hit that could still win.
+  double Cutoff() const {
+    const Worst w = LoadWorst();
+    if (w.distance == kNoCutoff) return kNoCutoff;
+    return std::nextafter(w.distance, std::numeric_limits<double>::infinity());
+  }
+
+  /// True if a candidate with the given *sound or estimated* lower bound and
+  /// global trajectory id can be skipped: (lower, id) is canonically no
+  /// better than the published K-th best hit. Lock-free; false until K hits
+  /// have been offered.
+  bool ShouldPrune(double lower, int id) const {
+    const Worst w = LoadWorst();
+    if (w.distance == kNoCutoff) return false;
+    return lower > w.distance || (lower == w.distance && id > w.id);
+  }
+
+  void Offer(const EngineHit& hit) {
+    // Lock-free rejection: once the heap is full, a hit that is canonically
+    // no better than the published K-th best can never enter. The published
+    // pair is stale-or-current and only ever improves, so rejecting against
+    // it is always sound. Before the heap fills, everything — including
+    // not-found sentinels — takes the lock, exactly like TopKHeap.
+    if (ShouldPrune(hit.result.distance, hit.trajectory_id)) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    heap_.Offer(hit);
+    if (heap_.Full()) {
+      const uint64_t bits = DoubleBits(heap_.Worst());
+      const int id = heap_.WorstId();
+      // Publish only when the K-th best actually changed — a rejected offer
+      // would otherwise bump the seqlock and spin concurrent readers for no
+      // new information.
+      if (bits != published_bits_ || id != published_id_) {
+        published_bits_ = bits;
+        published_id_ = id;
+        // Seqlock publish (single writer at a time — we hold mu_): bump to
+        // odd, write the pair, bump to even.
+        const uint32_t seq = seq_.load(std::memory_order_relaxed);
+        seq_.store(seq + 1, std::memory_order_release);
+        worst_bits_.store(bits, std::memory_order_release);
+        worst_id_.store(id, std::memory_order_release);
+        seq_.store(seq + 2, std::memory_order_release);
+      }
+    }
+  }
+
+  /// Drains into a best-first vector (not concurrency-safe; call after all
+  /// workers have finished).
+  std::vector<EngineHit> Sorted() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return heap_.Sorted();
+  }
+
+ private:
+  struct Worst {
+    double distance;
+    int id;
+  };
+
+  static uint64_t DoubleBits(double value) {
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    return bits;
+  }
+
+  Worst LoadWorst() const {
+    for (;;) {
+      const uint32_t before = seq_.load(std::memory_order_acquire);
+      if ((before & 1u) != 0) continue;  // publish in progress
+      const uint64_t bits = worst_bits_.load(std::memory_order_acquire);
+      const int id = worst_id_.load(std::memory_order_acquire);
+      if (seq_.load(std::memory_order_acquire) != before) continue;
+      Worst w{0, id};
+      std::memcpy(&w.distance, &bits, sizeof(w.distance));
+      return w;
+    }
+  }
+
+  mutable std::mutex mu_;
+  TopKHeap heap_;
+  /// What the seqlock last published, so unchanged worsts are not
+  /// republished (guarded by mu_ like the heap).
+  uint64_t published_bits_ = DoubleBits(kNoCutoff);
+  int published_id_ = -1;
+  /// Seqlock-published (K-th best distance, K-th best id); distance stays
+  /// kNoCutoff until the heap fills (a heap full of not-found sentinels
+  /// also reads as "no threshold", which disables pruning — exactly the
+  /// legacy behaviour for infinite worsts).
+  std::atomic<uint32_t> seq_{0};
+  std::atomic<uint64_t> worst_bits_{DoubleBits(kNoCutoff)};
+  std::atomic<int> worst_id_{-1};
 };
 
 /// Merges several already-searched hit lists (e.g. one per shard) into a

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cstring>
+#include <memory>
 #include <thread>
+#include <unordered_map>
+#include <utility>
 
 #include "core/fingerprint.h"
 #include "search/topk.h"
@@ -18,21 +21,65 @@ uint64_t CombineDoubleBits(uint64_t hash, double value) {
   return CombineHash(hash, bits);
 }
 
-uint64_t CombinePointer(uint64_t hash, const void* ptr) {
-  return CombineHash(hash, reinterpret_cast<uintptr_t>(ptr));
+/// Content fingerprint of a WED cost table. The table holds opaque
+/// std::functions, so "content" is their observable behaviour: probe
+/// sub/ins/del over a small fixed point set and hash the returned costs.
+/// Two tables that agree on the probes fingerprint equal (in particular,
+/// content-equal tables at different addresses — the pre-PR-4 pointer hash
+/// was ASLR-dependent and collided when a different table was allocated at
+/// a recycled address); tables that differ anywhere near the probe set
+/// fingerprint apart. Probes span signs, magnitudes and exact-equality
+/// pairs so the common cost shapes (thresholded, metric, asymmetric)
+/// separate. Limitation: two tables that agree on every probe but differ
+/// elsewhere collide — a caller swapping cost models mid-service should
+/// ClearCache() (in practice a service is constructed with one table for
+/// its lifetime, so the keys only need to be stable, not perfect).
+uint64_t CombineWedContent(uint64_t hash, const WedCostFns* wed) {
+  if (wed == nullptr) return CombineHash(hash, 0x9e3779b97f4a7c15ull);
+  static constexpr Point kProbes[] = {
+      {0.0, 0.0},   {1.0, 0.0},    {0.0, -1.0},
+      {0.5, 0.25},  {-2.75, 3.5},  {41.125, -7.0625},
+  };
+  for (const Point& p : kProbes) {
+    hash = CombineDoubleBits(hash, wed->ins ? wed->ins(p) : -1.0);
+    hash = CombineDoubleBits(hash, wed->del ? wed->del(p) : -1.0);
+    for (const Point& q : kProbes) {
+      hash = CombineDoubleBits(hash, wed->sub ? wed->sub(p, q) : -1.0);
+    }
+  }
+  return hash;
+}
+
+/// Content fingerprint of a trained RLS policy: every field that influences
+/// inference (greedy action selection) — the learned weights and the skip
+/// configuration. Training-only hyper-parameters (learning rate, explore
+/// epsilon, seed, ...) are already baked into the weights and are not
+/// hashed separately.
+uint64_t CombineRlsContent(uint64_t hash, const RlsPolicy* policy) {
+  if (policy == nullptr) return CombineHash(hash, 0xc2b2ae3d27d4eb4full);
+  hash = CombineHash(hash, static_cast<uint64_t>(policy->options().allow_skip));
+  hash = CombineHash(hash,
+                     static_cast<uint64_t>(policy->options().skip_length));
+  for (const double w : policy->q().weights()) {
+    hash = CombineDoubleBits(hash, w);
+  }
+  return hash;
 }
 
 }  // namespace
 
 uint64_t EngineOptionsFingerprint(const EngineOptions& options) {
-  // `threads` and `use_early_abandon` are deliberately excluded: they change
-  // scheduling and the amount of DP work, not results.
+  // Scheduling-only fields (`threads`, `use_early_abandon`,
+  // `share_threshold`, `order_candidates`, `scheduler`) are deliberately
+  // excluded: they change scheduling and the amount of DP work, not results
+  // (under a sound bound; see EngineOptions for the sampled-KPF caveat they
+  // all share).
   uint64_t hash = 0x51a7e5e5u;
   hash = CombineHash(hash, static_cast<uint64_t>(options.spec.kind));
   hash = CombineDoubleBits(hash, options.spec.edr_epsilon);
   hash = CombineDoubleBits(hash, options.spec.erp_gap.x);
   hash = CombineDoubleBits(hash, options.spec.erp_gap.y);
-  hash = CombinePointer(hash, options.spec.wed);
+  hash = CombineWedContent(hash, options.spec.wed);
   hash = CombineHash(hash, static_cast<uint64_t>(options.algorithm));
   hash = CombineHash(hash, static_cast<uint64_t>(options.use_gbp));
   hash = CombineHash(hash, static_cast<uint64_t>(options.use_kpf));
@@ -41,7 +88,7 @@ uint64_t EngineOptionsFingerprint(const EngineOptions& options) {
   hash = CombineDoubleBits(hash, options.mu);
   hash = CombineDoubleBits(hash, options.sample_rate);
   hash = CombineHash(hash, static_cast<uint64_t>(options.top_k));
-  hash = CombinePointer(hash, options.rls_policy);
+  hash = CombineRlsContent(hash, options.rls_policy);
   return hash;
 }
 
@@ -104,6 +151,26 @@ QueryService::QueryService(Dataset dataset, ServiceOptions options)
       std::clamp(options_.shards, 1, std::max(corpus_size, 1));
   options_.shards = shard_count;
 
+  // One scheduler pool for everything: the (query, shard) fan-out tasks and
+  // the shard engines' candidate-chunk workers. Created before the shard
+  // engines so EngineOptions::scheduler can point at it — engines then never
+  // spawn threads of their own underneath the service.
+  const int hardware =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  const int workers =
+      options_.worker_threads > 0
+          ? options_.worker_threads
+          : std::min(hardware,
+                     shard_count * std::max(1, options_.engine.threads));
+  options_.worker_threads = workers;
+  pool_ = std::make_unique<ThreadPool>(workers);
+  // The shard engines get the pool through a private copy of the engine
+  // options; options_ itself stays exactly what the caller passed (same
+  // rule as the engine's derived cell size — options() must never leak a
+  // pointer into service internals that could outlive the service).
+  EngineOptions shard_engine_options = options_.engine;
+  shard_engine_options.scheduler = pool_.get();
+
   // Contiguous range partition over the shared pool: shard s views corpus
   // ids [s*base + min(s, rem), ...) — no points move, and translating a
   // shard-local hit id back to a corpus id is one addition.
@@ -117,16 +184,8 @@ QueryService::QueryService(Dataset dataset, ServiceOptions options)
     shard.view = DatasetView(corpus_, next_begin, count);
     next_begin += count;
     shard.engine =
-        std::make_unique<SearchEngine>(shard.view, options_.engine);
+        std::make_unique<SearchEngine>(shard.view, shard_engine_options);
   }
-
-  const int hardware =
-      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
-  const int workers = options_.worker_threads > 0
-                          ? options_.worker_threads
-                          : std::min(shard_count, hardware);
-  options_.worker_threads = workers;
-  pool_ = std::make_unique<ThreadPool>(workers);
 }
 
 QueryService::~QueryService() = default;
@@ -156,9 +215,13 @@ std::vector<std::vector<EngineHit>> QueryService::SubmitBatch(
 
   // Cache pass: satisfy hits, collect misses. Keys hash every query point,
   // so they are computed outside the lock (and not at all when caching is
-  // off); only the lookup itself serializes.
+  // off); only the lookup itself serializes. Duplicate keys *within* the
+  // batch are coalesced: the first instance searches, the rest copy its
+  // result and count as cache hits — without this, N identical queries in
+  // one batch all missed together and fanned out N times.
   const bool caching = options_.cache_capacity != 0;
   std::vector<size_t> misses;
+  std::vector<std::pair<size_t, size_t>> copies;  // (duplicate qi, source qi)
   std::vector<uint64_t> keys(caching ? queries.size() : 0);
   if (caching) {
     for (size_t qi = 0; qi < queries.size(); ++qi) {
@@ -167,15 +230,26 @@ std::vector<std::vector<EngineHit>> QueryService::SubmitBatch(
     }
   }
   {
+    std::unordered_map<uint64_t, size_t> in_batch;  // key -> first miss qi
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.batches;
     stats_.queries += queries.size();
     for (size_t qi = 0; qi < queries.size(); ++qi) {
-      if (caching && cache_.Get(keys[qi], &results[qi])) {
-        ++stats_.cache_hits;
-      } else {
-        if (caching) ++stats_.cache_misses;
+      if (!caching) {
         misses.push_back(qi);
+        continue;
+      }
+      if (cache_.Get(keys[qi], &results[qi])) {
+        ++stats_.cache_hits;
+        continue;
+      }
+      const auto [it, inserted] = in_batch.emplace(keys[qi], qi);
+      if (inserted) {
+        ++stats_.cache_misses;
+        misses.push_back(qi);
+      } else {
+        ++stats_.cache_hits;
+        copies.emplace_back(qi, it->second);
       }
     }
   }
@@ -186,37 +260,43 @@ std::vector<std::vector<EngineHit>> QueryService::SubmitBatch(
   // Shard engines pool their query plans internally, so a worker that hits
   // the same shard for the next batched query rebinds an already-warm plan
   // instead of rebuilding query state from scratch.
+  //
+  // All shards of one query share one SharedTopK (hits offered with corpus
+  // ids), so every shard's bound filter and early abandoning prune against
+  // the corpus-wide K-th best as it tightens. With share_threshold off the
+  // PR-3 baseline is reproduced instead: one independent top-K per
+  // (query, shard), merged canonically afterwards.
   const int n = shard_count();
-  std::vector<std::vector<EngineHit>> parts(misses.size() *
-                                            static_cast<size_t>(n));
-  std::vector<QueryStats> part_stats(parts.size());
-  CountdownLatch latch(static_cast<int>(misses.size()) * n);
+  const bool share = options_.engine.share_threshold;
+  std::vector<std::unique_ptr<SharedTopK>> topks(
+      share ? misses.size() : misses.size() * static_cast<size_t>(n));
+  for (std::unique_ptr<SharedTopK>& topk : topks) {
+    topk = std::make_unique<SharedTopK>(options_.engine.top_k);
+  }
+  std::vector<QueryStats> part_stats(misses.size() *
+                                     static_cast<size_t>(n));
+  TaskGroup group;
   for (size_t mi = 0; mi < misses.size(); ++mi) {
     const size_t qi = misses[mi];
     const TrajectoryView query = queries[qi];
     const int excluded = excluded_ids.empty() ? -1 : excluded_ids[qi];
     for (int s = 0; s < n; ++s) {
-      pool_->Submit([this, s, n, mi, query, excluded, &parts, &part_stats,
-                     &latch]() {
+      const size_t part = mi * static_cast<size_t>(n) +
+                          static_cast<size_t>(s);
+      SharedTopK* topk = share ? topks[mi].get() : topks[part].get();
+      pool_->Submit(&group, [this, s, query, excluded, topk,
+                             stats = &part_stats[part]]() {
         const Shard& shard = shards_[static_cast<size_t>(s)];
         const int begin = shard.view.begin_id();
         int local_excluded = -1;
         if (excluded >= begin && excluded < begin + shard.view.size()) {
           local_excluded = excluded - begin;
         }
-        const size_t part = mi * static_cast<size_t>(n) +
-                            static_cast<size_t>(s);
-        std::vector<EngineHit> hits =
-            shard.engine->Query(query, &part_stats[part], local_excluded);
-        for (EngineHit& hit : hits) {
-          hit.trajectory_id += begin;
-        }
-        parts[part] = std::move(hits);
-        latch.CountDown();
+        shard.engine->QueryInto(query, topk, begin, stats, local_excluded);
       });
     }
   }
-  latch.Wait();
+  group.Wait();
 
   // Fold the per-task timing splits into the service counters.
   {
@@ -230,11 +310,21 @@ std::vector<std::vector<EngineHit>> QueryService::SubmitBatch(
 
   for (size_t mi = 0; mi < misses.size(); ++mi) {
     const size_t qi = misses[mi];
-    std::vector<std::vector<EngineHit>> shard_parts(
-        parts.begin() + static_cast<std::ptrdiff_t>(mi * static_cast<size_t>(n)),
-        parts.begin() +
-            static_cast<std::ptrdiff_t>((mi + 1) * static_cast<size_t>(n)));
-    results[qi] = MergeTopK(shard_parts, options_.engine.top_k);
+    if (share) {
+      results[qi] = topks[mi]->Sorted();
+    } else {
+      std::vector<std::vector<EngineHit>> shard_parts;
+      shard_parts.reserve(static_cast<size_t>(n));
+      for (int s = 0; s < n; ++s) {
+        shard_parts.push_back(
+            topks[mi * static_cast<size_t>(n) + static_cast<size_t>(s)]
+                ->Sorted());
+      }
+      results[qi] = MergeTopK(shard_parts, options_.engine.top_k);
+    }
+  }
+  for (const auto& [dup_qi, source_qi] : copies) {
+    results[dup_qi] = results[source_qi];
   }
 
   if (caching) {

@@ -9,7 +9,7 @@
 
 #include "core/dataset.h"
 #include "search/engine.h"
-#include "service/thread_pool.h"
+#include "util/scheduler.h"
 
 namespace trajsearch {
 
@@ -23,8 +23,11 @@ struct ServiceOptions {
   /// Number of dataset shards (each with its own SearchEngine); clamped to
   /// [1, dataset size].
   int shards = 1;
-  /// Worker threads in the shared pool; 0 uses one thread per shard, capped
-  /// at the hardware concurrency.
+  /// Worker threads in the shared scheduler pool, which runs both the
+  /// (query, shard) fan-out tasks and each shard engine's candidate-chunk
+  /// workers (EngineOptions::scheduler is pointed at this pool, so engines
+  /// never spawn threads of their own); 0 sizes it to
+  /// min(hardware, shards * engine.threads).
   int worker_threads = 0;
   /// Result-cache capacity in entries; 0 disables caching.
   size_t cache_capacity = 256;
@@ -52,8 +55,14 @@ struct ServiceStats {
   }
 };
 
-/// Hash of every EngineOptions field that can change query *results* (used in
-/// cache keys; pointer-valued fields hash by identity).
+/// Hash of every EngineOptions field that can change query *results* (used
+/// in cache keys). Pointer-valued fields hash by the pointed-to *content* —
+/// the WED cost table by probing its cost functions over a fixed point set,
+/// the RLS policy by its inference-relevant state (weights + skip config) —
+/// never by address, so fingerprints are stable across runs (no ASLR
+/// dependence) and two content-equal specs at different addresses agree.
+/// Scheduling-only fields (`threads`, `use_early_abandon`,
+/// `share_threshold`, `order_candidates`, `scheduler`) are excluded.
 uint64_t EngineOptionsFingerprint(const EngineOptions& options);
 
 /// \brief Sharded, cached serving layer for similar-subtrajectory search.
@@ -61,16 +70,25 @@ uint64_t EngineOptionsFingerprint(const EngineOptions& options);
 /// Owns the corpus once, in its pooled Dataset form; shards are contiguous
 /// DatasetViews over that one shared pool, each with its own SearchEngine,
 /// so sharding adds near-zero per-shard memory and never copies a point. A
-/// query fans out across all shards on a fixed worker pool; per-shard top-K
-/// results are merged into a global top-K, with shard-local trajectory ids
-/// translated back to corpus ids by adding the shard's range offset. Results
-/// are identical to an unsharded SearchEngine over the same corpus whenever
-/// the engine's bound pruning is sound (e.g. KPF at sample_rate 1.0, or
-/// KPF/OSF off).
+/// query fans out across all shards on one fixed scheduler pool — which
+/// also runs each shard engine's candidate-chunk workers, so engine
+/// parallelism never oversubscribes the pool with extra threads — and all
+/// shards of one query offer into a single SharedTopK with corpus
+/// trajectory ids (shard-local id + the shard's range offset): the
+/// early-abandon threshold every shard prunes against is the corpus-wide
+/// K-th best, not a per-shard one, and the "merge" is just draining that
+/// heap. Results are identical to an unsharded SearchEngine over the same
+/// corpus whenever the engine's bound pruning is sound (e.g. KPF at
+/// sample_rate 1.0, or KPF/OSF off); with
+/// EngineOptions::share_threshold = false the PR-3 model (independent
+/// per-shard top-Ks merged canonically at the end) is kept as a
+/// benchmarking baseline.
 ///
 /// An LRU cache keyed by query fingerprint + engine-options hash + exclusion
-/// id short-circuits repeated queries; hit/miss counters are surfaced via
-/// Stats(). Submit/SubmitBatch are safe to call from multiple threads.
+/// id short-circuits repeated queries, and duplicate queries *within* one
+/// batch are coalesced to a single search (counted as cache hits); hit/miss
+/// counters are surfaced via Stats(). Submit/SubmitBatch are safe to call
+/// from multiple threads.
 class QueryService {
  public:
   /// Takes ownership of the dataset (shards view it in place).
@@ -86,6 +104,8 @@ class QueryService {
 
   /// Runs a batch: all (query, shard) tasks are enqueued at once, so the
   /// pool dispatch cost is amortized and shards stay busy across queries.
+  /// When caching is enabled, queries within the batch that share a cache
+  /// key are searched once and copied (the duplicates count as cache hits).
   /// `excluded_ids` (optional) must be empty or parallel to `queries`.
   std::vector<std::vector<EngineHit>> SubmitBatch(
       const std::vector<TrajectoryView>& queries,

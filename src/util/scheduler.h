@@ -1,0 +1,210 @@
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/check.h"
+
+namespace trajsearch {
+
+class ThreadPool;
+
+/// \brief Completion tracker for a set of tasks submitted to one ThreadPool.
+///
+/// Wait() is *helping*: while tasks of this group are still queued, the
+/// waiter pops and runs them inline instead of blocking. That property makes
+/// nested fan-out on one shared pool deadlock-free — a pool thread running a
+/// service-level shard task can submit the shard engine's per-query worker
+/// tasks to the same pool and Wait() on them: if every pool thread is itself
+/// blocked in a Wait(), each drains its own group's queued tasks, so the
+/// system always makes progress. Tasks may submit follow-up tasks to their
+/// own group while a Wait() is in progress (Submit wakes the group's
+/// waiters so they can help run them).
+class TaskGroup {
+ public:
+  TaskGroup() = default;
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+  ~TaskGroup();
+
+  /// Blocks until every task submitted with this group has finished, running
+  /// still-queued group tasks on the calling thread while it waits.
+  void Wait();
+
+ private:
+  friend class ThreadPool;
+  /// Set on first Submit. Atomic because Wait()/~TaskGroup read it without
+  /// the pool mutex while a concurrent task of this group may Submit a
+  /// follow-up (which re-stores the same pool).
+  std::atomic<ThreadPool*> pool_{nullptr};
+  /// Tasks submitted but not yet started; popped either by a pool worker
+  /// (via the pool's token queue) or by a helping waiter. Guarded by the
+  /// pool's mutex, like pending_.
+  std::deque<std::function<void()>> queued_;
+  int pending_ = 0;  // queued + running
+  std::condition_variable done_;
+};
+
+/// \brief Fixed-size worker pool — the process's shared search scheduler.
+///
+/// Workers are started once and reused, so dispatch cost is one enqueue
+/// instead of a thread spawn. Both layers of search parallelism run here:
+/// the QueryService submits one task per (query, shard), and each shard's
+/// SearchEngine submits its per-query candidate-chunk worker tasks to the
+/// same pool — a single scheduler instead of the pre-PR-4 model where every
+/// engine Query() spawned fresh std::threads underneath the service's pool
+/// and oversubscribed the machine.
+///
+/// Tasks live in per-group deques; the pool itself only queues group
+/// tokens. A worker pops a token and runs that group's oldest queued task;
+/// a helping waiter pops directly from its own group's deque. Both are
+/// O(1), so helping never scans other groups' work, no matter how deep the
+/// shared queue is (a token whose task was already helped away is simply
+/// skipped).
+class ThreadPool {
+ public:
+  explicit ThreadPool(int threads) {
+    TRAJ_CHECK(threads >= 1);
+    workers_.reserve(static_cast<size_t>(threads));
+    for (int i = 0; i < threads; ++i) {
+      workers_.emplace_back([this]() { WorkerLoop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task under `group` (never blocks; unbounded queue). The
+  /// group must outlive the task and must always be used with this pool.
+  void Submit(TaskGroup* group, std::function<void()> task) {
+    TRAJ_CHECK(group != nullptr);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      TRAJ_CHECK(!stopping_);
+      ThreadPool* const prev = group->pool_.load(std::memory_order_relaxed);
+      TRAJ_CHECK(prev == nullptr || prev == this);
+      group->pool_.store(this, std::memory_order_release);
+      ++group->pending_;
+      group->queued_.push_back(std::move(task));
+      tokens_.push_back(group);
+    }
+    wake_.notify_one();
+    // A waiter of this group may be blocked with nothing to help; the new
+    // task changes that.
+    group->done_.notify_all();
+  }
+
+  int thread_count() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  friend class TaskGroup;
+
+  void Finish(TaskGroup* group) {
+    std::lock_guard<std::mutex> lock(mu_);
+    TRAJ_CHECK(group->pending_ > 0);
+    if (--group->pending_ == 0) group->done_.notify_all();
+  }
+
+  void WorkerLoop() {
+    for (;;) {
+      TaskGroup* group = nullptr;
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        wake_.wait(lock, [this]() { return stopping_ || !tokens_.empty(); });
+        if (tokens_.empty()) return;  // stopping_ and drained
+        group = tokens_.front();
+        tokens_.pop_front();
+        if (group->queued_.empty()) continue;  // task was helped away
+        task = std::move(group->queued_.front());
+        group->queued_.pop_front();
+      }
+      task();
+      Finish(group);
+    }
+  }
+
+  /// Wait() body; lives here because it needs the pool's mutex.
+  void WaitFor(TaskGroup* group) {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (group->pending_ > 0) {
+      if (!group->queued_.empty()) {
+        // Help: run a still-queued task of this group inline (its pool
+        // token becomes a no-op). Restricting the help to the waiter's own
+        // group keeps the inline call depth bounded — a task never starts
+        // an unrelated task's work under its frame.
+        std::function<void()> task = std::move(group->queued_.front());
+        group->queued_.pop_front();
+        lock.unlock();
+        task();
+        Finish(group);
+        lock.lock();
+        continue;
+      }
+      // All remaining group tasks are running on other threads (or a task
+      // may still Submit follow-ups — Submit notifies done_).
+      group->done_.wait(lock, [&]() {
+        return group->pending_ == 0 || !group->queued_.empty();
+      });
+    }
+    PurgeTokens(group);
+  }
+
+  /// Drops stale no-op tokens of a finished group so they can never
+  /// dangle once the group object dies. Called with mu_ held.
+  void PurgeTokens(TaskGroup* group) {
+    tokens_.erase(std::remove(tokens_.begin(), tokens_.end(), group),
+                  tokens_.end());
+  }
+
+  std::mutex mu_;
+  std::condition_variable wake_;
+  /// One token per submitted task, FIFO; the task itself lives in its
+  /// group's deque (a token for an already-helped task is skipped).
+  std::deque<TaskGroup*> tokens_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+inline TaskGroup::~TaskGroup() {
+  // A group must not be destroyed with tasks in flight; drop any stale
+  // tokens still pointing at it.
+  ThreadPool* const pool = pool_.load(std::memory_order_acquire);
+  if (pool != nullptr) {
+    std::lock_guard<std::mutex> lock(pool->mu_);
+    TRAJ_CHECK(pending_ == 0);
+    pool->PurgeTokens(this);
+  }
+}
+
+inline void TaskGroup::Wait() {
+  ThreadPool* const pool = pool_.load(std::memory_order_acquire);
+  if (pool != nullptr) pool->WaitFor(this);
+}
+
+/// The process-wide default scheduler, sized to the hardware. Engines whose
+/// EngineOptions::scheduler is null run their multi-threaded search stages
+/// here; the QueryService always passes its own pool instead, so serving
+/// traffic never competes with a second thread set.
+inline ThreadPool& DefaultScheduler() {
+  static ThreadPool pool(std::max(
+      1, static_cast<int>(std::thread::hardware_concurrency())));
+  return pool;
+}
+
+}  // namespace trajsearch

@@ -14,9 +14,12 @@
 #include <vector>
 
 #include "prune/key_point_filter.h"
+#include "search/engine.h"
 #include "search/searcher.h"
+#include "search/topk.h"
 #include "tests/test_util.h"
 #include "util/rng.h"
+#include "util/scheduler.h"
 
 namespace {
 
@@ -128,6 +131,40 @@ TEST(PlanAllocTest, ReboundPlanReusesScratchAcrossQueries) {
         << ToString(algorithm) << " re-Bind allocated (checksum " << sum
         << ")";
   }
+}
+
+TEST(PlanAllocTest, PoolScheduledQueriesAllocatePerQueryNotPerCandidate) {
+  // The scheduler path — chunked worker tasks on a shared ThreadPool,
+  // SharedTopK, cached-bound candidate ordering — may allocate a small
+  // constant amount per query (heap vectors, a few pool task nodes) but
+  // must never allocate per *candidate*: all per-candidate state lives in
+  // pooled plans and thread-local scratch. With a 256-trajectory corpus, a
+  // budget far below the candidate count proves the distinction.
+  Rng rng(5150);
+  Dataset dataset("alloc-sched");
+  for (int i = 0; i < 256; ++i) dataset.Add(RandomWalk(&rng, 24));
+  const Trajectory query = RandomWalk(&rng, 10);
+
+  EngineOptions options;
+  options.spec = DistanceSpec::Dtw();
+  options.use_gbp = false;  // every trajectory is a candidate
+  options.use_kpf = true;
+  options.sample_rate = 1.0;
+  options.top_k = 8;
+  options.threads = 4;  // chunked tasks on the DefaultScheduler pool
+  const SearchEngine engine(&dataset, options);
+
+  // Warm-up: sizes the plan pool to the worker count, the scheduler's
+  // queue, every pool thread's thread-local scratch, and the bound cache.
+  for (int pass = 0; pass < 4; ++pass) (void)engine.Query(query);
+
+  const int kQueries = 16;
+  const long long kPerQueryBudget = 64;  // << 256 candidates
+  const long long before = AllocationCount();
+  for (int pass = 0; pass < kQueries; ++pass) (void)engine.Query(query);
+  const long long per_query = (AllocationCount() - before) / kQueries;
+  EXPECT_LE(per_query, kPerQueryBudget)
+      << "scheduler path allocates per candidate, not per query";
 }
 
 TEST(PlanAllocTest, KpfBoundPlanLowerBoundDoesNotAllocate) {

@@ -23,6 +23,7 @@
 #include "prune/key_point_filter.h"
 #include "search/engine.h"
 #include "search/searcher.h"
+#include "service/query_service.h"
 #include "tests/legacy_baseline.h"
 #include "tests/test_util.h"
 #include "util/rng.h"
@@ -97,6 +98,12 @@ TEST_P(PlanEngineEquivalenceTest, EngineMatchesLegacyStatelessPath) {
         options.mu = 0.2;
         options.sample_rate = 0.5;  // sampled KPF estimate
         options.top_k = 3;
+        // The legacy baseline evaluates candidates in ascending id order;
+        // under a *sampled* (unsound) KPF estimate the evaluation order can
+        // change which candidates the estimate prunes, so pin the engine to
+        // the same order here. The sound-bound matrix below gates the
+        // default most-promising-first ordering instead.
+        options.order_candidates = false;
         const SearchEngine engine(&dataset, options);
         const LegacySearchEngine legacy(&dataset, options);
         const std::string label =
@@ -134,6 +141,63 @@ TEST(PlanEngineEquivalenceTest, ThreadedEngineWithCutoffMatchesLegacy) {
                             std::string(ToString(spec.kind)));
   }
 }
+
+// Shared-threshold matrix: the default execution model — one SharedTopK per
+// query (global cutoff across all workers and, through the service, all
+// shards), candidates ordered most-promising-first, chunked worker tasks on
+// the shared scheduler pool — must stay hit-for-hit identical to the serial
+// PR-2 legacy baseline across all 8 algorithms x 4 GPS distances whenever
+// the bound is sound (KPF at sample_rate 1.0). Exercised with threads > 1
+// on the unsharded engine AND shards > 1 x threads > 1 through the
+// QueryService, against the same LegacySearchEngine reference.
+class SharedThresholdMatrixTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SharedThresholdMatrixTest, ThreadedAndShardedMatchLegacy) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam()) * 137 + 29;
+  const Dataset dataset = WalkDataset(48, 17, seed);
+  Rng rng(seed + 1);
+  const Trajectory query = RandomWalk(&rng, 7);
+
+  for (const Algorithm algorithm : kAllAlgorithms) {
+    for (const DistanceSpec& spec : testing::PaperGpsSpecs()) {
+      if (!Supports(algorithm, spec.kind)) continue;
+      EngineOptions options;
+      options.spec = spec;
+      options.algorithm = algorithm;
+      options.use_gbp = true;
+      options.mu = 0.2;
+      options.use_kpf = true;
+      options.sample_rate = 1.0;  // sound bound: order/threads cannot matter
+      options.top_k = 4;
+      options.threads = 3;
+      ASSERT_TRUE(options.share_threshold);   // the defaults under test
+      ASSERT_TRUE(options.order_candidates);
+      const LegacySearchEngine legacy(&dataset, options);
+      const std::string label =
+          std::string(ToString(algorithm)) + "/" +
+          std::string(ToString(spec.kind));
+
+      const SearchEngine engine(&dataset, options);
+      ExpectIdenticalHits(engine.Query(query), legacy.Query(query),
+                          label + " threaded");
+      ExpectIdenticalHits(engine.Query(query, nullptr, 5),
+                          legacy.Query(query, 5), label + " threaded excl");
+
+      ServiceOptions service_options;
+      service_options.engine = options;
+      service_options.shards = 3;
+      service_options.cache_capacity = 0;
+      QueryService service(dataset, service_options);
+      ExpectIdenticalHits(service.Submit(query), legacy.Query(query),
+                          label + " sharded");
+      ExpectIdenticalHits(service.Submit(query, 5), legacy.Query(query, 5),
+                          label + " sharded excl");
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SharedThresholdMatrixTest,
+                         ::testing::Range(0, 2));
 
 TEST(PlanCutoffTest, ExactPlansAreExactBelowTheCutoff) {
   Rng rng(501);

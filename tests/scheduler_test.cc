@@ -1,0 +1,92 @@
+// ThreadPool / TaskGroup scheduler tests: helping Wait() (nested fan-out on
+// one pool must not deadlock even when the pool is smaller than the fan-out
+// depth), follow-up submissions into a group that is already being waited
+// on, and interleaved groups draining independently.
+
+#include "util/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace trajsearch {
+namespace {
+
+TEST(SchedulerTest, RunsAllTasksAndWaits) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  TaskGroup group;
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit(&group, [&ran]() { ran.fetch_add(1); });
+  }
+  group.Wait();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(SchedulerTest, NestedFanOutOnOneThreadPoolDoesNotDeadlock) {
+  // Pool of 1 thread; every outer task fans out inner tasks to the same
+  // pool and waits. Progress requires the helping Wait(): the single pool
+  // thread (and the test thread, waiting on the outer group) must drain
+  // their own groups' queued tasks inline.
+  ThreadPool pool(1);
+  std::atomic<int> inner_ran{0};
+  TaskGroup outer;
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit(&outer, [&pool, &inner_ran]() {
+      TaskGroup inner;
+      for (int j = 0; j < 4; ++j) {
+        pool.Submit(&inner, [&inner_ran]() { inner_ran.fetch_add(1); });
+      }
+      inner.Wait();
+    });
+  }
+  outer.Wait();
+  EXPECT_EQ(inner_ran.load(), 8 * 4);
+}
+
+TEST(SchedulerTest, TasksMaySubmitFollowUpsToTheirOwnGroup) {
+  // The waiter may already be blocked with nothing left to help when a
+  // running task submits more work to the same group; Submit must wake it.
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  TaskGroup group;
+  pool.Submit(&group, [&pool, &group, &ran]() {
+    ran.fetch_add(1);
+    for (int i = 0; i < 16; ++i) {
+      pool.Submit(&group, [&ran]() { ran.fetch_add(1); });
+    }
+  });
+  group.Wait();
+  EXPECT_EQ(ran.load(), 1 + 16);
+}
+
+TEST(SchedulerTest, InterleavedGroupsDrainIndependently) {
+  ThreadPool pool(2);
+  constexpr int kGroups = 8;
+  constexpr int kTasks = 32;
+  std::vector<TaskGroup> groups(kGroups);
+  std::vector<std::atomic<int>> ran(kGroups);
+  for (auto& r : ran) r.store(0);
+  for (int t = 0; t < kTasks; ++t) {
+    for (int g = 0; g < kGroups; ++g) {
+      pool.Submit(&groups[g], [&ran, g]() { ran[g].fetch_add(1); });
+    }
+  }
+  // Wait in reverse submission order so later groups' waiters must help
+  // past earlier groups' queued tasks.
+  for (int g = kGroups - 1; g >= 0; --g) {
+    groups[g].Wait();
+    EXPECT_EQ(ran[g].load(), kTasks) << "group " << g;
+  }
+}
+
+TEST(SchedulerTest, DefaultSchedulerIsSharedAndSized) {
+  ThreadPool& a = DefaultScheduler();
+  ThreadPool& b = DefaultScheduler();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.thread_count(), 1);
+}
+
+}  // namespace
+}  // namespace trajsearch

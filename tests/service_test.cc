@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <thread>
 
 #include "core/fingerprint.h"
@@ -172,6 +173,41 @@ TEST(QueryServiceTest, CacheHitsOnRepeatedQuery) {
   EXPECT_EQ(service.Stats().cache_misses, 3u);
 }
 
+TEST(QueryServiceTest, DuplicateQueriesInOneBatchAreCoalesced) {
+  const Dataset dataset = WalkDataset(30, 14, 99);
+  ServiceOptions options;
+  options.engine = SoundOptions(DistanceSpec::Dtw(), 3);
+  options.shards = 2;
+  options.cache_capacity = 16;
+  QueryService service(dataset, options);
+  Rng rng(21);
+  const Trajectory a = RandomWalk(&rng, 6);
+  const Trajectory b = RandomWalk(&rng, 6);
+
+  // a appears three times, b twice: one batch must search each once and
+  // copy the result to the duplicates, counting them as cache hits.
+  const std::vector<std::vector<EngineHit>> batch = service.SubmitBatch(
+      {a.View(), b.View(), a.View(), a.View(), b.View()});
+  ExpectSameHits(batch[0], batch[2]);
+  ExpectSameHits(batch[0], batch[3]);
+  ExpectSameHits(batch[1], batch[4]);
+  EXPECT_EQ(service.Stats().cache_misses, 2u);  // one per distinct query
+  EXPECT_EQ(service.Stats().cache_hits, 3u);    // the three duplicates
+  EXPECT_EQ(service.Stats().queries, 5u);
+
+  // The coalesced results are real: identical to the unsharded engine.
+  const SearchEngine engine(&dataset, options.engine);
+  ExpectSameHits(batch[2], engine.Query(a));
+  ExpectSameHits(batch[4], engine.Query(b));
+
+  // A duplicate with a *different* exclusion id is a different logical
+  // query and must not be coalesced.
+  const std::vector<std::vector<EngineHit>> excl =
+      service.SubmitBatch({a.View(), a.View()}, {-1, 0});
+  EXPECT_EQ(service.Stats().cache_misses, 3u);  // (a, excl 0) searched
+  ExpectSameHits(excl[1], engine.Query(a, nullptr, 0));
+}
+
 TEST(QueryServiceTest, CacheEvictsLeastRecentlyUsed) {
   const Dataset dataset = WalkDataset(20, 14, 101);
   ServiceOptions options;
@@ -285,6 +321,89 @@ TEST(QueryServiceTest, TrajectoryAccessorRoutesToShards) {
               Fingerprint(dataset[id].View()))
         << "corpus id " << id;
   }
+}
+
+TEST(EngineOptionsFingerprintTest, HashesWedTableContentNotAddress) {
+  // Two content-equal WED cost tables at different addresses must produce
+  // equal fingerprints (the pre-PR-4 pointer hash made cache keys
+  // ASLR-dependent across runs and collided when a content-different table
+  // was later allocated at a recycled address).
+  auto make_table = []() {
+    auto table = std::make_unique<WedCostFns>();
+    table->sub = [](const Point& a, const Point& b) {
+      return EuclideanDistance(a, b);
+    };
+    table->ins = [](const Point&) { return 2.0; };
+    table->del = [](const Point&) { return 3.0; };
+    return table;
+  };
+  const auto table_a = make_table();
+  const auto table_b = make_table();
+  ASSERT_NE(table_a.get(), table_b.get());
+
+  EngineOptions a;
+  a.spec = DistanceSpec::Wed(table_a.get());
+  EngineOptions b;
+  b.spec = DistanceSpec::Wed(table_b.get());
+  EXPECT_EQ(EngineOptionsFingerprint(a), EngineOptionsFingerprint(b));
+
+  // A behaviourally different table must fingerprint apart, even at the
+  // same address (recycled allocation).
+  auto different = std::make_unique<WedCostFns>(*table_a);
+  different->ins = [](const Point&) { return 7.0; };
+  EngineOptions c;
+  c.spec = DistanceSpec::Wed(different.get());
+  EXPECT_NE(EngineOptionsFingerprint(a), EngineOptionsFingerprint(c));
+
+  // No table at all is its own case.
+  EngineOptions none;
+  none.spec = DistanceSpec::Dtw();
+  EXPECT_NE(EngineOptionsFingerprint(a), EngineOptionsFingerprint(none));
+}
+
+TEST(EngineOptionsFingerprintTest, HashesRlsPolicyContentNotAddress) {
+  RlsOptions rls_options;
+  rls_options.allow_skip = true;
+  const auto policy_a = std::make_unique<RlsPolicy>(rls_options);
+  const auto policy_b = std::make_unique<RlsPolicy>(rls_options);
+  ASSERT_NE(policy_a.get(), policy_b.get());
+
+  EngineOptions a;
+  a.algorithm = Algorithm::kRlsSkip;
+  a.rls_policy = policy_a.get();
+  EngineOptions b = a;
+  b.rls_policy = policy_b.get();
+  EXPECT_EQ(EngineOptionsFingerprint(a), EngineOptionsFingerprint(b));
+
+  // Training changes the weights, so a trained policy fingerprints apart.
+  Rng rng(31);
+  const Trajectory q = RandomWalk(&rng, 6);
+  const Trajectory d = RandomWalk(&rng, 20);
+  const RlsPolicy trained = TrainRlsPolicy(
+      DistanceSpec::Dtw(), {{q.View(), d.View()}}, rls_options);
+  EngineOptions c = a;
+  c.rls_policy = &trained;
+  EXPECT_NE(EngineOptionsFingerprint(a), EngineOptionsFingerprint(c));
+
+  // Skip configuration is inference-relevant content too.
+  RlsOptions no_skip = rls_options;
+  no_skip.allow_skip = false;
+  const RlsPolicy plain(no_skip);
+  EngineOptions e = a;
+  e.rls_policy = &plain;
+  EXPECT_NE(EngineOptionsFingerprint(a), EngineOptionsFingerprint(e));
+}
+
+TEST(EngineOptionsFingerprintTest, SchedulingFieldsDoNotChangeFingerprint) {
+  EngineOptions a;
+  EngineOptions b = a;
+  b.threads = 8;
+  b.use_early_abandon = false;
+  b.share_threshold = false;
+  b.order_candidates = false;
+  EXPECT_EQ(EngineOptionsFingerprint(a), EngineOptionsFingerprint(b));
+  b.top_k = a.top_k + 1;  // a result-changing field still separates
+  EXPECT_NE(EngineOptionsFingerprint(a), EngineOptionsFingerprint(b));
 }
 
 TEST(MergeTopKTest, MergesPartsIntoGlobalBestFirst) {

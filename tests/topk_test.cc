@@ -1,0 +1,146 @@
+// TopKHeap / SharedTopK unit tests: the empty-heap Worst() guard (calling
+// priority_queue::top() on an empty heap was undefined behaviour before the
+// TRAJ_CHECK), the SharedTopK cutoff contract (infinite until full, then
+// strictly above the K-th best so distance ties are still computed and can
+// win on the canonical id tie-break), and determinism of the shared heap
+// under concurrent offers in adversarial orders.
+
+#include "search/topk.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace trajsearch {
+namespace {
+
+EngineHit Hit(int id, double distance) {
+  EngineHit hit;
+  hit.trajectory_id = id;
+  hit.result.range = Subrange{0, 0};
+  hit.result.distance = distance;
+  return hit;
+}
+
+TEST(TopKHeapTest, WorstOnEmptyHeapDies) {
+  TopKHeap heap(3);
+  EXPECT_DEATH_IF_SUPPORTED(heap.Worst(), "TRAJ_CHECK");
+}
+
+TEST(TopKHeapTest, WorstTracksKthBest) {
+  TopKHeap heap(2);
+  heap.Offer(Hit(0, 5.0));
+  EXPECT_EQ(heap.Worst(), 5.0);  // legal as soon as the heap is non-empty
+  heap.Offer(Hit(1, 3.0));
+  EXPECT_EQ(heap.Worst(), 5.0);
+  heap.Offer(Hit(2, 1.0));
+  EXPECT_EQ(heap.Worst(), 3.0);
+}
+
+TEST(SharedTopKTest, CutoffIsInfiniteUntilFull) {
+  SharedTopK topk(3);
+  EXPECT_EQ(topk.Cutoff(), kNoCutoff);
+  topk.Offer(Hit(0, 1.0));
+  topk.Offer(Hit(1, 2.0));
+  EXPECT_EQ(topk.Cutoff(), kNoCutoff);
+  topk.Offer(Hit(2, 3.0));
+  // Strictly above the K-th best by exactly one ulp.
+  EXPECT_GT(topk.Cutoff(), 3.0);
+  EXPECT_EQ(topk.Cutoff(),
+            std::nextafter(3.0, std::numeric_limits<double>::infinity()));
+  topk.Offer(Hit(3, 0.5));
+  EXPECT_EQ(topk.Cutoff(),
+            std::nextafter(2.0, std::numeric_limits<double>::infinity()));
+}
+
+TEST(SharedTopKTest, DistanceTieBelowCutoffWinsOnId) {
+  // The strict cutoff exists exactly for this case: id 7 ties the K-th best
+  // distance but has the smaller id, so it must still displace id 9. A
+  // cutoff *equal* to the K-th best would have let a worker abandon the
+  // candidate before the tie-break could happen.
+  SharedTopK topk(2);
+  topk.Offer(Hit(9, 4.0));
+  topk.Offer(Hit(3, 1.0));
+  EXPECT_LT(4.0, topk.Cutoff());
+  topk.Offer(Hit(7, 4.0));
+  const std::vector<EngineHit> hits = topk.Sorted();
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].trajectory_id, 3);
+  EXPECT_EQ(hits[1].trajectory_id, 7);
+}
+
+TEST(SharedTopKTest, UnderfullHeapKeepsInfiniteDistances) {
+  // Not-found sentinels (infinite distance) must enter an underfull heap,
+  // exactly like TopKHeap — the lock-free rejection may only kick in once
+  // the heap is full.
+  SharedTopK topk(3);
+  topk.Offer(Hit(4, std::numeric_limits<double>::infinity()));
+  topk.Offer(Hit(2, std::numeric_limits<double>::infinity()));
+  const std::vector<EngineHit> hits = topk.Sorted();
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].trajectory_id, 2);  // inf ties resolve by id
+}
+
+TEST(SharedTopKTest, MatchesSerialHeapUnderConcurrentAdversarialOrders) {
+  // Many threads offering disjoint id ranges in different orders (ascending,
+  // descending, strided) must converge to exactly the serial canonical
+  // top-K. Distances are drawn from a tiny integer set so ties are the
+  // common case, as under EDR.
+  const int kThreads = 4;
+  const int kPerThread = 500;
+  Rng rng(99);
+  std::vector<EngineHit> all;
+  for (int id = 0; id < kThreads * kPerThread; ++id) {
+    all.push_back(Hit(id, static_cast<double>(rng.UniformInt(0, 7))));
+  }
+
+  TopKHeap serial(10);
+  for (const EngineHit& hit : all) serial.Offer(hit);
+  const std::vector<EngineHit> expected = serial.Sorted();
+
+  for (int round = 0; round < 20; ++round) {
+    SharedTopK shared(10);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t]() {
+        std::vector<EngineHit> mine(
+            all.begin() + t * kPerThread,
+            all.begin() + (t + 1) * kPerThread);
+        if (t % 3 == 1) std::reverse(mine.begin(), mine.end());
+        if (t % 3 == 2) {
+          std::vector<EngineHit> strided;
+          for (size_t s = 0; s < 2; ++s) {
+            for (size_t i = s; i < mine.size(); i += 2) {
+              strided.push_back(mine[i]);
+            }
+          }
+          mine = strided;
+        }
+        for (const EngineHit& hit : mine) {
+          // Emulate a worker that early-abandons against the live cutoff:
+          // anything at or above it may be dropped without offering.
+          if (hit.result.distance >= shared.Cutoff()) continue;
+          shared.Offer(hit);
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    const std::vector<EngineHit> got = shared.Sorted();
+    ASSERT_EQ(got.size(), expected.size()) << "round " << round;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].trajectory_id, expected[i].trajectory_id)
+          << "round " << round << " rank " << i;
+      EXPECT_EQ(got[i].result.distance, expected[i].result.distance)
+          << "round " << round << " rank " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace trajsearch
