@@ -10,7 +10,8 @@
 // --json=<path> (write the storage-layout metrics as JSON, e.g.
 // BENCH_pr2.json), --json-pr3=<path> (write the execution-model metrics,
 // e.g. BENCH_pr3.json), --json-pr4=<path> (write the threshold-sharing
-// metrics, e.g. BENCH_pr4.json).
+// metrics, e.g. BENCH_pr4.json), --json-pr5=<path> (write the live-corpus
+// ingest metrics, e.g. BENCH_pr5.json).
 
 #include <cstdio>
 #include <fstream>
@@ -680,6 +681,216 @@ void Main(int argc, char** argv) {
     }
   }
 
+  // -------------------------------------------------------------------
+  // Live corpus: append throughput, read-latency impact of a delta,
+  // compaction pause, and the delta-free read-path regression vs a
+  // reproduction of the PR-4 static serving path. One engine config
+  // everywhere (DTW, GBP at an explicitly pinned cell + KPF r=1.0, top-10,
+  // 4 shards, cache off) with a sound bound, so every serving mode must be
+  // hit-for-hit identical.
+  // -------------------------------------------------------------------
+  {
+    PrintHeader("[PR5] Live corpus: ingest throughput, delta reads, "
+                "compaction");
+    const int kShards = 4;
+    const int total = w.corpus.size();
+    const int base_count = total * 4 / 5;
+    // Pin the cell size explicitly from the *full* corpus for every mode:
+    // the live service would otherwise derive it from its smaller base
+    // bounding box and legitimately produce a different GBP candidate set
+    // than a fresh build over the grown corpus.
+    EngineOptions live_engine = engine_options;
+    live_engine.cell_size = DefaultCellSize(w.corpus.Bounds());
+
+    ServiceOptions live_options;
+    live_options.engine = live_engine;
+    live_options.shards = kShards;
+    live_options.cache_capacity = 0;
+    live_options.compact_delta_trajectories = 0;  // compaction forced below
+
+    Dataset base_corpus("live-base");
+    base_corpus.Reserve(static_cast<size_t>(base_count));
+    for (int id = 0; id < base_count; ++id) base_corpus.Add(w.corpus[id]);
+    std::vector<TrajectoryView> feed;
+    size_t feed_points = 0;
+    for (int id = base_count; id < total; ++id) {
+      feed.push_back(w.corpus[id].View());
+      feed_points += feed.back().size();
+    }
+
+    // PR-4 static serving path, reproduced in-run (like the [PR2] legacy
+    // layouts): fixed shards over the corpus, one SharedTopK per query on a
+    // dedicated pool — no generation pinning, no live layer. This is the
+    // baseline the delta-free live read path is gated against.
+    ThreadPool static_pool(kShards);
+    EngineOptions static_engine = live_engine;
+    static_engine.scheduler = &static_pool;
+    std::vector<DatasetView> static_views;
+    std::vector<std::unique_ptr<SearchEngine>> static_engines;
+    int next_begin = 0;
+    for (int s = 0; s < kShards; ++s) {
+      const int count = total / kShards + (s < total % kShards ? 1 : 0);
+      static_views.emplace_back(w.corpus, next_begin, count);
+      static_engines.push_back(std::make_unique<SearchEngine>(
+          static_views.back(), static_engine));
+      next_begin += count;
+    }
+    auto static_batch = [&](std::vector<std::vector<EngineHit>>* hits) {
+      hits->assign(queries.size(), {});
+      std::vector<std::unique_ptr<SharedTopK>> topks(queries.size());
+      for (auto& topk : topks) {
+        topk = std::make_unique<SharedTopK>(live_engine.top_k);
+      }
+      TaskGroup group;
+      for (size_t qi = 0; qi < queries.size(); ++qi) {
+        for (int s = 0; s < kShards; ++s) {
+          static_pool.Submit(&group, [&, qi, s]() {
+            const DatasetView& view = static_views[static_cast<size_t>(s)];
+            const int begin = view.begin_id();
+            const int excluded = w.excluded[qi];
+            int local_excluded = -1;
+            if (excluded >= begin && excluded < begin + view.size()) {
+              local_excluded = excluded - begin;
+            }
+            static_engines[static_cast<size_t>(s)]->QueryInto(
+                queries[qi], topks[qi].get(), begin, nullptr, local_excluded);
+          });
+        }
+      }
+      group.Wait();
+      for (size_t qi = 0; qi < queries.size(); ++qi) {
+        (*hits)[qi] = topks[qi]->Sorted();
+      }
+    };
+
+    // Append throughput: one service ingesting the feed trajectory by
+    // trajectory (every append publishes a generation), another in batches
+    // of 32 (one publication per batch).
+    double append_single_seconds = 0;
+    {
+      QueryService single(base_corpus, live_options);
+      Stopwatch watch;
+      for (const TrajectoryView& t : feed) single.Append(t);
+      append_single_seconds = watch.Seconds();
+    }
+    QueryService live(std::move(base_corpus), live_options);
+    double append_batch_seconds = 0;
+    {
+      constexpr size_t kBatch = 32;
+      Stopwatch watch;
+      std::vector<TrajectoryView> chunk;
+      for (size_t begin = 0; begin < feed.size(); begin += kBatch) {
+        chunk.assign(feed.begin() + static_cast<std::ptrdiff_t>(begin),
+                     feed.begin() + static_cast<std::ptrdiff_t>(
+                                        std::min(begin + kBatch,
+                                                 feed.size())));
+        live.AppendBatch(chunk);
+      }
+      append_batch_seconds = watch.Seconds();
+    }
+
+    // Read latency: fresh-built full corpus (the delta-free live path) vs
+    // the live service carrying its 20% delta, then post-compaction.
+    QueryService fresh(w.corpus, live_options);
+    std::vector<std::vector<EngineHit>> static_hits;
+    static_batch(&static_hits);  // warm-up + reference results
+    const double static_seconds = BestSeconds(passes, [&]() {
+      std::vector<std::vector<EngineHit>> hits;
+      static_batch(&hits);
+    });
+    auto timed_service = [&](QueryService* service, double* seconds) {
+      std::vector<std::vector<EngineHit>> hits =
+          service->SubmitBatch(queries, w.excluded);  // warm-up + identity
+      *seconds = BestSeconds(passes, [&]() {
+        service->SubmitBatch(queries, w.excluded);
+      });
+      return hits;
+    };
+    double fresh_seconds = 0, delta_seconds = 0, compacted_seconds = 0;
+    const auto fresh_hits = timed_service(&fresh, &fresh_seconds);
+    const auto delta_hits = timed_service(&live, &delta_seconds);
+
+    Stopwatch compact_watch;
+    const bool compacted = live.Compact();
+    const double compaction_pause = compact_watch.Seconds();
+    const auto compacted_hits = timed_service(&live, &compacted_seconds);
+
+    const bool identical = compacted && Identical(static_hits, fresh_hits) &&
+                           Identical(static_hits, delta_hits) &&
+                           Identical(static_hits, compacted_hits);
+
+    TablePrinter pr5_table({"Serving mode", "Batch (s)", "vs static"});
+    auto pr5_row = [&](const std::string& name, double seconds) {
+      pr5_table.AddRow({name, TablePrinter::Num(seconds, 4),
+                        TablePrinter::Num(seconds / static_seconds, 3) +
+                            "x"});
+    };
+    pr5_row("static shards (PR4 reproduction)", static_seconds);
+    pr5_row("live service, empty delta", fresh_seconds);
+    pr5_row("live service, 20% delta", delta_seconds);
+    pr5_row("live service, post-compaction", compacted_seconds);
+    pr5_table.Print();
+    std::printf("ingest: %.0f trajectories/s appended one by one, %.0f "
+                "batched x32 (%zu trajectories, %zu points)\n",
+                static_cast<double>(feed.size()) /
+                    std::max(append_single_seconds, 1e-12),
+                static_cast<double>(feed.size()) /
+                    std::max(append_batch_seconds, 1e-12),
+                feed.size(), feed_points);
+    std::printf("compaction: %.3f s to merge %zu delta trajectories into a "
+                "%d-trajectory base and swap (reads never paused)\n",
+                compaction_pause, feed.size(), total);
+    std::printf("all serving modes identical to the static baseline: %s\n",
+                identical ? "yes" : "NO");
+    if (!identical) {
+      // CI correctness gate: the live read path must be hit-for-hit with
+      // the static one under a sound bound, with and without a delta.
+      std::fprintf(stderr,
+                   "FATAL: live corpus serving diverges from the static "
+                   "baseline\n");
+      std::exit(1);
+    }
+
+    const std::string json_pr5 = flags.GetString("json-pr5", "");
+    if (!json_pr5.empty()) {
+      FILE* f = std::fopen(json_pr5.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", json_pr5.c_str());
+      } else {
+        std::fprintf(
+            f,
+            "{\n"
+            "  \"bench\": \"pr5_live_corpus\",\n"
+            "  \"corpus_trajectories\": %d,\n"
+            "  \"base_trajectories\": %d,\n"
+            "  \"delta_trajectories\": %zu,\n"
+            "  \"queries\": %zu,\n"
+            "  \"append_single_per_sec\": %.1f,\n"
+            "  \"append_batch32_per_sec\": %.1f,\n"
+            "  \"static_baseline_seconds\": %.6f,\n"
+            "  \"live_delta_free_seconds\": %.6f,\n"
+            "  \"read_regression_delta_free\": %.4f,\n"
+            "  \"live_delta20_seconds\": %.6f,\n"
+            "  \"delta_read_overhead\": %.4f,\n"
+            "  \"compaction_pause_seconds\": %.6f,\n"
+            "  \"live_post_compaction_seconds\": %.6f,\n"
+            "  \"identical_results\": true\n"
+            "}\n",
+            total, base_count, feed.size(), queries.size(),
+            static_cast<double>(feed.size()) /
+                std::max(append_single_seconds, 1e-12),
+            static_cast<double>(feed.size()) /
+                std::max(append_batch_seconds, 1e-12),
+            static_seconds, fresh_seconds,
+            fresh_seconds / static_seconds - 1.0, delta_seconds,
+            delta_seconds / fresh_seconds - 1.0, compaction_pause,
+            compacted_seconds);
+        std::fclose(f);
+        std::printf("wrote %s\n", json_pr5.c_str());
+      }
+    }
+  }
+
   std::printf(
       "\nShape check: on a machine with >= 4 hardware threads, queries/s "
       "grows with shard\ncount (the 4-shard row exceeds 1.5x the 1-shard "
@@ -690,7 +901,10 @@ void Main(int argc, char** argv) {
       "stage.\nThe [PR4] shared-threshold rows must beat their local-heap "
       "baselines (the\nabandon-only pair isolates the threshold effect and "
       "shows it even on one core,\nsince a tighter cutoff removes DP work "
-      "rather than just overlapping it).\n");
+      "rather than just overlapping it). The\n[PR5] delta-free live row "
+      "must stay within 5%% of the static baseline, the\n20%%-delta row "
+      "within the delta's share of the corpus, and the post-compaction\n"
+      "row back at the delta-free level.\n");
 }
 
 }  // namespace

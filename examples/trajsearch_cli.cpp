@@ -22,7 +22,15 @@
 //   # trajectory of --queries is one query; repeats exercise the cache
 //   trajsearch_cli batch --data=corpus.snap --queries=queries.csv
 //       --dist=dtw --k=5 --shards=4 --workers=4 --cache=256 --repeat=2
+//
+//   # append a CSV/snapshot into a running live service (base + delta
+//   # generations), print ingest + compaction stats, optionally force a
+//   # compaction and/or save the result (v3 = base + append journal when a
+//   # delta remains, plain v2 after compaction)
+//   trajsearch_cli ingest --data=corpus.snap --add=new_day.csv
+//       --batch=64 --threshold=1024 --compact --out=corpus_live.snap
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -89,6 +97,26 @@ int CmdGenerate(const Flags& flags) {
 int CmdStats(const Flags& flags) {
   const std::string path = flags.GetString("data", "");
   if (path.empty()) return Fail("--data=<csv|snap> required");
+  // Snapshot files first report their on-disk shape: format version and,
+  // for live (v3) snapshots, the base/delta generation split.
+  if (IsSnapshotFile(path)) {
+    const Result<SnapshotInfo> probe = ProbeSnapshot(path);
+    if (!probe.ok()) return Fail(probe.status().ToString());
+    const SnapshotInfo& info = probe.value();
+    std::printf("snapshot:     v%u (%s)\n", info.version,
+                info.version == kSnapshotVersionLive
+                    ? "live: base + append journal"
+                    : "single generation");
+    std::printf("base:         %llu trajectories, %llu points\n",
+                static_cast<unsigned long long>(info.base_trajectories),
+                static_cast<unsigned long long>(info.base_points));
+    if (info.version == kSnapshotVersionLive) {
+      std::printf("journal:      %llu trajectories, %llu points (replayed "
+                  "on load)\n",
+                  static_cast<unsigned long long>(info.journal_trajectories),
+                  static_cast<unsigned long long>(info.journal_points));
+    }
+  }
   Stopwatch load_watch;
   const Result<Dataset> loaded = LoadDataset(path, path);
   if (!loaded.ok()) return Fail(loaded.status().ToString());
@@ -308,6 +336,98 @@ int CmdBatch(const Flags& flags) {
   return 0;
 }
 
+void PrintShape(const char* label, const CorpusShape& shape) {
+  std::printf("%s: base %d trajectories (generation %llu, %llu "
+              "compactions), delta %d trajectories / %zu points\n",
+              label, shape.base_trajectories,
+              static_cast<unsigned long long>(shape.generation),
+              static_cast<unsigned long long>(shape.base_generation),
+              shape.delta_trajectories, shape.delta_points);
+}
+
+int CmdIngest(const Flags& flags) {
+  const std::string data_path = flags.GetString("data", "");
+  const std::string add_path = flags.GetString("add", "");
+  if (data_path.empty() || add_path.empty()) {
+    return Fail("--data=<csv|snap> and --add=<csv|snap> required");
+  }
+  Stopwatch load_watch;
+  Result<Dataset> loaded = LoadDataset(data_path, data_path);
+  if (!loaded.ok()) return Fail(loaded.status().ToString());
+  const Result<Dataset> incoming = LoadDataset(add_path, add_path);
+  if (!incoming.ok()) return Fail(incoming.status().ToString());
+  const double load_seconds = load_watch.Seconds();
+
+  ServiceOptions options;
+  if (!ParseSpec(flags, loaded.value(), &options.engine.spec)) {
+    return Fail("unknown --dist (dtw|edr|erp|fd)");
+  }
+  options.engine.top_k = static_cast<int>(flags.GetInt("k", 5));
+  options.engine.mu = flags.GetDouble("mu", 0.2);
+  options.engine.use_gbp = flags.GetBool("gbp", true);
+  options.engine.use_kpf = flags.GetBool("kpf", true);
+  options.shards = static_cast<int>(flags.GetInt("shards", 4));
+  options.worker_threads = static_cast<int>(flags.GetInt("workers", 0));
+  options.compact_delta_trajectories =
+      static_cast<size_t>(flags.GetInt("threshold", 1024));
+  const int batch = std::max(1, static_cast<int>(flags.GetInt("batch", 64)));
+
+  QueryService service(loaded.MoveValue(), options);
+  std::printf("loaded %s + %s in %.3f s; serving %d trajectories on %d "
+              "shards (auto-compact at %zu delta trajectories)\n",
+              data_path.c_str(), add_path.c_str(), load_seconds,
+              service.corpus_size(), service.shard_count(),
+              options.compact_delta_trajectories);
+
+  // Append the incoming file into the running service, batch by batch —
+  // queries could be served concurrently the whole time.
+  const Dataset& extra = incoming.value();
+  Stopwatch ingest_watch;
+  std::vector<TrajectoryView> views;
+  views.reserve(static_cast<size_t>(batch));
+  for (int begin = 0; begin < extra.size(); begin += batch) {
+    views.clear();
+    const int end = std::min(extra.size(), begin + batch);
+    for (int i = begin; i < end; ++i) views.push_back(extra[i].View());
+    service.AppendBatch(views);
+  }
+  const double ingest_seconds = ingest_watch.Seconds();
+
+  const ServiceStats stats = service.Stats();
+  std::printf("ingested %llu trajectories (%llu points) in %llu batches in "
+              "%.3f s (%.0f trajectories/s)\n",
+              static_cast<unsigned long long>(stats.appends),
+              static_cast<unsigned long long>(stats.appended_points),
+              static_cast<unsigned long long>(stats.append_batches),
+              ingest_seconds,
+              static_cast<double>(stats.appends) /
+                  std::max(ingest_seconds, 1e-12));
+  std::printf("compactions:  %llu background, %.3f s rebuilding\n",
+              static_cast<unsigned long long>(stats.compactions),
+              stats.compaction_seconds);
+  PrintShape("serving", service.Shape());
+
+  if (flags.GetBool("compact", false)) {
+    Stopwatch compact_watch;
+    const bool compacted = service.Compact();
+    std::printf("forced compaction: %s (%.3f s)\n",
+                compacted ? "merged delta into base" : "delta already empty",
+                compact_watch.Seconds());
+    PrintShape("serving", service.Shape());
+  }
+
+  const std::string out = flags.GetString("out", "");
+  if (!out.empty()) {
+    const Status st = service.SaveSnapshot(out);
+    if (!st.ok()) return Fail(st.ToString());
+    std::printf("wrote %s (%s)\n", out.c_str(),
+                service.Shape().delta_trajectories > 0
+                    ? "v3: base + append journal"
+                    : "v2: single generation");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -318,9 +438,10 @@ int main(int argc, char** argv) {
   if (command == "search") return CmdSearch(flags);
   if (command == "snapshot") return CmdSnapshot(flags);
   if (command == "batch") return CmdBatch(flags);
+  if (command == "ingest") return CmdIngest(flags);
   std::fprintf(stderr,
-               "usage: trajsearch_cli <generate|stats|search|snapshot|batch> "
-               "[--flags]\n"
+               "usage: trajsearch_cli "
+               "<generate|stats|search|snapshot|batch|ingest> [--flags]\n"
                "see the header comment of examples/trajsearch_cli.cpp\n");
   return command.empty() ? 0 : 1;
 }

@@ -44,6 +44,7 @@ DatasetStats Dataset::Stats() const {
   stats.trajectory_count = static_cast<size_t>(size());
   stats.point_count = pool_.size();
   stats.pool_bytes = pool_.size() * sizeof(Point);
+  stats.pool_capacity_bytes = pool_.capacity() * sizeof(Point);
   stats.min_length = empty() ? 0 : length(0);
   for (int id = 0; id < size(); ++id) {
     stats.min_length = std::min(stats.min_length, length(id));

@@ -20,6 +20,10 @@ struct DatasetStats {
   BoundingBox bounds;
   /// Bytes held by the contiguous point pool (capacity excluded).
   size_t pool_bytes = 0;
+  /// Bytes *reserved* by the pool. Loaders size the pool exactly from
+  /// snapshot headers, so after a load this equals pool_bytes; a gap means
+  /// some path grew the pool incrementally (audited in plan_alloc_test).
+  size_t pool_capacity_bytes = 0;
 };
 
 /// \brief An in-memory collection of data trajectories, stored as one

@@ -1,0 +1,131 @@
+#include "core/live_dataset.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+namespace trajsearch {
+
+LiveDataset::LiveDataset(Dataset base)
+    : base_(std::make_shared<const Dataset>(std::move(base))) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PublishLocked();
+}
+
+TrajectoryView LiveDataset::StorePointsLocked(TrajectoryView points) {
+  const size_t n = points.size();
+  if (n == 0) return TrajectoryView();
+  if (chunks_.empty() || last_chunk_used_ + n > last_chunk_capacity_) {
+    // A trajectory never spans chunks; oversized ones get a dedicated chunk.
+    const size_t capacity = std::max(kChunkPoints, n);
+    chunks_.push_back(std::shared_ptr<Point[]>(new Point[capacity]));
+    last_chunk_used_ = 0;
+    last_chunk_capacity_ = capacity;
+  }
+  Point* dst = chunks_.back().get() + last_chunk_used_;
+  std::memcpy(dst, points.data(), n * sizeof(Point));
+  last_chunk_used_ += n;
+  return TrajectoryView(dst, n);
+}
+
+void LiveDataset::PublishLocked() {
+  auto delta = std::make_shared<DeltaView>();
+  delta->entries_ = entries_;
+  delta->chunks_ = chunks_;
+  delta->point_count_ = delta_points_;
+
+  auto view = std::make_shared<CorpusView>();
+  view->base_ = base_;
+  view->delta_ = std::move(delta);
+  view->generation_ = generation_;
+  view->ingest_seq_ = ingest_seq_;
+  view->base_generation_ = base_generation_;
+  published_.store(std::move(view));
+}
+
+int LiveDataset::Append(TrajectoryView trajectory) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int id = base_->size() + static_cast<int>(entries_.size());
+  entries_.push_back(StorePointsLocked(trajectory));
+  delta_points_ += trajectory.size();
+  ++ingest_seq_;
+  ++generation_;
+  PublishLocked();
+  return id;
+}
+
+std::vector<int> LiveDataset::AppendBatch(
+    const std::vector<TrajectoryView>& trajectories) {
+  std::vector<int> ids;
+  ids.reserve(trajectories.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.reserve(entries_.size() + trajectories.size());
+  for (const TrajectoryView& trajectory : trajectories) {
+    ids.push_back(base_->size() + static_cast<int>(entries_.size()));
+    entries_.push_back(StorePointsLocked(trajectory));
+    delta_points_ += trajectory.size();
+    ++ingest_seq_;
+  }
+  if (!trajectories.empty()) {
+    ++generation_;
+    PublishLocked();
+  }
+  return ids;
+}
+
+CorpusView LiveDataset::View() const { return *published_.load(); }
+
+Dataset LiveDataset::Merge(const CorpusView& view) {
+  const Dataset& base = view.base();
+  const DeltaView& delta = view.delta();
+  // Exact-size assembly straight into the pool layout: the merged corpus is
+  // the base pool followed by the delta points, with offsets extended.
+  std::vector<Point> pool;
+  pool.reserve(base.point_count() + delta.point_count());
+  pool.insert(pool.end(), base.pool().begin(), base.pool().end());
+  std::vector<uint64_t> offsets;
+  offsets.reserve(static_cast<size_t>(view.size()) + 1);
+  offsets.insert(offsets.end(), base.offsets().begin(), base.offsets().end());
+  for (int i = 0; i < delta.size(); ++i) {
+    const TrajectoryView points = delta[i];
+    pool.insert(pool.end(), points.begin(), points.end());
+    offsets.push_back(static_cast<uint64_t>(pool.size()));
+  }
+  return Dataset::FromPool(base.name(), std::move(pool), std::move(offsets));
+}
+
+void LiveDataset::AdoptBase(std::shared_ptr<const Dataset> base,
+                            int compacted_count) {
+  TRAJ_CHECK(base != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  TRAJ_CHECK(compacted_count >= 0 &&
+             compacted_count <= static_cast<int>(entries_.size()));
+  // The new base must be the old base plus exactly the compacted prefix, so
+  // every already-assigned corpus id keeps its trajectory.
+  TRAJ_CHECK(base->size() == base_->size() + compacted_count);
+
+  // Re-home the surviving delta suffix (appends that raced the compactor)
+  // into fresh chunks. The old chunks stay alive through any still-pinned
+  // views, so copy before dropping our references.
+  const std::vector<TrajectoryView> survivors(
+      entries_.begin() + compacted_count, entries_.end());
+  const std::vector<std::shared_ptr<Point[]>> old_chunks =
+      std::move(chunks_);
+  chunks_.clear();
+  last_chunk_used_ = 0;
+  last_chunk_capacity_ = 0;
+  entries_.clear();
+  delta_points_ = 0;
+  for (const TrajectoryView& points : survivors) {
+    entries_.push_back(StorePointsLocked(points));
+    delta_points_ += points.size();
+  }
+  (void)old_chunks;  // released after the copies above
+
+  base_ = std::move(base);
+  ++base_generation_;
+  ++generation_;  // layout changed; content (and ingest_seq_) did not
+  PublishLocked();
+}
+
+}  // namespace trajsearch

@@ -1,0 +1,192 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/dataset.h"
+#include "util/published_ptr.h"
+
+namespace trajsearch {
+
+/// \brief Immutable snapshot of the append-only delta: the trajectories
+/// appended to a LiveDataset since its base was last compacted.
+///
+/// Delta points live in fixed-capacity chunks that never move once
+/// allocated; a DeltaView shares those chunks with the LiveDataset (and with
+/// every other published view), so publishing a new generation copies the
+/// per-trajectory entry table but never a point. Delta ids are dense
+/// [0, size()) in append order; the owning CorpusView maps them to corpus
+/// ids by adding its base size.
+class DeltaView {
+ public:
+  DeltaView() = default;
+
+  /// Number of delta trajectories.
+  int size() const { return static_cast<int>(entries_.size()); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Points of delta trajectory `delta_id` (contiguous within one chunk).
+  TrajectoryView operator[](int delta_id) const {
+    TRAJ_DCHECK(delta_id >= 0 && delta_id < size());
+    return entries_[static_cast<size_t>(delta_id)];
+  }
+
+  /// Total points across the delta trajectories.
+  size_t point_count() const { return point_count_; }
+
+ private:
+  friend class LiveDataset;
+  std::vector<TrajectoryView> entries_;
+  /// Keep-alives for every chunk the entries point into. The same chunk
+  /// array is shared (not copied) by all views over the same delta range.
+  std::vector<std::shared_ptr<Point[]>> chunks_;
+  size_t point_count_ = 0;
+};
+
+/// \brief One pinned generation of a live corpus: an immutable base Dataset
+/// plus an immutable DeltaView, with a dense combined id space.
+///
+/// Corpus ids are base ids [0, base_size()) followed by delta ids
+/// [base_size(), size()) in append order, and they are *stable*: an id
+/// assigned by LiveDataset::Append never changes, including across
+/// compaction (compacting k delta trajectories grows the base by exactly k,
+/// so the remaining delta trajectories keep their corpus ids). Holding a
+/// CorpusView pins the generation — appends and compactions published after
+/// the view was taken are invisible to it, and the storage it references
+/// stays alive for the view's lifetime.
+class CorpusView {
+ public:
+  CorpusView() = default;
+
+  /// Total trajectories (base + delta).
+  int size() const { return base_size() + delta_size(); }
+  int base_size() const { return base_ == nullptr ? 0 : base_->size(); }
+  int delta_size() const { return delta_ == nullptr ? 0 : delta_->size(); }
+  size_t point_count() const {
+    return (base_ == nullptr ? 0 : base_->point_count()) +
+           (delta_ == nullptr ? 0 : delta_->point_count());
+  }
+
+  /// Trajectory accessor by corpus id; the ref's id() is the corpus id.
+  TrajectoryRef operator[](int id) const {
+    TRAJ_DCHECK(id >= 0 && id < size());
+    if (id < base_size()) return (*base_)[id];
+    const TrajectoryView points = (*delta_)[id - base_size()];
+    return TrajectoryRef(points.data(), static_cast<int>(points.size()), id);
+  }
+
+  const Dataset& base() const {
+    TRAJ_DCHECK(base_ != nullptr);
+    return *base_;
+  }
+  /// Shared ownership of the base (engines built over it outlive swaps).
+  const std::shared_ptr<const Dataset>& base_ptr() const { return base_; }
+  const DeltaView& delta() const {
+    TRAJ_DCHECK(delta_ != nullptr);
+    return *delta_;
+  }
+
+  /// Monotonic stamp bumped by every publication (append or compaction).
+  uint64_t generation() const { return generation_; }
+  /// Stamp bumped by appends only: two views with equal ingest_seq() hold
+  /// the same trajectory *content* (compaction changes layout, not content),
+  /// which is exactly what result-cache keys need.
+  uint64_t ingest_seq() const { return ingest_seq_; }
+  /// Number of compactions adopted so far.
+  uint64_t base_generation() const { return base_generation_; }
+
+ private:
+  friend class LiveDataset;
+  std::shared_ptr<const Dataset> base_;
+  std::shared_ptr<const DeltaView> delta_;
+  uint64_t generation_ = 0;
+  uint64_t ingest_seq_ = 0;
+  uint64_t base_generation_ = 0;
+};
+
+/// \brief A trajectory corpus that accepts appends while being read.
+///
+/// Generational storage: an immutable base Dataset (the pooled, snapshot-v2
+/// layout every index and shard view is built over) plus an append-only
+/// delta. Writers serialize on one mutex; readers never take it — View()
+/// pins the most recently published CorpusView through an RCU-style
+/// publication slot (util/published_ptr.h), so a reader picks up a
+/// consistent generation in nanoseconds and in-flight queries keep their
+/// pinned generation alive across any number of concurrent appends and
+/// compaction swaps.
+///
+/// Delta points are stored in fixed-capacity chunks that never reallocate;
+/// each append copies its points into chunk storage once, and publication
+/// copies only the entry table (O(delta count), not O(delta points)). The
+/// delta is expected to stay small: when it exceeds a threshold the owner
+/// compacts — builds one merged Dataset off-line via Merge(), then calls
+/// AdoptBase() to swap it in and drop the compacted delta prefix.
+class LiveDataset {
+ public:
+  /// Starts with `base` as generation 0 (the whole dataset, empty delta).
+  explicit LiveDataset(Dataset base);
+
+  LiveDataset(const LiveDataset&) = delete;
+  LiveDataset& operator=(const LiveDataset&) = delete;
+
+  /// Appends one trajectory (points are copied into delta chunk storage).
+  /// Returns its corpus id — stable for the lifetime of this LiveDataset.
+  int Append(TrajectoryView trajectory);
+
+  /// Appends many trajectories under one lock acquisition and a single
+  /// publication. Returns their corpus ids (consecutive).
+  std::vector<int> AppendBatch(const std::vector<TrajectoryView>& trajectories);
+
+  /// Pins the current generation. Readers never take the ingest mutex —
+  /// only the publication slot's micro critical section — and the returned
+  /// view stays valid (and unchanged) no matter what is appended or
+  /// compacted afterwards.
+  CorpusView View() const;
+
+  /// Total trajectories in the current generation.
+  int size() const { return View().size(); }
+
+  /// Flattens a pinned generation into one pooled Dataset (base pool + delta
+  /// points, ids preserved). Allocates exactly; runs without any lock, so a
+  /// compactor can build the merged corpus while appends continue.
+  static Dataset Merge(const CorpusView& view);
+
+  /// Compaction swap: `base` replaces the current base and the first
+  /// `compacted_count` delta trajectories (it must contain exactly the old
+  /// base plus that delta prefix, in order — checked by size). Delta
+  /// trajectories appended after the compactor pinned its view survive with
+  /// their corpus ids unchanged; their points are re-homed into fresh chunks
+  /// so the compacted chunks can be reclaimed once old views die.
+  void AdoptBase(std::shared_ptr<const Dataset> base, int compacted_count);
+
+ private:
+  /// Points per delta chunk (a trajectory longer than this gets a dedicated
+  /// chunk, so points of one trajectory are always contiguous).
+  static constexpr size_t kChunkPoints = 4096;
+
+  /// Copies `points` into chunk storage; returns the stable location.
+  /// Requires mu_ held.
+  TrajectoryView StorePointsLocked(TrajectoryView points);
+  /// Publishes the current state as a new CorpusView. Requires mu_ held.
+  void PublishLocked();
+
+  mutable std::mutex mu_;  // serializes writers; readers never take it
+
+  // Writer state (guarded by mu_). entries_ views point into chunks_.
+  std::shared_ptr<const Dataset> base_;
+  std::vector<std::shared_ptr<Point[]>> chunks_;
+  size_t last_chunk_used_ = 0;
+  size_t last_chunk_capacity_ = 0;
+  std::vector<TrajectoryView> entries_;
+  size_t delta_points_ = 0;
+  uint64_t generation_ = 0;
+  uint64_t ingest_seq_ = 0;
+  uint64_t base_generation_ = 0;
+
+  /// RCU publication slot; store under mu_, load anywhere.
+  PublishedPtr<const CorpusView> published_;
+};
+
+}  // namespace trajsearch

@@ -2,8 +2,10 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/dataset.h"
+#include "core/trajectory.h"
 #include "util/status.h"
 
 namespace trajsearch {
@@ -16,6 +18,8 @@ namespace trajsearch {
 /// contiguous block of little-endian double coordinates. Loading is a header
 /// check plus two block reads straight into the pool — no per-trajectory
 /// allocation at all — so service startup cost is dominated by raw I/O.
+/// Every buffer is reserved exactly from the header counts, so loading
+/// never over-allocates (capacity == size for the offsets table and pool).
 ///
 /// v2 layout (all integers little-endian):
 ///   magic      8 bytes  "TRAJSNAP"
@@ -30,16 +34,51 @@ namespace trajsearch {
 ///                                          table, verbatim)
 ///   points     point_count x (double x, double y)   the pool, verbatim
 ///
-/// v1 (PR 1) differs only in the index table: one uint32 *length* per
-/// trajectory instead of the offset table. Its points were already written
-/// trajectory-major and back to back, so the v1 read path below still loads
-/// the coordinate block with a single contiguous read.
+/// v3 (live corpora) is the v2 payload for the immutable *base* — counts
+/// and fingerprint in the header describe the base — followed by a
+/// replayable append journal holding the delta trajectories in append
+/// order, so a live service snapshots without flattening its delta and a
+/// loader can replay the journal through Append to reproduce the exact
+/// generation (same corpus ids):
+///   journal_count  uint64   delta trajectories
+///   journal_points uint64   total delta points
+///   journal_fp     uint64   content checksum of the journal (trajectory
+///                           fingerprints combined in order, plus count)
+///   entries        journal_count x { uint32 length; length x Point }
+///
+/// v1 (PR 1) differs from v2 only in the index table: one uint32 *length*
+/// per trajectory instead of the offset table. Its points were already
+/// written trajectory-major and back to back, so the v1 read path below
+/// still loads the coordinate block with a single contiguous read.
 ///
 /// Load rejects bad magic/version/size invariants with InvalidArgument,
 /// truncated files with IoError, and payload corruption (fingerprint or
 /// offset-table mismatch) with InvalidArgument.
 
+/// Default version for plain Dataset snapshots (a delta-free corpus is
+/// exactly a v2 file; only live corpora with a delta write v3).
 inline constexpr uint32_t kSnapshotVersion = 2;
+inline constexpr uint32_t kSnapshotVersionLive = 3;
+
+/// A v3 snapshot split into its two generations: the pooled base and the
+/// append journal (delta trajectories in append order). v1/v2 files load
+/// with an empty journal.
+struct LiveSnapshot {
+  Dataset base;
+  std::vector<Trajectory> journal;
+};
+
+/// Header/shape summary of a snapshot file, readable without loading the
+/// payload (the CLI's `stats` uses this to report version and generation
+/// shape).
+struct SnapshotInfo {
+  uint32_t version = 0;
+  std::string name;
+  uint64_t base_trajectories = 0;
+  uint64_t base_points = 0;
+  uint64_t journal_trajectories = 0;  // 0 for v1/v2
+  uint64_t journal_points = 0;        // 0 for v1/v2
+};
 
 /// Writes the dataset as a v2 snapshot; IoError on filesystem errors.
 Status WriteSnapshot(const Dataset& dataset, const std::string& path);
@@ -48,9 +87,25 @@ Status WriteSnapshot(const Dataset& dataset, const std::string& path);
 /// compatibility tooling and for testing the v1 read path.
 Status WriteSnapshotV1(const Dataset& dataset, const std::string& path);
 
-/// Reads a snapshot written by WriteSnapshot (v2) or by a pre-refactor
-/// build (v1), restoring the stored name.
+/// Writes a v3 live snapshot: `base` as the v2-style payload plus `journal`
+/// as the replayable append journal (delta trajectories in append order).
+Status WriteLiveSnapshot(const Dataset& base,
+                         const std::vector<TrajectoryView>& journal,
+                         const std::string& path);
+
+/// Reads a snapshot written by WriteSnapshot (v2), WriteLiveSnapshot (v3)
+/// or a pre-refactor build (v1), restoring the stored name. A v3 journal is
+/// flattened into the returned dataset (base trajectories first, then the
+/// journal in append order — the live corpus's id assignment), with the
+/// pool and offsets reserved exactly from the header counts.
 Result<Dataset> ReadSnapshot(const std::string& path);
+
+/// Reads any snapshot version, preserving the base/journal split of a v3
+/// file (v1/v2 load with an empty journal).
+Result<LiveSnapshot> ReadLiveSnapshot(const std::string& path);
+
+/// Reads a snapshot's header + journal shape without loading the payload.
+Result<SnapshotInfo> ProbeSnapshot(const std::string& path);
 
 /// True if the file starts with the snapshot magic (format sniffing).
 bool IsSnapshotFile(const std::string& path);

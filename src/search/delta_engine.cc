@@ -1,0 +1,93 @@
+#include "search/delta_engine.h"
+
+#include <utility>
+
+#include "search/topk.h"
+#include "util/check.h"
+#include "util/stopwatch.h"
+
+namespace trajsearch {
+
+DeltaEngine::DeltaEngine(EngineOptions options)
+    : options_(std::move(options)) {
+  TRAJ_CHECK(options_.top_k >= 1);
+  searcher_ = MakeEngineSearcher(options_);
+}
+
+void DeltaEngine::QueryInto(TrajectoryView query, const DeltaView& delta,
+                            const DeltaGridIndex* grid, SharedTopK* topk,
+                            int id_offset, QueryStats* stats,
+                            int excluded_id) const {
+  QueryStats local;
+  IntervalTimer gbp_timer;
+
+  // Candidate generation mirrors SearchEngine: the delta grid's postings
+  // when GBP is on, every delta trajectory otherwise. The local-heap
+  // ablation (share_threshold off) keeps id order, exactly like the base
+  // engines, so its merge semantics stay the PR-3 ones.
+  gbp_timer.Start();
+  thread_local std::vector<int> candidate_scratch;
+  const bool ordering =
+      options_.order_candidates && options_.share_threshold;
+  if (grid != nullptr) {
+    TRAJ_DCHECK(grid->size() == delta.size());
+    if (ordering) {
+      grid->OrderedCandidates(query, options_.mu, &candidate_scratch);
+    } else {
+      grid->Candidates(query, options_.mu, &candidate_scratch);
+    }
+  } else {
+    candidate_scratch.resize(static_cast<size_t>(delta.size()));
+    for (int id = 0; id < delta.size(); ++id) {
+      candidate_scratch[static_cast<size_t>(id)] = id;
+    }
+  }
+  gbp_timer.Stop();
+  local.candidates_after_gbp = static_cast<int>(candidate_scratch.size());
+
+  const bool bound_enabled = options_.use_kpf || options_.use_osf;
+  std::unique_ptr<KpfBoundPlan> bound;
+  if (bound_enabled && !query.empty() && !candidate_scratch.empty()) {
+    bound = plans_.AcquireBound();
+    bound->Bind(options_.spec, query,
+                options_.use_osf ? 1.0 : options_.sample_rate);
+  }
+
+  if (!candidate_scratch.empty()) {
+    IntervalTimer bound_timer;
+    IntervalTimer pair_timer;
+    std::unique_ptr<QueryRun> run = plans_.AcquireRun(*searcher_);
+    run->Bind(query);
+    for (const int id : candidate_scratch) {
+      if (id == excluded_id) continue;
+      const TrajectoryView data = delta[id];
+      if (data.empty()) continue;
+      if (bound != nullptr && topk->Cutoff() != kNoCutoff) {
+        bound_timer.Start();
+        const double lower = bound->LowerBound(data);
+        bound_timer.Stop();
+        if (topk->ShouldPrune(lower, id + id_offset)) {
+          ++local.pruned_by_bound;
+          continue;
+        }
+      }
+      const double cutoff =
+          options_.use_early_abandon ? topk->Cutoff() : kNoCutoff;
+      pair_timer.Start();
+      const SearchResult result = run->Run(data, cutoff);
+      pair_timer.Stop();
+      topk->Offer(EngineHit{id + id_offset, result});
+      ++local.searched;
+    }
+    plans_.ReleaseRun(std::move(run));
+    local.bound_seconds = bound_timer.TotalSeconds();
+    local.pair_search_seconds = pair_timer.TotalSeconds();
+  }
+  if (bound != nullptr) plans_.ReleaseBound(std::move(bound));
+
+  local.prune_seconds = gbp_timer.TotalSeconds() + local.bound_seconds;
+  local.search_seconds = local.pair_search_seconds;
+  if (stats != nullptr) *stats = local;
+}
+
+}  // namespace trajsearch

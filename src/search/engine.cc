@@ -27,6 +27,17 @@ size_t ChunkSize(size_t candidates, int workers) {
 
 }  // namespace
 
+std::unique_ptr<Searcher> MakeEngineSearcher(const EngineOptions& options) {
+  if ((options.algorithm == Algorithm::kRls ||
+       options.algorithm == Algorithm::kRlsSkip) &&
+      options.rls_policy != nullptr) {
+    return MakeRlsSearcher(options.spec, *options.rls_policy);
+  }
+  auto made = MakeSearcher(options.algorithm, options.spec);
+  TRAJ_CHECK(made.ok());
+  return made.MoveValue();
+}
+
 SearchEngine::SearchEngine(DatasetView data, EngineOptions options)
     : data_(data), options_(options) {
   TRAJ_CHECK(options_.top_k >= 1);
@@ -37,49 +48,7 @@ SearchEngine::SearchEngine(DatasetView data, EngineOptions options)
     if (cell <= 0) cell = DefaultCellSize(data_.Bounds());
     grid_ = std::make_unique<GridIndex>(data_, cell);
   }
-  if ((options_.algorithm == Algorithm::kRls ||
-       options_.algorithm == Algorithm::kRlsSkip) &&
-      options_.rls_policy != nullptr) {
-    searcher_ = MakeRlsSearcher(options_.spec, *options_.rls_policy);
-  } else {
-    auto made = MakeSearcher(options_.algorithm, options_.spec);
-    TRAJ_CHECK(made.ok());
-    searcher_ = made.MoveValue();
-  }
-}
-
-std::unique_ptr<QueryRun> SearchEngine::AcquireRun() const {
-  {
-    std::lock_guard<std::mutex> lock(pool_mu_);
-    if (!run_pool_.empty()) {
-      std::unique_ptr<QueryRun> run = std::move(run_pool_.back());
-      run_pool_.pop_back();
-      return run;
-    }
-  }
-  return searcher_->NewRun();
-}
-
-void SearchEngine::ReleaseRun(std::unique_ptr<QueryRun> run) const {
-  std::lock_guard<std::mutex> lock(pool_mu_);
-  run_pool_.push_back(std::move(run));
-}
-
-std::unique_ptr<KpfBoundPlan> SearchEngine::AcquireBound() const {
-  {
-    std::lock_guard<std::mutex> lock(pool_mu_);
-    if (!bound_pool_.empty()) {
-      std::unique_ptr<KpfBoundPlan> bound = std::move(bound_pool_.back());
-      bound_pool_.pop_back();
-      return bound;
-    }
-  }
-  return std::make_unique<KpfBoundPlan>();
-}
-
-void SearchEngine::ReleaseBound(std::unique_ptr<KpfBoundPlan> bound) const {
-  std::lock_guard<std::mutex> lock(pool_mu_);
-  bound_pool_.push_back(std::move(bound));
+  searcher_ = MakeEngineSearcher(options_);
 }
 
 std::vector<EngineHit> SearchEngine::Query(TrajectoryView query,
@@ -130,7 +99,7 @@ void SearchEngine::QueryInto(TrajectoryView query, SharedTopK* topk,
   const bool bound_enabled = options_.use_kpf || options_.use_osf;
   std::unique_ptr<KpfBoundPlan> bound;
   if (bound_enabled && !query.empty()) {
-    bound = AcquireBound();
+    bound = plans_.AcquireBound();
     bound->Bind(options_.spec, query,
                 options_.use_osf ? 1.0 : options_.sample_rate);
   }
@@ -223,12 +192,12 @@ void SearchEngine::QueryInto(TrajectoryView query, SharedTopK* topk,
     local.bound_seconds = order_timer.TotalSeconds();
   } else if (options_.threads <= 1) {
     WorkerState state;
-    std::unique_ptr<QueryRun> run = AcquireRun();
+    std::unique_ptr<QueryRun> run = plans_.AcquireRun(*searcher_);
     run->Bind(query);
     for (size_t c = 0; c < candidates.size(); ++c) {
       if (process(c, nullptr, run.get(), &state)) ++local.searched;
     }
-    ReleaseRun(std::move(run));
+    plans_.ReleaseRun(std::move(run));
     local.pruned_by_bound = state.pruned;
     local.bound_seconds =
         order_timer.TotalSeconds() + state.bound_timer.TotalSeconds();
@@ -251,7 +220,7 @@ void SearchEngine::QueryInto(TrajectoryView query, SharedTopK* topk,
 
     auto worker = [&](int w) {
       WorkerState& state = states[static_cast<size_t>(w)];
-      std::unique_ptr<QueryRun> run = AcquireRun();
+      std::unique_ptr<QueryRun> run = plans_.AcquireRun(*searcher_);
       run->Bind(query);
       // PR-3-style local heap, only consulted when threshold sharing is off
       // (ablation/benchmark baseline).
@@ -271,7 +240,7 @@ void SearchEngine::QueryInto(TrajectoryView query, SharedTopK* topk,
           topk->Offer(EngineHit{hit.trajectory_id + id_offset, hit.result});
         }
       }
-      ReleaseRun(std::move(run));
+      plans_.ReleaseRun(std::move(run));
     };
 
     ThreadPool& pool = options_.scheduler != nullptr ? *options_.scheduler
@@ -294,7 +263,7 @@ void SearchEngine::QueryInto(TrajectoryView query, SharedTopK* topk,
       local.pair_search_seconds += state.pair_timer.TotalSeconds();
     }
   }
-  if (bound != nullptr) ReleaseBound(std::move(bound));
+  if (bound != nullptr) plans_.ReleaseBound(std::move(bound));
 
   if (stats != nullptr) *stats = local;
 }

@@ -7,6 +7,7 @@
 #include "core/dataset.h"
 #include "prune/grid_index.h"
 #include "prune/key_point_filter.h"
+#include "search/plan_pool.h"
 #include "search/searcher.h"
 
 namespace trajsearch {
@@ -168,21 +169,19 @@ class SearchEngine {
   const GridIndex* grid() const { return grid_.get(); }
 
  private:
-  /// Checks a pooled plan out / back in (pools are grow-only; steady state
-  /// reuses the same plans and their scratch across queries).
-  std::unique_ptr<QueryRun> AcquireRun() const;
-  void ReleaseRun(std::unique_ptr<QueryRun> run) const;
-  std::unique_ptr<KpfBoundPlan> AcquireBound() const;
-  void ReleaseBound(std::unique_ptr<KpfBoundPlan> bound) const;
-
   DatasetView data_;
   EngineOptions options_;
   std::unique_ptr<GridIndex> grid_;
   std::unique_ptr<Searcher> searcher_;
-
-  mutable std::mutex pool_mu_;
-  mutable std::vector<std::unique_ptr<QueryRun>> run_pool_;
-  mutable std::vector<std::unique_ptr<KpfBoundPlan>> bound_pool_;
+  /// Plans/bounds are grow-only pooled; steady state reuses the same plans
+  /// and their scratch across queries.
+  mutable PlanPool plans_;
 };
+
+/// Builds the per-trajectory searcher an engine's options describe: trained
+/// RLS policies route through MakeRlsSearcher, everything else through
+/// MakeSearcher (invalid algorithm/distance combinations are a programming
+/// error here and CHECK). Shared by SearchEngine and DeltaEngine.
+std::unique_ptr<Searcher> MakeEngineSearcher(const EngineOptions& options);
 
 }  // namespace trajsearch

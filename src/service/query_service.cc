@@ -8,8 +8,10 @@
 #include <utility>
 
 #include "core/fingerprint.h"
+#include "io/snapshot.h"
 #include "search/topk.h"
 #include "util/check.h"
+#include "util/stopwatch.h"
 
 namespace trajsearch {
 
@@ -134,71 +136,210 @@ void QueryService::ResultCache::Clear() {
 // ---------------------------------------------------------------------------
 
 QueryService::QueryService(Dataset dataset, ServiceOptions options)
-    : options_(options), corpus_(std::move(dataset)),
+    : options_(options), live_(std::move(dataset)),
       cache_(options.cache_capacity) {
-  // Pin GBP's derived cell size to the full-corpus bounding box before
+  // Pin GBP's derived cell size to the initial corpus bounding box before
   // sharding; per-shard boxes would otherwise derive different grids and the
-  // sharded candidate set could diverge from the unsharded engine's.
-  if (options_.engine.use_gbp && options_.engine.cell_size <= 0 &&
-      !corpus_.empty()) {
-    options_.engine.cell_size = DefaultCellSize(corpus_.Bounds());
+  // sharded candidate set could diverge from the unsharded engine's. The
+  // pinned value also parameterizes the delta grid and every compaction
+  // rebuild, so grid geometry never shifts under a running service (an
+  // empty initial corpus pins the degenerate-box default of 1.0 — pass an
+  // explicit cell size when bootstrapping a corpus purely from appends).
+  if (options_.engine.use_gbp && options_.engine.cell_size <= 0) {
+    options_.engine.cell_size = DefaultCellSize(live_.View().base().Bounds());
   }
 
   options_fingerprint_ = EngineOptionsFingerprint(options_.engine);
+  options_.shards = std::max(options_.shards, 1);
 
-  const int corpus_size = corpus_.size();
-  const int shard_count =
-      std::clamp(options_.shards, 1, std::max(corpus_size, 1));
-  options_.shards = shard_count;
-
-  // One scheduler pool for everything: the (query, shard) fan-out tasks and
-  // the shard engines' candidate-chunk workers. Created before the shard
-  // engines so EngineOptions::scheduler can point at it — engines then never
-  // spawn threads of their own underneath the service.
+  // One scheduler pool for everything: the (query, shard) and (query,
+  // delta) fan-out tasks, the shard engines' candidate-chunk workers, and
+  // background compactions. Created before the engines so
+  // EngineOptions::scheduler can point at it — engines then never spawn
+  // threads of their own underneath the service.
   const int hardware =
       std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
   const int workers =
       options_.worker_threads > 0
           ? options_.worker_threads
           : std::min(hardware,
-                     shard_count * std::max(1, options_.engine.threads));
+                     options_.shards * std::max(1, options_.engine.threads));
   options_.worker_threads = workers;
   pool_ = std::make_unique<ThreadPool>(workers);
   // The shard engines get the pool through a private copy of the engine
   // options; options_ itself stays exactly what the caller passed (same
   // rule as the engine's derived cell size — options() must never leak a
   // pointer into service internals that could outlive the service).
-  EngineOptions shard_engine_options = options_.engine;
-  shard_engine_options.scheduler = pool_.get();
+  shard_engine_options_ = options_.engine;
+  shard_engine_options_.scheduler = pool_.get();
+  delta_engine_ = std::make_unique<DeltaEngine>(shard_engine_options_);
+
+  std::lock_guard<std::mutex> lock(ingest_mu_);
+  base_state_ = BuildBaseState(live_.View().base_ptr());
+  PublishLocked();
+}
+
+QueryService::~QueryService() {
+  // Drain any in-flight background compaction before members (the pool the
+  // task runs on, the live dataset it swaps) are torn down.
+  compact_group_.Wait();
+}
+
+std::shared_ptr<const QueryService::BaseState> QueryService::BuildBaseState(
+    std::shared_ptr<const Dataset> corpus) const {
+  auto state = std::make_shared<BaseState>();
+  state->corpus = std::move(corpus);
+  const int corpus_size = state->corpus->size();
+  const int shard_count =
+      std::clamp(options_.shards, 1, std::max(corpus_size, 1));
 
   // Contiguous range partition over the shared pool: shard s views corpus
   // ids [s*base + min(s, rem), ...) — no points move, and translating a
   // shard-local hit id back to a corpus id is one addition.
   const int base = corpus_size / shard_count;
   const int rem = corpus_size % shard_count;
-  shards_.resize(static_cast<size_t>(shard_count));
+  state->shards.resize(static_cast<size_t>(shard_count));
   int next_begin = 0;
   for (int s = 0; s < shard_count; ++s) {
-    Shard& shard = shards_[static_cast<size_t>(s)];
+    Shard& shard = state->shards[static_cast<size_t>(s)];
     const int count = base + (s < rem ? 1 : 0);
-    shard.view = DatasetView(corpus_, next_begin, count);
+    shard.view = DatasetView(*state->corpus, next_begin, count);
     next_begin += count;
     shard.engine =
-        std::make_unique<SearchEngine>(shard.view, shard_engine_options);
+        std::make_unique<SearchEngine>(shard.view, shard_engine_options_);
   }
+  return state;
 }
 
-QueryService::~QueryService() = default;
+const DeltaGridIndex* QueryService::ServingState::DeltaGrid() const {
+  if (grid_cell <= 0 || view.delta_size() == 0) return nullptr;
+  // Built from this generation's own immutable DeltaView, so the result is
+  // identical no matter when (or whether) a query triggers it; call_once
+  // makes concurrent first readers race safely to one build.
+  std::call_once(grid_once_, [this]() {
+    auto grid = std::make_unique<DeltaGridIndex>(grid_cell);
+    for (int i = 0; i < view.delta_size(); ++i) grid->Add(view.delta()[i]);
+    delta_grid_ = std::move(grid);
+  });
+  return delta_grid_.get();
+}
+
+void QueryService::PublishLocked() {
+  auto state = std::make_shared<ServingState>();
+  state->view = live_.View();
+  state->base = base_state_;
+  if (shard_engine_options_.use_gbp) {
+    state->grid_cell = shard_engine_options_.cell_size;
+  }
+  state_.store(std::move(state));
+}
+
+int QueryService::Append(TrajectoryView trajectory) {
+  return AppendBatch({trajectory})[0];
+}
+
+std::vector<int> QueryService::AppendBatch(
+    const std::vector<TrajectoryView>& trajectories) {
+  std::vector<int> ids;
+  size_t points = 0;
+  for (const TrajectoryView& t : trajectories) points += t.size();
+  {
+    std::lock_guard<std::mutex> lock(ingest_mu_);
+    ids = live_.AppendBatch(trajectories);
+    if (!trajectories.empty()) {
+      PublishLocked();
+      MaybeScheduleCompactionLocked();
+    }
+  }
+  if (!trajectories.empty()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.append_batches;
+    stats_.appends += trajectories.size();
+    stats_.appended_points += points;
+  }
+  return ids;
+}
+
+void QueryService::MaybeScheduleCompactionLocked() {
+  const size_t threshold = options_.compact_delta_trajectories;
+  if (threshold == 0 || compaction_scheduled_) return;
+  if (static_cast<size_t>(live_.View().delta_size()) < threshold) return;
+  compaction_scheduled_ = true;
+  pool_->Submit(&compact_group_, [this]() {
+    CompactInternal();
+    std::lock_guard<std::mutex> lock(ingest_mu_);
+    compaction_scheduled_ = false;
+    // Appends that raced the rebuild may already have refilled the delta.
+    MaybeScheduleCompactionLocked();
+  });
+}
+
+bool QueryService::Compact() { return CompactInternal(); }
+
+bool QueryService::CompactInternal() {
+  // One compaction at a time (explicit Compact() calls and the background
+  // task serialize here); appends and queries never take this lock.
+  std::lock_guard<std::mutex> compact_lock(compact_mu_);
+  const CorpusView pinned = live_.View();
+  if (pinned.delta_size() == 0) return false;
+  Stopwatch watch;
+
+  // Off-line rebuild at the pinned cell size: one merged pooled Dataset and
+  // fresh shard engines (CSR grids). Queries keep hitting the old
+  // generation and appends keep landing in the delta while this runs.
+  auto merged = std::make_shared<const Dataset>(LiveDataset::Merge(pinned));
+  std::shared_ptr<const BaseState> rebuilt = BuildBaseState(merged);
+
+  {
+    std::lock_guard<std::mutex> lock(ingest_mu_);
+    live_.AdoptBase(merged, pinned.delta_size());
+    base_state_ = std::move(rebuilt);
+    PublishLocked();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.compactions;
+    stats_.compaction_seconds += watch.Seconds();
+  }
+  return true;
+}
+
+Status QueryService::SaveSnapshot(const std::string& path) const {
+  const std::shared_ptr<const ServingState> state = State();
+  const CorpusView& view = state->view;
+  if (view.delta_size() == 0) return WriteSnapshot(view.base(), path);
+  std::vector<TrajectoryView> journal;
+  journal.reserve(static_cast<size_t>(view.delta_size()));
+  for (int i = 0; i < view.delta_size(); ++i) {
+    journal.push_back(view.delta()[i]);
+  }
+  return WriteLiveSnapshot(view.base(), journal, path);
+}
+
+int QueryService::shard_count() const {
+  return static_cast<int>(State()->base->shards.size());
+}
+
+int QueryService::corpus_size() const { return State()->view.size(); }
+
+CorpusView QueryService::View() const { return State()->view; }
 
 TrajectoryRef QueryService::trajectory(int corpus_id) const {
-  TRAJ_CHECK(corpus_id >= 0 && corpus_id < corpus_.size());
-  return corpus_[corpus_id];
+  const std::shared_ptr<const ServingState> state = State();
+  TRAJ_CHECK(corpus_id >= 0 && corpus_id < state->view.size());
+  return state->view[corpus_id];
 }
 
-uint64_t QueryService::CacheKey(TrajectoryView query, int excluded_id) const {
+uint64_t QueryService::CacheKey(TrajectoryView query, int excluded_id,
+                                uint64_t ingest_seq) const {
   uint64_t key = Fingerprint(query);
   key = CombineHash(key, options_fingerprint_);
-  key = CombineHash(key, static_cast<uint64_t>(static_cast<int64_t>(excluded_id)));
+  key = CombineHash(key,
+                    static_cast<uint64_t>(static_cast<int64_t>(excluded_id)));
+  // The generation's ingest stamp: any append changes it, so a cached hit
+  // can never survive an append that could change the answer; compaction
+  // keeps it (same content, new layout), so compaction costs no hit rate.
+  key = CombineHash(key, ingest_seq);
   return key;
 }
 
@@ -213,6 +354,20 @@ std::vector<std::vector<EngineHit>> QueryService::SubmitBatch(
   TRAJ_CHECK(excluded_ids.empty() || excluded_ids.size() == queries.size());
   std::vector<std::vector<EngineHit>> results(queries.size());
 
+  // Pin one generation for the whole batch: every (query, shard) and
+  // (query, delta) task below reads this immutable state, so a batch sees a
+  // single consistent corpus no matter how many appends or compaction swaps
+  // are published while it runs (the pin also keeps the generation's
+  // storage alive until the last task finishes).
+  const std::shared_ptr<const ServingState> state = State();
+  const std::vector<Shard>& shards = state->base->shards;
+  const int n = static_cast<int>(shards.size());
+  const int base_size = state->view.base_size();
+  const bool has_delta = state->view.delta_size() > 0;
+  // Parts per query: one per base shard, plus the delta stage when the
+  // generation carries appended trajectories.
+  const int parts = n + (has_delta ? 1 : 0);
+
   // Cache pass: satisfy hits, collect misses. Keys hash every query point,
   // so they are computed outside the lock (and not at all when caching is
   // off); only the lookup itself serializes. Duplicate keys *within* the
@@ -226,7 +381,7 @@ std::vector<std::vector<EngineHit>> QueryService::SubmitBatch(
   if (caching) {
     for (size_t qi = 0; qi < queries.size(); ++qi) {
       const int excluded = excluded_ids.empty() ? -1 : excluded_ids[qi];
-      keys[qi] = CacheKey(queries[qi], excluded);
+      keys[qi] = CacheKey(queries[qi], excluded, state->view.ingest_seq());
     }
   }
   {
@@ -255,44 +410,58 @@ std::vector<std::vector<EngineHit>> QueryService::SubmitBatch(
   }
   if (misses.empty()) return results;
 
-  // Fan every missed query out across every shard in one go, so the pool
-  // sees the whole batch at once and dispatch overhead is paid per batch.
-  // Shard engines pool their query plans internally, so a worker that hits
-  // the same shard for the next batched query rebinds an already-warm plan
+  // Fan every missed query out across every base shard — plus the delta
+  // stage when this generation has one — in one go, so the pool sees the
+  // whole batch at once and dispatch overhead is paid per batch. Shard
+  // engines pool their query plans internally, so a worker that hits the
+  // same shard for the next batched query rebinds an already-warm plan
   // instead of rebuilding query state from scratch.
   //
-  // All shards of one query share one SharedTopK (hits offered with corpus
-  // ids), so every shard's bound filter and early abandoning prune against
-  // the corpus-wide K-th best as it tightens. With share_threshold off the
-  // PR-3 baseline is reproduced instead: one independent top-K per
-  // (query, shard), merged canonically afterwards.
-  const int n = shard_count();
+  // All parts of one query share one SharedTopK (hits offered with corpus
+  // ids: base ids through the shard offsets, delta ids at base_size +
+  // delta id), so every part's bound filter and early abandoning prune
+  // against the corpus-wide K-th best as it tightens. With share_threshold
+  // off the PR-3 baseline is reproduced instead: one independent top-K per
+  // (query, part), merged canonically afterwards.
   const bool share = options_.engine.share_threshold;
   std::vector<std::unique_ptr<SharedTopK>> topks(
-      share ? misses.size() : misses.size() * static_cast<size_t>(n));
+      share ? misses.size() : misses.size() * static_cast<size_t>(parts));
   for (std::unique_ptr<SharedTopK>& topk : topks) {
     topk = std::make_unique<SharedTopK>(options_.engine.top_k);
   }
   std::vector<QueryStats> part_stats(misses.size() *
-                                     static_cast<size_t>(n));
+                                     static_cast<size_t>(parts));
   TaskGroup group;
   for (size_t mi = 0; mi < misses.size(); ++mi) {
     const size_t qi = misses[mi];
     const TrajectoryView query = queries[qi];
     const int excluded = excluded_ids.empty() ? -1 : excluded_ids[qi];
     for (int s = 0; s < n; ++s) {
-      const size_t part = mi * static_cast<size_t>(n) +
+      const size_t part = mi * static_cast<size_t>(parts) +
                           static_cast<size_t>(s);
       SharedTopK* topk = share ? topks[mi].get() : topks[part].get();
-      pool_->Submit(&group, [this, s, query, excluded, topk,
+      pool_->Submit(&group, [state, s, query, excluded, topk,
                              stats = &part_stats[part]]() {
-        const Shard& shard = shards_[static_cast<size_t>(s)];
+        const Shard& shard = state->base->shards[static_cast<size_t>(s)];
         const int begin = shard.view.begin_id();
         int local_excluded = -1;
         if (excluded >= begin && excluded < begin + shard.view.size()) {
           local_excluded = excluded - begin;
         }
         shard.engine->QueryInto(query, topk, begin, stats, local_excluded);
+      });
+    }
+    if (has_delta) {
+      const size_t part = mi * static_cast<size_t>(parts) +
+                          static_cast<size_t>(n);
+      SharedTopK* topk = share ? topks[mi].get() : topks[part].get();
+      pool_->Submit(&group, [this, state, query, excluded, topk, base_size,
+                             stats = &part_stats[part]]() {
+        const int local_excluded =
+            excluded >= base_size ? excluded - base_size : -1;
+        delta_engine_->QueryInto(query, state->view.delta(),
+                                 state->DeltaGrid(), topk, base_size, stats,
+                                 local_excluded);
       });
     }
   }
@@ -314,10 +483,10 @@ std::vector<std::vector<EngineHit>> QueryService::SubmitBatch(
       results[qi] = topks[mi]->Sorted();
     } else {
       std::vector<std::vector<EngineHit>> shard_parts;
-      shard_parts.reserve(static_cast<size_t>(n));
-      for (int s = 0; s < n; ++s) {
+      shard_parts.reserve(static_cast<size_t>(parts));
+      for (int s = 0; s < parts; ++s) {
         shard_parts.push_back(
-            topks[mi * static_cast<size_t>(n) + static_cast<size_t>(s)]
+            topks[mi * static_cast<size_t>(parts) + static_cast<size_t>(s)]
                 ->Sorted());
       }
       results[qi] = MergeTopK(shard_parts, options_.engine.top_k);
@@ -339,6 +508,18 @@ std::vector<std::vector<EngineHit>> QueryService::SubmitBatch(
 ServiceStats QueryService::Stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+CorpusShape QueryService::Shape() const {
+  const std::shared_ptr<const ServingState> state = State();
+  CorpusShape shape;
+  shape.generation = state->view.generation();
+  shape.ingest_seq = state->view.ingest_seq();
+  shape.base_generation = state->view.base_generation();
+  shape.base_trajectories = state->view.base_size();
+  shape.delta_trajectories = state->view.delta_size();
+  shape.delta_points = state->view.delta().point_count();
+  return shape;
 }
 
 void QueryService::ClearCache() {

@@ -4,33 +4,47 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "core/dataset.h"
+#include "core/live_dataset.h"
+#include "prune/delta_grid.h"
+#include "search/delta_engine.h"
 #include "search/engine.h"
 #include "util/scheduler.h"
+#include "util/status.h"
 
 namespace trajsearch {
 
 /// \brief Configuration of the serving layer on top of SearchEngine.
 struct ServiceOptions {
   /// Per-shard engine configuration. When GBP is enabled with a derived cell
-  /// size (cell_size == 0), the service fixes the cell size from the *full*
-  /// dataset bounding box before sharding, so shard grids agree with the
-  /// unsharded engine and results are identical.
+  /// size (cell_size == 0), the service fixes the cell size from the
+  /// *initial* dataset bounding box before sharding, so shard grids agree
+  /// with the unsharded engine and results are identical. The pinned value
+  /// is kept for the service's whole lifetime — compactions rebuild their
+  /// CSR indexes and the delta grid with the same cell — so query results
+  /// are a function of corpus content, never of compaction timing.
   EngineOptions engine;
   /// Number of dataset shards (each with its own SearchEngine); clamped to
-  /// [1, dataset size].
+  /// [1, base size] per generation — a compaction that grows the base can
+  /// unlock more shards, up to this requested count.
   int shards = 1;
-  /// Worker threads in the shared scheduler pool, which runs both the
-  /// (query, shard) fan-out tasks and each shard engine's candidate-chunk
-  /// workers (EngineOptions::scheduler is pointed at this pool, so engines
-  /// never spawn threads of their own); 0 sizes it to
-  /// min(hardware, shards * engine.threads).
+  /// Worker threads in the shared scheduler pool, which runs the
+  /// (query, shard) fan-out tasks, the per-query delta-stage task, each
+  /// shard engine's candidate-chunk workers, and background compactions;
+  /// 0 sizes it to min(hardware, shards * engine.threads).
   int worker_threads = 0;
   /// Result-cache capacity in entries; 0 disables caching.
   size_t cache_capacity = 256;
+  /// Background compaction threshold: when the delta reaches this many
+  /// trajectories after an append, a compaction task is scheduled on the
+  /// worker pool (it rebuilds one merged base + CSR indexes off-line, then
+  /// atomically swaps the generation). 0 disables auto-compaction — the
+  /// owner can still call Compact() explicitly.
+  size_t compact_delta_trajectories = 1024;
 };
 
 /// \brief Service counters (monotonic since construction).
@@ -40,10 +54,20 @@ struct ServiceStats {
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t cache_evictions = 0;
-  /// Engine-time split summed over every (query, shard) task that actually
-  /// searched (cache hits skip the engines): candidate generation + bound
-  /// filtering, bound checks alone, and per-pair QueryRun::Run time. CPU
-  /// seconds across all workers, not wall-clock.
+  /// Ingest counters: trajectories/points accepted by Append/AppendBatch,
+  /// and the number of Append* calls.
+  uint64_t appends = 0;
+  uint64_t append_batches = 0;
+  uint64_t appended_points = 0;
+  /// Generation swaps adopted by compaction, and the wall-clock spent
+  /// building merged corpora + rebuilt indexes (off-line work; readers are
+  /// only blocked for the pointer swap).
+  uint64_t compactions = 0;
+  double compaction_seconds = 0;
+  /// Engine-time split summed over every (query, shard) and (query, delta)
+  /// task that actually searched (cache hits skip the engines): candidate
+  /// generation + bound filtering, bound checks alone, and per-pair
+  /// QueryRun::Run time. CPU seconds across all workers, not wall-clock.
   double prune_seconds = 0;
   double bound_seconds = 0;
   double pair_search_seconds = 0;
@@ -53,6 +77,19 @@ struct ServiceStats {
     return total == 0 ? 0.0 : static_cast<double>(cache_hits) /
                                   static_cast<double>(total);
   }
+};
+
+/// \brief Shape of the corpus generation currently being served.
+struct CorpusShape {
+  /// Bumps on every publication (append batch or compaction swap).
+  uint64_t generation = 0;
+  /// Bumps on appends only; the stamp folded into result-cache keys.
+  uint64_t ingest_seq = 0;
+  /// Number of compaction swaps adopted.
+  uint64_t base_generation = 0;
+  int base_trajectories = 0;
+  int delta_trajectories = 0;
+  size_t delta_points = 0;
 };
 
 /// Hash of every EngineOptions field that can change query *results* (used
@@ -65,33 +102,39 @@ struct ServiceStats {
 /// `share_threshold`, `order_candidates`, `scheduler`) are excluded.
 uint64_t EngineOptionsFingerprint(const EngineOptions& options);
 
-/// \brief Sharded, cached serving layer for similar-subtrajectory search.
+/// \brief Sharded, cached serving layer for similar-subtrajectory search
+/// over a *live* corpus: queries run while trajectories are appended.
 ///
-/// Owns the corpus once, in its pooled Dataset form; shards are contiguous
-/// DatasetViews over that one shared pool, each with its own SearchEngine,
-/// so sharding adds near-zero per-shard memory and never copies a point. A
-/// query fans out across all shards on one fixed scheduler pool — which
-/// also runs each shard engine's candidate-chunk workers, so engine
-/// parallelism never oversubscribes the pool with extra threads — and all
-/// shards of one query offer into a single SharedTopK with corpus
-/// trajectory ids (shard-local id + the shard's range offset): the
-/// early-abandon threshold every shard prunes against is the corpus-wide
-/// K-th best, not a per-shard one, and the "merge" is just draining that
-/// heap. Results are identical to an unsharded SearchEngine over the same
-/// corpus whenever the engine's bound pruning is sound (e.g. KPF at
-/// sample_rate 1.0, or KPF/OSF off); with
-/// EngineOptions::share_threshold = false the PR-3 model (independent
-/// per-shard top-Ks merged canonically at the end) is kept as a
-/// benchmarking baseline.
+/// Storage is generational (core/live_dataset.h): an immutable base corpus
+/// in its pooled Dataset form — shards are contiguous DatasetViews over that
+/// one shared pool, each with its own SearchEngine — plus an append-only
+/// delta indexed by an incremental DeltaGridIndex (materialized lazily per
+/// generation) and searched by a DeltaEngine. Every mutation publishes an
+/// immutable ServingState (generation view + shard engines) through an
+/// RCU-style publication slot (readers never touch the ingest or compaction
+/// locks); a query batch pins the state once, so all its (query,
+/// shard) and (query, delta) tasks see a single consistent generation no
+/// matter how many appends or compaction swaps land mid-flight. All parts of
+/// one query offer into a single SharedTopK with corpus trajectory ids
+/// (base ids then delta ids, stable across compaction), so the
+/// early-abandon threshold every part prunes against is the corpus-wide
+/// K-th best. Results are identical to an unsharded SearchEngine over the
+/// flattened corpus whenever the engine's bound pruning is sound, and
+/// identical before vs after a compaction of the same content.
 ///
-/// An LRU cache keyed by query fingerprint + engine-options hash + exclusion
-/// id short-circuits repeated queries, and duplicate queries *within* one
-/// batch are coalesced to a single search (counted as cache hits); hit/miss
-/// counters are surfaced via Stats(). Submit/SubmitBatch are safe to call
-/// from multiple threads.
+/// When the delta exceeds ServiceOptions::compact_delta_trajectories, a
+/// background task on the worker pool rebuilds one merged Dataset + CSR
+/// indexes and swaps the generation; appends that race the rebuild survive
+/// in the delta with their ids unchanged.
+///
+/// The LRU result cache folds the generation's ingest stamp into its keys:
+/// an append invalidates every stale entry (the stamp changed) without
+/// flushing entries that are still valid, and compaction — which changes
+/// layout, not content — invalidates nothing. Submit/SubmitBatch/Append*/
+/// Compact are all safe to call concurrently from multiple threads.
 class QueryService {
  public:
-  /// Takes ownership of the dataset (shards view it in place).
+  /// Takes ownership of the dataset as the initial base (generation 0).
   QueryService(Dataset dataset, ServiceOptions options);
   ~QueryService();
 
@@ -111,22 +154,82 @@ class QueryService {
       const std::vector<TrajectoryView>& queries,
       const std::vector<int>& excluded_ids = {});
 
+  /// Appends one trajectory to the corpus (copied into delta storage).
+  /// Returns its corpus id; the trajectory is visible to every query
+  /// submitted after this returns. In-flight queries keep their pinned
+  /// generation and do not see it.
+  int Append(TrajectoryView trajectory);
+
+  /// Appends many trajectories with one publication; returns their
+  /// (consecutive) corpus ids.
+  std::vector<int> AppendBatch(
+      const std::vector<TrajectoryView>& trajectories);
+
+  /// Compacts the current delta into the base synchronously: builds the
+  /// merged corpus + indexes, swaps the generation, and returns true (false
+  /// if the delta was empty). Queries keep running throughout; only the
+  /// final swap takes the ingest lock. Serialized against the background
+  /// compaction, so calling it concurrently is safe (one of them wins).
+  bool Compact();
+
+  /// Writes the served corpus as a snapshot: plain v2 when the delta is
+  /// empty, v3 (base payload + append journal) otherwise.
+  Status SaveSnapshot(const std::string& path) const;
+
   ServiceStats Stats() const;
+  /// Shape of the generation currently being served.
+  CorpusShape Shape() const;
   void ClearCache();
 
-  int shard_count() const { return static_cast<int>(shards_.size()); }
+  /// Shards of the current generation (grows after compaction, up to the
+  /// requested ServiceOptions::shards).
+  int shard_count() const;
   const ServiceOptions& options() const { return options_; }
-  /// Total trajectories across all shards.
-  int corpus_size() const { return corpus_.size(); }
-  /// Trajectory accessor by corpus id (a zero-copy handle into the pool).
+  /// Total trajectories (base + delta) in the current generation.
+  int corpus_size() const;
+  /// Trajectory accessor by corpus id: a zero-copy handle into the current
+  /// generation's storage. The handle stays valid until a later compaction
+  /// retires that generation — callers that hold refs across appends or
+  /// compactions should pin a View() instead.
   TrajectoryRef trajectory(int corpus_id) const;
+  /// Pins and returns the currently served generation.
+  CorpusView View() const;
 
  private:
   struct Shard {
     /// Contiguous range [view.begin_id(), view.begin_id() + view.size()) of
-    /// the shared corpus; corpus id = view.begin_id() + shard-local id.
+    /// the generation's base; corpus id = view.begin_id() + shard-local id.
     DatasetView view;
     std::unique_ptr<SearchEngine> engine;
+  };
+
+  /// Base-side serving structures; immutable once built, shared by every
+  /// generation until the next compaction replaces it.
+  struct BaseState {
+    std::shared_ptr<const Dataset> corpus;
+    std::vector<Shard> shards;
+  };
+
+  /// One published generation: everything a query batch needs, pinned by a
+  /// single shared_ptr. Logically immutable after publication — the delta
+  /// grid is materialized lazily (once, on the first query that needs it)
+  /// from the generation's own immutable DeltaView, so publication itself
+  /// never pays O(delta): a pure ingest stream builds no grids at all, and
+  /// a generation that is superseded before any query reads it costs
+  /// nothing beyond the view copy.
+  struct ServingState {
+    CorpusView view;
+    std::shared_ptr<const BaseState> base;
+    /// Pinned GBP cell size; <= 0 when GBP is off (no grid is ever built).
+    double grid_cell = 0;
+
+    /// The delta grid for view.delta() (null when GBP is off or the delta
+    /// is empty). Thread-safe; at most one build per generation.
+    const DeltaGridIndex* DeltaGrid() const;
+
+   private:
+    mutable std::once_flag grid_once_;
+    mutable std::unique_ptr<DeltaGridIndex> delta_grid_;
   };
 
   /// LRU map from cache key to a cached best-first hit list.
@@ -146,13 +249,40 @@ class QueryService {
     std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
   };
 
-  uint64_t CacheKey(TrajectoryView query, int excluded_id) const;
+  uint64_t CacheKey(TrajectoryView query, int excluded_id,
+                    uint64_t ingest_seq) const;
+  /// Builds shards + engines over `corpus` (no locks; compaction calls this
+  /// off-line while appends and queries continue).
+  std::shared_ptr<const BaseState> BuildBaseState(
+      std::shared_ptr<const Dataset> corpus) const;
+  /// Pins the current generation.
+  std::shared_ptr<const ServingState> State() const { return state_.load(); }
+  /// Publishes live_'s current generation. Requires ingest_mu_ held.
+  void PublishLocked();
+  /// Schedules a background compaction if the threshold is exceeded and
+  /// none is in flight. Requires ingest_mu_ held.
+  void MaybeScheduleCompactionLocked();
+  bool CompactInternal();
 
   ServiceOptions options_;
   uint64_t options_fingerprint_ = 0;
-  Dataset corpus_;
-  std::vector<Shard> shards_;
+  /// options_.engine plus the pinned scheduler pointer; what every shard
+  /// engine, the delta engine and every compaction rebuild is created with.
+  EngineOptions shard_engine_options_;
+  LiveDataset live_;
+  std::unique_ptr<DeltaEngine> delta_engine_;
   std::unique_ptr<ThreadPool> pool_;
+
+  mutable std::mutex ingest_mu_;  // serializes appends + generation swaps
+  std::shared_ptr<const BaseState> base_state_;    // guarded by ingest_mu_
+  bool compaction_scheduled_ = false;              // guarded by ingest_mu_
+
+  std::mutex compact_mu_;    // serializes compaction rebuilds
+  TaskGroup compact_group_;  // background compactions; drained in ~
+
+  /// The served generation (RCU: swapped under ingest_mu_, pinned anywhere
+  /// without touching the ingest or compaction locks).
+  PublishedPtr<const ServingState> state_;
 
   mutable std::mutex mu_;  // guards cache_ and stats_
   ResultCache cache_;

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <utility>
+
+namespace trajsearch {
+
+/// \brief RCU-style publication slot for immutable generations.
+///
+/// A writer publishes a fully built immutable object with store(); readers
+/// pin it with load() and keep it alive through the returned shared_ptr, so
+/// a later store never invalidates anything a reader holds. The slot is the
+/// *only* synchronization between the two sides: readers never touch the
+/// writer-side locks (ingest, compaction), and the critical section is a
+/// two-word shared_ptr copy — nanoseconds, uncontended in steady state.
+///
+/// Implementation note: this is deliberately a plain mutex rather than
+/// C++20 std::atomic<std::shared_ptr<T>>. libstdc++'s _Sp_atomic packs its
+/// spinlock into a pointer bit that ThreadSanitizer cannot model, so the
+/// atomic version reports false races on exactly the publish/pin pattern
+/// this slot exists for — and a TSan-clean concurrency story is worth more
+/// here than shaving an uncontended lock off a per-batch pin.
+template <typename T>
+class PublishedPtr {
+ public:
+  PublishedPtr() = default;
+  PublishedPtr(const PublishedPtr&) = delete;
+  PublishedPtr& operator=(const PublishedPtr&) = delete;
+
+  /// Pins the current generation (never null once store() has run).
+  std::shared_ptr<T> load() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ptr_;
+  }
+
+  /// Publishes a new generation; existing pins keep the old one alive.
+  void store(std::shared_ptr<T> ptr) {
+    // Swap under the lock, release the old generation outside it: dropping
+    // the last pin can cascade into freeing a whole corpus generation, and
+    // that must never run inside the readers' critical section.
+    std::shared_ptr<T> retired;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      retired = std::exchange(ptr_, std::move(ptr));
+    }
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<T> ptr_;
+};
+
+}  // namespace trajsearch

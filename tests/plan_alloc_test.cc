@@ -13,6 +13,7 @@
 #include <new>
 #include <vector>
 
+#include "io/snapshot.h"
 #include "prune/key_point_filter.h"
 #include "search/engine.h"
 #include "search/searcher.h"
@@ -165,6 +166,70 @@ TEST(PlanAllocTest, PoolScheduledQueriesAllocatePerQueryNotPerCandidate) {
   const long long per_query = (AllocationCount() - before) / kQueries;
   EXPECT_LE(per_query, kPerQueryBudget)
       << "scheduler path allocates per candidate, not per query";
+}
+
+TEST(SnapshotLoadAllocTest, SnapshotLoadReservesExactlyFromHeader) {
+  // The snapshot loader must size every buffer exactly from the header: a
+  // constant number of allocations regardless of corpus size (header-sized
+  // vectors + the stream, never per-trajectory or growth reallocations),
+  // and zero over-allocation (capacity == size for the offsets table and
+  // the point pool).
+  Rng rng(31337);
+  auto make_corpus = [&](int count) {
+    Dataset dataset("allocsnap");  // same name → same string allocations
+    for (int i = 0; i < count; ++i) dataset.Add(RandomWalk(&rng, 24));
+    return dataset;
+  };
+  auto audited_load = [](const std::string& path, long long* allocations) {
+    const long long before = AllocationCount();
+    Result<Dataset> loaded = ReadSnapshot(path);
+    *allocations = AllocationCount() - before;
+    EXPECT_TRUE(loaded.ok()) << loaded.status().ToString();
+    return loaded.MoveValue();
+  };
+
+  const std::string small_path = ::testing::TempDir() + "/alloc_a.snap";
+  const std::string large_path = ::testing::TempDir() + "/alloc_b.snap";
+  ASSERT_TRUE(WriteSnapshot(make_corpus(16), small_path).ok());
+  ASSERT_TRUE(WriteSnapshot(make_corpus(256), large_path).ok());
+
+  long long small_allocs = 0, large_allocs = 0;
+  const Dataset small = audited_load(small_path, &small_allocs);
+  const Dataset large = audited_load(large_path, &large_allocs);
+  EXPECT_EQ(small_allocs, large_allocs)
+      << "v2 load allocation count must not scale with the corpus";
+
+  for (const Dataset* dataset : {&small, &large}) {
+    const DatasetStats stats = dataset->Stats();
+    EXPECT_EQ(stats.pool_capacity_bytes, stats.pool_bytes);
+    EXPECT_EQ(dataset->offsets().capacity(), dataset->offsets().size());
+  }
+  std::remove(small_path.c_str());
+  std::remove(large_path.c_str());
+}
+
+TEST(SnapshotLoadAllocTest, V3FlattenLoadDoesNotOverAllocate) {
+  // The v3 flatten path appends the journal onto the base pool; the
+  // journal-sized reserves from the header must keep that exact too.
+  Rng rng(424242);
+  Dataset base("allocsnap");
+  for (int i = 0; i < 32; ++i) base.Add(RandomWalk(&rng, 20));
+  std::vector<Trajectory> journal;
+  std::vector<TrajectoryView> views;
+  for (int i = 0; i < 12; ++i) {
+    journal.push_back(RandomWalk(&rng, 16));
+    views.push_back(journal.back().View());
+  }
+  const std::string path = ::testing::TempDir() + "/alloc_v3.snap";
+  ASSERT_TRUE(WriteLiveSnapshot(base, views, path).ok());
+
+  const Result<Dataset> loaded = ReadSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const DatasetStats stats = loaded.value().Stats();
+  EXPECT_EQ(stats.pool_capacity_bytes, stats.pool_bytes);
+  EXPECT_EQ(loaded.value().offsets().capacity(),
+            loaded.value().offsets().size());
+  std::remove(path.c_str());
 }
 
 TEST(PlanAllocTest, KpfBoundPlanLowerBoundDoesNotAllocate) {

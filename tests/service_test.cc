@@ -208,6 +208,78 @@ TEST(QueryServiceTest, DuplicateQueriesInOneBatchAreCoalesced) {
   ExpectSameHits(excl[1], engine.Query(a, nullptr, 0));
 }
 
+TEST(QueryServiceTest, AppendInvalidatesStaleCachedResults) {
+  // Regression test for generation-stamped cache keys: before PR 5, cache
+  // keys ignored corpus identity beyond the initial fingerprint, so a
+  // cached hit could be replayed after an append that changes the answer.
+  const Dataset dataset = WalkDataset(25, 14, 131);
+  ServiceOptions options;
+  options.engine = SoundOptions(DistanceSpec::Dtw(), 1);
+  options.engine.use_gbp = true;  // exercise the delta grid too
+  options.engine.mu = 0.2;
+  options.shards = 2;
+  options.cache_capacity = 16;
+  options.compact_delta_trajectories = 0;
+  QueryService service(dataset, options);
+
+  // A trajectory far from the corpus; its own slice is the query.
+  Rng rng(33);
+  Trajectory novel = RandomWalk(&rng, 12);
+  for (Point& p : novel.points()) {
+    p.x += 500.0;
+    p.y += 500.0;
+  }
+  const TrajectoryView query = novel.Slice(Subrange{2, 9});
+
+  const std::vector<EngineHit> before = service.Submit(query);
+  EXPECT_EQ(service.Stats().cache_misses, 1u);
+
+  // The appended trajectory contains the query verbatim: it must displace
+  // whatever the old corpus answered, not the stale cached entry.
+  const int id = service.Append(novel);
+  const std::vector<EngineHit> after = service.Submit(query);
+  EXPECT_EQ(service.Stats().cache_misses, 2u);  // append changed the key
+  ASSERT_FALSE(after.empty());
+  EXPECT_EQ(after[0].trajectory_id, id);
+  EXPECT_EQ(after[0].result.distance, 0.0);
+  if (!before.empty()) EXPECT_NE(before[0].trajectory_id, id);
+
+  // The post-append result is itself cached under the new generation...
+  service.Submit(query);
+  EXPECT_EQ(service.Stats().cache_hits, 1u);
+  // ...and survives compaction (content-neutral: the ingest stamp is kept).
+  ASSERT_TRUE(service.Compact());
+  const std::vector<EngineHit> compacted = service.Submit(query);
+  EXPECT_EQ(service.Stats().cache_hits, 2u);
+  ASSERT_FALSE(compacted.empty());
+  EXPECT_EQ(compacted[0].trajectory_id, id);
+}
+
+TEST(QueryServiceTest, CompactionUnlocksRequestedShards) {
+  // shards is clamped per generation: a 3-trajectory base caps at 3 shards,
+  // and a compaction that grows the base re-partitions up to the request.
+  const Dataset dataset = WalkDataset(3, 12, 137);
+  ServiceOptions options;
+  options.engine = SoundOptions(DistanceSpec::Dtw(), 2);
+  options.shards = 6;
+  options.compact_delta_trajectories = 0;
+  QueryService service(dataset, options);
+  EXPECT_EQ(service.shard_count(), 3);
+  Rng rng(35);
+  std::vector<Trajectory> extra;
+  for (int i = 0; i < 9; ++i) extra.push_back(RandomWalk(&rng, 10));
+  for (const Trajectory& t : extra) service.Append(t);
+  EXPECT_EQ(service.shard_count(), 3);  // delta is not sharded
+  ASSERT_TRUE(service.Compact());
+  EXPECT_EQ(service.shard_count(), 6);
+
+  const Trajectory query = RandomWalk(&rng, 5);
+  Dataset flat = WalkDataset(3, 12, 137);
+  for (const Trajectory& t : extra) flat.Add(t);
+  const SearchEngine engine(&flat, options.engine);
+  ExpectSameHits(engine.Query(query), service.Submit(query));
+}
+
 TEST(QueryServiceTest, CacheEvictsLeastRecentlyUsed) {
   const Dataset dataset = WalkDataset(20, 14, 101);
   ServiceOptions options;

@@ -226,6 +226,199 @@ TEST(SnapshotTest, FlippedPayloadByteFailsChecksum) {
   std::remove(path.c_str());
 }
 
+// ---------------------------------------------------------------------------
+// v3: base payload + replayable append journal
+// ---------------------------------------------------------------------------
+
+/// Writes a small base + journal pair and returns their flattened form.
+Dataset WriteV3Fixture(const std::string& path, Dataset* base_out,
+                       std::vector<Trajectory>* journal_out) {
+  const Dataset base = GenerateTaxiDataset(PortoProfile(8));
+  const Dataset extra = GenerateTaxiDataset(XianProfile(3));
+  std::vector<Trajectory> journal;
+  std::vector<TrajectoryView> views;
+  for (const TrajectoryRef t : extra) {
+    journal.emplace_back(t.View());
+    views.push_back(t.View());
+  }
+  EXPECT_TRUE(WriteLiveSnapshot(base, views, path).ok());
+  Dataset flat("flat");
+  for (const TrajectoryRef t : base) flat.Add(t);
+  for (const Trajectory& t : journal) flat.Add(t);
+  if (base_out != nullptr) *base_out = base;
+  if (journal_out != nullptr) *journal_out = std::move(journal);
+  return flat;
+}
+
+TEST(SnapshotTest, V3RoundTripPreservesBaseAndJournal) {
+  const std::string path = TempPath("live_v3.snap");
+  Dataset base;
+  std::vector<Trajectory> journal;
+  const Dataset flat = WriteV3Fixture(path, &base, &journal);
+
+  const Result<LiveSnapshot> loaded = ReadLiveSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const LiveSnapshot& snapshot = loaded.value();
+  EXPECT_EQ(Fingerprint(snapshot.base), Fingerprint(base));
+  ASSERT_EQ(snapshot.journal.size(), journal.size());
+  for (size_t i = 0; i < journal.size(); ++i) {
+    EXPECT_EQ(Fingerprint(snapshot.journal[i].View()),
+              Fingerprint(journal[i].View()))
+        << "journal entry " << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, V3FlattensThroughReadSnapshotAndLoadDataset) {
+  const std::string path = TempPath("live_flat.snap");
+  const Dataset flat = WriteV3Fixture(path, nullptr, nullptr);
+
+  const Result<Dataset> loaded = ReadSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  // Base trajectories first, then the journal in order — the live corpus's
+  // id assignment — and exact allocation despite the incremental journal.
+  EXPECT_EQ(Fingerprint(loaded.value()), Fingerprint(flat));
+  const DatasetStats stats = loaded.value().Stats();
+  EXPECT_EQ(stats.pool_capacity_bytes, stats.pool_bytes);
+  EXPECT_EQ(loaded.value().offsets().capacity(),
+            loaded.value().offsets().size());
+
+  const Result<Dataset> sniffed = LoadDataset(path, "ignored");
+  ASSERT_TRUE(sniffed.ok());
+  EXPECT_EQ(Fingerprint(sniffed.value()), Fingerprint(flat));
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, V3EmptyJournalLoads) {
+  const Dataset base = GenerateTaxiDataset(PortoProfile(4));
+  const std::string path = TempPath("live_empty.snap");
+  ASSERT_TRUE(WriteLiveSnapshot(base, {}, path).ok());
+  const Result<LiveSnapshot> loaded = ReadLiveSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded.value().journal.empty());
+  EXPECT_EQ(Fingerprint(loaded.value().base), Fingerprint(base));
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, V2LoadsThroughReadLiveSnapshotWithEmptyJournal) {
+  const Dataset original = GenerateTaxiDataset(PortoProfile(4));
+  const std::string path = TempPath("v2_as_live.snap");
+  ASSERT_TRUE(WriteSnapshot(original, path).ok());
+  const Result<LiveSnapshot> loaded = ReadLiveSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded.value().journal.empty());
+  EXPECT_EQ(Fingerprint(loaded.value().base), Fingerprint(original));
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, V3TruncatedJournalIsIoError) {
+  const std::string path = TempPath("live_trunc.snap");
+  WriteV3Fixture(path, nullptr, nullptr);
+  std::streamoff size = 0;
+  {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    size = in.tellg();
+  }
+  Truncate(path, size - 24);  // drop the tail of the last journal entry
+  const Result<LiveSnapshot> r = ReadLiveSnapshot(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, V3CorruptJournalFailsItsChecksum) {
+  const std::string path = TempPath("live_flip.snap");
+  WriteV3Fixture(path, nullptr, nullptr);
+  std::streamoff size = 0;
+  {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    size = in.tellg();
+  }
+  Corrupt(path, size - 5);  // inside the last journal point
+  const Result<LiveSnapshot> r = ReadLiveSnapshot(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+/// Overwrites `size` bytes at `offset` with `value`'s little-endian bytes.
+template <typename T>
+void Patch(const std::string& path, std::streamoff offset, T value) {
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(f.is_open());
+  f.seekp(offset);
+  f.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+TEST(SnapshotTest, V3HugeJournalPointCountIsRejectedNotAllocated) {
+  // A crafted journal_points of ~2^60 must be rejected by the size sanity
+  // check, not wrap the needed-bytes arithmetic and reach the per-entry
+  // allocations (regression: journal_points * sizeof(Point) overflowed to a
+  // small value and a later bogus entry length provoked a giant alloc).
+  const Dataset base = GenerateTaxiDataset(PortoProfile(4));
+  const Trajectory a{Point{0, 0}, Point{1, 1}};
+  const Trajectory b{Point{2, 2}, Point{3, 3}, Point{4, 4}};
+  const std::string path = TempPath("huge_journal.snap");
+  ASSERT_TRUE(WriteLiveSnapshot(base, {a.View(), b.View()}, path).ok());
+  std::streamoff size = 0;
+  {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    size = in.tellg();
+  }
+  // Journal layout from the end: [count u64][points u64][fp u64][entries];
+  // the two entries occupy (4 + 2*16) + (4 + 3*16) = 88 bytes.
+  const std::streamoff points_offset = size - 88 - 16;
+  Patch<uint64_t>(path, points_offset, uint64_t{1} << 60);
+  const Result<LiveSnapshot> r = ReadLiveSnapshot(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, ProbeRejectsHeaderCountsLargerThanTheFile) {
+  // ProbeSnapshot must apply the same "no allocation sized from the file
+  // before a bounds check" rule as the loader: a corrupt name_length must
+  // not provoke a 4 GiB string resize.
+  const Dataset original = GenerateTaxiDataset(PortoProfile(4));
+  const std::string path = TempPath("huge_name.snap");
+  ASSERT_TRUE(WriteSnapshot(original, path).ok());
+  Patch<uint32_t>(path, 12, 0xFFFFFFFFu);  // name_length: magic(8)+version(4)
+  const Result<SnapshotInfo> r = ProbeSnapshot(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, ProbeReportsVersionAndShapeWithoutLoading) {
+  const Dataset original = GenerateTaxiDataset(PortoProfile(6));
+  const std::string v1 = TempPath("probe_v1.snap");
+  const std::string v2 = TempPath("probe_v2.snap");
+  const std::string v3 = TempPath("probe_v3.snap");
+  ASSERT_TRUE(WriteSnapshotV1(original, v1).ok());
+  ASSERT_TRUE(WriteSnapshot(original, v2).ok());
+  Dataset base;
+  std::vector<Trajectory> journal;
+  WriteV3Fixture(v3, &base, &journal);
+
+  const Result<SnapshotInfo> p1 = ProbeSnapshot(v1);
+  const Result<SnapshotInfo> p2 = ProbeSnapshot(v2);
+  const Result<SnapshotInfo> p3 = ProbeSnapshot(v3);
+  ASSERT_TRUE(p1.ok() && p2.ok() && p3.ok());
+  EXPECT_EQ(p1.value().version, 1u);
+  EXPECT_EQ(p2.value().version, 2u);
+  EXPECT_EQ(p2.value().base_trajectories,
+            static_cast<uint64_t>(original.size()));
+  EXPECT_EQ(p2.value().journal_trajectories, 0u);
+  EXPECT_EQ(p3.value().version, kSnapshotVersionLive);
+  EXPECT_EQ(p3.value().base_trajectories,
+            static_cast<uint64_t>(base.size()));
+  EXPECT_EQ(p3.value().journal_trajectories, journal.size());
+  EXPECT_EQ(p3.value().name, base.name());
+  std::remove(v1.c_str());
+  std::remove(v2.c_str());
+  std::remove(v3.c_str());
+}
+
 TEST(SnapshotTest, LoadDatasetSniffsBothFormats) {
   const Dataset original = GenerateTaxiDataset(PortoProfile(4));
   const std::string csv = TempPath("sniff.csv");
