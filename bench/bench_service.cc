@@ -11,8 +11,11 @@
 // BENCH_pr2.json), --json-pr3=<path> (write the execution-model metrics,
 // e.g. BENCH_pr3.json), --json-pr4=<path> (write the threshold-sharing
 // metrics, e.g. BENCH_pr4.json), --json-pr5=<path> (write the live-corpus
-// ingest metrics, e.g. BENCH_pr5.json).
+// ingest metrics, e.g. BENCH_pr5.json), --json-pr6=<path> (write the
+// observability overhead/funnel metrics, e.g. BENCH_pr6.json),
+// --statsz=<path> (dump the final registry snapshot as statsz JSON).
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <thread>
@@ -20,6 +23,7 @@
 #include "bench/bench_common.h"
 #include "core/fingerprint.h"
 #include "io/snapshot.h"
+#include "obs/export.h"
 #include "prune/grid_index.h"
 #include "prune/key_point_filter.h"
 #include "search/cma.h"
@@ -891,6 +895,186 @@ void Main(int argc, char** argv) {
     }
   }
 
+  // -------------------------------------------------------------------
+  // Observability: instrumentation overhead (metrics on vs off on the
+  // same service, alternating passes so machine drift cancels), e2e
+  // latency percentiles from the registry's histograms, the pruning
+  // funnel, and the wait-free Stats() path hammered while batches run.
+  // -------------------------------------------------------------------
+  {
+    PrintHeader("[PR6] Observability: overhead, latency percentiles, "
+                "pruning funnel");
+    ServiceOptions options;
+    options.engine = engine_options;
+    options.shards = 4;
+    options.cache_capacity = 0;
+    QueryService service(w.corpus, options);
+
+    // A/B overhead: the registry's kill switch flips between passes on one
+    // service, so both sides run the same code, corpus, and thread pool.
+    // Best-of keeps scheduler noise out of a gate this tight.
+    service.SubmitBatch(queries, w.excluded);  // warm-up
+    const int obs_passes = std::max(passes, 5);
+    double enabled_seconds = 1e300, disabled_seconds = 1e300;
+    for (int p = 0; p < obs_passes; ++p) {
+      service.metrics().set_enabled(false);
+      {
+        Stopwatch watch;
+        service.SubmitBatch(queries, w.excluded);
+        disabled_seconds = std::min(disabled_seconds, watch.Seconds());
+      }
+      service.metrics().set_enabled(true);
+      {
+        Stopwatch watch;
+        service.SubmitBatch(queries, w.excluded);
+        enabled_seconds = std::min(enabled_seconds, watch.Seconds());
+      }
+    }
+    const double overhead = enabled_seconds / disabled_seconds - 1.0;
+
+    // Wait-free Stats(): hammer it from this thread while another thread
+    // keeps SubmitBatch busy. Stats() reads sharded relaxed counters and
+    // takes no lock, so it can neither block nor be blocked by serving —
+    // the per-call cost below stays flat no matter the query load.
+    std::atomic<bool> stop{false};
+    std::thread load([&]() {
+      while (!stop.load(std::memory_order_relaxed)) {
+        service.SubmitBatch(queries, w.excluded);
+      }
+    });
+    const int stats_calls = 20000;
+    uint64_t sink = 0;
+    Stopwatch stats_watch;
+    for (int i = 0; i < stats_calls; ++i) {
+      sink += service.Stats().queries;
+    }
+    const double stats_nanos =
+        stats_watch.Seconds() / stats_calls * 1e9;
+    stop.store(true);
+    load.join();
+
+    const obs::RegistrySnapshot snapshot = service.metrics().Snapshot();
+    const obs::HistogramSnapshot* e2e =
+        snapshot.histogram("service.query_seconds");
+    const std::vector<obs::FunnelRow> funnels = obs::ExtractFunnels(snapshot);
+
+    TablePrinter pr6_table({"Configuration", "Batch (s)", "Overhead"});
+    pr6_table.AddRow({"metrics disabled",
+                      TablePrinter::Num(disabled_seconds, 4), "-"});
+    pr6_table.AddRow({"metrics enabled",
+                      TablePrinter::Num(enabled_seconds, 4),
+                      TablePrinter::Num(overhead * 100, 2) + "%"});
+    pr6_table.Print();
+    if (e2e != nullptr && e2e->count > 0) {
+      std::printf("e2e query latency: p50 %.3f ms, p95 %.3f ms, p99 %.3f "
+                  "ms, p99.9 %.3f ms over %llu queries\n",
+                  e2e->Percentile(50) * 1e3, e2e->Percentile(95) * 1e3,
+                  e2e->Percentile(99) * 1e3, e2e->Percentile(99.9) * 1e3,
+                  static_cast<unsigned long long>(e2e->count));
+    }
+    bool funnels_consistent = !funnels.empty();
+    for (const obs::FunnelRow& f : funnels) {
+      std::printf("funnel %s: %llu candidates -> %llu skipped, %llu "
+                  "bound-pruned, %llu dp runs (%llu abandoned, %llu kept) "
+                  "[%s]\n",
+                  f.algorithm.c_str(),
+                  static_cast<unsigned long long>(f.candidates),
+                  static_cast<unsigned long long>(f.skipped),
+                  static_cast<unsigned long long>(f.bound_pruned),
+                  static_cast<unsigned long long>(f.dp_runs),
+                  static_cast<unsigned long long>(f.dp_abandoned),
+                  static_cast<unsigned long long>(f.dp_completed),
+                  f.Consistent() ? "consistent" : "INCONSISTENT");
+      funnels_consistent &= f.Consistent();
+    }
+    std::printf("wait-free Stats(): %.0f ns/call under concurrent batch "
+                "load (%d calls, sink %llu); Stats() never touches the "
+                "cache mutex, so serving throughput is unaffected\n",
+                stats_nanos, stats_calls,
+                static_cast<unsigned long long>(sink));
+    if (!funnels_consistent) {
+      // CI correctness gate: the funnel counters must telescope exactly.
+      std::fprintf(stderr,
+                   "FATAL: pruning-funnel counters are inconsistent\n");
+      std::exit(1);
+    }
+    if (overhead > 0.02) {
+      // CI overhead gate: enabled instrumentation must stay within 2% of
+      // the metrics-disabled hot path.
+      std::fprintf(stderr,
+                   "FATAL: instrumentation overhead %.2f%% exceeds the 2%% "
+                   "budget\n",
+                   overhead * 100);
+      std::exit(1);
+    }
+
+    const std::string json_pr6 = flags.GetString("json-pr6", "");
+    if (!json_pr6.empty()) {
+      FILE* f = std::fopen(json_pr6.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", json_pr6.c_str());
+      } else {
+        const obs::FunnelRow funnel =
+            funnels.empty() ? obs::FunnelRow{} : funnels.front();
+        std::fprintf(
+            f,
+            "{\n"
+            "  \"bench\": \"pr6_observability\",\n"
+            "  \"corpus_trajectories\": %d,\n"
+            "  \"queries\": %zu,\n"
+            "  \"metrics_disabled_seconds\": %.6f,\n"
+            "  \"metrics_enabled_seconds\": %.6f,\n"
+            "  \"overhead_fraction\": %.6f,\n"
+            "  \"overhead_budget_fraction\": 0.02,\n"
+            "  \"stats_call_nanos\": %.1f,\n"
+            "  \"e2e_p50_ms\": %.4f,\n"
+            "  \"e2e_p95_ms\": %.4f,\n"
+            "  \"e2e_p99_ms\": %.4f,\n"
+            "  \"e2e_p999_ms\": %.4f,\n"
+            "  \"e2e_count\": %llu,\n"
+            "  \"funnel_algorithm\": \"%s\",\n"
+            "  \"funnel_candidates\": %llu,\n"
+            "  \"funnel_skipped\": %llu,\n"
+            "  \"funnel_bound_pruned\": %llu,\n"
+            "  \"funnel_dp_runs\": %llu,\n"
+            "  \"funnel_dp_abandoned\": %llu,\n"
+            "  \"funnel_dp_completed\": %llu,\n"
+            "  \"funnel_consistent\": true\n"
+            "}\n",
+            w.corpus.size(), queries.size(), disabled_seconds,
+            enabled_seconds, overhead, stats_nanos,
+            e2e != nullptr ? e2e->Percentile(50) * 1e3 : 0.0,
+            e2e != nullptr ? e2e->Percentile(95) * 1e3 : 0.0,
+            e2e != nullptr ? e2e->Percentile(99) * 1e3 : 0.0,
+            e2e != nullptr ? e2e->Percentile(99.9) * 1e3 : 0.0,
+            e2e != nullptr
+                ? static_cast<unsigned long long>(e2e->count)
+                : 0ULL,
+            funnel.algorithm.c_str(),
+            static_cast<unsigned long long>(funnel.candidates),
+            static_cast<unsigned long long>(funnel.skipped),
+            static_cast<unsigned long long>(funnel.bound_pruned),
+            static_cast<unsigned long long>(funnel.dp_runs),
+            static_cast<unsigned long long>(funnel.dp_abandoned),
+            static_cast<unsigned long long>(funnel.dp_completed));
+        std::fclose(f);
+        std::printf("wrote %s\n", json_pr6.c_str());
+      }
+    }
+    const std::string statsz_path = flags.GetString("statsz", "");
+    if (!statsz_path.empty()) {
+      FILE* f = std::fopen(statsz_path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", statsz_path.c_str());
+      } else {
+        const std::string json = obs::StatszJson(snapshot);
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+        std::printf("wrote %s\n", statsz_path.c_str());
+      }
+    }
+  }
+
   std::printf(
       "\nShape check: on a machine with >= 4 hardware threads, queries/s "
       "grows with shard\ncount (the 4-shard row exceeds 1.5x the 1-shard "
@@ -904,7 +1088,10 @@ void Main(int argc, char** argv) {
       "rather than just overlapping it). The\n[PR5] delta-free live row "
       "must stay within 5%% of the static baseline, the\n20%%-delta row "
       "within the delta's share of the corpus, and the post-compaction\n"
-      "row back at the delta-free level.\n");
+      "row back at the delta-free level. The [PR6] metrics-enabled row must "
+      "stay\nwithin 2%% of metrics-disabled (gated), the funnel rows must "
+      "telescope\nexactly (gated), and Stats() stays sub-microsecond under "
+      "load.\n");
 }
 
 }  // namespace

@@ -29,6 +29,14 @@
 //   # delta remains, plain v2 after compaction)
 //   trajsearch_cli ingest --data=corpus.snap --add=new_day.csv
 //       --batch=64 --threshold=1024 --compact --out=corpus_live.snap
+//
+//   # observability: run a workload through the service and export the
+//   # metrics registry (counters, latency histograms with p50/p95/p99,
+//   # pruning funnels, trace spans) as human tables or statsz JSON
+//   trajsearch_cli statsz --data=corpus.snap --queries=queries.csv
+//       --dist=dtw --k=5 --repeat=2
+//   trajsearch_cli statsz --data=corpus.snap --queries=queries.csv --json
+//       --trace --out=statsz.json
 
 #include <algorithm>
 #include <cstdio>
@@ -38,6 +46,7 @@
 #include "gen/taxi.h"
 #include "io/snapshot.h"
 #include "io/traj_csv.h"
+#include "obs/export.h"
 #include "prune/grid_index.h"
 #include "search/engine.h"
 #include "service/query_service.h"
@@ -51,6 +60,40 @@ namespace {
 int Fail(const std::string& message) {
   std::fprintf(stderr, "error: %s\n", message.c_str());
   return 1;
+}
+
+bool WriteTextFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  return std::fclose(f) == 0 && written == content.size();
+}
+
+/// One-line latency summary of a registry histogram, in milliseconds.
+void PrintPercentiles(const obs::RegistrySnapshot& snap, const char* name,
+                      const char* label) {
+  const obs::HistogramSnapshot* h = snap.histogram(name);
+  if (h == nullptr || h->count == 0) return;
+  std::printf("%s: p50 %.3f ms, p95 %.3f ms, p99 %.3f ms, mean %.3f ms "
+              "(%llu samples)\n",
+              label, h->Percentile(50) * 1e3, h->Percentile(95) * 1e3,
+              h->Percentile(99) * 1e3, h->Mean() * 1e3,
+              static_cast<unsigned long long>(h->count));
+}
+
+void PrintFunnels(const obs::RegistrySnapshot& snap) {
+  for (const obs::FunnelRow& row : obs::ExtractFunnels(snap)) {
+    std::printf("funnel [%s]: %llu candidates -> %llu skipped, %llu "
+                "bound-pruned, %llu dp runs (%llu abandoned, %llu kept)%s\n",
+                row.algorithm.c_str(),
+                static_cast<unsigned long long>(row.candidates),
+                static_cast<unsigned long long>(row.skipped),
+                static_cast<unsigned long long>(row.bound_pruned),
+                static_cast<unsigned long long>(row.dp_runs),
+                static_cast<unsigned long long>(row.dp_abandoned),
+                static_cast<unsigned long long>(row.dp_completed),
+                row.Consistent() ? "" : "  [INCONSISTENT]");
+  }
 }
 
 /// Builds the distance spec from --dist/--eps; false on an unknown name.
@@ -210,6 +253,11 @@ int CmdSearch(const Flags& flags) {
               stats.searched, stats.pruned_by_bound);
   std::printf("engine split: bound checks %.3f s, pair search %.3f s\n",
               stats.bound_seconds, stats.pair_search_seconds);
+  std::printf("funnel: %d candidates -> %d skipped, %d bound-pruned, %d dp "
+              "runs (%d abandoned, %d kept)\n",
+              stats.candidates_after_gbp, stats.skipped,
+              stats.pruned_by_bound, stats.searched, stats.abandoned,
+              stats.searched - stats.abandoned);
   // Ordering only applies to the shared-threshold pipeline (the local-heap
   // ablation always runs in id order) — report what actually happened.
   std::printf("execution: %d worker thread%s, %s top-K threshold, "
@@ -333,6 +381,19 @@ int CmdBatch(const Flags& flags) {
               "%.3f, pair search %.3f\n",
               stats.prune_seconds, stats.bound_seconds,
               stats.pair_search_seconds);
+  std::printf("service split (cpu s): cache lookups %.3f, top-K merge %.3f\n",
+              stats.cache_lookup_seconds, stats.merge_seconds);
+  const obs::RegistrySnapshot snap = service.metrics().Snapshot();
+  PrintPercentiles(snap, "service.query_seconds", "latency (per query)");
+  PrintPercentiles(snap, "service.batch_seconds", "latency (per batch)");
+  PrintFunnels(snap);
+  const std::string statsz_out = flags.GetString("statsz", "");
+  if (!statsz_out.empty()) {
+    if (!WriteTextFile(statsz_out, obs::StatszJson(snap))) {
+      return Fail("cannot write " + statsz_out);
+    }
+    std::printf("wrote statsz JSON to %s\n", statsz_out.c_str());
+  }
   return 0;
 }
 
@@ -406,6 +467,17 @@ int CmdIngest(const Flags& flags) {
               static_cast<unsigned long long>(stats.compactions),
               stats.compaction_seconds);
   PrintShape("serving", service.Shape());
+  {
+    const obs::RegistrySnapshot snap = service.metrics().Snapshot();
+    PrintPercentiles(snap, "live.append_seconds", "append latency");
+    PrintPercentiles(snap, "live.adopt_seconds", "compaction-swap latency");
+    std::printf("storage gauges: generation %lld (%lld compactions), delta "
+                "%lld trajectories / %lld points\n",
+                static_cast<long long>(snap.gauge("live.generation")),
+                static_cast<long long>(snap.gauge("live.base_generation")),
+                static_cast<long long>(snap.gauge("live.delta_trajectories")),
+                static_cast<long long>(snap.gauge("live.delta_points")));
+  }
 
   if (flags.GetBool("compact", false)) {
     Stopwatch compact_watch;
@@ -428,6 +500,66 @@ int CmdIngest(const Flags& flags) {
   return 0;
 }
 
+/// Runs a workload through a QueryService and exports the metrics registry:
+/// human tables by default, statsz JSON with --json (stdout) or --out=FILE;
+/// --trace includes the retained trace spans in the JSON.
+int CmdStatsz(const Flags& flags) {
+  const std::string path = flags.GetString("data", "");
+  if (path.empty()) return Fail("--data=<csv|snap> required");
+  Result<Dataset> loaded = LoadDataset(path, path);
+  if (!loaded.ok()) return Fail(loaded.status().ToString());
+
+  const std::string query_path = flags.GetString("queries", "");
+  if (query_path.empty()) return Fail("--queries=<csv|snap> required");
+  const Result<Dataset> query_set = LoadDataset(query_path, query_path);
+  if (!query_set.ok()) return Fail(query_set.status().ToString());
+
+  ServiceOptions options;
+  if (!ParseSpec(flags, loaded.value(), &options.engine.spec)) {
+    return Fail("unknown --dist (dtw|edr|erp|fd)");
+  }
+  options.engine.top_k = static_cast<int>(flags.GetInt("k", 5));
+  options.engine.mu = flags.GetDouble("mu", 0.2);
+  options.engine.use_gbp = flags.GetBool("gbp", true);
+  options.engine.use_kpf = flags.GetBool("kpf", true);
+  options.engine.threads = static_cast<int>(flags.GetInt("threads", 1));
+  options.shards = static_cast<int>(flags.GetInt("shards", 4));
+  options.worker_threads = static_cast<int>(flags.GetInt("workers", 0));
+  options.cache_capacity = static_cast<size_t>(flags.GetInt("cache", 256));
+  const int repeat = static_cast<int>(flags.GetInt("repeat", 1));
+
+  QueryService service(loaded.MoveValue(), options);
+  std::vector<TrajectoryView> queries;
+  queries.reserve(static_cast<size_t>(query_set.value().size()));
+  for (const TrajectoryRef q : query_set.value()) {
+    queries.push_back(q.View());
+  }
+  for (int r = 0; r < repeat; ++r) {
+    (void)service.SubmitBatch(queries);
+  }
+
+  const obs::RegistrySnapshot snap = service.metrics().Snapshot();
+  const std::string out = flags.GetString("out", "");
+  const bool json = flags.GetBool("json", false) || !out.empty();
+  if (json) {
+    std::vector<obs::TraceSpan> spans;
+    const bool with_trace = flags.GetBool("trace", false);
+    if (with_trace) spans = service.metrics().trace().Snapshot();
+    const std::string payload =
+        obs::StatszJson(snap, with_trace ? &spans : nullptr);
+    if (out.empty()) {
+      std::fputs(payload.c_str(), stdout);
+    } else if (!WriteTextFile(out, payload)) {
+      return Fail("cannot write " + out);
+    } else {
+      std::printf("wrote statsz JSON to %s\n", out.c_str());
+    }
+  } else {
+    std::fputs(obs::StatszTable(snap).c_str(), stdout);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -439,9 +571,11 @@ int main(int argc, char** argv) {
   if (command == "snapshot") return CmdSnapshot(flags);
   if (command == "batch") return CmdBatch(flags);
   if (command == "ingest") return CmdIngest(flags);
+  if (command == "statsz") return CmdStatsz(flags);
   std::fprintf(stderr,
                "usage: trajsearch_cli "
-               "<generate|stats|search|snapshot|batch|ingest> [--flags]\n"
+               "<generate|stats|search|snapshot|batch|ingest|statsz> "
+               "[--flags]\n"
                "see the header comment of examples/trajsearch_cli.cpp\n");
   return command.empty() ? 0 : 1;
 }

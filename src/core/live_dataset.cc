@@ -28,6 +28,28 @@ TrajectoryView LiveDataset::StorePointsLocked(TrajectoryView points) {
   return TrajectoryView(dst, n);
 }
 
+void LiveDataset::AttachMetrics(obs::Registry* registry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_ = registry;
+  if (registry == nullptr) {
+    generation_gauge_ = base_generation_gauge_ = nullptr;
+    delta_trajectories_gauge_ = delta_points_gauge_ = nullptr;
+    append_hist_ = adopt_hist_ = nullptr;
+    return;
+  }
+  generation_gauge_ = registry->gauge("live.generation");
+  base_generation_gauge_ = registry->gauge("live.base_generation");
+  delta_trajectories_gauge_ = registry->gauge("live.delta_trajectories");
+  delta_points_gauge_ = registry->gauge("live.delta_points");
+  append_hist_ = registry->histogram("live.append_seconds");
+  adopt_hist_ = registry->histogram("live.adopt_seconds");
+  // Reflect the current generation immediately, not at the next publish.
+  generation_gauge_->Set(static_cast<int64_t>(generation_));
+  base_generation_gauge_->Set(static_cast<int64_t>(base_generation_));
+  delta_trajectories_gauge_->Set(static_cast<int64_t>(entries_.size()));
+  delta_points_gauge_->Set(static_cast<int64_t>(delta_points_));
+}
+
 void LiveDataset::PublishLocked() {
   auto delta = std::make_shared<DeltaView>();
   delta->entries_ = entries_;
@@ -41,16 +63,26 @@ void LiveDataset::PublishLocked() {
   view->ingest_seq_ = ingest_seq_;
   view->base_generation_ = base_generation_;
   published_.store(std::move(view));
+
+  if (metrics_ != nullptr && metrics_->enabled()) {
+    generation_gauge_->Set(static_cast<int64_t>(generation_));
+    base_generation_gauge_->Set(static_cast<int64_t>(base_generation_));
+    delta_trajectories_gauge_->Set(static_cast<int64_t>(entries_.size()));
+    delta_points_gauge_->Set(static_cast<int64_t>(delta_points_));
+  }
 }
 
 int LiveDataset::Append(TrajectoryView trajectory) {
   std::lock_guard<std::mutex> lock(mu_);
+  const bool timed = metrics_ != nullptr && metrics_->enabled();
+  const int64_t start = timed ? obs::NowNanos() : 0;
   const int id = base_->size() + static_cast<int>(entries_.size());
   entries_.push_back(StorePointsLocked(trajectory));
   delta_points_ += trajectory.size();
   ++ingest_seq_;
   ++generation_;
   PublishLocked();
+  if (timed) append_hist_->RecordNanos(obs::NowNanos() - start);
   return id;
 }
 
@@ -59,6 +91,8 @@ std::vector<int> LiveDataset::AppendBatch(
   std::vector<int> ids;
   ids.reserve(trajectories.size());
   std::lock_guard<std::mutex> lock(mu_);
+  const bool timed = metrics_ != nullptr && metrics_->enabled();
+  const int64_t start = timed ? obs::NowNanos() : 0;
   entries_.reserve(entries_.size() + trajectories.size());
   for (const TrajectoryView& trajectory : trajectories) {
     ids.push_back(base_->size() + static_cast<int>(entries_.size()));
@@ -69,6 +103,7 @@ std::vector<int> LiveDataset::AppendBatch(
   if (!trajectories.empty()) {
     ++generation_;
     PublishLocked();
+    if (timed) append_hist_->RecordNanos(obs::NowNanos() - start);
   }
   return ids;
 }
@@ -98,6 +133,8 @@ void LiveDataset::AdoptBase(std::shared_ptr<const Dataset> base,
                             int compacted_count) {
   TRAJ_CHECK(base != nullptr);
   std::lock_guard<std::mutex> lock(mu_);
+  const bool timed = metrics_ != nullptr && metrics_->enabled();
+  const int64_t start = timed ? obs::NowNanos() : 0;
   TRAJ_CHECK(compacted_count >= 0 &&
              compacted_count <= static_cast<int>(entries_.size()));
   // The new base must be the old base plus exactly the compacted prefix, so
@@ -126,6 +163,7 @@ void LiveDataset::AdoptBase(std::shared_ptr<const Dataset> base,
   ++base_generation_;
   ++generation_;  // layout changed; content (and ingest_seq_) did not
   PublishLocked();
+  if (timed) adopt_hist_->RecordNanos(obs::NowNanos() - start);
 }
 
 }  // namespace trajsearch

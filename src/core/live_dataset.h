@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/dataset.h"
+#include "obs/registry.h"
 #include "util/published_ptr.h"
 
 namespace trajsearch {
@@ -161,6 +162,12 @@ class LiveDataset {
   /// so the compacted chunks can be reclaimed once old views die.
   void AdoptBase(std::shared_ptr<const Dataset> base, int compacted_count);
 
+  /// Attaches (or, with null, detaches) storage observability: `live.*`
+  /// gauges for generation/base-generation/delta size (refreshed at every
+  /// publication) plus `live.append_seconds` and `live.adopt_seconds`
+  /// latency histograms. The registry must outlive the dataset.
+  void AttachMetrics(obs::Registry* registry);
+
  private:
   /// Points per delta chunk (a trajectory longer than this gets a dedicated
   /// chunk, so points of one trajectory are always contiguous).
@@ -184,6 +191,15 @@ class LiveDataset {
   uint64_t generation_ = 0;
   uint64_t ingest_seq_ = 0;
   uint64_t base_generation_ = 0;
+
+  /// Observability (guarded by mu_; null when detached).
+  obs::Registry* metrics_ = nullptr;
+  obs::Gauge* generation_gauge_ = nullptr;
+  obs::Gauge* base_generation_gauge_ = nullptr;
+  obs::Gauge* delta_trajectories_gauge_ = nullptr;
+  obs::Gauge* delta_points_gauge_ = nullptr;
+  obs::Histogram* append_hist_ = nullptr;
+  obs::Histogram* adopt_hist_ = nullptr;
 
   /// RCU publication slot; store under mu_, load anywhere.
   PublishedPtr<const CorpusView> published_;

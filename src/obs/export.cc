@@ -1,0 +1,200 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <set>
+
+#include "util/table.h"
+
+namespace trajsearch::obs {
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+/// JSON string escaping for metric names (which are plain identifiers in
+/// practice, but statsz must never emit malformed JSON).
+std::string JsonString(std::string_view s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void AppendHistogramJson(const std::string& name,
+                         const HistogramSnapshot& h, std::string* out) {
+  *out += JsonString(name) + ": {";
+  *out += "\"count\": " + std::to_string(h.count);
+  *out += ", \"sum\": " + FormatDouble(h.sum);
+  *out += ", \"mean\": " + FormatDouble(h.Mean());
+  *out += ", \"p50\": " + FormatDouble(h.Percentile(50));
+  *out += ", \"p95\": " + FormatDouble(h.Percentile(95));
+  *out += ", \"p99\": " + FormatDouble(h.Percentile(99));
+  *out += ", \"p999\": " + FormatDouble(h.Percentile(99.9));
+  *out += ", \"buckets\": [";
+  bool first = true;
+  for (int b = 0; b < HistogramSnapshot::kBuckets; ++b) {
+    const uint64_t count = h.buckets[static_cast<size_t>(b)];
+    if (count == 0) continue;
+    if (!first) *out += ", ";
+    first = false;
+    *out += "[" + FormatDouble(HistogramSnapshot::BucketLowerBound(b)) +
+            ", " + std::to_string(count) + "]";
+  }
+  *out += "]}";
+}
+
+}  // namespace
+
+std::vector<FunnelRow> ExtractFunnels(const RegistrySnapshot& snapshot) {
+  // Funnel counters are named engine.<Algorithm>.funnel.<stage>; collect the
+  // algorithms present, then read each stage by exact name.
+  std::set<std::string> algorithms;
+  constexpr std::string_view kPrefix = "engine.";
+  constexpr std::string_view kMarker = ".funnel.";
+  for (const auto& [name, value] : snapshot.counters) {
+    if (name.rfind(kPrefix, 0) != 0) continue;
+    const size_t marker = name.find(kMarker, kPrefix.size());
+    if (marker == std::string::npos) continue;
+    algorithms.insert(name.substr(kPrefix.size(), marker - kPrefix.size()));
+  }
+  std::vector<FunnelRow> rows;
+  rows.reserve(algorithms.size());
+  for (const std::string& algorithm : algorithms) {
+    const std::string base = "engine." + algorithm + ".funnel.";
+    FunnelRow row;
+    row.algorithm = algorithm;
+    row.candidates = snapshot.counter(base + "candidates");
+    row.skipped = snapshot.counter(base + "skipped");
+    row.bound_pruned = snapshot.counter(base + "bound_pruned");
+    row.dp_runs = snapshot.counter(base + "dp_runs");
+    row.dp_abandoned = snapshot.counter(base + "dp_abandoned");
+    row.dp_completed = snapshot.counter(base + "dp_completed");
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::string StatszJson(const RegistrySnapshot& snapshot,
+                       const std::vector<TraceSpan>* trace) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n    " + JsonString(name) + ": " + std::to_string(value);
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n    " + JsonString(name) + ": " + std::to_string(value);
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n    ";
+    AppendHistogramJson(name, histogram, &out);
+  }
+  out += "\n  },\n  \"funnel\": {";
+  first = true;
+  for (const FunnelRow& row : ExtractFunnels(snapshot)) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n    " + JsonString(row.algorithm) + ": {";
+    out += "\"candidates\": " + std::to_string(row.candidates);
+    out += ", \"skipped\": " + std::to_string(row.skipped);
+    out += ", \"bound_pruned\": " + std::to_string(row.bound_pruned);
+    out += ", \"dp_runs\": " + std::to_string(row.dp_runs);
+    out += ", \"dp_abandoned\": " + std::to_string(row.dp_abandoned);
+    out += ", \"dp_completed\": " + std::to_string(row.dp_completed);
+    out += ", \"consistent\": ";
+    out += row.Consistent() ? "true" : "false";
+    out += "}";
+  }
+  out += "\n  }";
+  if (trace != nullptr) {
+    out += ",\n  \"trace\": [";
+    first = true;
+    for (const TraceSpan& span : *trace) {
+      if (!first) out += ",";
+      first = false;
+      out += "\n    {\"query\": " + std::to_string(span.query_id);
+      out += ", \"stage\": " + JsonString(ToString(span.kind));
+      out += ", \"start_nanos\": " + std::to_string(span.start_nanos);
+      out += ", \"duration_nanos\": " + std::to_string(span.duration_nanos);
+      out += ", \"value\": " + std::to_string(span.value) + "}";
+    }
+    out += "\n  ]";
+  }
+  out += "\n}\n";
+  return out;
+}
+
+std::string StatszTable(const RegistrySnapshot& snapshot) {
+  std::string out;
+  if (!snapshot.counters.empty() || !snapshot.gauges.empty()) {
+    TablePrinter table({"Metric", "Value"});
+    for (const auto& [name, value] : snapshot.counters) {
+      table.AddRow({name, std::to_string(value)});
+    }
+    for (const auto& [name, value] : snapshot.gauges) {
+      table.AddRow({name + " (gauge)", std::to_string(value)});
+    }
+    out += table.ToString();
+  }
+  if (!snapshot.histograms.empty()) {
+    TablePrinter table({"Histogram (ms)", "Count", "Mean", "p50", "p95",
+                        "p99", "p99.9"});
+    for (const auto& [name, h] : snapshot.histograms) {
+      table.AddRow({name, std::to_string(h.count),
+                    TablePrinter::Num(h.Mean() * 1e3, 3),
+                    TablePrinter::Num(h.Percentile(50) * 1e3, 3),
+                    TablePrinter::Num(h.Percentile(95) * 1e3, 3),
+                    TablePrinter::Num(h.Percentile(99) * 1e3, 3),
+                    TablePrinter::Num(h.Percentile(99.9) * 1e3, 3)});
+    }
+    out += "\n" + table.ToString();
+  }
+  const std::vector<FunnelRow> funnels = ExtractFunnels(snapshot);
+  if (!funnels.empty()) {
+    TablePrinter table({"Funnel", "Candidates", "Skipped", "Bound-pruned",
+                        "DP runs", "Abandoned", "Completed", "Consistent"});
+    for (const FunnelRow& row : funnels) {
+      table.AddRow({row.algorithm, std::to_string(row.candidates),
+                    std::to_string(row.skipped),
+                    std::to_string(row.bound_pruned),
+                    std::to_string(row.dp_runs),
+                    std::to_string(row.dp_abandoned),
+                    std::to_string(row.dp_completed),
+                    row.Consistent() ? "yes" : "NO"});
+    }
+    out += "\n" + table.ToString();
+  }
+  return out;
+}
+
+}  // namespace trajsearch::obs

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/registry.h"
+
+namespace trajsearch::obs {
+
+/// \brief One algorithm's pruning funnel, extracted from the registry's
+/// `engine.<Algorithm>.funnel.*` counters. The stages telescope exactly:
+///   candidates == skipped + bound_pruned + dp_runs
+///   dp_runs    == dp_abandoned + dp_completed
+/// (skipped = excluded-id / empty candidates; dp_abandoned = runs whose
+/// result was at or above the live top-K cutoff, i.e. early-abandoned DP
+/// work or a computed result the merge discarded).
+struct FunnelRow {
+  std::string algorithm;
+  uint64_t candidates = 0;
+  uint64_t skipped = 0;
+  uint64_t bound_pruned = 0;
+  uint64_t dp_runs = 0;
+  uint64_t dp_abandoned = 0;
+  uint64_t dp_completed = 0;
+
+  bool Consistent() const {
+    return candidates == skipped + bound_pruned + dp_runs &&
+           dp_runs == dp_abandoned + dp_completed;
+  }
+};
+
+/// Every algorithm funnel present in the snapshot (sorted by name).
+std::vector<FunnelRow> ExtractFunnels(const RegistrySnapshot& snapshot);
+
+/// Serializes a registry snapshot as statsz JSON: counters and gauges as
+/// one flat object each, histograms with count/sum/mean and
+/// p50/p95/p99/p99.9 plus their non-empty buckets, the pruning funnels, and
+/// (optionally) the retained trace spans. Schema documented in the README's
+/// Observability section.
+std::string StatszJson(const RegistrySnapshot& snapshot,
+                       const std::vector<TraceSpan>* trace = nullptr);
+
+/// Human-readable statsz: counters/gauges, a histogram percentile table
+/// (milliseconds) and the pruning funnel table, rendered via util/table.h.
+std::string StatszTable(const RegistrySnapshot& snapshot);
+
+}  // namespace trajsearch::obs

@@ -1,0 +1,124 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <limits>
+
+namespace trajsearch::obs {
+
+int StripeIndex() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+int HistogramSnapshot::BucketIndex(double value) {
+  if (!(value > 0)) return 0;  // zero, negative and NaN underflow
+  int exp = 0;
+  const double m = std::frexp(value, &exp);  // value = m * 2^exp, m in [0.5, 1)
+  if (exp < kMinExp) return 0;
+  if (exp > kMaxExp) return kBuckets - 1;
+  int sub = static_cast<int>((m - 0.5) * 2.0 * kSubBuckets);
+  if (sub >= kSubBuckets) sub = kSubBuckets - 1;  // m == 1 - ulp rounding
+  return (exp - kMinExp) * kSubBuckets + sub + 1;
+}
+
+double HistogramSnapshot::BucketLowerBound(int bucket) {
+  if (bucket <= 0) return 0;
+  if (bucket >= kBuckets - 1) return std::ldexp(1.0, kMaxExp);
+  const int octave = (bucket - 1) / kSubBuckets;
+  const int sub = (bucket - 1) % kSubBuckets;
+  const double base = std::ldexp(1.0, kMinExp + octave - 1);  // 2^(exp-1)
+  return base * (1.0 + static_cast<double>(sub) / kSubBuckets);
+}
+
+double HistogramSnapshot::BucketUpperBound(int bucket) {
+  if (bucket < 0) return 0;
+  if (bucket >= kBuckets - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return BucketLowerBound(bucket + 1);
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  count += other.count;
+  sum += other.sum;
+  for (int b = 0; b < kBuckets; ++b) {
+    buckets[static_cast<size_t>(b)] += other.buckets[static_cast<size_t>(b)];
+  }
+}
+
+double HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  // Rank of the order statistic the percentile names (nearest-rank, 1-based
+  // ceil like the classic definition, clamped into [1, count]).
+  uint64_t rank =
+      static_cast<uint64_t>(std::ceil(p / 100.0 * static_cast<double>(count)));
+  if (rank < 1) rank = 1;
+  if (rank > count) rank = count;
+  uint64_t cumulative = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    cumulative += buckets[static_cast<size_t>(b)];
+    if (cumulative >= rank) {
+      const double lo = BucketLowerBound(b);
+      const double hi = BucketUpperBound(b);
+      if (!std::isfinite(hi)) return lo;  // overflow bucket: report its floor
+      return (lo + hi) / 2.0;
+    }
+  }
+  return BucketLowerBound(kBuckets - 1);  // unreachable when counts add up
+}
+
+namespace {
+
+/// Wait-free-in-practice double accumulation over a bit-cast atomic (CAS
+/// loop; contention is per-stripe, so loops are short).
+void AddDoubleBits(std::atomic<uint64_t>* bits, double delta) {
+  uint64_t observed = bits->load(std::memory_order_relaxed);
+  for (;;) {
+    double value = 0;
+    std::memcpy(&value, &observed, sizeof(value));
+    value += delta;
+    uint64_t desired = 0;
+    std::memcpy(&desired, &value, sizeof(desired));
+    if (bits->compare_exchange_weak(observed, desired,
+                                    std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+double DoubleFromBits(uint64_t bits) {
+  double value = 0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+}  // namespace
+
+void Histogram::Record(double value) {
+  Stripe& stripe =
+      stripes_[static_cast<size_t>(StripeIndex() & (kStripes - 1))];
+  const int bucket = HistogramSnapshot::BucketIndex(value);
+  stripe.buckets[static_cast<size_t>(bucket)].fetch_add(
+      1, std::memory_order_relaxed);
+  stripe.count.fetch_add(1, std::memory_order_relaxed);
+  AddDoubleBits(&stripe.sum_bits, value);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  for (const Stripe& stripe : stripes_) {
+    snap.count += stripe.count.load(std::memory_order_relaxed);
+    snap.sum += DoubleFromBits(stripe.sum_bits.load(std::memory_order_relaxed));
+    for (int b = 0; b < HistogramSnapshot::kBuckets; ++b) {
+      snap.buckets[static_cast<size_t>(b)] +=
+          stripe.buckets[static_cast<size_t>(b)].load(
+              std::memory_order_relaxed);
+    }
+  }
+  return snap;
+}
+
+}  // namespace trajsearch::obs

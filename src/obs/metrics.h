@@ -1,0 +1,146 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace trajsearch::obs {
+
+/// Monotonic clock in integer nanoseconds — the time base for every metric
+/// and trace span in this subsystem (one cheap steady_clock read, no
+/// double conversions on the hot path).
+inline int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Per-thread stripe selector for the sharded metric types below. Each
+/// thread hashes to one stripe for its whole lifetime, so two threads
+/// incrementing the same Counter usually touch different cache lines; the
+/// id is assigned once per thread (an address-free counter, stable across
+/// every Counter/Histogram in the process).
+int StripeIndex();
+
+/// \brief Monotonic counter, sharded across cache-line-padded stripes.
+///
+/// Add() is a single relaxed fetch_add on this thread's stripe — wait-free,
+/// no false sharing between threads on different stripes. Value() sums the
+/// stripes; it is a consistent total only once writers have quiesced, and a
+/// monotone lower bound at any other time (exactly what monitoring needs).
+class Counter {
+ public:
+  static constexpr int kStripes = 16;
+
+  void Add(uint64_t n = 1) {
+    stripes_[static_cast<size_t>(StripeIndex() & (kStripes - 1))]
+        .value.fetch_add(n, std::memory_order_relaxed);
+  }
+  /// Records a duration in seconds as integer nanoseconds (time counters
+  /// share the Counter machinery so they stay wait-free and mergeable).
+  void AddSeconds(double seconds) {
+    if (seconds > 0) Add(static_cast<uint64_t>(seconds * 1e9));
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Stripe& s : stripes_) {
+      total += s.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  /// Value() of a nanosecond-accumulating counter, as seconds.
+  double Seconds() const { return static_cast<double>(Value()) * 1e-9; }
+
+ private:
+  struct alignas(64) Stripe {
+    std::atomic<uint64_t> value{0};
+  };
+  std::array<Stripe, kStripes> stripes_{};
+};
+
+/// \brief Last-value gauge (queue depth, generation number, delta size).
+/// Plain atomic — gauges are written from one place at a time in practice
+/// and read anywhere.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// \brief Mergeable frequency view of a Histogram: per-bucket counts plus
+/// count/sum, extracted atomically enough for monitoring (counts are relaxed
+/// loads; a snapshot taken while writers run is a valid histogram of a
+/// subset of the writes).
+struct HistogramSnapshot {
+  /// Log-linear bucket layout, shared with Histogram: kSubBuckets linear
+  /// sub-buckets per power-of-two octave over [2^(kMinExp-1), 2^kMaxExp),
+  /// plus an underflow bucket 0 (v < 2^(kMinExp-1), incl. zero/negative)
+  /// and an overflow bucket kBuckets-1. Relative bucket width is 1/8 =
+  /// 12.5%, which bounds the error of every percentile read.
+  static constexpr int kSubBuckets = 8;
+  static constexpr int kMinExp = -30;  // 2^-31 s ≈ 0.47 ns
+  static constexpr int kMaxExp = 12;   // 2^12 s ≈ 68 min
+  static constexpr int kBuckets =
+      (kMaxExp - kMinExp + 1) * kSubBuckets + 2;
+
+  /// Bucket index for a value; total order consistent with <= up to bucket
+  /// granularity (monotone non-decreasing in the value).
+  static int BucketIndex(double value);
+  /// Inclusive lower bound of a bucket (0 for the underflow bucket).
+  static double BucketLowerBound(int bucket);
+  /// Exclusive upper bound of a bucket (+inf for the overflow bucket).
+  static double BucketUpperBound(int bucket);
+
+  uint64_t count = 0;
+  double sum = 0;
+  std::array<uint64_t, static_cast<size_t>(kBuckets)> buckets{};
+
+  /// Adds another snapshot's counts (associative and commutative, so
+  /// per-shard / per-process histograms aggregate in any order).
+  void Merge(const HistogramSnapshot& other);
+
+  /// Percentile in [0, 100] by cumulative bucket walk; returns the midpoint
+  /// of the bucket containing the rank (so the result is within one bucket
+  /// — 12.5% relative — of the exact order statistic). 0 when empty.
+  double Percentile(double p) const;
+  double Mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+};
+
+/// \brief Lock-free log-bucketed latency histogram.
+///
+/// Record() is two relaxed fetch_adds (bucket + count) and one CAS-loop
+/// double add on this thread's stripe. Stripes keep concurrent recorders off
+/// each other's cache lines; Snapshot() merges them. Percentiles come from
+/// the snapshot, so extraction never perturbs writers.
+class Histogram {
+ public:
+  static constexpr int kStripes = 4;
+
+  void Record(double value);
+  /// Convenience for nanosecond timestamps from NowNanos().
+  void RecordNanos(int64_t nanos) {
+    Record(static_cast<double>(nanos) * 1e-9);
+  }
+
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  struct alignas(64) Stripe {
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum_bits{0};  // double bits, CAS-accumulated
+    std::array<std::atomic<uint64_t>,
+               static_cast<size_t>(HistogramSnapshot::kBuckets)>
+        buckets{};
+  };
+  std::array<Stripe, kStripes> stripes_{};
+};
+
+}  // namespace trajsearch::obs

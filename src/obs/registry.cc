@@ -1,0 +1,75 @@
+#include "obs/registry.h"
+
+namespace trajsearch::obs {
+
+namespace {
+
+/// Find-or-create in a name-keyed map of metric objects; addresses are
+/// stable because the map owns unique_ptrs.
+template <typename T>
+T* Resolve(std::mutex* mu,
+           std::map<std::string, std::unique_ptr<T>, std::less<>>* metrics,
+           std::string_view name) {
+  std::lock_guard<std::mutex> lock(*mu);
+  auto it = metrics->find(name);
+  if (it == metrics->end()) {
+    it = metrics->emplace(std::string(name), std::make_unique<T>()).first;
+  }
+  return it->second.get();
+}
+
+}  // namespace
+
+Counter* Registry::counter(std::string_view name) {
+  return Resolve(&mu_, &counters_, name);
+}
+
+Gauge* Registry::gauge(std::string_view name) {
+  return Resolve(&mu_, &gauges_, name);
+}
+
+Histogram* Registry::histogram(std::string_view name) {
+  return Resolve(&mu_, &histograms_, name);
+}
+
+RegistrySnapshot Registry::Snapshot() const {
+  RegistrySnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter->Value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge->Value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms.emplace_back(name, histogram->Snapshot());
+  }
+  return snap;
+}
+
+uint64_t RegistrySnapshot::counter(std::string_view name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+int64_t RegistrySnapshot::gauge(std::string_view name) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+const HistogramSnapshot* RegistrySnapshot::histogram(
+    std::string_view name) const {
+  for (const auto& [n, v] : histograms) {
+    if (n == name) return &v;
+  }
+  return nullptr;
+}
+
+}  // namespace trajsearch::obs

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace trajsearch::obs {
+
+/// \brief Read-side view of a whole Registry: every metric by name, values
+/// captured with relaxed atomic loads (a live system's snapshot is a valid
+/// lower bound; a quiesced system's snapshot is exact). Feeds the statsz
+/// exporters and the tests.
+struct RegistrySnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  /// Counter value by exact name (0 if absent).
+  uint64_t counter(std::string_view name) const;
+  /// Gauge value by exact name (0 if absent).
+  int64_t gauge(std::string_view name) const;
+  /// Histogram by exact name (null if absent).
+  const HistogramSnapshot* histogram(std::string_view name) const;
+};
+
+/// \brief Owner of named metrics and the trace ring for one serving system.
+///
+/// Metric objects are created on first use (mutex-guarded registration —
+/// instrumented code resolves its pointers once, at construction time) and
+/// live at stable addresses for the registry's lifetime; every mutation
+/// afterwards is lock-free on the metric itself. `enabled()` is the
+/// run-time kill switch instrumentation sites check before paying for
+/// clock reads, histogram records or trace spans — with it off the serving
+/// hot path runs the same instructions as an uninstrumented build, minus a
+/// handful of per-batch counter adds.
+class Registry {
+ public:
+  explicit Registry(size_t trace_capacity = 1024) : trace_(trace_capacity) {}
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Finds or creates; the returned pointer is valid for the registry's
+  /// lifetime. Same name always yields the same object.
+  Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
+  Histogram* histogram(std::string_view name);
+
+  TraceRing& trace() { return trace_; }
+  const TraceRing& trace() const { return trace_; }
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Next per-registry query id for trace spans (starts at 1; 0 marks
+  /// non-query events).
+  uint64_t NextQueryId() {
+    return query_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  RegistrySnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;  // registration and snapshot iteration only
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  TraceRing trace_;
+  std::atomic<bool> enabled_{true};
+  std::atomic<uint64_t> query_seq_{0};
+};
+
+}  // namespace trajsearch::obs

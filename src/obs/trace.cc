@@ -1,0 +1,70 @@
+#include "obs/trace.h"
+
+namespace trajsearch::obs {
+
+std::string_view ToString(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kCacheLookup: return "cache_lookup";
+    case SpanKind::kCandidates: return "candidates";
+    case SpanKind::kBoundFilter: return "bound_filter";
+    case SpanKind::kDpSearch: return "dp_search";
+    case SpanKind::kMerge: return "merge";
+    case SpanKind::kAppend: return "append";
+    case SpanKind::kCompaction: return "compaction";
+  }
+  return "unknown";
+}
+
+namespace {
+
+size_t RoundUpPow2(size_t v) {
+  size_t p = 16;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+TraceRing::TraceRing(size_t capacity)
+    : slots_capacity_(RoundUpPow2(capacity)),
+      mask_(slots_capacity_ - 1),
+      slots_(new Slot[slots_capacity_]) {}
+
+void TraceRing::Record(const TraceSpan& span) {
+  const uint64_t claim = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[claim & mask_];
+  // Claim-stamped write: odd while in progress, even (2*claim+2) when done.
+  // A lapped writer (claim + capacity) simply wins; its even stamp is
+  // larger, so a reader can still tell which span it got.
+  slot.ticket.store(2 * claim + 1, std::memory_order_release);
+  slot.query_id.store(span.query_id, std::memory_order_relaxed);
+  slot.kind.store(static_cast<uint32_t>(span.kind), std::memory_order_relaxed);
+  slot.start_nanos.store(span.start_nanos, std::memory_order_relaxed);
+  slot.duration_nanos.store(span.duration_nanos, std::memory_order_relaxed);
+  slot.value.store(span.value, std::memory_order_relaxed);
+  slot.ticket.store(2 * claim + 2, std::memory_order_release);
+}
+
+std::vector<TraceSpan> TraceRing::Snapshot() const {
+  const uint64_t end = next_.load(std::memory_order_acquire);
+  const uint64_t begin =
+      end > slots_capacity_ ? end - slots_capacity_ : 0;
+  std::vector<TraceSpan> spans;
+  spans.reserve(static_cast<size_t>(end - begin));
+  for (uint64_t claim = begin; claim < end; ++claim) {
+    const Slot& slot = slots_[claim & mask_];
+    const uint64_t before = slot.ticket.load(std::memory_order_acquire);
+    if (before != 2 * claim + 2) continue;  // unwritten, lapped or in flight
+    TraceSpan span;
+    span.query_id = slot.query_id.load(std::memory_order_relaxed);
+    span.kind = static_cast<SpanKind>(slot.kind.load(std::memory_order_relaxed));
+    span.start_nanos = slot.start_nanos.load(std::memory_order_relaxed);
+    span.duration_nanos = slot.duration_nanos.load(std::memory_order_relaxed);
+    span.value = slot.value.load(std::memory_order_relaxed);
+    if (slot.ticket.load(std::memory_order_acquire) != before) continue;
+    spans.push_back(span);
+  }
+  return spans;
+}
+
+}  // namespace trajsearch::obs

@@ -12,6 +12,7 @@ DeltaEngine::DeltaEngine(EngineOptions options)
     : options_(std::move(options)) {
   TRAJ_CHECK(options_.top_k >= 1);
   searcher_ = MakeEngineSearcher(options_);
+  funnel_ = FunnelCounters(options_.metrics, options_.algorithm);
 }
 
 void DeltaEngine::QueryInto(TrajectoryView query, const DeltaView& delta,
@@ -59,9 +60,15 @@ void DeltaEngine::QueryInto(TrajectoryView query, const DeltaView& delta,
     std::unique_ptr<QueryRun> run = plans_.AcquireRun(*searcher_);
     run->Bind(query);
     for (const int id : candidate_scratch) {
-      if (id == excluded_id) continue;
+      if (id == excluded_id) {
+        ++local.skipped;
+        continue;
+      }
       const TrajectoryView data = delta[id];
-      if (data.empty()) continue;
+      if (data.empty()) {
+        ++local.skipped;
+        continue;
+      }
       if (bound != nullptr && topk->Cutoff() != kNoCutoff) {
         bound_timer.Start();
         const double lower = bound->LowerBound(data);
@@ -76,6 +83,9 @@ void DeltaEngine::QueryInto(TrajectoryView query, const DeltaView& delta,
       pair_timer.Start();
       const SearchResult result = run->Run(data, cutoff);
       pair_timer.Stop();
+      if (cutoff != kNoCutoff && result.distance >= cutoff) {
+        ++local.abandoned;
+      }
       topk->Offer(EngineHit{id + id_offset, result});
       ++local.searched;
     }
@@ -85,8 +95,12 @@ void DeltaEngine::QueryInto(TrajectoryView query, const DeltaView& delta,
   }
   if (bound != nullptr) plans_.ReleaseBound(std::move(bound));
 
+  local.gbp_seconds = gbp_timer.TotalSeconds();
   local.prune_seconds = gbp_timer.TotalSeconds() + local.bound_seconds;
   local.search_seconds = local.pair_search_seconds;
+  if (options_.metrics != nullptr && options_.metrics->enabled()) {
+    funnel_.Fold(local);
+  }
   if (stats != nullptr) *stats = local;
 }
 

@@ -46,6 +46,9 @@ class DeltaEngine {
   EngineOptions options_;
   std::unique_ptr<Searcher> searcher_;
   mutable PlanPool plans_;  // same pooling discipline as SearchEngine
+  /// Folds into the same `engine.<Algorithm>.funnel.*` counters as the base
+  /// shard engines (delta hits flow through the same pipeline stages).
+  FunnelCounters funnel_;
 };
 
 }  // namespace trajsearch

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <span>
+#include <string>
 #include <utility>
 
 #include "search/topk.h"
@@ -27,6 +28,31 @@ size_t ChunkSize(size_t candidates, int workers) {
 
 }  // namespace
 
+FunnelCounters::FunnelCounters(obs::Registry* registry, Algorithm algorithm) {
+  if (registry == nullptr) return;
+  const std::string base =
+      "engine." + std::string(ToString(algorithm)) + ".funnel.";
+  queries = registry->counter(base + "queries");
+  candidates = registry->counter(base + "candidates");
+  skipped = registry->counter(base + "skipped");
+  bound_pruned = registry->counter(base + "bound_pruned");
+  dp_runs = registry->counter(base + "dp_runs");
+  dp_abandoned = registry->counter(base + "dp_abandoned");
+  dp_completed = registry->counter(base + "dp_completed");
+}
+
+void FunnelCounters::Fold(const QueryStats& stats) const {
+  if (queries == nullptr) return;
+  queries->Add(1);
+  candidates->Add(static_cast<uint64_t>(stats.candidates_after_gbp));
+  skipped->Add(static_cast<uint64_t>(stats.skipped));
+  bound_pruned->Add(static_cast<uint64_t>(stats.pruned_by_bound));
+  dp_runs->Add(static_cast<uint64_t>(stats.searched));
+  dp_abandoned->Add(static_cast<uint64_t>(stats.abandoned));
+  dp_completed->Add(
+      static_cast<uint64_t>(stats.searched - stats.abandoned));
+}
+
 std::unique_ptr<Searcher> MakeEngineSearcher(const EngineOptions& options) {
   if ((options.algorithm == Algorithm::kRls ||
        options.algorithm == Algorithm::kRlsSkip) &&
@@ -49,6 +75,7 @@ SearchEngine::SearchEngine(DatasetView data, EngineOptions options)
     grid_ = std::make_unique<GridIndex>(data_, cell);
   }
   searcher_ = MakeEngineSearcher(options_);
+  funnel_ = FunnelCounters(options_.metrics, options_.algorithm);
 }
 
 std::vector<EngineHit> SearchEngine::Query(TrajectoryView query,
@@ -126,6 +153,8 @@ void SearchEngine::QueryInto(TrajectoryView query, SharedTopK* topk,
     IntervalTimer pair_timer;
     int pruned = 0;
     int searched = 0;
+    int skipped = 0;
+    int abandoned = 0;
   };
 
   // Stages 2+3 for one candidate (by position in the ordered candidate
@@ -143,9 +172,15 @@ void SearchEngine::QueryInto(TrajectoryView query, SharedTopK* topk,
   auto process = [&](size_t c, TopKHeap* heap, QueryRun* run,
                      WorkerState* state) {
     const int id = candidates[c];
-    if (id == excluded_id) return false;
+    if (id == excluded_id) {
+      ++state->skipped;
+      return false;
+    }
     const TrajectoryRef data = data_[id];
-    if (data.empty()) return false;
+    if (data.empty()) {
+      ++state->skipped;
+      return false;
+    }
     if (bound != nullptr &&
         (heap != nullptr ? heap->Full()
                          : topk->Cutoff() != kNoCutoff)) {
@@ -179,6 +214,10 @@ void SearchEngine::QueryInto(TrajectoryView query, SharedTopK* topk,
     state->pair_timer.Start();
     const SearchResult result = run->Run(data, cutoff);
     state->pair_timer.Stop();
+    // Funnel accounting: a run whose result lands at or above the cutoff it
+    // started with did (possibly early-abandoned) DP work that the top-K
+    // merge will discard.
+    if (cutoff != kNoCutoff && result.distance >= cutoff) ++state->abandoned;
     if (heap != nullptr) {
       heap->Offer(EngineHit{id, result});
     } else {
@@ -187,6 +226,7 @@ void SearchEngine::QueryInto(TrajectoryView query, SharedTopK* topk,
     return true;
   };
 
+  local.gbp_seconds = gbp_timer.TotalSeconds();
   if (candidates.empty()) {
     local.prune_seconds = gbp_timer.TotalSeconds();
     local.bound_seconds = order_timer.TotalSeconds();
@@ -199,6 +239,8 @@ void SearchEngine::QueryInto(TrajectoryView query, SharedTopK* topk,
     }
     plans_.ReleaseRun(std::move(run));
     local.pruned_by_bound = state.pruned;
+    local.skipped = state.skipped;
+    local.abandoned = state.abandoned;
     local.bound_seconds =
         order_timer.TotalSeconds() + state.bound_timer.TotalSeconds();
     local.pair_search_seconds = state.pair_timer.TotalSeconds();
@@ -259,12 +301,19 @@ void SearchEngine::QueryInto(TrajectoryView query, SharedTopK* topk,
     for (const WorkerState& state : states) {
       local.pruned_by_bound += state.pruned;
       local.searched += state.searched;
+      local.skipped += state.skipped;
+      local.abandoned += state.abandoned;
       local.bound_seconds += state.bound_timer.TotalSeconds();
       local.pair_search_seconds += state.pair_timer.TotalSeconds();
     }
   }
   if (bound != nullptr) plans_.ReleaseBound(std::move(bound));
 
+  // One registry fold per query: a handful of relaxed counter adds, so the
+  // per-candidate hot path above carries no instrumentation at all.
+  if (options_.metrics != nullptr && options_.metrics->enabled()) {
+    funnel_.Fold(local);
+  }
   if (stats != nullptr) *stats = local;
 }
 

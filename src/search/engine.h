@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/dataset.h"
+#include "obs/registry.h"
 #include "prune/grid_index.h"
 #include "prune/key_point_filter.h"
 #include "search/plan_pool.h"
@@ -78,6 +79,11 @@ struct EngineOptions {
   /// here so shard fan-out and per-query workers share one thread set
   /// (never hashed into options fingerprints; not owned).
   ThreadPool* scheduler = nullptr;
+  /// Metrics registry the engine folds its pruning funnel into
+  /// (`engine.<Algorithm>.funnel.*` counters, once per QueryInto). Null
+  /// disables funnel export entirely. Observability-only: never hashed into
+  /// options fingerprints; not owned.
+  obs::Registry* metrics = nullptr;
 };
 
 /// \brief One result of a database query.
@@ -101,9 +107,41 @@ struct QueryStats {
   /// Time in per-pair QueryRun::Run calls alone; summed across workers when
   /// threads > 1 (CPU seconds, not wall-clock).
   double pair_search_seconds = 0;
+  /// Candidate-generation time alone (GBP, or the identity scan with GBP
+  /// off); already included in prune_seconds.
+  double gbp_seconds = 0;
   int candidates_after_gbp = 0;
   int pruned_by_bound = 0;
   int searched = 0;
+  /// Candidates dropped before any bound math: the excluded query id and
+  /// empty trajectories. candidates_after_gbp == skipped + pruned_by_bound
+  /// + searched, always.
+  int skipped = 0;
+  /// Searched candidates whose result landed at or above the early-abandon
+  /// cutoff captured before the run: DP work the plan abandoned early, or a
+  /// completed result the top-K merge then discarded. searched == abandoned
+  /// + (hits that were competitive when computed).
+  int abandoned = 0;
+};
+
+/// \brief Resolved `engine.<Algorithm>.funnel.*` counters, shared by
+/// SearchEngine and DeltaEngine (both fold into the same per-algorithm
+/// funnel). All-null when constructed without a registry, making Fold a
+/// no-op.
+struct FunnelCounters {
+  FunnelCounters() = default;
+  FunnelCounters(obs::Registry* registry, Algorithm algorithm);
+
+  /// Adds one query's pruning funnel (a handful of relaxed atomic adds).
+  void Fold(const QueryStats& stats) const;
+
+  obs::Counter* queries = nullptr;
+  obs::Counter* candidates = nullptr;
+  obs::Counter* skipped = nullptr;
+  obs::Counter* bound_pruned = nullptr;
+  obs::Counter* dp_runs = nullptr;
+  obs::Counter* dp_abandoned = nullptr;
+  obs::Counter* dp_completed = nullptr;
 };
 
 /// \brief Database-level similar subtrajectory search engine.
@@ -173,6 +211,9 @@ class SearchEngine {
   EngineOptions options_;
   std::unique_ptr<GridIndex> grid_;
   std::unique_ptr<Searcher> searcher_;
+  /// Funnel counter pointers, resolved once at construction (all-null
+  /// without a registry).
+  FunnelCounters funnel_;
   /// Plans/bounds are grow-only pooled; steady state reuses the same plans
   /// and their scratch across queries.
   mutable PlanPool plans_;

@@ -152,6 +152,37 @@ QueryService::QueryService(Dataset dataset, ServiceOptions options)
   options_fingerprint_ = EngineOptionsFingerprint(options_.engine);
   options_.shards = std::max(options_.shards, 1);
 
+  // Resolve every metric pointer once; all later mutation is wait-free.
+  metrics_.queries = registry_.counter("service.queries");
+  metrics_.batches = registry_.counter("service.batches");
+  metrics_.cache_hits = registry_.counter("service.cache.hits");
+  metrics_.cache_misses = registry_.counter("service.cache.misses");
+  metrics_.cache_evictions = registry_.counter("service.cache.evictions");
+  metrics_.appends = registry_.counter("service.ingest.appends");
+  metrics_.append_batches = registry_.counter("service.ingest.append_batches");
+  metrics_.appended_points =
+      registry_.counter("service.ingest.appended_points");
+  metrics_.compactions = registry_.counter("service.compactions");
+  metrics_.compaction_nanos =
+      registry_.counter("service.compaction_seconds_total");
+  metrics_.prune_nanos = registry_.counter("service.engine.prune_seconds_total");
+  metrics_.bound_nanos = registry_.counter("service.engine.bound_seconds_total");
+  metrics_.pair_search_nanos =
+      registry_.counter("service.engine.pair_search_seconds_total");
+  metrics_.cache_lookup_nanos =
+      registry_.counter("service.cache_lookup_seconds_total");
+  metrics_.merge_nanos = registry_.counter("service.merge_seconds_total");
+  metrics_.batch_seconds = registry_.histogram("service.batch_seconds");
+  metrics_.query_seconds = registry_.histogram("service.query_seconds");
+  metrics_.stage_cache_lookup =
+      registry_.histogram("service.stage.cache_lookup_seconds");
+  metrics_.stage_candidates =
+      registry_.histogram("service.stage.candidates_seconds");
+  metrics_.stage_bound = registry_.histogram("service.stage.bound_seconds");
+  metrics_.stage_dp = registry_.histogram("service.stage.dp_seconds");
+  metrics_.stage_merge = registry_.histogram("service.stage.merge_seconds");
+  live_.AttachMetrics(&registry_);
+
   // One scheduler pool for everything: the (query, shard) and (query,
   // delta) fan-out tasks, the shard engines' candidate-chunk workers, and
   // background compactions. Created before the engines so
@@ -166,12 +197,15 @@ QueryService::QueryService(Dataset dataset, ServiceOptions options)
                      options_.shards * std::max(1, options_.engine.threads));
   options_.worker_threads = workers;
   pool_ = std::make_unique<ThreadPool>(workers);
-  // The shard engines get the pool through a private copy of the engine
-  // options; options_ itself stays exactly what the caller passed (same
-  // rule as the engine's derived cell size — options() must never leak a
-  // pointer into service internals that could outlive the service).
+  pool_->AttachMetrics(&registry_);
+  // The shard engines get the pool and the metrics registry through a
+  // private copy of the engine options; options_ itself stays exactly what
+  // the caller passed (same rule as the engine's derived cell size —
+  // options() must never leak a pointer into service internals that could
+  // outlive the service).
   shard_engine_options_ = options_.engine;
   shard_engine_options_.scheduler = pool_.get();
+  shard_engine_options_.metrics = &registry_;
   delta_engine_ = std::make_unique<DeltaEngine>(shard_engine_options_);
 
   std::lock_guard<std::mutex> lock(ingest_mu_);
@@ -243,6 +277,8 @@ std::vector<int> QueryService::AppendBatch(
   std::vector<int> ids;
   size_t points = 0;
   for (const TrajectoryView& t : trajectories) points += t.size();
+  const bool tracing = registry_.enabled() && !trajectories.empty();
+  const int64_t start = tracing ? obs::NowNanos() : 0;
   {
     std::lock_guard<std::mutex> lock(ingest_mu_);
     ids = live_.AppendBatch(trajectories);
@@ -252,10 +288,14 @@ std::vector<int> QueryService::AppendBatch(
     }
   }
   if (!trajectories.empty()) {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.append_batches;
-    stats_.appends += trajectories.size();
-    stats_.appended_points += points;
+    metrics_.append_batches->Add(1);
+    metrics_.appends->Add(trajectories.size());
+    metrics_.appended_points->Add(points);
+    if (tracing) {
+      registry_.trace().Record(obs::TraceSpan{
+          /*query_id=*/0, obs::SpanKind::kAppend, start,
+          obs::NowNanos() - start, static_cast<int64_t>(trajectories.size())});
+    }
   }
   return ids;
 }
@@ -282,6 +322,8 @@ bool QueryService::CompactInternal() {
   std::lock_guard<std::mutex> compact_lock(compact_mu_);
   const CorpusView pinned = live_.View();
   if (pinned.delta_size() == 0) return false;
+  const bool tracing = registry_.enabled();
+  const int64_t start = tracing ? obs::NowNanos() : 0;
   Stopwatch watch;
 
   // Off-line rebuild at the pinned cell size: one merged pooled Dataset and
@@ -296,10 +338,13 @@ bool QueryService::CompactInternal() {
     base_state_ = std::move(rebuilt);
     PublishLocked();
   }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.compactions;
-    stats_.compaction_seconds += watch.Seconds();
+  metrics_.compactions->Add(1);
+  metrics_.compaction_nanos->AddSeconds(watch.Seconds());
+  if (tracing) {
+    registry_.trace().Record(obs::TraceSpan{
+        /*query_id=*/0, obs::SpanKind::kCompaction, start,
+        obs::NowNanos() - start,
+        static_cast<int64_t>(pinned.delta_size())});
   }
   return true;
 }
@@ -354,6 +399,30 @@ std::vector<std::vector<EngineHit>> QueryService::SubmitBatch(
   TRAJ_CHECK(excluded_ids.empty() || excluded_ids.size() == queries.size());
   std::vector<std::vector<EngineHit>> results(queries.size());
 
+  // All counters here are wait-free registry adds — SubmitBatch only takes
+  // mu_ for the cache itself. Latency histograms and trace spans are
+  // recorded only while the registry is enabled; with it off the only
+  // instrumentation left on this path is a few counter adds per batch.
+  const bool timed = registry_.enabled();
+  const int64_t batch_start = timed ? obs::NowNanos() : 0;
+  metrics_.batches->Add(1);
+  if (!queries.empty()) metrics_.queries->Add(queries.size());
+  // Per-query e2e latency: every query of the batch completes when the
+  // batch does, so each records the batch's wall time.
+  const auto record_latency = [&]() {
+    if (!timed) return;
+    const int64_t nanos = obs::NowNanos() - batch_start;
+    metrics_.batch_seconds->RecordNanos(nanos);
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      metrics_.query_seconds->RecordNanos(nanos);
+    }
+  };
+  // Trace ids, assigned per query when tracing (0 = untraced).
+  std::vector<uint64_t> qids(timed ? queries.size() : 0);
+  if (timed) {
+    for (uint64_t& qid : qids) qid = registry_.NextQueryId();
+  }
+
   // Pin one generation for the whole batch: every (query, shard) and
   // (query, delta) task below reads this immutable state, so a batch sees a
   // single consistent corpus no matter how many appends or compaction swaps
@@ -378,37 +447,59 @@ std::vector<std::vector<EngineHit>> QueryService::SubmitBatch(
   std::vector<size_t> misses;
   std::vector<std::pair<size_t, size_t>> copies;  // (duplicate qi, source qi)
   std::vector<uint64_t> keys(caching ? queries.size() : 0);
+  const int64_t key_start = timed ? obs::NowNanos() : 0;
   if (caching) {
     for (size_t qi = 0; qi < queries.size(); ++qi) {
       const int excluded = excluded_ids.empty() ? -1 : excluded_ids[qi];
       keys[qi] = CacheKey(queries[qi], excluded, state->view.ingest_seq());
     }
   }
+  uint64_t hit_count = 0;
+  uint64_t miss_count = 0;
   {
     std::unordered_map<uint64_t, size_t> in_batch;  // key -> first miss qi
     std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.batches;
-    stats_.queries += queries.size();
     for (size_t qi = 0; qi < queries.size(); ++qi) {
       if (!caching) {
         misses.push_back(qi);
         continue;
       }
-      if (cache_.Get(keys[qi], &results[qi])) {
-        ++stats_.cache_hits;
+      const int64_t get_start = timed ? obs::NowNanos() : 0;
+      const bool hit = cache_.Get(keys[qi], &results[qi]);
+      if (timed) {
+        const int64_t get_nanos = obs::NowNanos() - get_start;
+        metrics_.stage_cache_lookup->RecordNanos(get_nanos);
+        registry_.trace().Record(obs::TraceSpan{
+            qids[qi], obs::SpanKind::kCacheLookup, get_start, get_nanos,
+            hit ? 1 : 0});
+      }
+      if (hit) {
+        ++hit_count;
         continue;
       }
       const auto [it, inserted] = in_batch.emplace(keys[qi], qi);
       if (inserted) {
-        ++stats_.cache_misses;
+        ++miss_count;
         misses.push_back(qi);
       } else {
-        ++stats_.cache_hits;
+        ++hit_count;
         copies.emplace_back(qi, it->second);
       }
     }
   }
-  if (misses.empty()) return results;
+  if (hit_count != 0) metrics_.cache_hits->Add(hit_count);
+  if (miss_count != 0) metrics_.cache_misses->Add(miss_count);
+  if (timed && caching) {
+    // Whole lookup pass — key fingerprints plus the locked Get loop — so
+    // cache_lookup + engine stages + merge account for ~all of the batch's
+    // wall time (key hashing is the part the per-Get spans above miss).
+    metrics_.cache_lookup_nanos->Add(static_cast<uint64_t>(
+        std::max<int64_t>(0, obs::NowNanos() - key_start)));
+  }
+  if (misses.empty()) {
+    record_latency();
+    return results;
+  }
 
   // Fan every missed query out across every base shard — plus the delta
   // stage when this generation has one — in one go, so the pool sees the
@@ -467,18 +558,57 @@ std::vector<std::vector<EngineHit>> QueryService::SubmitBatch(
   }
   group.Wait();
 
-  // Fold the per-task timing splits into the service counters.
+  // Fold the per-task timing splits into the service counters — wait-free
+  // adds, so a concurrent Stats() reader never waits on this batch.
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    double prune = 0, bound = 0, pair = 0;
     for (const QueryStats& qs : part_stats) {
-      stats_.prune_seconds += qs.prune_seconds;
-      stats_.bound_seconds += qs.bound_seconds;
-      stats_.pair_search_seconds += qs.pair_search_seconds;
+      prune += qs.prune_seconds;
+      bound += qs.bound_seconds;
+      pair += qs.pair_search_seconds;
+    }
+    metrics_.prune_nanos->AddSeconds(prune);
+    metrics_.bound_nanos->AddSeconds(bound);
+    metrics_.pair_search_nanos->AddSeconds(pair);
+  }
+
+  // Per-query stage histograms + trace spans, aggregated across the query's
+  // parts (shards + delta). Engine stages ran concurrently, so each span's
+  // start is the fan-out start and its duration is the stage's CPU seconds.
+  if (timed) {
+    for (size_t mi = 0; mi < misses.size(); ++mi) {
+      const uint64_t qid = qids[misses[mi]];
+      double gbp = 0, bound = 0, dp = 0;
+      int64_t cands = 0, pruned = 0, searched = 0;
+      for (int p = 0; p < parts; ++p) {
+        const QueryStats& qs =
+            part_stats[mi * static_cast<size_t>(parts) +
+                       static_cast<size_t>(p)];
+        gbp += qs.gbp_seconds;
+        bound += qs.bound_seconds;
+        dp += qs.pair_search_seconds;
+        cands += qs.candidates_after_gbp;
+        pruned += qs.pruned_by_bound;
+        searched += qs.searched;
+      }
+      metrics_.stage_candidates->Record(gbp);
+      metrics_.stage_bound->Record(bound);
+      metrics_.stage_dp->Record(dp);
+      obs::TraceRing& trace = registry_.trace();
+      trace.Record(obs::TraceSpan{qid, obs::SpanKind::kCandidates,
+                                  batch_start,
+                                  static_cast<int64_t>(gbp * 1e9), cands});
+      trace.Record(obs::TraceSpan{qid, obs::SpanKind::kBoundFilter,
+                                  batch_start,
+                                  static_cast<int64_t>(bound * 1e9), pruned});
+      trace.Record(obs::TraceSpan{qid, obs::SpanKind::kDpSearch, batch_start,
+                                  static_cast<int64_t>(dp * 1e9), searched});
     }
   }
 
   for (size_t mi = 0; mi < misses.size(); ++mi) {
     const size_t qi = misses[mi];
+    const int64_t merge_start = timed ? obs::NowNanos() : 0;
     if (share) {
       results[qi] = topks[mi]->Sorted();
     } else {
@@ -491,23 +621,54 @@ std::vector<std::vector<EngineHit>> QueryService::SubmitBatch(
       }
       results[qi] = MergeTopK(shard_parts, options_.engine.top_k);
     }
+    if (timed) {
+      const int64_t merge_nanos = obs::NowNanos() - merge_start;
+      metrics_.merge_nanos->Add(
+          static_cast<uint64_t>(std::max<int64_t>(0, merge_nanos)));
+      metrics_.stage_merge->RecordNanos(merge_nanos);
+      registry_.trace().Record(obs::TraceSpan{
+          qids[qi], obs::SpanKind::kMerge, merge_start, merge_nanos,
+          static_cast<int64_t>(results[qi].size())});
+    }
   }
   for (const auto& [dup_qi, source_qi] : copies) {
     results[dup_qi] = results[source_qi];
   }
 
   if (caching) {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (const size_t qi : misses) {
-      if (cache_.Put(keys[qi], results[qi])) ++stats_.cache_evictions;
+    uint64_t evictions = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const size_t qi : misses) {
+        if (cache_.Put(keys[qi], results[qi])) ++evictions;
+      }
     }
+    if (evictions != 0) metrics_.cache_evictions->Add(evictions);
   }
+  record_latency();
   return results;
 }
 
 ServiceStats QueryService::Stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  // A view over the registry's sharded counters: relaxed loads only, no
+  // locks — Stats() can never block (or be blocked by) a SubmitBatch.
+  ServiceStats stats;
+  stats.queries = metrics_.queries->Value();
+  stats.batches = metrics_.batches->Value();
+  stats.cache_hits = metrics_.cache_hits->Value();
+  stats.cache_misses = metrics_.cache_misses->Value();
+  stats.cache_evictions = metrics_.cache_evictions->Value();
+  stats.appends = metrics_.appends->Value();
+  stats.append_batches = metrics_.append_batches->Value();
+  stats.appended_points = metrics_.appended_points->Value();
+  stats.compactions = metrics_.compactions->Value();
+  stats.compaction_seconds = metrics_.compaction_nanos->Seconds();
+  stats.prune_seconds = metrics_.prune_nanos->Seconds();
+  stats.bound_seconds = metrics_.bound_nanos->Seconds();
+  stats.pair_search_seconds = metrics_.pair_search_nanos->Seconds();
+  stats.cache_lookup_seconds = metrics_.cache_lookup_nanos->Seconds();
+  stats.merge_seconds = metrics_.merge_nanos->Seconds();
+  return stats;
 }
 
 CorpusShape QueryService::Shape() const {

@@ -10,6 +10,7 @@
 
 #include "core/dataset.h"
 #include "core/live_dataset.h"
+#include "obs/registry.h"
 #include "prune/delta_grid.h"
 #include "search/delta_engine.h"
 #include "search/engine.h"
@@ -48,6 +49,12 @@ struct ServiceOptions {
 };
 
 /// \brief Service counters (monotonic since construction).
+///
+/// Since PR 6 this is a thin *view* computed from the service's metrics
+/// registry: every field is backed by a wait-free sharded obs::Counter, so
+/// reading Stats() never touches the cache mutex (or any other lock) and
+/// never blocks a SubmitBatch in flight. The registry itself (histograms,
+/// funnels, traces) is exposed via QueryService::metrics().
 struct ServiceStats {
   uint64_t queries = 0;
   uint64_t batches = 0;
@@ -71,6 +78,11 @@ struct ServiceStats {
   double prune_seconds = 0;
   double bound_seconds = 0;
   double pair_search_seconds = 0;
+  /// The service-layer stages around the engines, so the accounted stages
+  /// sum to ~end-to-end query latency: result-cache key lookups, and
+  /// merging/sorting the per-part top-Ks into final hit lists.
+  double cache_lookup_seconds = 0;
+  double merge_seconds = 0;
   /// Cache hit fraction in [0, 1] (0 when nothing was looked up).
   double HitRate() const {
     const uint64_t total = cache_hits + cache_misses;
@@ -176,10 +188,21 @@ class QueryService {
   /// empty, v3 (base payload + append journal) otherwise.
   Status SaveSnapshot(const std::string& path) const;
 
+  /// Wait-free: sums sharded registry counters, never takes a lock, so
+  /// monitoring can poll it while SubmitBatch traffic is in flight.
   ServiceStats Stats() const;
   /// Shape of the generation currently being served.
   CorpusShape Shape() const;
   void ClearCache();
+
+  /// The service's metrics registry: `service.*` counters and latency
+  /// histograms, `engine.<Algorithm>.funnel.*` pruning funnels,
+  /// `scheduler.*` pool metrics, `live.*` storage gauges, and the per-query
+  /// trace ring. Snapshot it for statsz export; set_enabled(false) turns
+  /// the instrumentation's clock reads and histogram records off while the
+  /// Stats() counters keep counting.
+  obs::Registry& metrics() { return registry_; }
+  const obs::Registry& metrics() const { return registry_; }
 
   /// Shards of the current generation (grows after compaction, up to the
   /// requested ServiceOptions::shards).
@@ -264,8 +287,43 @@ class QueryService {
   void MaybeScheduleCompactionLocked();
   bool CompactInternal();
 
+  /// Resolved-once pointers into registry_ for every ServiceStats field and
+  /// the service-layer latency/stage instrumentation (all wait-free to
+  /// mutate; see Stats()).
+  struct ServiceMetrics {
+    obs::Counter* queries = nullptr;
+    obs::Counter* batches = nullptr;
+    obs::Counter* cache_hits = nullptr;
+    obs::Counter* cache_misses = nullptr;
+    obs::Counter* cache_evictions = nullptr;
+    obs::Counter* appends = nullptr;
+    obs::Counter* append_batches = nullptr;
+    obs::Counter* appended_points = nullptr;
+    obs::Counter* compactions = nullptr;
+    /// Nanosecond-accumulating time counters (Counter::AddSeconds).
+    obs::Counter* compaction_nanos = nullptr;
+    obs::Counter* prune_nanos = nullptr;
+    obs::Counter* bound_nanos = nullptr;
+    obs::Counter* pair_search_nanos = nullptr;
+    obs::Counter* cache_lookup_nanos = nullptr;
+    obs::Counter* merge_nanos = nullptr;
+    /// Latency distributions (recorded only while the registry is enabled).
+    obs::Histogram* batch_seconds = nullptr;
+    obs::Histogram* query_seconds = nullptr;
+    obs::Histogram* stage_cache_lookup = nullptr;
+    obs::Histogram* stage_candidates = nullptr;
+    obs::Histogram* stage_bound = nullptr;
+    obs::Histogram* stage_dp = nullptr;
+    obs::Histogram* stage_merge = nullptr;
+  };
+
   ServiceOptions options_;
   uint64_t options_fingerprint_ = 0;
+  /// The service's own metrics registry. Declared before every member whose
+  /// teardown can still record into it (the live dataset, engines, and the
+  /// pool with its draining tasks), so it is destroyed after all of them.
+  obs::Registry registry_;
+  ServiceMetrics metrics_;
   /// options_.engine plus the pinned scheduler pointer; what every shard
   /// engine, the delta engine and every compaction rebuild is created with.
   EngineOptions shard_engine_options_;
@@ -284,9 +342,11 @@ class QueryService {
   /// without touching the ingest or compaction locks).
   PublishedPtr<const ServingState> state_;
 
-  mutable std::mutex mu_;  // guards cache_ and stats_
+  /// Guards cache_ only — all counters moved off this mutex into the
+  /// registry (PR 6), so Stats() and the per-batch counter folds never
+  /// serialize against the cache.
+  mutable std::mutex mu_;
   ResultCache cache_;
-  ServiceStats stats_;
 };
 
 }  // namespace trajsearch

@@ -6,14 +6,25 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "obs/registry.h"
 #include "util/check.h"
 
 namespace trajsearch {
 
 class ThreadPool;
+
+/// \brief One enqueued pool task. `enqueue_nanos` is stamped only while a
+/// metrics registry is attached and enabled (0 = untimed), so the
+/// no-observability path never reads the clock.
+struct QueuedTask {
+  std::function<void()> fn;
+  int64_t enqueue_nanos = 0;
+};
 
 /// \brief Completion tracker for a set of tasks submitted to one ThreadPool.
 ///
@@ -46,7 +57,7 @@ class TaskGroup {
   /// Tasks submitted but not yet started; popped either by a pool worker
   /// (via the pool's token queue) or by a helping waiter. Guarded by the
   /// pool's mutex, like pending_.
-  std::deque<std::function<void()>> queued_;
+  std::deque<QueuedTask> queued_;
   int pending_ = 0;  // queued + running
   std::condition_variable done_;
 };
@@ -100,8 +111,11 @@ class ThreadPool {
       TRAJ_CHECK(prev == nullptr || prev == this);
       group->pool_.store(this, std::memory_order_release);
       ++group->pending_;
-      group->queued_.push_back(std::move(task));
+      const int64_t enqueue_nanos = MetricsOnLocked() ? obs::NowNanos() : 0;
+      group->queued_.push_back(QueuedTask{std::move(task), enqueue_nanos});
       tokens_.push_back(group);
+      ++queued_tasks_;
+      if (queue_depth_ != nullptr) queue_depth_->Set(queued_tasks_);
     }
     wake_.notify_one();
     // A waiter of this group may be blocked with nothing to help; the new
@@ -110,6 +124,23 @@ class ThreadPool {
   }
 
   int thread_count() const { return static_cast<int>(workers_.size()); }
+
+  /// Attaches (or, with null, detaches) scheduler observability: a
+  /// `<prefix>.queue_depth` gauge tracking tasks enqueued-but-not-started
+  /// and a `<prefix>.task_wait_seconds` histogram of Submit-to-start
+  /// latency. Call before serving traffic; the registry must outlive the
+  /// pool.
+  void AttachMetrics(obs::Registry* registry,
+                     const std::string& prefix = "scheduler") {
+    std::lock_guard<std::mutex> lock(mu_);
+    registry_ = registry;
+    queue_depth_ =
+        registry != nullptr ? registry->gauge(prefix + ".queue_depth")
+                            : nullptr;
+    task_wait_ = registry != nullptr
+                     ? registry->histogram(prefix + ".task_wait_seconds")
+                     : nullptr;
+  }
 
  private:
   friend class TaskGroup;
@@ -120,10 +151,27 @@ class ThreadPool {
     if (--group->pending_ == 0) group->done_.notify_all();
   }
 
+  /// True when the attached registry wants records. Called with mu_ held.
+  bool MetricsOnLocked() const {
+    return registry_ != nullptr && registry_->enabled();
+  }
+
+  /// Wait-time record + depth-gauge update for a task just popped for
+  /// execution. Called with mu_ held (the histogram record itself is
+  /// lock-free; only the bookkeeping needs the mutex).
+  void NoteTaskStartLocked(const QueuedTask& task) {
+    --queued_tasks_;
+    if (queue_depth_ != nullptr) queue_depth_->Set(queued_tasks_);
+    if (task.enqueue_nanos != 0 && task_wait_ != nullptr &&
+        MetricsOnLocked()) {
+      task_wait_->RecordNanos(obs::NowNanos() - task.enqueue_nanos);
+    }
+  }
+
   void WorkerLoop() {
     for (;;) {
       TaskGroup* group = nullptr;
-      std::function<void()> task;
+      QueuedTask task;
       {
         std::unique_lock<std::mutex> lock(mu_);
         wake_.wait(lock, [this]() { return stopping_ || !tokens_.empty(); });
@@ -133,8 +181,9 @@ class ThreadPool {
         if (group->queued_.empty()) continue;  // task was helped away
         task = std::move(group->queued_.front());
         group->queued_.pop_front();
+        NoteTaskStartLocked(task);
       }
-      task();
+      task.fn();
       Finish(group);
     }
   }
@@ -148,10 +197,11 @@ class ThreadPool {
         // token becomes a no-op). Restricting the help to the waiter's own
         // group keeps the inline call depth bounded — a task never starts
         // an unrelated task's work under its frame.
-        std::function<void()> task = std::move(group->queued_.front());
+        QueuedTask task = std::move(group->queued_.front());
         group->queued_.pop_front();
+        NoteTaskStartLocked(task);
         lock.unlock();
-        task();
+        task.fn();
         Finish(group);
         lock.lock();
         continue;
@@ -178,6 +228,13 @@ class ThreadPool {
   /// group's deque (a token for an already-helped task is skipped).
   std::deque<TaskGroup*> tokens_;
   bool stopping_ = false;
+  /// Observability (all guarded by mu_; null when detached). queued_tasks_
+  /// counts enqueued-but-not-started tasks across all groups — the precise
+  /// queue depth, unlike tokens_.size() which includes helped-away no-ops.
+  obs::Registry* registry_ = nullptr;
+  obs::Gauge* queue_depth_ = nullptr;
+  obs::Histogram* task_wait_ = nullptr;
+  int64_t queued_tasks_ = 0;
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,219 @@
+// Pruning-funnel consistency: the per-algorithm `engine.<name>.funnel.*`
+// counters must telescope *exactly* —
+//
+//   candidates == skipped + bound_pruned + dp_runs
+//   dp_runs    == dp_abandoned + dp_completed
+//
+// — across the full 8-algorithm x 4-distance matrix of the paper's §6, with
+// engine threads > 1, service shards > 1, and on both static and live
+// (base + delta) corpora. A funnel that drifts by even one candidate means
+// some pruning path forgot to account for a trajectory, so these are
+// equality assertions, not tolerances.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/registry.h"
+#include "prune/grid_index.h"
+#include "search/engine.h"
+#include "service/query_service.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace trajsearch {
+namespace {
+
+using testing::RandomWalk;
+
+constexpr Algorithm kAllAlgorithms[] = {
+    Algorithm::kCma,  Algorithm::kExactS, Algorithm::kSpring,
+    Algorithm::kGreedyBacktracking, Algorithm::kPos,
+    Algorithm::kPss,  Algorithm::kRls,    Algorithm::kRlsSkip};
+
+struct FunnelFixture {
+  std::vector<Trajectory> corpus;
+  std::vector<Trajectory> query_storage;
+  std::vector<TrajectoryView> queries;
+  std::vector<int> excluded;
+  double cell = 0;
+};
+
+FunnelFixture MakeFixture() {
+  FunnelFixture f;
+  Rng rng(97);
+  for (int i = 0; i < 45; ++i) {
+    f.corpus.push_back(
+        RandomWalk(&rng, 14 + static_cast<int>(rng.UniformInt(0, 8))));
+  }
+  for (int i = 0; i < 5; ++i) {
+    f.query_storage.push_back(RandomWalk(&rng, 6));
+    // Some queries exclude a source id (exercising the `skipped` stage of
+    // the funnel), some exclude nothing.
+    f.excluded.push_back(i % 2 == 0 ? i * 7 : -1);
+  }
+  for (const Trajectory& q : f.query_storage) f.queries.push_back(q.View());
+  Dataset bounds_probe("probe");
+  for (const Trajectory& t : f.corpus) bounds_probe.Add(t);
+  f.cell = DefaultCellSize(bounds_probe.Bounds());
+  return f;
+}
+
+EngineOptions MatrixEngineOptions(Algorithm algorithm,
+                                  const DistanceSpec& spec, double cell) {
+  EngineOptions options;
+  options.spec = spec;
+  options.algorithm = algorithm;
+  options.use_gbp = true;  // all three funnel stages active
+  options.mu = 0.1;
+  options.cell_size = cell;
+  options.use_kpf = true;
+  options.sample_rate = 0.5;  // unsound bound: more bound_pruned traffic
+  options.top_k = 3;
+  options.threads = 2;
+  return options;
+}
+
+/// Extracts the single funnel row for `algorithm` and asserts both
+/// telescoping invariants plus basic liveness (queries ran, candidates
+/// flowed).
+void ExpectConsistentFunnel(const obs::Registry& registry,
+                            Algorithm algorithm, uint64_t expected_queries,
+                            const std::string& context) {
+  const obs::RegistrySnapshot snap = registry.Snapshot();
+  const std::vector<obs::FunnelRow> funnels = obs::ExtractFunnels(snap);
+  ASSERT_EQ(funnels.size(), 1u) << context;
+  const obs::FunnelRow& f = funnels.front();
+  EXPECT_EQ(f.algorithm, std::string(ToString(algorithm))) << context;
+  EXPECT_EQ(f.candidates, f.skipped + f.bound_pruned + f.dp_runs) << context;
+  EXPECT_EQ(f.dp_runs, f.dp_abandoned + f.dp_completed) << context;
+  EXPECT_TRUE(f.Consistent()) << context;
+  EXPECT_GT(f.candidates, 0u) << context;
+  EXPECT_GT(f.dp_runs, 0u) << context;
+  // Every query fold bumps the queries counter once per engine invocation;
+  // at least one invocation per submitted query must have landed.
+  EXPECT_GE(snap.counter("engine." + std::string(ToString(algorithm)) +
+                         ".funnel.queries"),
+            expected_queries)
+      << context;
+}
+
+TEST(FunnelTest, UnshardedEngineMatrixTelescopesExactly) {
+  const FunnelFixture f = MakeFixture();
+  Dataset dataset("funnel-static");
+  for (const Trajectory& t : f.corpus) dataset.Add(t);
+
+  for (const Algorithm algorithm : kAllAlgorithms) {
+    for (const DistanceSpec& spec : testing::PaperGpsSpecs()) {
+      if (!Supports(algorithm, spec.kind)) continue;
+      const std::string context = std::string(ToString(algorithm)) + "/" +
+                                  std::string(ToString(spec.kind));
+      obs::Registry registry;
+      EngineOptions options = MatrixEngineOptions(algorithm, spec, f.cell);
+      options.metrics = &registry;
+      const SearchEngine engine(&dataset, options);
+      for (size_t qi = 0; qi < f.queries.size(); ++qi) {
+        QueryStats stats;
+        engine.Query(f.queries[qi], &stats, f.excluded[qi]);
+        // The per-query stats must satisfy the same telescoping identity
+        // the registry counters are folded from.
+        EXPECT_EQ(stats.candidates_after_gbp,
+                  stats.skipped + stats.pruned_by_bound + stats.searched)
+            << context;
+      }
+      ExpectConsistentFunnel(registry, algorithm, f.queries.size(),
+                             "static engine " + context);
+    }
+  }
+}
+
+TEST(FunnelTest, ShardedServiceMatrixTelescopesExactly) {
+  const FunnelFixture f = MakeFixture();
+  Dataset dataset("funnel-sharded");
+  for (const Trajectory& t : f.corpus) dataset.Add(t);
+
+  for (const Algorithm algorithm : kAllAlgorithms) {
+    for (const DistanceSpec& spec : testing::PaperGpsSpecs()) {
+      if (!Supports(algorithm, spec.kind)) continue;
+      const std::string context = std::string(ToString(algorithm)) + "/" +
+                                  std::string(ToString(spec.kind));
+      ServiceOptions options;
+      options.engine = MatrixEngineOptions(algorithm, spec, f.cell);
+      options.shards = 3;
+      options.cache_capacity = 0;
+      QueryService service(dataset, options);
+      service.SubmitBatch(f.queries, f.excluded);
+      service.SubmitBatch(f.queries, f.excluded);  // counters accumulate
+      ExpectConsistentFunnel(service.metrics(), algorithm,
+                             2 * f.queries.size(),
+                             "sharded service " + context);
+    }
+  }
+}
+
+TEST(FunnelTest, LiveCorpusMatrixTelescopesExactly) {
+  const FunnelFixture f = MakeFixture();
+  constexpr int kBase = 30;
+
+  for (const Algorithm algorithm : kAllAlgorithms) {
+    for (const DistanceSpec& spec : testing::PaperGpsSpecs()) {
+      if (!Supports(algorithm, spec.kind)) continue;
+      const std::string context = std::string(ToString(algorithm)) + "/" +
+                                  std::string(ToString(spec.kind));
+      ServiceOptions options;
+      options.engine = MatrixEngineOptions(algorithm, spec, f.cell);
+      options.shards = 3;
+      options.cache_capacity = 0;
+      options.compact_delta_trajectories = 0;
+
+      Dataset base("funnel-live");
+      for (int i = 0; i < kBase; ++i) {
+        base.Add(f.corpus[static_cast<size_t>(i)]);
+      }
+      QueryService service(std::move(base), options);
+      std::vector<TrajectoryView> appended;
+      for (size_t i = kBase; i < f.corpus.size(); ++i) {
+        appended.push_back(f.corpus[i].View());
+      }
+      service.AppendBatch(appended);
+
+      // With a delta present both the sharded base engines and the
+      // DeltaEngine fold into the same funnel counters; the invariants must
+      // hold over the combined stream.
+      service.SubmitBatch(f.queries, f.excluded);
+      ExpectConsistentFunnel(service.metrics(), algorithm, f.queries.size(),
+                             "live delta " + context);
+
+      // And again after compaction rebuilds the shards.
+      ASSERT_TRUE(service.Compact()) << context;
+      service.SubmitBatch(f.queries, f.excluded);
+      ExpectConsistentFunnel(service.metrics(), algorithm,
+                             2 * f.queries.size(),
+                             "live compacted " + context);
+    }
+  }
+}
+
+TEST(FunnelTest, DisabledRegistryFoldsNothing) {
+  const FunnelFixture f = MakeFixture();
+  Dataset dataset("funnel-disabled");
+  for (const Trajectory& t : f.corpus) dataset.Add(t);
+
+  obs::Registry registry;
+  registry.set_enabled(false);
+  EngineOptions options =
+      MatrixEngineOptions(Algorithm::kCma, DistanceSpec::Dtw(), f.cell);
+  options.metrics = &registry;
+  const SearchEngine engine(&dataset, options);
+  engine.Query(f.queries[0], nullptr, f.excluded[0]);
+  EXPECT_EQ(registry.Snapshot().counter("engine.CMA.funnel.candidates"), 0u);
+
+  registry.set_enabled(true);
+  engine.Query(f.queries[0], nullptr, f.excluded[0]);
+  EXPECT_GT(registry.Snapshot().counter("engine.CMA.funnel.candidates"), 0u);
+}
+
+}  // namespace
+}  // namespace trajsearch
