@@ -5,12 +5,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include "distance/cost_model.h"
+#include "distance/dp.h"
 #include "gen/taxi.h"
 #include "search/cma.h"
 #include "search/exacts.h"
 #include "search/greedy_backtracking.h"
 #include "search/spring.h"
 #include "util/rng.h"
+#include "util/simd.h"
 
 namespace trajsearch {
 namespace {
@@ -101,6 +104,98 @@ void BM_GreedyBacktrackingFrechet(benchmark::State& state) {
 BENCHMARK(BM_GreedyBacktrackingFrechet)
     ->Range(128, 4096)
     ->Complexity(benchmark::oNLogN);
+
+// ---------------------------------------------------------------------------
+// PR 7: per-kernel column-sweep benchmarks, scalar vs SIMD dispatch.
+//
+// Each benchmark streams kSweepN Extend() calls through one column stepper —
+// the inner loop of every DP-based search — at query length m = range(0),
+// the dimension the vector kernels batch over. The *Scalar variants build
+// the cost object without query columns (the identity-oracle path); the
+// *Simd variants bind columns and force dispatch on (a no-op fallback to
+// scalar on hardware without vector lanes). items_processed = DP cells, so
+// benchmark output reports cells/second directly comparable across pairs.
+// ---------------------------------------------------------------------------
+
+constexpr int kSweepN = 256;
+
+/// Streams full sweeps through `dp`; reports cells/second.
+template <typename Dp>
+void SweepLoop(benchmark::State& state, Dp& dp, int m) {
+  for (auto _ : state) {
+    dp.Reset();
+    double v = 0;
+    for (int j = 0; j < kSweepN; ++j) v = dp.Extend(j);
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations() * kSweepN * m);
+}
+
+void BM_WedColumnSweepScalar(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const Trajectory q = MakeWalk(m, 11);
+  const Trajectory d = MakeWalk(kSweepN, 12);
+  const ErpCosts costs{q, d, d.Bounds().Center()};  // no columns → scalar
+  WedColumnDp<ErpCosts> dp(m, costs);
+  SweepLoop(state, dp, m);
+}
+BENCHMARK(BM_WedColumnSweepScalar)->RangeMultiplier(4)->Range(8, 512);
+
+void BM_WedColumnSweepSimd(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const Trajectory q = MakeWalk(m, 11);
+  const Trajectory d = MakeWalk(kSweepN, 12);
+  simd::SetEnabled(true);
+  DpArena arena;
+  const ErpCosts costs{q, d, d.Bounds().Center(), FillCols(q, &arena)};
+  WedColumnDp<ErpCosts> dp(m, costs);
+  SweepLoop(state, dp, m);
+}
+BENCHMARK(BM_WedColumnSweepSimd)->RangeMultiplier(4)->Range(8, 512);
+
+void BM_DtwColumnSweepScalar(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const Trajectory q = MakeWalk(m, 13);
+  const Trajectory d = MakeWalk(kSweepN, 14);
+  const EuclideanSub sub{q, d};
+  DtwColumnDp<EuclideanSub> dp(m, sub);
+  SweepLoop(state, dp, m);
+}
+BENCHMARK(BM_DtwColumnSweepScalar)->RangeMultiplier(4)->Range(8, 512);
+
+void BM_DtwColumnSweepSimd(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const Trajectory q = MakeWalk(m, 13);
+  const Trajectory d = MakeWalk(kSweepN, 14);
+  simd::SetEnabled(true);
+  DpArena arena;
+  const EuclideanSub sub{q, d, FillCols(q, &arena)};
+  DtwColumnDp<EuclideanSub> dp(m, sub);
+  SweepLoop(state, dp, m);
+}
+BENCHMARK(BM_DtwColumnSweepSimd)->RangeMultiplier(4)->Range(8, 512);
+
+void BM_FrechetColumnSweepScalar(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const Trajectory q = MakeWalk(m, 15);
+  const Trajectory d = MakeWalk(kSweepN, 16);
+  const EuclideanSub sub{q, d};
+  FrechetColumnDp<EuclideanSub> dp(m, sub);
+  SweepLoop(state, dp, m);
+}
+BENCHMARK(BM_FrechetColumnSweepScalar)->RangeMultiplier(4)->Range(8, 512);
+
+void BM_FrechetColumnSweepSimd(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const Trajectory q = MakeWalk(m, 15);
+  const Trajectory d = MakeWalk(kSweepN, 16);
+  simd::SetEnabled(true);
+  DpArena arena;
+  const EuclideanSub sub{q, d, FillCols(q, &arena)};
+  FrechetColumnDp<EuclideanSub> dp(m, sub);
+  SweepLoop(state, dp, m);
+}
+BENCHMARK(BM_FrechetColumnSweepSimd)->RangeMultiplier(4)->Range(8, 512);
 
 }  // namespace
 }  // namespace trajsearch

@@ -13,7 +13,9 @@
 // metrics, e.g. BENCH_pr4.json), --json-pr5=<path> (write the live-corpus
 // ingest metrics, e.g. BENCH_pr5.json), --json-pr6=<path> (write the
 // observability overhead/funnel metrics, e.g. BENCH_pr6.json),
-// --statsz=<path> (dump the final registry snapshot as statsz JSON).
+// --json-pr7=<path> (write the SIMD kernel metrics, e.g. BENCH_pr7.json),
+// --statsz=<path> (dump the final registry snapshot as statsz JSON),
+// --probe=1 (print the SIMD dispatch probe and exit).
 
 #include <atomic>
 #include <cstdio>
@@ -22,6 +24,8 @@
 
 #include "bench/bench_common.h"
 #include "core/fingerprint.h"
+#include "distance/cost_model.h"
+#include "distance/dp.h"
 #include "io/snapshot.h"
 #include "obs/export.h"
 #include "prune/grid_index.h"
@@ -30,6 +34,8 @@
 #include "search/topk.h"
 #include "service/query_service.h"
 #include "tests/legacy_baseline.h"
+#include "util/rng.h"
+#include "util/simd.h"
 
 namespace trajsearch::bench {
 namespace {
@@ -222,6 +228,16 @@ void Main(int argc, char** argv) {
   const BenchConfig config = ParseBenchConfig(argc, argv);
   const Flags flags(argc, argv);
   const int passes = static_cast<int>(flags.GetInt("passes", 5));
+
+  // --probe=1: print which vector ISA this build+CPU dispatches to and exit
+  // (CI logs this so bench-number differences between runners are
+  // diagnosable without running the full suite).
+  if (flags.GetInt("probe", 0) != 0) {
+    std::printf("dispatch: isa=%s, lanes=%d, runtime %s\n", simd::IsaName(),
+                simd::Width(),
+                simd::Enabled() ? "enabled" : "disabled (scalar)");
+    return;
+  }
 
   PrintHeader("[Service] Sharded serving throughput and cache hit rate");
   Workbench w = MakeWorkbench(config);
@@ -1075,6 +1091,231 @@ void Main(int argc, char** argv) {
     }
   }
 
+  // -------------------------------------------------------------------
+  // PR 7: SIMD-batched DP kernels. First the three column steppers in
+  // isolation (scalar oracle vs vector dispatch streaming Reset+Extend
+  // sweeps over the same cost model), then the end-to-end search stage
+  // under ExactS — the stepper-dominated algorithm — once per stepper
+  // family. Speed is reported; correctness is enforced: the vector path
+  // must reproduce the scalar hit lists bit-for-bit (gated).
+  // -------------------------------------------------------------------
+  {
+    PrintHeader("[PR7] SIMD kernels: vectorized column sweeps vs the "
+                "scalar oracle");
+    const bool prev_simd = simd::Enabled();
+    simd::SetEnabled(true);
+    const bool vector_hw = simd::Enabled();  // clamped to hardware support
+    std::printf("dispatch: isa=%s, lanes=%d, runtime %s\n", simd::IsaName(),
+                simd::Width(), vector_hw ? "enabled" : "disabled (scalar)");
+
+    // Per-kernel: m = 64 is the query length (the dimension the lanes
+    // batch over), n = 256 data points per sweep; one timed rep streams
+    // kSweeps full sweeps ≈ 6.5M DP cells through one stepper.
+    constexpr int kM = 64;
+    constexpr int kN = 256;
+    constexpr int kSweeps = 400;
+    const int kernel_reps = std::max(passes, 3);
+    const double kernel_cells = static_cast<double>(kSweeps) * kN * kM;
+    TaxiProfile kernel_profile = XianProfile(1);
+    Rng kernel_rng(config.seed + 7);
+    const Trajectory kernel_q =
+        GenerateTaxiTrajectory(kernel_profile, &kernel_rng, kM);
+    const Trajectory kernel_d =
+        GenerateTaxiTrajectory(kernel_profile, &kernel_rng, kN);
+    DpArena kernel_arena;
+    const PointCols kernel_qc = FillCols(kernel_q, &kernel_arena);
+    volatile double kernel_sink = 0;
+    auto sweep_seconds = [&](auto& dp) {
+      return BestSeconds(kernel_reps, [&]() {
+        double v = 0;
+        for (int s = 0; s < kSweeps; ++s) {
+          dp.Reset();
+          for (int j = 0; j < kN; ++j) v = dp.Extend(j);
+        }
+        kernel_sink = kernel_sink + v;
+      });
+    };
+
+    double wed_scalar = 0, wed_simd = 0, dtw_scalar = 0, dtw_simd = 0,
+           frechet_scalar = 0, frechet_simd = 0;
+    {
+      // No query columns bound → the stepper stays on the scalar oracle
+      // path no matter the dispatch switch.
+      const ErpCosts costs{kernel_q, kernel_d, kernel_d.Bounds().Center()};
+      WedColumnDp<ErpCosts> dp(kM, costs);
+      wed_scalar = sweep_seconds(dp);
+    }
+    {
+      const ErpCosts costs{kernel_q, kernel_d, kernel_d.Bounds().Center(),
+                           kernel_qc};
+      WedColumnDp<ErpCosts> dp(kM, costs);
+      wed_simd = sweep_seconds(dp);
+    }
+    {
+      const EuclideanSub sub{kernel_q, kernel_d};
+      DtwColumnDp<EuclideanSub> dp(kM, sub);
+      dtw_scalar = sweep_seconds(dp);
+    }
+    {
+      const EuclideanSub sub{kernel_q, kernel_d, kernel_qc};
+      DtwColumnDp<EuclideanSub> dp(kM, sub);
+      dtw_simd = sweep_seconds(dp);
+    }
+    {
+      const EuclideanSub sub{kernel_q, kernel_d};
+      FrechetColumnDp<EuclideanSub> dp(kM, sub);
+      frechet_scalar = sweep_seconds(dp);
+    }
+    {
+      const EuclideanSub sub{kernel_q, kernel_d, kernel_qc};
+      FrechetColumnDp<EuclideanSub> dp(kM, sub);
+      frechet_simd = sweep_seconds(dp);
+    }
+
+    TablePrinter kernel_table(
+        {"Kernel", "Scalar (s)", "SIMD (s)", "Speedup", "SIMD Mcells/s"});
+    auto kernel_row = [&](const char* name, double scalar_s, double simd_s) {
+      kernel_table.AddRow({name, TablePrinter::Num(scalar_s, 4),
+                           TablePrinter::Num(simd_s, 4),
+                           TablePrinter::Num(scalar_s / simd_s, 2) + "x",
+                           TablePrinter::Num(kernel_cells / simd_s / 1e6, 0)});
+    };
+    kernel_row("WED column sweep (ERP)", wed_scalar, wed_simd);
+    kernel_row("DTW column sweep (forced)", dtw_scalar, dtw_simd);
+    kernel_row("Frechet column sweep (forced)", frechet_scalar, frechet_simd);
+    kernel_table.Print();
+
+    // End-to-end: the serving pipeline (GBP + sound KPF, top-10, early
+    // abandon) with the ExactS plan, whose inner loop is exactly the
+    // column sweep above, once per stepper family. Serial search stage so
+    // the kernel effect is not hidden behind thread overlap.
+    struct E2eRow {
+      const char* name;
+      const char* key;
+      DistanceSpec spec;
+      double scalar_seconds = 0;
+      double simd_seconds = 0;
+      uint64_t vector_cells = 0;
+      uint64_t scalar_cells = 0;
+    };
+    // The DTW/Fréchet rows run under *forced* dispatch (SetEnabled(true)):
+    // auto dispatch keeps those steppers scalar because the serial pass-B
+    // left chain makes their split a wash — the rows document the policy.
+    E2eRow e2e_rows[] = {
+        {"ExactS/ERP", "erp", DistanceSpec::Erp(w.corpus.Bounds().Center())},
+        {"ExactS/DTW (forced)", "dtw", DistanceSpec::Dtw()},
+        {"ExactS/Frechet (forced)", "frechet", DistanceSpec::Frechet()},
+    };
+    const size_t e2e_queries = std::min<size_t>(queries.size(), 16);
+    bool identical = true;
+    for (E2eRow& row : e2e_rows) {
+      EngineOptions opt = engine_options;
+      opt.spec = row.spec;
+      opt.algorithm = Algorithm::kExactS;
+      opt.threads = 1;
+      const SearchEngine engine(&w.corpus, opt);
+      std::vector<std::vector<EngineHit>> hits_simd(e2e_queries);
+      std::vector<std::vector<EngineHit>> hits_scalar(e2e_queries);
+      auto run_batch = [&](std::vector<std::vector<EngineHit>>* hits,
+                           E2eRow* cells) {
+        for (size_t qi = 0; qi < e2e_queries; ++qi) {
+          QueryStats qs;
+          (*hits)[qi] = engine.Query(queries[qi], &qs, w.excluded[qi]);
+          if (cells != nullptr) {
+            cells->vector_cells += qs.simd_vector_cells;
+            cells->scalar_cells += qs.simd_scalar_cells;
+          }
+        }
+      };
+      simd::SetEnabled(true);
+      run_batch(&hits_simd, nullptr);  // warm-up
+      row.simd_seconds =
+          BestSeconds(passes, [&]() { run_batch(&hits_simd, &row); });
+      simd::SetEnabled(false);
+      run_batch(&hits_scalar, nullptr);  // warm-up
+      row.scalar_seconds =
+          BestSeconds(passes, [&]() { run_batch(&hits_scalar, nullptr); });
+      identical &= Identical(hits_simd, hits_scalar);
+    }
+
+    TablePrinter e2e_table({"Search stage (serial)", "Scalar (s)", "SIMD (s)",
+                            "Speedup", "Vector-cell share"});
+    for (const E2eRow& row : e2e_rows) {
+      const double total =
+          static_cast<double>(row.vector_cells + row.scalar_cells);
+      e2e_table.AddRow(
+          {row.name, TablePrinter::Num(row.scalar_seconds, 4),
+           TablePrinter::Num(row.simd_seconds, 4),
+           TablePrinter::Num(row.scalar_seconds / row.simd_seconds, 2) + "x",
+           TablePrinter::Num(
+               total > 0 ? row.vector_cells / total * 100 : 0, 1) +
+               "%"});
+    }
+    e2e_table.Print();
+    std::printf("%zu queries, top-%d, GBP+KPF(r=1), early abandon on; "
+                "hit lists %s across dispatch\n",
+                e2e_queries, engine_options.top_k,
+                identical ? "bit-identical" : "DIVERGENT");
+    std::printf("auto dispatch vectorizes the WED stepper only; the "
+                "(forced) rows exercise the DTW/Frechet kernels that auto "
+                "mode leaves scalar\n");
+    if (!identical) {
+      // CI correctness gate: vector dispatch must not change any result.
+      std::fprintf(stderr,
+                   "FATAL: SIMD and scalar dispatch returned different "
+                   "hit lists\n");
+      std::exit(1);
+    }
+
+    const std::string json_pr7 = flags.GetString("json-pr7", "");
+    if (!json_pr7.empty()) {
+      FILE* f = std::fopen(json_pr7.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", json_pr7.c_str());
+      } else {
+        std::fprintf(f,
+                     "{\n"
+                     "  \"bench\": \"pr7_simd\",\n"
+                     "  \"isa\": \"%s\",\n"
+                     "  \"lanes\": %d,\n"
+                     "  \"runtime_enabled\": %s,\n"
+                     "  \"kernel_query_length\": %d,\n"
+                     "  \"kernel_cells_per_rep\": %.0f,\n"
+                     "  \"wed_kernel_scalar_seconds\": %.6f,\n"
+                     "  \"wed_kernel_simd_seconds\": %.6f,\n"
+                     "  \"wed_kernel_speedup\": %.3f,\n"
+                     "  \"dtw_kernel_scalar_seconds\": %.6f,\n"
+                     "  \"dtw_kernel_simd_seconds\": %.6f,\n"
+                     "  \"dtw_kernel_speedup\": %.3f,\n"
+                     "  \"frechet_kernel_scalar_seconds\": %.6f,\n"
+                     "  \"frechet_kernel_simd_seconds\": %.6f,\n"
+                     "  \"frechet_kernel_speedup\": %.3f,\n",
+                     simd::IsaName(), simd::Width(),
+                     vector_hw ? "true" : "false", kM, kernel_cells,
+                     wed_scalar, wed_simd, wed_scalar / wed_simd, dtw_scalar,
+                     dtw_simd, dtw_scalar / dtw_simd, frechet_scalar,
+                     frechet_simd, frechet_scalar / frechet_simd);
+        std::fprintf(f, "  \"e2e_queries\": %zu,\n", e2e_queries);
+        for (const E2eRow& row : e2e_rows) {
+          const double total =
+              static_cast<double>(row.vector_cells + row.scalar_cells);
+          std::fprintf(f,
+                       "  \"e2e_%s_scalar_seconds\": %.6f,\n"
+                       "  \"e2e_%s_simd_seconds\": %.6f,\n"
+                       "  \"e2e_%s_speedup\": %.3f,\n"
+                       "  \"e2e_%s_vector_cell_share\": %.4f,\n",
+                       row.key, row.scalar_seconds, row.key, row.simd_seconds,
+                       row.key, row.scalar_seconds / row.simd_seconds,
+                       row.key, total > 0 ? row.vector_cells / total : 0.0);
+        }
+        std::fprintf(f, "  \"identical_results\": true\n}\n");
+        std::fclose(f);
+        std::printf("wrote %s\n", json_pr7.c_str());
+      }
+    }
+    simd::SetEnabled(prev_simd);
+  }
+
   std::printf(
       "\nShape check: on a machine with >= 4 hardware threads, queries/s "
       "grows with shard\ncount (the 4-shard row exceeds 1.5x the 1-shard "
@@ -1091,7 +1332,12 @@ void Main(int argc, char** argv) {
       "row back at the delta-free level. The [PR6] metrics-enabled row must "
       "stay\nwithin 2%% of metrics-disabled (gated), the funnel rows must "
       "telescope\nexactly (gated), and Stats() stays sub-microsecond under "
-      "load.\n");
+      "load. The [PR7]\nSIMD rows must be bit-identical to the scalar oracle "
+      "(gated); on vector\nhardware the WED column sweep shows >= 1.5x and "
+      "the ExactS/ERP end-to-end\nrow a visible search-stage win, while the "
+      "(forced) DTW/Frechet rows document\nwhy auto dispatch leaves those "
+      "steppers scalar (in a scalar build every\n[PR7] speedup is ~1x by "
+      "construction).\n");
 }
 
 }  // namespace

@@ -6,6 +6,7 @@ namespace trajsearch {
 
 int Dataset::Add(TrajectoryView points) {
   const int id = size();
+  const size_t old_size = pool_.size();
   if (!points.empty() && points.data() >= pool_.data() &&
       points.data() < pool_.data() + pool_.size()) {
     // The view aliases this dataset's own pool (e.g. Add(dataset[i]) to
@@ -15,6 +16,12 @@ int Dataset::Add(TrajectoryView points) {
     pool_.insert(pool_.end(), copy.begin(), copy.end());
   } else {
     pool_.insert(pool_.end(), points.begin(), points.end());
+  }
+  // Keep the coordinate columns in lockstep with the pool; reading back from
+  // the pool tail covers both insert branches above.
+  for (size_t i = old_size; i < pool_.size(); ++i) {
+    xs_.push_back(pool_[i].x);
+    ys_.push_back(pool_[i].y);
   }
   offsets_.push_back(static_cast<uint64_t>(pool_.size()));
   return id;
@@ -36,6 +43,14 @@ Dataset Dataset::FromPool(std::string name, std::vector<Point> pool,
   Dataset dataset(std::move(name));
   dataset.pool_ = std::move(pool);
   dataset.offsets_ = std::move(offsets);
+  // Columns are built exactly-sized in one shot: the adopted pool is final,
+  // so unlike Add there is no incremental growth to amortize.
+  dataset.xs_.resize(dataset.pool_.size());
+  dataset.ys_.resize(dataset.pool_.size());
+  for (size_t i = 0; i < dataset.pool_.size(); ++i) {
+    dataset.xs_[i] = dataset.pool_[i].x;
+    dataset.ys_[i] = dataset.pool_[i].y;
+  }
   return dataset;
 }
 

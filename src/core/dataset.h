@@ -49,8 +49,12 @@ class Dataset {
   /// know the final count up front; avoids per-Add reallocation).
   void Reserve(size_t n) { offsets_.reserve(offsets_.size() + n); }
 
-  /// Pre-allocates room for `n` more points in the pool.
-  void ReservePoints(size_t n) { pool_.reserve(pool_.size() + n); }
+  /// Pre-allocates room for `n` more points in the pool (and its columns).
+  void ReservePoints(size_t n) {
+    pool_.reserve(pool_.size() + n);
+    xs_.reserve(xs_.size() + n);
+    ys_.reserve(ys_.size() + n);
+  }
 
   /// Moves every trajectory of `trajs` into the dataset (ids reassigned).
   void AddAll(std::vector<Trajectory> trajs);
@@ -103,6 +107,20 @@ class Dataset {
   ConstIterator begin() const { return ConstIterator(this, 0); }
   ConstIterator end() const { return ConstIterator(this, size()); }
 
+  /// \brief Coordinate columns of trajectory `id`: the structure-of-arrays
+  /// twin of operator[]. The columns are materialized when the pool is built
+  /// (Add / FromPool) and live as long as the dataset, so views returned
+  /// here are stable across queries.
+  PointCols cols(int id) const {
+    TRAJ_DCHECK(id >= 0 && id < size());
+    const size_t off = static_cast<size_t>(offsets_[static_cast<size_t>(id)]);
+    return PointCols{xs_.data() + off, ys_.data() + off};
+  }
+
+  /// Coordinate columns over the whole pool (trajectory-major, same order
+  /// as pool()).
+  PointCols pool_cols() const { return PointCols{xs_.data(), ys_.data()}; }
+
   /// The shared point pool (trajectory-major, contiguous).
   std::span<const Point> pool() const { return pool_; }
   /// Per-trajectory pool offsets; size() + 1 entries, first 0, last
@@ -120,6 +138,10 @@ class Dataset {
  private:
   std::string name_;
   std::vector<Point> pool_;
+  // Structure-of-arrays shadow of pool_ (same indexing), kept in lockstep by
+  // Add/FromPool so SIMD kernels can stream coordinates column-wise.
+  std::vector<double> xs_;
+  std::vector<double> ys_;
   std::vector<uint64_t> offsets_ = {0};
 };
 
@@ -154,6 +176,12 @@ class DatasetView {
   TrajectoryRef operator[](int local_id) const {
     TRAJ_DCHECK(local_id >= 0 && local_id < count_);
     return (*dataset_)[begin_ + local_id];
+  }
+
+  /// Coordinate columns of the trajectory at view-local id.
+  PointCols cols(int local_id) const {
+    TRAJ_DCHECK(local_id >= 0 && local_id < count_);
+    return dataset_->cols(begin_ + local_id);
   }
 
   /// First global trajectory id covered; global id = begin_id() + local id.

@@ -12,20 +12,28 @@ LiveDataset::LiveDataset(Dataset base)
   PublishLocked();
 }
 
-TrajectoryView LiveDataset::StorePointsLocked(TrajectoryView points) {
+LiveDataset::StoredEntry LiveDataset::StorePointsLocked(
+    TrajectoryView points) {
   const size_t n = points.size();
-  if (n == 0) return TrajectoryView();
+  if (n == 0) return StoredEntry{};
   if (chunks_.empty() || last_chunk_used_ + n > last_chunk_capacity_) {
     // A trajectory never spans chunks; oversized ones get a dedicated chunk.
     const size_t capacity = std::max(kChunkPoints, n);
-    chunks_.push_back(std::shared_ptr<Point[]>(new Point[capacity]));
+    chunks_.push_back(std::make_shared<DeltaChunk>(capacity));
     last_chunk_used_ = 0;
     last_chunk_capacity_ = capacity;
   }
-  Point* dst = chunks_.back().get() + last_chunk_used_;
+  DeltaChunk& chunk = *chunks_.back();
+  Point* dst = chunk.points.get() + last_chunk_used_;
+  double* xs = chunk.xs.get() + last_chunk_used_;
+  double* ys = chunk.ys.get() + last_chunk_used_;
   std::memcpy(dst, points.data(), n * sizeof(Point));
+  for (size_t i = 0; i < n; ++i) {
+    xs[i] = points[i].x;
+    ys[i] = points[i].y;
+  }
   last_chunk_used_ += n;
-  return TrajectoryView(dst, n);
+  return StoredEntry{TrajectoryView(dst, n), PointCols{xs, ys}};
 }
 
 void LiveDataset::AttachMetrics(obs::Registry* registry) {
@@ -53,6 +61,7 @@ void LiveDataset::AttachMetrics(obs::Registry* registry) {
 void LiveDataset::PublishLocked() {
   auto delta = std::make_shared<DeltaView>();
   delta->entries_ = entries_;
+  delta->entry_cols_ = entry_cols_;
   delta->chunks_ = chunks_;
   delta->point_count_ = delta_points_;
 
@@ -77,7 +86,9 @@ int LiveDataset::Append(TrajectoryView trajectory) {
   const bool timed = metrics_ != nullptr && metrics_->enabled();
   const int64_t start = timed ? obs::NowNanos() : 0;
   const int id = base_->size() + static_cast<int>(entries_.size());
-  entries_.push_back(StorePointsLocked(trajectory));
+  const StoredEntry stored = StorePointsLocked(trajectory);
+  entries_.push_back(stored.view);
+  entry_cols_.push_back(stored.cols);
   delta_points_ += trajectory.size();
   ++ingest_seq_;
   ++generation_;
@@ -94,9 +105,12 @@ std::vector<int> LiveDataset::AppendBatch(
   const bool timed = metrics_ != nullptr && metrics_->enabled();
   const int64_t start = timed ? obs::NowNanos() : 0;
   entries_.reserve(entries_.size() + trajectories.size());
+  entry_cols_.reserve(entry_cols_.size() + trajectories.size());
   for (const TrajectoryView& trajectory : trajectories) {
     ids.push_back(base_->size() + static_cast<int>(entries_.size()));
-    entries_.push_back(StorePointsLocked(trajectory));
+    const StoredEntry stored = StorePointsLocked(trajectory);
+    entries_.push_back(stored.view);
+    entry_cols_.push_back(stored.cols);
     delta_points_ += trajectory.size();
     ++ingest_seq_;
   }
@@ -146,15 +160,18 @@ void LiveDataset::AdoptBase(std::shared_ptr<const Dataset> base,
   // views, so copy before dropping our references.
   const std::vector<TrajectoryView> survivors(
       entries_.begin() + compacted_count, entries_.end());
-  const std::vector<std::shared_ptr<Point[]>> old_chunks =
+  const std::vector<std::shared_ptr<DeltaChunk>> old_chunks =
       std::move(chunks_);
   chunks_.clear();
   last_chunk_used_ = 0;
   last_chunk_capacity_ = 0;
   entries_.clear();
+  entry_cols_.clear();
   delta_points_ = 0;
   for (const TrajectoryView& points : survivors) {
-    entries_.push_back(StorePointsLocked(points));
+    const StoredEntry stored = StorePointsLocked(points);
+    entries_.push_back(stored.view);
+    entry_cols_.push_back(stored.cols);
     delta_points_ += points.size();
   }
   (void)old_chunks;  // released after the copies above

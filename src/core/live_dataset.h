@@ -20,6 +20,20 @@ namespace trajsearch {
 /// per-trajectory entry table but never a point. Delta ids are dense
 /// [0, size()) in append order; the owning CorpusView maps them to corpus
 /// ids by adding its base size.
+/// \brief One fixed-capacity block of delta storage: the AoS point run plus
+/// its structure-of-arrays coordinate shadow, filled in lockstep by
+/// StorePointsLocked and never moved or resized after allocation.
+struct DeltaChunk {
+  explicit DeltaChunk(size_t capacity)
+      : points(new Point[capacity]),
+        xs(new double[capacity]),
+        ys(new double[capacity]) {}
+
+  std::unique_ptr<Point[]> points;
+  std::unique_ptr<double[]> xs;
+  std::unique_ptr<double[]> ys;
+};
+
 class DeltaView {
  public:
   DeltaView() = default;
@@ -34,15 +48,23 @@ class DeltaView {
     return entries_[static_cast<size_t>(delta_id)];
   }
 
+  /// Coordinate columns of delta trajectory `delta_id` (the SoA twin of
+  /// operator[], backed by the same immutable chunk).
+  PointCols cols(int delta_id) const {
+    TRAJ_DCHECK(delta_id >= 0 && delta_id < size());
+    return entry_cols_[static_cast<size_t>(delta_id)];
+  }
+
   /// Total points across the delta trajectories.
   size_t point_count() const { return point_count_; }
 
  private:
   friend class LiveDataset;
   std::vector<TrajectoryView> entries_;
+  std::vector<PointCols> entry_cols_;  // parallel to entries_
   /// Keep-alives for every chunk the entries point into. The same chunk
   /// array is shared (not copied) by all views over the same delta range.
-  std::vector<std::shared_ptr<Point[]>> chunks_;
+  std::vector<std::shared_ptr<DeltaChunk>> chunks_;
   size_t point_count_ = 0;
 };
 
@@ -76,6 +98,13 @@ class CorpusView {
     if (id < base_size()) return (*base_)[id];
     const TrajectoryView points = (*delta_)[id - base_size()];
     return TrajectoryRef(points.data(), static_cast<int>(points.size()), id);
+  }
+
+  /// Coordinate columns by corpus id (base or delta storage).
+  PointCols cols(int id) const {
+    TRAJ_DCHECK(id >= 0 && id < size());
+    if (id < base_size()) return base_->cols(id);
+    return delta_->cols(id - base_size());
   }
 
   const Dataset& base() const {
@@ -173,9 +202,15 @@ class LiveDataset {
   /// chunk, so points of one trajectory are always contiguous).
   static constexpr size_t kChunkPoints = 4096;
 
-  /// Copies `points` into chunk storage; returns the stable location.
-  /// Requires mu_ held.
-  TrajectoryView StorePointsLocked(TrajectoryView points);
+  /// A stored trajectory's stable AoS location plus its SoA columns.
+  struct StoredEntry {
+    TrajectoryView view;
+    PointCols cols;
+  };
+
+  /// Copies `points` into chunk storage (AoS run and coordinate columns);
+  /// returns the stable locations. Requires mu_ held.
+  StoredEntry StorePointsLocked(TrajectoryView points);
   /// Publishes the current state as a new CorpusView. Requires mu_ held.
   void PublishLocked();
 
@@ -183,10 +218,11 @@ class LiveDataset {
 
   // Writer state (guarded by mu_). entries_ views point into chunks_.
   std::shared_ptr<const Dataset> base_;
-  std::vector<std::shared_ptr<Point[]>> chunks_;
+  std::vector<std::shared_ptr<DeltaChunk>> chunks_;
   size_t last_chunk_used_ = 0;
   size_t last_chunk_capacity_ = 0;
   std::vector<TrajectoryView> entries_;
+  std::vector<PointCols> entry_cols_;  // parallel to entries_
   size_t delta_points_ = 0;
   uint64_t generation_ = 0;
   uint64_t ingest_seq_ = 0;

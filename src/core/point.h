@@ -19,6 +19,19 @@ struct Point {
   friend bool operator!=(const Point& a, const Point& b) { return !(a == b); }
 };
 
+/// \brief Structure-of-arrays view over a point sequence: two parallel,
+/// contiguous coordinate columns (x[i], y[i] are point i). Column storage is
+/// materialized once by Dataset/LiveDataset beside the AoS pool so vector
+/// kernels can load whole lane groups of coordinates with one instruction.
+/// A default-constructed PointCols means "columns not available"; consumers
+/// must fall back to the AoS path.
+struct PointCols {
+  const double* x = nullptr;
+  const double* y = nullptr;
+
+  bool empty() const { return x == nullptr; }
+};
+
 /// Squared Euclidean distance between two points.
 inline double SquaredDistance(const Point& a, const Point& b) {
   const double dx = a.x - b.x;

@@ -4,6 +4,7 @@
 
 #include "core/point.h"
 #include "core/trajectory.h"
+#include "util/simd.h"
 
 namespace trajsearch {
 
@@ -16,6 +17,21 @@ namespace trajsearch {
 ///
 /// This keeps the algorithms agnostic to the point representation: GPS points
 /// here, road-network nodes/edges in distance/road_costs.h.
+///
+/// The built-in GPS cost models additionally expose a vector substitution
+/// kernel for the SIMD column sweeps in distance/dp.h:
+///
+///   simd::VecD SubLane(int x, int j) const;  // Sub(x..x+lanes-1, j)
+///   bool cols_ready() const;                 // query columns bound?
+///
+/// SubLane evaluates one lane group of *query* indices against a single data
+/// point — exactly the access pattern of a column stepper, which walks the
+/// query dimension per Extend(j). It reads the query's coordinate columns
+/// (`qc`, deinterleaved once per plan Bind); cost models without columns (or
+/// with opaque user callbacks, e.g. CustomWedCosts) simply lack SubLane and
+/// the steppers fall back to the scalar loop via the simd::VectorizedCosts
+/// concept. Every SubLane performs, per lane, the same correctly rounded
+/// IEEE operations as the scalar Sub, so results are bit-identical.
 
 /// \brief EDR costs (Chen et al. 2005): ins = del = 1; sub = 0 iff the points
 /// are within `epsilon` (Euclidean), else 1.
@@ -23,6 +39,7 @@ struct EdrCosts {
   TrajectoryView q;
   TrajectoryView d;
   double epsilon = 0;
+  PointCols qc;  // query coordinate columns (set at plan Bind; may be empty)
 
   double Sub(int i, int j) const {
     return SquaredDistance(q[static_cast<size_t>(i)],
@@ -32,6 +49,21 @@ struct EdrCosts {
   }
   double Ins(int) const { return 1.0; }
   double Del(int) const { return 1.0; }
+
+  bool cols_ready() const { return !qc.empty(); }
+  /// Sub for query indices [x, x+lanes): squared distance vs epsilon^2,
+  /// lanewise select of 0/1 — same rounding as the scalar comparison.
+  simd::VecD SubLane(int x, int j) const {
+    const Point p = d[static_cast<size_t>(j)];
+    const simd::VecD dx =
+        simd::VecD::Load(qc.x + x) - simd::VecD::Broadcast(p.x);
+    const simd::VecD dy =
+        simd::VecD::Load(qc.y + x) - simd::VecD::Broadcast(p.y);
+    const simd::VecD sq = dx * dx + dy * dy;
+    return simd::VecD::SelectLE(sq, simd::VecD::Broadcast(epsilon * epsilon),
+                                simd::VecD::Broadcast(0.0),
+                                simd::VecD::Broadcast(1.0));
+  }
 };
 
 /// \brief ERP costs (Chen & Ng 2004): sub = Euclidean distance; ins/del =
@@ -41,16 +73,36 @@ struct ErpCosts {
   TrajectoryView q;
   TrajectoryView d;
   Point gap;
+  PointCols qc;  // query coordinate columns (set at plan Bind; may be empty)
+  /// When set, Ins(j) reads this instead of recomputing the gap distance.
+  /// ExactSWedPlan fills it once per data trajectory from the pool's SoA
+  /// columns (the values are identical either way), turning the O(n) gap
+  /// distances recomputed across ExactS's n start sweeps into loads.
+  const double* ins_cache = nullptr;
 
   double Sub(int i, int j) const {
     return EuclideanDistance(q[static_cast<size_t>(i)],
                              d[static_cast<size_t>(j)]);
   }
   double Ins(int j) const {
+    if (ins_cache != nullptr) return ins_cache[j];
     return EuclideanDistance(d[static_cast<size_t>(j)], gap);
   }
   double Del(int i) const {
     return EuclideanDistance(q[static_cast<size_t>(i)], gap);
+  }
+
+  bool cols_ready() const { return !qc.empty(); }
+  /// Sub for query indices [x, x+lanes): sqrt((qx-dx)^2 + (qy-dy)^2) with
+  /// the same sub/mul/add/sqrt sequence (each correctly rounded) as the
+  /// scalar EuclideanDistance.
+  simd::VecD SubLane(int x, int j) const {
+    const Point p = d[static_cast<size_t>(j)];
+    const simd::VecD dx =
+        simd::VecD::Load(qc.x + x) - simd::VecD::Broadcast(p.x);
+    const simd::VecD dy =
+        simd::VecD::Load(qc.y + x) - simd::VecD::Broadcast(p.y);
+    return simd::VecD::Sqrt(dx * dx + dy * dy);
   }
 };
 
@@ -93,10 +145,21 @@ struct CustomWedCosts {
 struct EuclideanSub {
   TrajectoryView q;
   TrajectoryView d;
+  PointCols qc;  // query coordinate columns (set at plan Bind; may be empty)
 
   double operator()(int i, int j) const {
     return EuclideanDistance(q[static_cast<size_t>(i)],
                              d[static_cast<size_t>(j)]);
+  }
+
+  bool cols_ready() const { return !qc.empty(); }
+  simd::VecD SubLane(int x, int j) const {
+    const Point p = d[static_cast<size_t>(j)];
+    const simd::VecD dx =
+        simd::VecD::Load(qc.x + x) - simd::VecD::Broadcast(p.x);
+    const simd::VecD dy =
+        simd::VecD::Load(qc.y + x) - simd::VecD::Broadcast(p.y);
+    return simd::VecD::Sqrt(dx * dx + dy * dy);
   }
 };
 
@@ -104,12 +167,24 @@ struct EuclideanSub {
 /// steppers copy their functor by value; a query plan instead hands them a
 /// SubRef to a plan-owned functor so rebinding the underlying trajectory
 /// views (new query at Bind, new data trajectory per Run) is visible to an
-/// already-constructed stepper.
+/// already-constructed stepper. Forwards the vector kernel when the
+/// underlying functor has one.
 template <typename F>
 struct SubRef {
   const F* fn = nullptr;
 
   double operator()(int i, int j) const { return (*fn)(i, j); }
+
+  bool cols_ready() const
+    requires simd::VectorizedCosts<F>
+  {
+    return fn->cols_ready();
+  }
+  simd::VecD SubLane(int x, int j) const
+    requires simd::VectorizedCosts<F>
+  {
+    return fn->SubLane(x, j);
+  }
 };
 
 }  // namespace trajsearch

@@ -1,9 +1,12 @@
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <vector>
 
+#include "core/trajectory.h"
 #include "util/check.h"
+#include "util/simd.h"
 
 namespace trajsearch {
 
@@ -25,6 +28,9 @@ class DpArena {
   std::vector<double>* Doubles() { return Next(&double_pool_, &next_double_); }
   /// Hands out the next pooled int vector.
   std::vector<int>* Ints() { return Next(&int_pool_, &next_int_); }
+  /// Hands out the next pooled point vector (reversed-trajectory scratch for
+  /// the POS/PSS/RLS suffix plans).
+  std::vector<Point>* Points() { return Next(&point_pool_, &next_point_); }
 
   /// Returns all checked-out vectors to the pool (capacity retained).
   /// Invalidates the *contents* of previously handed-out vectors, not the
@@ -32,6 +38,7 @@ class DpArena {
   void Rewind() {
     next_double_ = 0;
     next_int_ = 0;
+    next_point_ = 0;
   }
 
  private:
@@ -45,9 +52,26 @@ class DpArena {
 
   std::deque<std::vector<double>> double_pool_;
   std::deque<std::vector<int>> int_pool_;
+  std::deque<std::vector<Point>> point_pool_;
   size_t next_double_ = 0;
   size_t next_int_ = 0;
+  size_t next_point_ = 0;
 };
+
+/// Deinterleaves `points` into two arena-backed coordinate columns. Plans
+/// call this at Bind to materialize the query-side columns the SubLane
+/// kernels read; the arena makes it grow-only across rebinds.
+inline PointCols FillCols(TrajectoryView points, DpArena* arena) {
+  std::vector<double>* xs = arena->Doubles();
+  std::vector<double>* ys = arena->Doubles();
+  xs->resize(points.size());
+  ys->resize(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    (*xs)[i] = points[i].x;
+    (*ys)[i] = points[i].y;
+  }
+  return PointCols{xs->data(), ys->data()};
+}
 
 /// The three column steppers below incrementally compute
 /// dist(query, data[start..j]) for a fixed start and growing end j, in O(m)
@@ -70,6 +94,19 @@ class DpArena {
 /// Each stepper can be built with an optional DpArena; column storage then
 /// comes from the arena instead of a fresh heap allocation, so plans that
 /// rebuild their steppers at Bind time reuse the same memory.
+///
+/// SIMD dispatch: when the cost object models simd::VectorizedCosts (it has
+/// query coordinate columns bound) and simd::Enabled() is true at
+/// construction — i.e. at plan Bind — Extend runs a vectorized column sweep.
+/// The sweep splits the recurrence into a vector pass over the previous
+/// column (the diag/up terms and the substitution kernel have no
+/// intra-column dependency) and a scalar pass for the left-to-left chain,
+/// whose candidates commute exactly with the vector pass's min/max — see the
+/// per-stepper notes. Every floating-point operation is the same correctly
+/// rounded IEEE operation the scalar loop performs, so the two dispatch
+/// paths return bit-identical distances and SweepLowerBound values, and
+/// early abandoning fires on exactly the same Extend. The scalar loop is
+/// kept verbatim as the identity oracle.
 
 /// \brief Column stepper for WED-family distances (Equation 2).
 template <typename Costs>
@@ -77,21 +114,35 @@ class WedColumnDp {
  public:
   /// Binds costs for a (query, data) pair; m is the query length. The costs
   /// object is held by pointer, so a plan may update its data-side view
-  /// between sweeps. Del/Ins/Sub must be non-negative.
+  /// between sweeps. Del/Ins/Sub must be non-negative. SIMD dispatch is
+  /// captured here (Enabled() + the costs' columns being bound).
   WedColumnDp(int m, const Costs& costs, DpArena* arena = nullptr)
       : m_(m),
         costs_(&costs),
         col_store_(arena != nullptr ? arena->Doubles() : &owned_col_),
-        del_store_(arena != nullptr ? arena->Doubles() : &owned_del_) {
+        del_store_(arena != nullptr ? arena->Doubles() : &owned_del_),
+        del_cost_store_(arena != nullptr ? arena->Doubles() : &owned_del_cost_),
+        t_store_(arena != nullptr ? arena->Doubles() : &owned_t_) {
     TRAJ_CHECK(m >= 1);
-    col_store_->resize(static_cast<size_t>(m));
+    // One pad slot in front of the column so the vector pass can load the
+    // shifted previous column (diag) from col()[-1] without branching.
+    col_store_->resize(static_cast<size_t>(m) + 1);
     // del_prefix_[x] = cost of deleting query[0..x] entirely — query-side
     // state, computed once per bind and reused across every data sweep.
+    // del_cost_[x] = Del(x) itself, cached for the scalar left-chain pass
+    // (Del is query-side only for every cost model, by the API contract).
     del_store_->resize(static_cast<size_t>(m));
+    del_cost_store_->resize(static_cast<size_t>(m));
+    t_store_->resize(static_cast<size_t>(m));
     double acc = 0;
     for (int x = 0; x < m; ++x) {
-      acc += costs.Del(x);
+      const double del = costs.Del(x);
+      acc += del;
       (*del_store_)[static_cast<size_t>(x)] = acc;
+      (*del_cost_store_)[static_cast<size_t>(x)] = del;
+    }
+    if constexpr (simd::VectorizedCosts<Costs>) {
+      vec_ = simd::Enabled() && costs.cols_ready();
     }
   }
 
@@ -103,14 +154,44 @@ class WedColumnDp {
   void Reset() {
     ins_boundary_ = 0;
     col_min_ = kDpInfinity;
-    double* col = col_store_->data();
+    double* col = col_store_->data() + 1;
     const double* del = del_store_->data();
     for (int x = 0; x < m_; ++x) col[x] = del[x];
   }
 
   /// Appends data point j to the range; returns dist(query, data[start..j]).
   double Extend(int j) {
-    double* col = col_store_->data();
+    if constexpr (simd::VectorizedCosts<Costs>) {
+      if (vec_) return ExtendVector(j);
+    }
+    return ExtendScalar(j);
+  }
+
+  /// A value no cell of any *future* column of this sweep can beat: every
+  /// later cell derives from the current column or from the empty-prefix
+  /// boundary, both only ever increased by non-negative costs.
+  double SweepLowerBound() const {
+    return ins_boundary_ < col_min_ ? ins_boundary_ : col_min_;
+  }
+
+  /// Current column value for query prefix length x+1.
+  double Cell(int x) const {
+    return (*col_store_)[static_cast<size_t>(x) + 1];
+  }
+  int query_size() const { return m_; }
+
+  /// True if this sweep dispatches to the vector kernel.
+  bool vectorized() const { return vec_; }
+  /// Drains the cells-processed counters accumulated since the last take.
+  simd::CellCounts TakeCellCounts() {
+    const simd::CellCounts taken = cells_;
+    cells_ = simd::CellCounts{};
+    return taken;
+  }
+
+ private:
+  double ExtendScalar(int j) {
+    double* col = col_store_->data() + 1;
     const double new_boundary = ins_boundary_ + costs_->Ins(j);
     double diag = ins_boundary_;  // dist(empty, previous range)
     double left = new_boundary;   // dist(empty, range incl. j)
@@ -127,31 +208,78 @@ class WedColumnDp {
       left = best;
       if (best < col_min) col_min = best;
     }
+    cells_.scalar_cells += static_cast<uint64_t>(m_);
     ins_boundary_ = new_boundary;
     col_min_ = col_min;
     return col[m_ - 1];
   }
 
-  /// A value no cell of any *future* column of this sweep can beat: every
-  /// later cell derives from the current column or from the empty-prefix
-  /// boundary, both only ever increased by non-negative costs.
-  double SweepLowerBound() const {
-    return ins_boundary_ < col_min_ ? ins_boundary_ : col_min_;
+  // Vector sweep. Pass A evaluates the two dependency-free candidates
+  //   t[x] = min(old_col[x-1] + Sub(x, j), old_col[x] + Ins(j))
+  // a lane group at a time (into separate scratch: diag is the *shifted* old
+  // column, so writing in place would clobber the next group's diag). Pass B
+  // folds in the sequential deletion chain,
+  //   col[x] = min(t[x], col[x-1] + Del(x)),
+  // which commutes with pass A's min exactly (same three candidates, min is
+  // associative, ties are value-equal and never -0.0), so every cell equals
+  // the scalar loop's bit for bit.
+  double ExtendVector(int j)
+    requires simd::VectorizedCosts<Costs>
+  {
+    constexpr int kW = simd::kLanes;
+    double* col = col_store_->data() + 1;
+    const double* del = del_cost_store_->data();
+    double* t = t_store_->data();
+    const double ins_j = costs_->Ins(j);
+    const double new_boundary = ins_boundary_ + ins_j;
+    col[-1] = ins_boundary_;  // diag for x = 0
+    const simd::VecD ins_v = simd::VecD::Broadcast(ins_j);
+    const int vec_end = m_ - m_ % kW;
+    for (int x = 0; x < vec_end; x += kW) {
+      const simd::VecD diag = simd::VecD::Load(col + x - 1);
+      const simd::VecD up = simd::VecD::Load(col + x);
+      const simd::VecD via_sub = diag + costs_->SubLane(x, j);
+      simd::VecD::Min(via_sub, up + ins_v).Store(t + x);
+    }
+    for (int x = vec_end; x < m_; ++x) {
+      const double via_sub = col[x - 1] + costs_->Sub(x, j);
+      const double via_ins = col[x] + ins_j;
+      t[x] = via_ins < via_sub ? via_ins : via_sub;
+    }
+    // The column minimum rides along pass B (min is exact and
+    // order-independent, so this matches the scalar loop's running minimum
+    // bit for bit and SweepLowerBound keeps its one-ulp-exact contract).
+    double left = new_boundary;
+    double col_min = kDpInfinity;
+    for (int x = 0; x < m_; ++x) {
+      double best = t[x];
+      const double via_del = left + del[x];
+      if (via_del < best) best = via_del;
+      col[x] = best;
+      left = best;
+      if (best < col_min) col_min = best;
+    }
+    ins_boundary_ = new_boundary;
+    col_min_ = col_min;
+    cells_.vector_cells += static_cast<uint64_t>(vec_end);
+    cells_.scalar_cells += static_cast<uint64_t>(m_ - vec_end);
+    return col[m_ - 1];
   }
 
-  /// Current column value for query prefix length x+1.
-  double Cell(int x) const { return (*col_store_)[static_cast<size_t>(x)]; }
-  int query_size() const { return m_; }
-
- private:
   int m_;
   const Costs* costs_;
   std::vector<double> owned_col_;
   std::vector<double> owned_del_;
+  std::vector<double> owned_del_cost_;
+  std::vector<double> owned_t_;
   std::vector<double>* col_store_;
   std::vector<double>* del_store_;
+  std::vector<double>* del_cost_store_;
+  std::vector<double>* t_store_;
   double ins_boundary_ = 0;
   double col_min_ = kDpInfinity;
+  bool vec_ = false;
+  simd::CellCounts cells_;
 };
 
 /// \brief Column stepper for DTW (Equation 3: boundary rows accumulate
@@ -163,9 +291,19 @@ class DtwColumnDp {
   DtwColumnDp(int m, SubFn sub, DpArena* arena = nullptr)
       : m_(m),
         sub_(sub),
-        col_store_(arena != nullptr ? arena->Doubles() : &owned_col_) {
+        col_store_(arena != nullptr ? arena->Doubles() : &owned_col_),
+        t_store_(arena != nullptr ? arena->Doubles() : &owned_t_),
+        s_store_(arena != nullptr ? arena->Doubles() : &owned_s_) {
     TRAJ_CHECK(m >= 1);
-    col_store_->resize(static_cast<size_t>(m));
+    col_store_->resize(static_cast<size_t>(m) + 1);  // +1: diag pad slot
+    t_store_->resize(static_cast<size_t>(m));
+    s_store_->resize(static_cast<size_t>(m));
+    if constexpr (simd::VectorizedCosts<SubFn>) {
+      // Forced, not Enabled: DTW cells are a single min-chain plus sub, so
+      // pass B re-walks the whole column serially and the split only breaks
+      // even — the vector kernel stays a tested, opt-in identity twin.
+      vec_ = simd::Forced() && sub_.cols_ready();
+    }
   }
 
   // Owned storage is self-referenced via col_store_; construct in place.
@@ -181,7 +319,31 @@ class DtwColumnDp {
 
   /// Appends data point j; returns dtw(query, data[start..j]).
   double Extend(int j) {
-    double* col = col_store_->data();
+    if constexpr (simd::VectorizedCosts<SubFn>) {
+      if (vec_) return ExtendVector(j);
+    }
+    return ExtendScalar(j);
+  }
+
+  /// A value no future cell of this sweep can beat (before the first Extend
+  /// the virtual corner is still reachable, so the bound is 0).
+  double SweepLowerBound() const { return first_ ? 0.0 : col_min_; }
+
+  double Cell(int x) const {
+    return (*col_store_)[static_cast<size_t>(x) + 1];
+  }
+  int query_size() const { return m_; }
+
+  bool vectorized() const { return vec_; }
+  simd::CellCounts TakeCellCounts() {
+    const simd::CellCounts taken = cells_;
+    cells_ = simd::CellCounts{};
+    return taken;
+  }
+
+ private:
+  double ExtendScalar(int j) {
+    double* col = col_store_->data() + 1;
     double diag = first_ ? 0.0 : kDpInfinity;  // virtual (empty, empty) corner
     double new_left = kDpInfinity;             // freshly written col_[x-1]
     double col_min = kDpInfinity;
@@ -196,25 +358,71 @@ class DtwColumnDp {
       new_left = value;
       if (value < col_min) col_min = value;
     }
+    cells_.scalar_cells += static_cast<uint64_t>(m_);
     first_ = false;
     col_min_ = col_min;
     return col[m_ - 1];
   }
 
-  /// A value no future cell of this sweep can beat (before the first Extend
-  /// the virtual corner is still reachable, so the bound is 0).
-  double SweepLowerBound() const { return first_ ? 0.0 : col_min_; }
+  // Vector sweep. Pass A computes t[x] = min(diag, up) + s[x] a lane group
+  // at a time and stashes the substitution costs; pass B folds in the left
+  // chain as col[x] = min(t[x], col[x-1] + s[x]). Because rounding is
+  // monotone, fl(min(a,b) + s) == min(fl(a + s), fl(b + s)), so the split
+  // reproduces the scalar min(diag, up, left) + s cell bit for bit.
+  double ExtendVector(int j)
+    requires simd::VectorizedCosts<SubFn>
+  {
+    constexpr int kW = simd::kLanes;
+    double* col = col_store_->data() + 1;
+    double* t = t_store_->data();
+    double* s = s_store_->data();
+    col[-1] = first_ ? 0.0 : kDpInfinity;  // diag for x = 0
+    const int vec_end = m_ - m_ % kW;
+    for (int x = 0; x < vec_end; x += kW) {
+      const simd::VecD diag = simd::VecD::Load(col + x - 1);
+      const simd::VecD up = simd::VecD::Load(col + x);
+      const simd::VecD sub = sub_.SubLane(x, j);
+      sub.Store(s + x);
+      (simd::VecD::Min(diag, up) + sub).Store(t + x);
+    }
+    for (int x = vec_end; x < m_; ++x) {
+      const double diag = col[x - 1];
+      const double up = col[x];
+      const double sub = sub_(x, j);
+      s[x] = sub;
+      t[x] = (up < diag ? up : diag) + sub;
+    }
+    // Column minimum tracked in pass B, matching the scalar loop's running
+    // minimum bit for bit (min is exact and order-independent).
+    double new_left = kDpInfinity;
+    double col_min = kDpInfinity;
+    for (int x = 0; x < m_; ++x) {
+      double value = t[x];
+      const double via_left = new_left + s[x];
+      if (via_left < value) value = via_left;
+      col[x] = value;
+      new_left = value;
+      if (value < col_min) col_min = value;
+    }
+    first_ = false;
+    col_min_ = col_min;
+    cells_.vector_cells += static_cast<uint64_t>(vec_end);
+    cells_.scalar_cells += static_cast<uint64_t>(m_ - vec_end);
+    return col[m_ - 1];
+  }
 
-  double Cell(int x) const { return (*col_store_)[static_cast<size_t>(x)]; }
-  int query_size() const { return m_; }
-
- private:
   int m_;
   SubFn sub_;
   std::vector<double> owned_col_;
+  std::vector<double> owned_t_;
+  std::vector<double> owned_s_;
   std::vector<double>* col_store_;
+  std::vector<double>* t_store_;
+  std::vector<double>* s_store_;
   double col_min_ = kDpInfinity;
   bool first_ = true;
+  bool vec_ = false;
+  simd::CellCounts cells_;
 };
 
 /// \brief Column stepper for the discrete Fréchet distance (max-of-mins
@@ -225,9 +433,19 @@ class FrechetColumnDp {
   FrechetColumnDp(int m, SubFn sub, DpArena* arena = nullptr)
       : m_(m),
         sub_(sub),
-        col_store_(arena != nullptr ? arena->Doubles() : &owned_col_) {
+        col_store_(arena != nullptr ? arena->Doubles() : &owned_col_),
+        t_store_(arena != nullptr ? arena->Doubles() : &owned_t_),
+        s_store_(arena != nullptr ? arena->Doubles() : &owned_s_) {
     TRAJ_CHECK(m >= 1);
-    col_store_->resize(static_cast<size_t>(m));
+    col_store_->resize(static_cast<size_t>(m) + 1);  // +1: diag pad slot
+    t_store_->resize(static_cast<size_t>(m));
+    s_store_->resize(static_cast<size_t>(m));
+    if constexpr (simd::VectorizedCosts<SubFn>) {
+      // Forced, not Enabled: like DTW, the max-of-mins cell leaves pass B a
+      // serial re-walk of the column, so auto dispatch keeps the scalar
+      // loop and the vector kernel remains a tested, opt-in identity twin.
+      vec_ = simd::Forced() && sub_.cols_ready();
+    }
   }
 
   // Owned storage is self-referenced via col_store_; construct in place.
@@ -243,7 +461,31 @@ class FrechetColumnDp {
 
   /// Appends data point j; returns frechet(query, data[start..j]).
   double Extend(int j) {
-    double* col = col_store_->data();
+    if constexpr (simd::VectorizedCosts<SubFn>) {
+      if (vec_) return ExtendVector(j);
+    }
+    return ExtendScalar(j);
+  }
+
+  /// A value no future cell of this sweep can beat (max-recurrence cells
+  /// also never drop below the minimum reachable predecessor).
+  double SweepLowerBound() const { return first_ ? 0.0 : col_min_; }
+
+  double Cell(int x) const {
+    return (*col_store_)[static_cast<size_t>(x) + 1];
+  }
+  int query_size() const { return m_; }
+
+  bool vectorized() const { return vec_; }
+  simd::CellCounts TakeCellCounts() {
+    const simd::CellCounts taken = cells_;
+    cells_ = simd::CellCounts{};
+    return taken;
+  }
+
+ private:
+  double ExtendScalar(int j) {
+    double* col = col_store_->data() + 1;
     double diag_prev = first_ ? 0.0 : kDpInfinity;
     double new_left = kDpInfinity;
     double col_min = kDpInfinity;
@@ -259,25 +501,71 @@ class FrechetColumnDp {
       new_left = value;
       if (value < col_min) col_min = value;
     }
+    cells_.scalar_cells += static_cast<uint64_t>(m_);
     first_ = false;
     col_min_ = col_min;
     return col[m_ - 1];
   }
 
-  /// A value no future cell of this sweep can beat (max-recurrence cells
-  /// also never drop below the minimum reachable predecessor).
-  double SweepLowerBound() const { return first_ ? 0.0 : col_min_; }
+  // Vector sweep. Pass A computes t[x] = max(min(diag, up), s[x]) a lane
+  // group at a time; pass B folds in the left chain as
+  // col[x] = min(t[x], max(col[x-1], s[x])). This is the lattice identity
+  // max(min(A, left), s) == min(max(A, s), max(left, s)) — min/max involve
+  // no rounding at all, so the split is exact.
+  double ExtendVector(int j)
+    requires simd::VectorizedCosts<SubFn>
+  {
+    constexpr int kW = simd::kLanes;
+    double* col = col_store_->data() + 1;
+    double* t = t_store_->data();
+    double* s = s_store_->data();
+    col[-1] = first_ ? 0.0 : kDpInfinity;  // diag for x = 0
+    const int vec_end = m_ - m_ % kW;
+    for (int x = 0; x < vec_end; x += kW) {
+      const simd::VecD diag = simd::VecD::Load(col + x - 1);
+      const simd::VecD up = simd::VecD::Load(col + x);
+      const simd::VecD sub = sub_.SubLane(x, j);
+      sub.Store(s + x);
+      simd::VecD::Max(simd::VecD::Min(diag, up), sub).Store(t + x);
+    }
+    for (int x = vec_end; x < m_; ++x) {
+      const double diag = col[x - 1];
+      const double up = col[x];
+      const double reach = up < diag ? up : diag;
+      const double sub = sub_(x, j);
+      s[x] = sub;
+      t[x] = reach > sub ? reach : sub;
+    }
+    // Column minimum tracked in pass B, matching the scalar loop's running
+    // minimum bit for bit (min is exact and order-independent).
+    double new_left = kDpInfinity;
+    double col_min = kDpInfinity;
+    for (int x = 0; x < m_; ++x) {
+      const double via_left = new_left > s[x] ? new_left : s[x];
+      const double value = via_left < t[x] ? via_left : t[x];
+      col[x] = value;
+      new_left = value;
+      if (value < col_min) col_min = value;
+    }
+    first_ = false;
+    col_min_ = col_min;
+    cells_.vector_cells += static_cast<uint64_t>(vec_end);
+    cells_.scalar_cells += static_cast<uint64_t>(m_ - vec_end);
+    return col[m_ - 1];
+  }
 
-  double Cell(int x) const { return (*col_store_)[static_cast<size_t>(x)]; }
-  int query_size() const { return m_; }
-
- private:
   int m_;
   SubFn sub_;
   std::vector<double> owned_col_;
+  std::vector<double> owned_t_;
+  std::vector<double> owned_s_;
   std::vector<double>* col_store_;
+  std::vector<double>* t_store_;
+  std::vector<double>* s_store_;
   double col_min_ = kDpInfinity;
   bool first_ = true;
+  bool vec_ = false;
+  simd::CellCounts cells_;
 };
 
 }  // namespace trajsearch

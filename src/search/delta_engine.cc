@@ -81,7 +81,7 @@ void DeltaEngine::QueryInto(TrajectoryView query, const DeltaView& delta,
       const double cutoff =
           options_.use_early_abandon ? topk->Cutoff() : kNoCutoff;
       pair_timer.Start();
-      const SearchResult result = run->Run(data, cutoff);
+      const SearchResult result = run->RunCols(data, delta.cols(id), cutoff);
       pair_timer.Stop();
       if (cutoff != kNoCutoff && result.distance >= cutoff) {
         ++local.abandoned;
@@ -89,6 +89,9 @@ void DeltaEngine::QueryInto(TrajectoryView query, const DeltaView& delta,
       topk->Offer(EngineHit{id + id_offset, result});
       ++local.searched;
     }
+    const simd::CellCounts cells = run->TakeSimdStats();
+    local.simd_vector_cells = cells.vector_cells;
+    local.simd_scalar_cells = cells.scalar_cells;
     plans_.ReleaseRun(std::move(run));
     local.bound_seconds = bound_timer.TotalSeconds();
     local.pair_search_seconds = pair_timer.TotalSeconds();

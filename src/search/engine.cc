@@ -39,6 +39,12 @@ FunnelCounters::FunnelCounters(obs::Registry* registry, Algorithm algorithm) {
   dp_runs = registry->counter(base + "dp_runs");
   dp_abandoned = registry->counter(base + "dp_abandoned");
   dp_completed = registry->counter(base + "dp_completed");
+  // Kernel-dispatch counters live outside the .funnel. namespace so funnel
+  // extraction (obs::ExtractFunnels keys on that marker) never sees them.
+  const std::string simd_base =
+      "engine." + std::string(ToString(algorithm)) + ".simd.";
+  simd_vector_cells = registry->counter(simd_base + "vector_cells");
+  simd_scalar_cells = registry->counter(simd_base + "scalar_cells");
 }
 
 void FunnelCounters::Fold(const QueryStats& stats) const {
@@ -51,6 +57,8 @@ void FunnelCounters::Fold(const QueryStats& stats) const {
   dp_abandoned->Add(static_cast<uint64_t>(stats.abandoned));
   dp_completed->Add(
       static_cast<uint64_t>(stats.searched - stats.abandoned));
+  simd_vector_cells->Add(stats.simd_vector_cells);
+  simd_scalar_cells->Add(stats.simd_scalar_cells);
 }
 
 std::unique_ptr<Searcher> MakeEngineSearcher(const EngineOptions& options) {
@@ -155,6 +163,7 @@ void SearchEngine::QueryInto(TrajectoryView query, SharedTopK* topk,
     int searched = 0;
     int skipped = 0;
     int abandoned = 0;
+    simd::CellCounts cells;  // drained from the worker's plan once per query
   };
 
   // Stages 2+3 for one candidate (by position in the ordered candidate
@@ -212,7 +221,7 @@ void SearchEngine::QueryInto(TrajectoryView query, SharedTopK* topk,
                    : topk->Cutoff();
     }
     state->pair_timer.Start();
-    const SearchResult result = run->Run(data, cutoff);
+    const SearchResult result = run->RunCols(data, data_.cols(id), cutoff);
     state->pair_timer.Stop();
     // Funnel accounting: a run whose result lands at or above the cutoff it
     // started with did (possibly early-abandoned) DP work that the top-K
@@ -237,10 +246,13 @@ void SearchEngine::QueryInto(TrajectoryView query, SharedTopK* topk,
     for (size_t c = 0; c < candidates.size(); ++c) {
       if (process(c, nullptr, run.get(), &state)) ++local.searched;
     }
+    state.cells = run->TakeSimdStats();
     plans_.ReleaseRun(std::move(run));
     local.pruned_by_bound = state.pruned;
     local.skipped = state.skipped;
     local.abandoned = state.abandoned;
+    local.simd_vector_cells = state.cells.vector_cells;
+    local.simd_scalar_cells = state.cells.scalar_cells;
     local.bound_seconds =
         order_timer.TotalSeconds() + state.bound_timer.TotalSeconds();
     local.pair_search_seconds = state.pair_timer.TotalSeconds();
@@ -282,6 +294,7 @@ void SearchEngine::QueryInto(TrajectoryView query, SharedTopK* topk,
           topk->Offer(EngineHit{hit.trajectory_id + id_offset, hit.result});
         }
       }
+      state.cells = run->TakeSimdStats();
       plans_.ReleaseRun(std::move(run));
     };
 
@@ -305,6 +318,8 @@ void SearchEngine::QueryInto(TrajectoryView query, SharedTopK* topk,
       local.abandoned += state.abandoned;
       local.bound_seconds += state.bound_timer.TotalSeconds();
       local.pair_search_seconds += state.pair_timer.TotalSeconds();
+      local.simd_vector_cells += state.cells.vector_cells;
+      local.simd_scalar_cells += state.cells.scalar_cells;
     }
   }
   if (bound != nullptr) plans_.ReleaseBound(std::move(bound));

@@ -122,6 +122,11 @@ struct QueryStats {
   /// completed result the top-K merge then discarded. searched == abandoned
   /// + (hits that were competitive when computed).
   int abandoned = 0;
+  /// DP cells evaluated through the SIMD column kernels (full lane groups)
+  /// vs. scalar iterations (tail lanes, or whole sweeps when dispatch picked
+  /// the scalar path); summed across workers.
+  uint64_t simd_vector_cells = 0;
+  uint64_t simd_scalar_cells = 0;
 };
 
 /// \brief Resolved `engine.<Algorithm>.funnel.*` counters, shared by
@@ -142,6 +147,10 @@ struct FunnelCounters {
   obs::Counter* dp_runs = nullptr;
   obs::Counter* dp_abandoned = nullptr;
   obs::Counter* dp_completed = nullptr;
+  /// `engine.<Algorithm>.simd.*` kernel-dispatch counters (not part of the
+  /// funnel namespace, so funnel extraction/telescoping is unaffected).
+  obs::Counter* simd_vector_cells = nullptr;
+  obs::Counter* simd_scalar_cells = nullptr;
 };
 
 /// \brief Database-level similar subtrajectory search engine.

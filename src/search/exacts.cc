@@ -1,8 +1,11 @@
 #include "search/exacts.h"
 
+#include <cmath>
 #include <optional>
+#include <vector>
 
 #include "util/check.h"
+#include "util/simd.h"
 
 namespace trajsearch {
 
@@ -37,19 +40,78 @@ class ExactSWedPlan final : public QueryRun {
     costs_.q = query;
     costs_.d = TrajectoryView();
     arena_.Rewind();
+    // Query columns must be bound before the stepper is built: the stepper
+    // captures its SIMD dispatch (Enabled + cols_ready) at construction.
+    if constexpr (simd::VectorizedCosts<Costs>) {
+      costs_.qc = FillCols(query, &arena_);
+    }
+    if constexpr (kHasInsCache) {
+      ins_store_ = arena_.Doubles();
+      costs_.ins_cache = nullptr;
+    }
     dp_.emplace(static_cast<int>(query.size()), costs_, &arena_);
   }
 
   SearchResult Run(TrajectoryView data, double cutoff) override {
     costs_.d = data;
+    if constexpr (kHasInsCache) costs_.ins_cache = nullptr;
     return ExactSWithDp(*dp_, static_cast<int>(data.size()), cutoff);
+  }
+
+  SearchResult RunCols(TrajectoryView data, PointCols cols,
+                       double cutoff) override {
+    // Data-side SoA consumer: ERP's Ins(j) is a gap distance recomputed for
+    // every one of ExactS's n start sweeps; with the candidate's columns at
+    // hand, precompute it vectorized once per candidate. Values are
+    // identical either way (same per-element IEEE ops), so this stays inside
+    // the bit-identity gate; gated on vectorized() so the scalar dispatch
+    // path remains the untouched oracle.
+    if constexpr (kHasInsCache) {
+      if (!cols.empty() && dp_->vectorized()) {
+        FillInsCache(cols, static_cast<int>(data.size()));
+        costs_.d = data;
+        costs_.ins_cache = ins_store_->data();
+        const SearchResult result =
+            ExactSWithDp(*dp_, static_cast<int>(data.size()), cutoff);
+        costs_.ins_cache = nullptr;
+        return result;
+      }
+    }
+    return Run(data, cutoff);
+  }
+
+  simd::CellCounts TakeSimdStats() override {
+    return dp_.has_value() ? dp_->TakeCellCounts() : simd::CellCounts{};
   }
 
   std::string_view name() const override { return "ExactS"; }
 
  private:
+  static constexpr bool kHasInsCache = requires(Costs c) { c.ins_cache; };
+
+  void FillInsCache(PointCols cols, int n)
+    requires(kHasInsCache)
+  {
+    ins_store_->resize(static_cast<size_t>(n));
+    double* out = ins_store_->data();
+    const simd::VecD gx = simd::VecD::Broadcast(costs_.gap.x);
+    const simd::VecD gy = simd::VecD::Broadcast(costs_.gap.y);
+    const int vec_end = n - n % simd::kLanes;
+    for (int j = 0; j < vec_end; j += simd::kLanes) {
+      const simd::VecD dx = simd::VecD::Load(cols.x + j) - gx;
+      const simd::VecD dy = simd::VecD::Load(cols.y + j) - gy;
+      simd::VecD::Sqrt(dx * dx + dy * dy).Store(out + j);
+    }
+    for (int j = vec_end; j < n; ++j) {
+      const double dx = cols.x[j] - costs_.gap.x;
+      const double dy = cols.y[j] - costs_.gap.y;
+      out[j] = std::sqrt(dx * dx + dy * dy);
+    }
+  }
+
   Costs costs_;
   DpArena arena_;
+  std::vector<double>* ins_store_ = nullptr;
   std::optional<WedColumnDp<Costs>> dp_;
 };
 
@@ -66,6 +128,8 @@ class ExactSSubPlan final : public QueryRun {
     sub_.q = query;
     sub_.d = TrajectoryView();
     arena_.Rewind();
+    // Columns before the stepper: dispatch is captured at construction.
+    sub_.qc = FillCols(query, &arena_);
     dp_.emplace(static_cast<int>(query.size()), SubRef<EuclideanSub>{&sub_},
                 &arena_);
   }
@@ -73,6 +137,10 @@ class ExactSSubPlan final : public QueryRun {
   SearchResult Run(TrajectoryView data, double cutoff) override {
     sub_.d = data;
     return ExactSWithDp(*dp_, static_cast<int>(data.size()), cutoff);
+  }
+
+  simd::CellCounts TakeSimdStats() override {
+    return dp_.has_value() ? dp_->TakeCellCounts() : simd::CellCounts{};
   }
 
   std::string_view name() const override { return name_; }

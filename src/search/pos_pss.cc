@@ -94,6 +94,13 @@ class SplitScanPlan final : public QueryRun {
     return SplitScanT(*main_.dp, n, suffix, use_suffix_);
   }
 
+  simd::CellCounts TakeSimdStats() override {
+    simd::CellCounts counts;
+    if (main_.dp.has_value()) counts += main_.dp->TakeCellCounts();
+    if (suffix_.dp.has_value()) counts += suffix_.dp->TakeCellCounts();
+    return counts;
+  }
+
   std::string_view name() const override {
     return use_suffix_ ? "PSS" : "POS";
   }

@@ -3,8 +3,10 @@
 #include <limits>
 #include <string_view>
 
+#include "core/point.h"
 #include "core/trajectory.h"
 #include "search/result.h"
+#include "util/simd.h"
 
 namespace trajsearch {
 
@@ -51,6 +53,23 @@ class QueryRun {
   /// Evaluates one candidate under the cutoff contract above. Requires a
   /// prior Bind and a non-empty candidate.
   virtual SearchResult Run(TrajectoryView data, double cutoff = kNoCutoff) = 0;
+
+  /// Run(), with the candidate's structure-of-arrays coordinate columns when
+  /// the corpus has them (Dataset::cols / DeltaView::cols). Plans whose
+  /// kernels can exploit data-side columns (e.g. the ExactS/ERP insertion
+  /// cache) override this; results are identical to Run() by contract, so
+  /// the default simply forwards.
+  virtual SearchResult RunCols(TrajectoryView data, PointCols cols,
+                               double cutoff = kNoCutoff) {
+    (void)cols;
+    return Run(data, cutoff);
+  }
+
+  /// Drains the DP-cell dispatch counters accumulated by this plan's column
+  /// steppers since the last take (engine folds them into QueryStats and the
+  /// engine.<Algorithm>.simd.* registry counters). Plans without steppers
+  /// report zeros.
+  virtual simd::CellCounts TakeSimdStats() { return simd::CellCounts{}; }
 
   /// Algorithm name for reports ("CMA", "ExactS", ...).
   virtual std::string_view name() const = 0;

@@ -164,6 +164,13 @@ class RlsPlan final : public QueryRun {
     return result;
   }
 
+  simd::CellCounts TakeSimdStats() override {
+    simd::CellCounts counts;
+    if (main_.dp.has_value()) counts += main_.dp->TakeCellCounts();
+    if (suffix_.dp.has_value()) counts += suffix_.dp->TakeCellCounts();
+    return counts;
+  }
+
   std::string_view name() const override { return name_; }
 
  private:

@@ -53,6 +53,10 @@ struct ScanState {
     costs = prototype;
     costs.q = query;
     costs.d = TrajectoryView();
+    // Columns before Emplace: the stepper captures SIMD dispatch when built.
+    if constexpr (simd::VectorizedCosts<typename Kind::Costs>) {
+      costs.qc = FillCols(query, arena);
+    }
     Kind::Emplace(&dp, static_cast<int>(query.size()), costs, arena);
   }
 
@@ -61,14 +65,15 @@ struct ScanState {
 
 /// Per-query suffix-distance machinery: dist(q, d[t..n-1]) equals the
 /// prefix distance of the reversed pair, so one O(mn) reversed sweep fills
-/// the whole table. The reversed query is copied once per Bind (the
-/// stateless path re-materializes it for every candidate); the reversed
-/// data and the table itself are grow-only per-Run scratch.
+/// the whole table. The reversed query is copied once per Bind; both
+/// reversed-point buffers are checked out of the plan's DpArena, so
+/// rebinding the plan to a new query (and every candidate evaluated under
+/// it) reuses the same grow-only storage instead of allocating.
 template <typename Kind>
 struct SuffixState {
   typename Kind::Costs rcosts;
-  std::vector<Point> reversed_query;
-  std::vector<Point> reversed_data;
+  std::vector<Point>* reversed_query = nullptr;
+  std::vector<Point>* reversed_data = nullptr;
   std::optional<typename Kind::Stepper> dp;
   std::vector<double> suffix;
 
@@ -76,11 +81,18 @@ struct SuffixState {
             DpArena* arena) {
     TRAJ_CHECK(!query.empty());
     const size_t m = query.size();
-    reversed_query.resize(m);
-    for (size_t i = 0; i < m; ++i) reversed_query[i] = query[m - 1 - i];
+    reversed_query = arena->Points();
+    reversed_query->resize(m);
+    for (size_t i = 0; i < m; ++i) (*reversed_query)[i] = query[m - 1 - i];
+    // Checked out here (not in Compute) so the arena checkout order is the
+    // same on every rebind and capacity carries over.
+    reversed_data = arena->Points();
     rcosts = prototype;
-    rcosts.q = TrajectoryView(reversed_query);
+    rcosts.q = TrajectoryView(*reversed_query);
     rcosts.d = TrajectoryView();
+    if constexpr (simd::VectorizedCosts<typename Kind::Costs>) {
+      rcosts.qc = FillCols(TrajectoryView(*reversed_query), arena);
+    }
     Kind::Emplace(&dp, static_cast<int>(m), rcosts, arena);
   }
 
@@ -89,9 +101,9 @@ struct SuffixState {
   const std::vector<double>& Compute(TrajectoryView data) {
     const size_t n = data.size();
     TRAJ_CHECK(n >= 1);
-    reversed_data.resize(n);
-    for (size_t j = 0; j < n; ++j) reversed_data[j] = data[n - 1 - j];
-    rcosts.d = TrajectoryView(reversed_data);
+    reversed_data->resize(n);
+    for (size_t j = 0; j < n; ++j) (*reversed_data)[j] = data[n - 1 - j];
+    rcosts.d = TrajectoryView(*reversed_data);
     suffix.assign(n + 1, kDpInfinity);
     dp->Reset();
     for (size_t j = 0; j < n; ++j) {

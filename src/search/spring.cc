@@ -87,6 +87,17 @@ void SpringDtw::Finish() {
   }
 }
 
+void SpringDtw::Rebind(TrajectoryView query, double epsilon) {
+  TRAJ_CHECK(!query.empty());
+  query_.assign(query.begin(), query.end());
+  epsilon_ = epsilon;
+  d_prev_.resize(query_.size());
+  d_cur_.resize(query_.size());
+  s_prev_.resize(query_.size());
+  s_cur_.resize(query_.size());
+  Restart();
+}
+
 void SpringDtw::Restart() {
   // The DP rows need no clearing: Push never reads stale cells (row 0 is
   // always overwritten and j == 0 guards every previous-column access).
@@ -132,7 +143,11 @@ namespace {
 class SpringPlan final : public QueryRun {
  public:
   void Bind(TrajectoryView query) override {
-    spring_.emplace(query, kDpInfinity);
+    if (spring_.has_value()) {
+      spring_->Rebind(query, kDpInfinity);  // reuses rows across queries
+    } else {
+      spring_.emplace(query, kDpInfinity);
+    }
   }
 
   SearchResult Run(TrajectoryView data, double /*cutoff*/) override {

@@ -56,6 +56,11 @@ class SpringDtw {
   /// allocation-free.
   void Restart();
 
+  /// Rebinds the matcher to a new query, reusing the query copy and the DP
+  /// rows in place (grow-only: rebinding to a query no longer than any seen
+  /// before allocates nothing). Equivalent to constructing a fresh matcher.
+  void Rebind(TrajectoryView query, double epsilon);
+
   /// All reported matches so far (disjoint ranges).
   const std::vector<SpringMatch>& matches() const { return matches_; }
 

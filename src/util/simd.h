@@ -1,0 +1,242 @@
+#pragma once
+
+#include <atomic>
+#include <concepts>
+#include <cstdint>
+#include <cstdlib>
+
+// Portable SIMD wrapper for the DP column kernels (distance/dp.h): one
+// double-precision vector type behind AVX2 (4 lanes), NEON (2 lanes) or a
+// scalar fallback (1 lane), selected at compile time from the target ISA.
+// A process-wide runtime switch (env TRAJSEARCH_SIMD=0, a CPUID probe, or
+// simd::SetEnabled for tests/benchmarks) lets every build fall back to the
+// scalar identity oracle without recompiling; query plans capture the switch
+// at Bind time, so dispatch is per plan bind, never per candidate. Dispatch
+// is also per stepper: the startup probe selects the vector kernel only
+// where it is a measured win (the WED stepper's three-candidate cells), and
+// SetEnabled(true) forces it everywhere a kernel exists so tests and
+// benchmarks can exercise the DTW/Fréchet kernels, whose serial left-chain
+// pass makes the split a wash at realistic query lengths.
+//
+// Bit-identity contract: every lane operation here is a single correctly
+// rounded IEEE-754 double operation (add/sub/mul/sqrt/min/max/compare), so a
+// vectorized kernel that performs the same per-cell operations as its scalar
+// loop produces bit-identical results. Two ambient hazards are handled
+// elsewhere: the build compiles with -ffp-contract=off so scalar expressions
+// never fuse into FMAs the vector kernels don't use (CMakeLists.txt), and
+// the DP cells never hold NaN or -0.0 (costs are non-negative and infinity
+// is the finite sentinel kDpInfinity), so min/max tie-breaking between the
+// scalar and vector instructions cannot produce different bit patterns.
+//
+// Configure with -DTRAJSEARCH_SIMD=OFF (defines TRAJSEARCH_SIMD_DISABLED) to
+// force the 1-lane scalar type at compile time; the full test suite runs in
+// that mode in CI.
+
+#if !defined(TRAJSEARCH_SIMD_DISABLED) && defined(__AVX2__)
+#define TRAJSEARCH_SIMD_AVX2 1
+#include <immintrin.h>
+#elif !defined(TRAJSEARCH_SIMD_DISABLED) && defined(__aarch64__)
+#define TRAJSEARCH_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace trajsearch::simd {
+
+#if defined(TRAJSEARCH_SIMD_AVX2)
+
+/// Lanes per VecD in this build.
+inline constexpr int kLanes = 4;
+inline constexpr const char* kIsaName = "avx2";
+
+/// \brief 4-lane double vector (AVX2).
+struct VecD {
+  __m256d v;
+
+  static VecD Load(const double* p) { return {_mm256_loadu_pd(p)}; }
+  static VecD Broadcast(double x) { return {_mm256_set1_pd(x)}; }
+  void Store(double* p) const { _mm256_storeu_pd(p, v); }
+
+  friend VecD operator+(VecD a, VecD b) { return {_mm256_add_pd(a.v, b.v)}; }
+  friend VecD operator-(VecD a, VecD b) { return {_mm256_sub_pd(a.v, b.v)}; }
+  friend VecD operator*(VecD a, VecD b) { return {_mm256_mul_pd(a.v, b.v)}; }
+
+  static VecD Min(VecD a, VecD b) { return {_mm256_min_pd(a.v, b.v)}; }
+  static VecD Max(VecD a, VecD b) { return {_mm256_max_pd(a.v, b.v)}; }
+  static VecD Sqrt(VecD a) { return {_mm256_sqrt_pd(a.v)}; }
+
+  /// Lanewise a <= b ? x : y.
+  static VecD SelectLE(VecD a, VecD b, VecD x, VecD y) {
+    const __m256d mask = _mm256_cmp_pd(a.v, b.v, _CMP_LE_OQ);
+    return {_mm256_blendv_pd(y.v, x.v, mask)};
+  }
+
+  /// Minimum across the lanes.
+  double ReduceMin() const {
+    const __m128d lo = _mm256_castpd256_pd128(v);
+    const __m128d hi = _mm256_extractf128_pd(v, 1);
+    const __m128d m2 = _mm_min_pd(lo, hi);
+    const __m128d m1 = _mm_min_sd(m2, _mm_unpackhi_pd(m2, m2));
+    return _mm_cvtsd_f64(m1);
+  }
+};
+
+#elif defined(TRAJSEARCH_SIMD_NEON)
+
+inline constexpr int kLanes = 2;
+inline constexpr const char* kIsaName = "neon";
+
+/// \brief 2-lane double vector (AArch64 NEON).
+struct VecD {
+  float64x2_t v;
+
+  static VecD Load(const double* p) { return {vld1q_f64(p)}; }
+  static VecD Broadcast(double x) { return {vdupq_n_f64(x)}; }
+  void Store(double* p) const { vst1q_f64(p, v); }
+
+  friend VecD operator+(VecD a, VecD b) { return {vaddq_f64(a.v, b.v)}; }
+  friend VecD operator-(VecD a, VecD b) { return {vsubq_f64(a.v, b.v)}; }
+  friend VecD operator*(VecD a, VecD b) { return {vmulq_f64(a.v, b.v)}; }
+
+  static VecD Min(VecD a, VecD b) { return {vminq_f64(a.v, b.v)}; }
+  static VecD Max(VecD a, VecD b) { return {vmaxq_f64(a.v, b.v)}; }
+  static VecD Sqrt(VecD a) { return {vsqrtq_f64(a.v)}; }
+
+  static VecD SelectLE(VecD a, VecD b, VecD x, VecD y) {
+    const uint64x2_t mask = vcleq_f64(a.v, b.v);
+    return {vbslq_f64(mask, x.v, y.v)};
+  }
+
+  double ReduceMin() const {
+    const double a = vgetq_lane_f64(v, 0);
+    const double b = vgetq_lane_f64(v, 1);
+    return a < b ? a : b;
+  }
+};
+
+#else
+
+inline constexpr int kLanes = 1;
+inline constexpr const char* kIsaName = "scalar";
+
+/// \brief 1-lane fallback so vectorized code compiles (and is never
+/// dispatched to: Enabled() is constant false in this build).
+struct VecD {
+  double v;
+
+  static VecD Load(const double* p) { return {*p}; }
+  static VecD Broadcast(double x) { return {x}; }
+  void Store(double* p) const { *p = v; }
+
+  friend VecD operator+(VecD a, VecD b) { return {a.v + b.v}; }
+  friend VecD operator-(VecD a, VecD b) { return {a.v - b.v}; }
+  friend VecD operator*(VecD a, VecD b) { return {a.v * b.v}; }
+
+  static VecD Min(VecD a, VecD b) { return {a.v < b.v ? a.v : b.v}; }
+  static VecD Max(VecD a, VecD b) { return {a.v > b.v ? a.v : b.v}; }
+  static VecD Sqrt(VecD a) { return {__builtin_sqrt(a.v)}; }
+
+  static VecD SelectLE(VecD a, VecD b, VecD x, VecD y) {
+    return {a.v <= b.v ? x.v : y.v};
+  }
+
+  double ReduceMin() const { return v; }
+};
+
+#endif
+
+namespace detail {
+
+/// True if the host CPU can execute this build's vector ISA.
+inline bool HardwareSupported() {
+#if defined(TRAJSEARCH_SIMD_AVX2)
+  return __builtin_cpu_supports("avx2");
+#elif defined(TRAJSEARCH_SIMD_NEON)
+  return true;  // NEON is baseline on AArch64
+#else
+  return false;
+#endif
+}
+
+/// Dispatch mode: -1 = not probed yet, 0 = off (scalar everywhere),
+/// 1 = auto (vector only where the two-pass column split is profitable:
+/// the WED stepper), 2 = forced (vector wherever a vector kernel exists;
+/// tests and benchmarks use this to exercise the DTW/Fréchet kernels too).
+inline std::atomic<int>& ModeFlag() {
+  static std::atomic<int> flag{-1};
+  return flag;
+}
+
+inline int Probe() {
+  const char* env = std::getenv("TRAJSEARCH_SIMD");
+  if (env != nullptr && env[0] == '0' && env[1] == '\0') return 0;
+  return HardwareSupported() ? 1 : 0;
+}
+
+inline int Mode() {
+  if constexpr (kLanes == 1) return 0;
+  int v = ModeFlag().load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = Probe();
+    ModeFlag().store(v, std::memory_order_relaxed);
+  }
+  return v;
+}
+
+}  // namespace detail
+
+/// Whether vectorized kernels should be used where they pay for themselves.
+/// Lazily probes the CPU and the TRAJSEARCH_SIMD env kill switch on first
+/// use; relaxed atomic thereafter. Plans sample this once per Bind, so
+/// flipping it mid-query has no effect on an already-bound plan.
+inline bool Enabled() { return detail::Mode() > 0; }
+
+/// Whether vector kernels should run even where the two-pass split is a
+/// measured wash (the DTW/Fréchet steppers, whose serial left-chain pass
+/// dominates). Only SetEnabled(true) selects this mode; the startup probe
+/// never does, so production engines keep the profitable-only default.
+inline bool Forced() { return detail::Mode() == 2; }
+
+/// Runtime switch for tests/benchmarks A/B-ing the two dispatch paths:
+/// SetEnabled(true) *forces* vector dispatch in every stepper with a vector
+/// kernel (clamped to what the hardware supports), so bit-identity suites
+/// cover kernels the profitable-only auto mode would skip; SetEnabled(false)
+/// forces the scalar oracle everywhere.
+inline void SetEnabled(bool on) {
+  detail::ModeFlag().store(on && detail::HardwareSupported() ? 2 : 0,
+                           std::memory_order_relaxed);
+}
+
+/// Name of the ISA the vector kernels target in this build ("avx2", "neon"
+/// or "scalar"); logged by benches/CI so runner differences are diagnosable.
+inline const char* IsaName() { return kIsaName; }
+
+/// Lanes per vector (1 in scalar builds).
+inline int Width() { return kLanes; }
+
+/// \brief DP cells processed by the two dispatch paths, accumulated by the
+/// column steppers (plain members, no atomics) and drained per query through
+/// QueryRun::TakeSimdStats into the engine.<Algorithm>.simd.* counters.
+/// vector_cells counts cells whose substitution kernel ran in a full vector
+/// lane group; scalar_cells counts tail lanes plus everything a
+/// scalar-dispatched stepper does.
+struct CellCounts {
+  uint64_t vector_cells = 0;
+  uint64_t scalar_cells = 0;
+
+  CellCounts& operator+=(const CellCounts& o) {
+    vector_cells += o.vector_cells;
+    scalar_cells += o.scalar_cells;
+    return *this;
+  }
+};
+
+/// \brief Concept a cost/substitution object models to be eligible for the
+/// vectorized column sweeps: a lane-group substitution kernel over query
+/// coordinate columns, plus a readiness check (columns bound).
+template <typename C>
+concept VectorizedCosts = requires(const C& c, int x, int j) {
+  { c.SubLane(x, j) } -> std::same_as<VecD>;
+  { c.cols_ready() } -> std::same_as<bool>;
+};
+
+}  // namespace trajsearch::simd

@@ -22,6 +22,7 @@
 #include "service/query_service.h"
 #include "tests/test_util.h"
 #include "util/rng.h"
+#include "util/simd.h"
 
 namespace trajsearch {
 namespace {
@@ -193,6 +194,63 @@ TEST(FunnelTest, LiveCorpusMatrixTelescopesExactly) {
                              2 * f.queries.size(),
                              "live compacted " + context);
     }
+  }
+}
+
+TEST(FunnelTest, SimdDispatchLeavesTheFunnelUnchanged) {
+  // The `engine.<Algorithm>.simd.*` kernel counters live outside the funnel
+  // namespace: funnel extraction must still see exactly one row, and the
+  // funnel counts themselves must be identical under vector and scalar
+  // dispatch (the kernels are bit-identical, so no pruning decision may
+  // move). Serial engine + sound bound so the funnel is fully deterministic.
+  if (simd::kLanes == 1) GTEST_SKIP() << "built without SIMD lanes";
+  const FunnelFixture f = MakeFixture();
+  Dataset dataset("funnel-simd");
+  for (const Trajectory& t : f.corpus) dataset.Add(t);
+
+  const bool prev = simd::Enabled();
+  for (const DistanceSpec& spec : testing::PaperGpsSpecs()) {
+    const std::string context = "ExactS/" + std::string(ToString(spec.kind));
+    obs::FunnelRow rows[2];
+    uint64_t vector_cells[2] = {0, 0};
+    uint64_t scalar_cells[2] = {0, 0};
+    for (const int mode : {0, 1}) {  // 0 = vector dispatch, 1 = scalar
+      simd::SetEnabled(mode == 0);
+      obs::Registry registry;
+      EngineOptions options =
+          MatrixEngineOptions(Algorithm::kExactS, spec, f.cell);
+      options.threads = 1;
+      options.sample_rate = 1.0;
+      options.metrics = &registry;
+      const SearchEngine engine(&dataset, options);
+      uint64_t stats_vector_cells = 0;
+      for (size_t qi = 0; qi < f.queries.size(); ++qi) {
+        QueryStats stats;
+        engine.Query(f.queries[qi], &stats, f.excluded[qi]);
+        stats_vector_cells += stats.simd_vector_cells;
+      }
+      const obs::RegistrySnapshot snap = registry.Snapshot();
+      const std::vector<obs::FunnelRow> funnels = obs::ExtractFunnels(snap);
+      ASSERT_EQ(funnels.size(), 1u) << context;  // simd.* is not a funnel
+      rows[mode] = funnels.front();
+      vector_cells[mode] = snap.counter("engine.ExactS.simd.vector_cells");
+      scalar_cells[mode] = snap.counter("engine.ExactS.simd.scalar_cells");
+      EXPECT_EQ(stats_vector_cells, vector_cells[mode]) << context;
+    }
+    simd::SetEnabled(prev);
+    // Vector dispatch really ran lane groups; scalar dispatch ran none.
+    EXPECT_GT(vector_cells[0], 0u) << context;
+    EXPECT_EQ(vector_cells[1], 0u) << context;
+    EXPECT_GT(scalar_cells[1], 0u) << context;
+    // Same total DP work either way, just split across the two kernels.
+    EXPECT_EQ(vector_cells[0] + scalar_cells[0], scalar_cells[1]) << context;
+    // And the pruning funnel itself is dispatch-invariant.
+    EXPECT_EQ(rows[0].candidates, rows[1].candidates) << context;
+    EXPECT_EQ(rows[0].skipped, rows[1].skipped) << context;
+    EXPECT_EQ(rows[0].bound_pruned, rows[1].bound_pruned) << context;
+    EXPECT_EQ(rows[0].dp_runs, rows[1].dp_runs) << context;
+    EXPECT_EQ(rows[0].dp_abandoned, rows[1].dp_abandoned) << context;
+    EXPECT_EQ(rows[0].dp_completed, rows[1].dp_completed) << context;
   }
 }
 

@@ -100,37 +100,46 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 TEST(PlanAllocTest, ReboundPlanReusesScratchAcrossQueries) {
-  // Rebinding to same-sized queries must also be allocation-free for the
-  // arena-backed plans (CMA/ExactS; the scan plans additionally copy the
-  // reversed query into a grow-only buffer, which stays in capacity).
+  // Rebinding to queries the plan has already seen must be allocation-free
+  // for every plan: all Bind-time scratch — DP columns, query coordinate
+  // columns (FillCols), deletion-prefix tables, and the reversed-query /
+  // reversed-data point buffers of the POS/PSS/RLS suffix scans — is checked
+  // out of the plan's grow-only DpArena in a deterministic order, so a
+  // re-Bind reuses the same storage instead of allocating.
   Rng rng(777);
   std::vector<Trajectory> queries;
-  for (int i = 0; i < 4; ++i) queries.push_back(RandomWalk(&rng, 10));
+  // Varying lengths, bound out of order below, so a plan that sized scratch
+  // to one query and silently reallocated on the next would be caught.
+  for (int i = 0; i < 4; ++i) queries.push_back(RandomWalk(&rng, 8 + i * 2));
   std::vector<Trajectory> corpus;
   for (int i = 0; i < 4; ++i) corpus.push_back(RandomWalk(&rng, 30));
 
   for (const Algorithm algorithm :
-       {Algorithm::kCma, Algorithm::kExactS, Algorithm::kPos,
-        Algorithm::kPss}) {
-    const DistanceSpec spec = DistanceSpec::Dtw();
-    auto searcher = MakeSearcher(algorithm, spec);
-    ASSERT_TRUE(searcher.ok());
-    std::unique_ptr<QueryRun> plan = searcher.value()->NewRun();
-    for (const Trajectory& q : queries) {  // warm-up over all queries
-      plan->Bind(q);
-      for (const Trajectory& data : corpus) (void)plan->Run(data, kNoCutoff);
-    }
-    const long long before = AllocationCount();
-    double sum = 0;
-    for (const Trajectory& q : queries) {
-      plan->Bind(q);
-      for (const Trajectory& data : corpus) {
-        sum += plan->Run(data, kNoCutoff).distance;
+       {Algorithm::kCma, Algorithm::kExactS, Algorithm::kSpring,
+        Algorithm::kGreedyBacktracking, Algorithm::kPos, Algorithm::kPss,
+        Algorithm::kRls, Algorithm::kRlsSkip}) {
+    for (const DistanceSpec& spec : testing::PaperGpsSpecs()) {
+      if (!Supports(algorithm, spec.kind)) continue;
+      auto searcher = MakeSearcher(algorithm, spec);
+      ASSERT_TRUE(searcher.ok());
+      std::unique_ptr<QueryRun> plan = searcher.value()->NewRun();
+      for (const Trajectory& q : queries) {  // warm-up over all queries
+        plan->Bind(q);
+        for (const Trajectory& data : corpus) (void)plan->Run(data, kNoCutoff);
       }
+      const long long before = AllocationCount();
+      double sum = 0;
+      const int order[] = {3, 0, 2, 1, 3, 1};  // revisit shorter after longer
+      for (const int qi : order) {
+        plan->Bind(queries[static_cast<size_t>(qi)]);
+        for (const Trajectory& data : corpus) {
+          sum += plan->Run(data, kNoCutoff).distance;
+        }
+      }
+      EXPECT_EQ(AllocationCount() - before, 0)
+          << ToString(algorithm) << "/" << ToString(spec.kind)
+          << " re-Bind allocated (checksum " << sum << ")";
     }
-    EXPECT_EQ(AllocationCount() - before, 0)
-        << ToString(algorithm) << " re-Bind allocated (checksum " << sum
-        << ")";
   }
 }
 

@@ -27,6 +27,7 @@
 #include "tests/legacy_baseline.h"
 #include "tests/test_util.h"
 #include "util/rng.h"
+#include "util/simd.h"
 
 namespace trajsearch {
 namespace {
@@ -297,6 +298,124 @@ TEST(PlanReuseTest, ReboundPlanMatchesFreshPlansAcrossQueries) {
               << " query " << qi;
         }
       }
+    }
+  }
+}
+
+/// Scoped override of the runtime SIMD dispatch switch. Plans capture the
+/// dispatch mode at Bind — which happens inside Query/Submit — so toggling
+/// between calls on the same engine flips every stepper built afterwards.
+class SimdModeGuard {
+ public:
+  explicit SimdModeGuard(bool on) : prev_(simd::Enabled()) {
+    simd::SetEnabled(on);
+  }
+  ~SimdModeGuard() { simd::SetEnabled(prev_); }
+
+ private:
+  bool prev_;
+};
+
+// SIMD identity gate, engine level: the vectorized column kernels must leave
+// every engine result bit-identical to the scalar dispatch path — same hit
+// ids, same distances, same ranges — across all 8 algorithms x 4 GPS
+// distances, with early abandoning on and off, threads > 1, and (below)
+// shards > 1 over live and compacted corpora.
+class SimdDispatchMatrixTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimdDispatchMatrixTest, VectorAndScalarDispatchBitIdentical) {
+  if (simd::kLanes == 1) GTEST_SKIP() << "built without SIMD lanes";
+  const uint64_t seed = static_cast<uint64_t>(GetParam()) * 211 + 17;
+  const Dataset dataset = WalkDataset(40, 18, seed);
+  Rng rng(seed + 1);
+  const Trajectory query = RandomWalk(&rng, 7);
+
+  for (const Algorithm algorithm : kAllAlgorithms) {
+    for (const DistanceSpec& spec : testing::PaperGpsSpecs()) {
+      if (!Supports(algorithm, spec.kind)) continue;
+      for (const bool abandon : {true, false}) {
+        EngineOptions options;
+        options.spec = spec;
+        options.algorithm = algorithm;
+        options.use_gbp = true;
+        options.mu = 0.2;
+        options.use_kpf = true;
+        options.sample_rate = 1.0;  // sound bound: dispatch cannot reorder
+        options.top_k = 4;
+        options.threads = 3;
+        options.use_early_abandon = abandon;
+        const SearchEngine engine(&dataset, options);
+        std::vector<EngineHit> vec_hits, scalar_hits;
+        {
+          SimdModeGuard simd_on(true);
+          vec_hits = engine.Query(query);
+        }
+        {
+          SimdModeGuard simd_off(false);
+          scalar_hits = engine.Query(query);
+        }
+        ExpectIdenticalHits(vec_hits, scalar_hits,
+                            std::string(ToString(algorithm)) + "/" +
+                                std::string(ToString(spec.kind)) +
+                                " abandon=" + std::to_string(abandon));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimdDispatchMatrixTest,
+                         ::testing::Range(0, 2));
+
+TEST(SimdDispatchLiveTest, LiveDeltaAndCompactedCorporaBitIdentical) {
+  if (simd::kLanes == 1) GTEST_SKIP() << "built without SIMD lanes";
+  Rng rng(4711);
+  const Trajectory query = RandomWalk(&rng, 7);
+  std::vector<Trajectory> appended;
+  std::vector<TrajectoryView> append_views;
+  for (int i = 0; i < 10; ++i) {
+    appended.push_back(RandomWalk(&rng, 14 + i % 5));
+    append_views.push_back(appended.back().View());
+  }
+
+  for (const Algorithm algorithm : kAllAlgorithms) {
+    for (const DistanceSpec& spec : testing::PaperGpsSpecs()) {
+      if (!Supports(algorithm, spec.kind)) continue;
+      ServiceOptions service_options;
+      service_options.engine.spec = spec;
+      service_options.engine.algorithm = algorithm;
+      service_options.engine.use_kpf = true;
+      service_options.engine.sample_rate = 1.0;
+      service_options.engine.top_k = 4;
+      service_options.engine.threads = 2;
+      service_options.shards = 3;
+      service_options.cache_capacity = 0;  // every Submit really searches
+      service_options.compact_delta_trajectories = 0;
+      QueryService service(WalkDataset(36, 16, 4712), service_options);
+      service.AppendBatch(append_views);  // live delta alongside the base
+      const std::string label = std::string(ToString(algorithm)) + "/" +
+                                std::string(ToString(spec.kind));
+
+      std::vector<EngineHit> vec_hits, scalar_hits;
+      {
+        SimdModeGuard simd_on(true);
+        vec_hits = service.Submit(query);
+      }
+      {
+        SimdModeGuard simd_off(false);
+        scalar_hits = service.Submit(query);
+      }
+      ExpectIdenticalHits(vec_hits, scalar_hits, label + " live-delta");
+
+      ASSERT_TRUE(service.Compact());
+      {
+        SimdModeGuard simd_on(true);
+        vec_hits = service.Submit(query);
+      }
+      {
+        SimdModeGuard simd_off(false);
+        scalar_hits = service.Submit(query);
+      }
+      ExpectIdenticalHits(vec_hits, scalar_hits, label + " compacted");
     }
   }
 }
