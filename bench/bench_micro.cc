@@ -5,12 +5,18 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "core/dataset.h"
 #include "distance/cost_model.h"
 #include "distance/dp.h"
 #include "gen/taxi.h"
 #include "search/cma.h"
 #include "search/exacts.h"
 #include "search/greedy_backtracking.h"
+#include "search/searcher.h"
 #include "search/spring.h"
 #include "util/rng.h"
 #include "util/simd.h"
@@ -196,6 +202,179 @@ void BM_FrechetColumnSweepSimd(benchmark::State& state) {
   SweepLoop(state, dp, m);
 }
 BENCHMARK(BM_FrechetColumnSweepSimd)->RangeMultiplier(4)->Range(8, 512);
+
+// ---------------------------------------------------------------------------
+// PR 8: batch-kernel grid — batched vs column vs scalar dispatch.
+//
+// The batch kernels vectorize across *sweeps* (multi-sweep ExactS: kLanes
+// start positions per vector; CMA: kLanes candidates per vector) instead of
+// across the query dimension like the column kernels above. The grid
+// A/Bs the three dispatch modes over query length m and, for ExactS, the
+// lane clamp (2 = NEON shape, kLanes = full width). items_processed = DP
+// cells, comparable across all variants of one shape.
+// ---------------------------------------------------------------------------
+
+constexpr int kBatchSweepN = 192;
+
+void BM_ExactSMultiSweepScalar(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const Trajectory q = MakeWalk(m, 21);
+  const Trajectory d = MakeWalk(kBatchSweepN, 22);
+  const EuclideanSub sub{q, d};
+  DtwColumnDp<EuclideanSub> dp(m, sub);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExactSWithDp(dp, kBatchSweepN));
+  }
+  // Full Algorithm 1: n(n+1)/2 extends of an m-cell column.
+  state.SetItemsProcessed(state.iterations() * m * kBatchSweepN *
+                          (kBatchSweepN + 1) / 2);
+}
+BENCHMARK(BM_ExactSMultiSweepScalar)->RangeMultiplier(4)->Range(8, 128);
+
+void BM_ExactSMultiSweepBatched(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int lanes = static_cast<int>(state.range(1));
+  const Trajectory q = MakeWalk(m, 21);
+  const Trajectory d = MakeWalk(kBatchSweepN, 22);
+  simd::SetEnabled(true);
+  const EuclideanSub sub{q, d};
+  DtwBatchDp<SubRef<EuclideanSub>> dp(m, SubRef<EuclideanSub>{&sub});
+  const auto stage = [&](int l, int j, double* sx, double* sy,
+                         double* /*ins*/) {
+    const Point p = d[static_cast<size_t>(j)];
+    sx[l] = p.x;
+    sy[l] = p.y;
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ExactSBatchWithDp(dp, kBatchSweepN, kNoCutoff, lanes, stage));
+  }
+  state.SetItemsProcessed(state.iterations() * m * kBatchSweepN *
+                          (kBatchSweepN + 1) / 2);
+}
+BENCHMARK(BM_ExactSMultiSweepBatched)
+    ->ArgsProduct({{8, 32, 128}, {2, simd::kLanes}});
+
+void BM_ExactSMultiSweepWedScalar(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const Trajectory q = MakeWalk(m, 23);
+  const Trajectory d = MakeWalk(kBatchSweepN, 24);
+  const EdrCosts costs{q, d, 0.001};
+  WedColumnDp<EdrCosts> dp(m, costs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExactSWithDp(dp, kBatchSweepN));
+  }
+  state.SetItemsProcessed(state.iterations() * m * kBatchSweepN *
+                          (kBatchSweepN + 1) / 2);
+}
+BENCHMARK(BM_ExactSMultiSweepWedScalar)->RangeMultiplier(4)->Range(8, 128);
+
+void BM_ExactSMultiSweepWedBatched(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int lanes = static_cast<int>(state.range(1));
+  const Trajectory q = MakeWalk(m, 23);
+  const Trajectory d = MakeWalk(kBatchSweepN, 24);
+  simd::SetEnabled(true);
+  const EdrCosts costs{q, d, 0.001};
+  WedBatchDp<EdrCosts> dp(m, costs);
+  const auto stage = [&](int l, int j, double* sx, double* sy, double* ins) {
+    const Point p = d[static_cast<size_t>(j)];
+    sx[l] = p.x;
+    sy[l] = p.y;
+    ins[l] = costs.Ins(j);
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ExactSBatchWithDp(dp, kBatchSweepN, kNoCutoff, lanes, stage));
+  }
+  state.SetItemsProcessed(state.iterations() * m * kBatchSweepN *
+                          (kBatchSweepN + 1) / 2);
+}
+BENCHMARK(BM_ExactSMultiSweepWedBatched)
+    ->ArgsProduct({{8, 32, 128}, {2, simd::kLanes}});
+
+/// CMA three-way: scalar rows (Run), data-dimension vectorized rows
+/// (RunCols), and cross-candidate lanes (RunBatch over kLanes candidates).
+/// One "iteration" evaluates kLanes candidates so the three variants do the
+/// same work.
+struct CmaBatchFixture {
+  Trajectory query;
+  std::vector<Trajectory> data;
+  Dataset dataset{"bench-cma-batch"};
+
+  CmaBatchFixture(int m, int n) : query(MakeWalk(m, 31)) {
+    for (int l = 0; l < simd::kLanes; ++l) {
+      data.push_back(MakeWalk(n + l, 32 + static_cast<uint64_t>(l)));
+      dataset.Add(data.back());
+    }
+  }
+};
+
+void BM_CmaRowsScalar(benchmark::State& state) {
+  const CmaBatchFixture f(static_cast<int>(state.range(0)),
+                          static_cast<int>(state.range(1)));
+  simd::SetEnabled(false);
+  auto searcher = MakeSearcher(Algorithm::kCma, DistanceSpec::Dtw());
+  std::unique_ptr<QueryRun> plan = searcher.value()->Bind(f.query);
+  for (auto _ : state) {
+    double sum = 0;
+    for (int id = 0; id < f.dataset.size(); ++id) {
+      sum += plan->Run(f.dataset[id], kNoCutoff).distance;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          state.range(1) * simd::kLanes);
+}
+BENCHMARK(BM_CmaRowsScalar)->ArgsProduct({{16, 64}, {256, 1024}});
+
+void BM_CmaRowsColumn(benchmark::State& state) {
+  const CmaBatchFixture f(static_cast<int>(state.range(0)),
+                          static_cast<int>(state.range(1)));
+  simd::SetEnabled(true);
+  auto searcher = MakeSearcher(Algorithm::kCma, DistanceSpec::Dtw());
+  std::unique_ptr<QueryRun> plan = searcher.value()->Bind(f.query);
+  for (auto _ : state) {
+    double sum = 0;
+    for (int id = 0; id < f.dataset.size(); ++id) {
+      sum += plan->RunCols(f.dataset[id], f.dataset.cols(id), kNoCutoff)
+                 .distance;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          state.range(1) * simd::kLanes);
+}
+BENCHMARK(BM_CmaRowsColumn)->ArgsProduct({{16, 64}, {256, 1024}});
+
+void BM_CmaRowsBatched(benchmark::State& state) {
+  const CmaBatchFixture f(static_cast<int>(state.range(0)),
+                          static_cast<int>(state.range(1)));
+  simd::SetEnabled(true);
+  auto searcher = MakeSearcher(Algorithm::kCma, DistanceSpec::Dtw());
+  std::unique_ptr<QueryRun> plan = searcher.value()->Bind(f.query);
+  std::vector<QueryRun::RunBatchItem> items;
+  for (int id = 0; id < f.dataset.size(); ++id) {
+    items.push_back({f.dataset[id].View(), f.dataset.cols(id)});
+  }
+  std::vector<SearchResult> results(items.size());
+  const int width = plan->batch_width();
+  for (auto _ : state) {
+    double sum = 0;
+    for (size_t begin = 0; begin < items.size();) {
+      const int count = static_cast<int>(std::min(
+          static_cast<size_t>(width), items.size() - begin));
+      plan->RunBatch(items.data() + begin, count, kNoCutoff,
+                     results.data() + begin);
+      begin += static_cast<size_t>(count);
+    }
+    for (const SearchResult& r : results) sum += r.distance;
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          state.range(1) * simd::kLanes);
+}
+BENCHMARK(BM_CmaRowsBatched)->ArgsProduct({{16, 64}, {256, 1024}});
 
 }  // namespace
 }  // namespace trajsearch

@@ -32,6 +32,20 @@ namespace trajsearch {
 /// the steppers fall back to the scalar loop via the simd::VectorizedCosts
 /// concept. Every SubLane performs, per lane, the same correctly rounded
 /// IEEE operations as the scalar Sub, so results are bit-identical.
+///
+/// The batch kernels (multi-sweep ExactS, lane-parallel CMA in
+/// distance/dp.h / search/cma.h) walk the transpose: one query index against
+/// a lane group of *data* points, one independent sweep or candidate per
+/// lane. For those the cost models expose
+///
+///   simd::VecD SubData(int i, simd::VecD dx, simd::VecD dy) const;
+///
+/// where (dx, dy) are data coordinates the caller staged per lane (each lane
+/// may come from a different data index or a different trajectory, so there
+/// is no column to load from — staging is the caller's job). The query point
+/// is broadcast from the bound view; no columns are required, and the
+/// per-lane operation sequence again mirrors the scalar Sub exactly
+/// (simd::BatchCosts gates dispatch).
 
 /// \brief EDR costs (Chen et al. 2005): ins = del = 1; sub = 0 iff the points
 /// are within `epsilon` (Euclidean), else 1.
@@ -60,6 +74,17 @@ struct EdrCosts {
     const simd::VecD dy =
         simd::VecD::Load(qc.y + x) - simd::VecD::Broadcast(p.y);
     const simd::VecD sq = dx * dx + dy * dy;
+    return simd::VecD::SelectLE(sq, simd::VecD::Broadcast(epsilon * epsilon),
+                                simd::VecD::Broadcast(0.0),
+                                simd::VecD::Broadcast(1.0));
+  }
+  /// Sub for query index i against a lane group of staged data coordinates —
+  /// same squared-distance/threshold sequence as the scalar Sub, per lane.
+  simd::VecD SubData(int i, simd::VecD dx, simd::VecD dy) const {
+    const Point p = q[static_cast<size_t>(i)];
+    const simd::VecD ddx = simd::VecD::Broadcast(p.x) - dx;
+    const simd::VecD ddy = simd::VecD::Broadcast(p.y) - dy;
+    const simd::VecD sq = ddx * ddx + ddy * ddy;
     return simd::VecD::SelectLE(sq, simd::VecD::Broadcast(epsilon * epsilon),
                                 simd::VecD::Broadcast(0.0),
                                 simd::VecD::Broadcast(1.0));
@@ -103,6 +128,14 @@ struct ErpCosts {
     const simd::VecD dy =
         simd::VecD::Load(qc.y + x) - simd::VecD::Broadcast(p.y);
     return simd::VecD::Sqrt(dx * dx + dy * dy);
+  }
+  /// Sub for query index i against a lane group of staged data coordinates —
+  /// the same sub/mul/add/sqrt sequence as the scalar EuclideanDistance.
+  simd::VecD SubData(int i, simd::VecD dx, simd::VecD dy) const {
+    const Point p = q[static_cast<size_t>(i)];
+    const simd::VecD ddx = simd::VecD::Broadcast(p.x) - dx;
+    const simd::VecD ddy = simd::VecD::Broadcast(p.y) - dy;
+    return simd::VecD::Sqrt(ddx * ddx + ddy * ddy);
   }
 };
 
@@ -161,6 +194,12 @@ struct EuclideanSub {
         simd::VecD::Load(qc.y + x) - simd::VecD::Broadcast(p.y);
     return simd::VecD::Sqrt(dx * dx + dy * dy);
   }
+  simd::VecD SubData(int i, simd::VecD dx, simd::VecD dy) const {
+    const Point p = q[static_cast<size_t>(i)];
+    const simd::VecD ddx = simd::VecD::Broadcast(p.x) - dx;
+    const simd::VecD ddy = simd::VecD::Broadcast(p.y) - dy;
+    return simd::VecD::Sqrt(ddx * ddx + ddy * ddy);
+  }
 };
 
 /// \brief Indirection over a substitution functor. The DTW/Fréchet column
@@ -184,6 +223,11 @@ struct SubRef {
     requires simd::VectorizedCosts<F>
   {
     return fn->SubLane(x, j);
+  }
+  simd::VecD SubData(int i, simd::VecD dx, simd::VecD dy) const
+    requires simd::BatchCosts<F>
+  {
+    return fn->SubData(i, dx, dy);
   }
 };
 

@@ -568,4 +568,311 @@ class FrechetColumnDp {
   simd::CellCounts cells_;
 };
 
+/// The batch steppers below are the second SIMD axis: instead of putting a
+/// lane group of query indices in a vector (the column steppers above), they
+/// put simd::kLanes *independent sweeps* in the lanes — each lane owns its
+/// own DP column in lane-interleaved scratch (cell x of lane l at
+/// x*kLanes + l) and its own boundary state, and one Extend advances every
+/// lane by one data point. Because the lanes are independent chains, the
+/// serial left-chain/rolling-minimum dependency that caps the DTW/Fréchet
+/// column split runs kLanes chains per instruction here.
+///
+/// Protocol: ResetLane(l) starts a fresh sweep in lane l (other lanes are
+/// untouched — lanes retire and refill individually); Extend(sx, sy, ins,
+/// live) advances all lanes one step against per-lane *staged* data
+/// coordinates (and, for WED, per-lane insertion costs) the caller filled
+/// into kLanes-sized buffers — each lane may stage a different data index or
+/// a different trajectory, which is what lets one stepper serve both
+/// multi-sweep ExactS (per-lane start positions, see ExactSBatchWithDp) and
+/// the batched suffix sweeps of the scan plans (per-lane candidates).
+/// LaneResult(l)/LaneBound(l) then read lane l's distance and
+/// SweepLowerBound.
+///
+/// Bit-identity: every lane performs exactly the scalar stepper's per-cell
+/// operation sequence — same adds, same min/max fold order, each a single
+/// correctly rounded IEEE op — and lanes never interact, so LaneResult and
+/// LaneBound equal the corresponding scalar stepper's Extend and
+/// SweepLowerBound bit for bit, step for step. Lanes without live work
+/// compute garbage that stays finite (staged coordinates and costs are
+/// finite, kDpInfinity is a finite sentinel) and is never read; `live` only
+/// scales the cell counters, so vector_cells counts exactly the cells the
+/// scalar schedule would have computed.
+
+/// \brief Batch stepper for WED-family distances: kLanes independent WED
+/// sweeps, one per lane.
+template <typename Costs>
+class WedBatchDp {
+ public:
+  /// Binds the query-side state (deletion tables) for up to kLanes
+  /// concurrent sweeps; m is the query length. The costs object is held by
+  /// pointer for SubData; per-lane insertion costs are staged by the caller.
+  WedBatchDp(int m, const Costs& costs, DpArena* arena = nullptr)
+      : m_(m),
+        costs_(&costs),
+        col_store_(arena != nullptr ? arena->Doubles() : &owned_col_),
+        del_store_(arena != nullptr ? arena->Doubles() : &owned_del_),
+        del_cost_store_(arena != nullptr ? arena->Doubles()
+                                         : &owned_del_cost_) {
+    TRAJ_CHECK(m >= 1);
+    col_store_->assign(static_cast<size_t>(m) * kW, 0.0);
+    del_store_->resize(static_cast<size_t>(m));
+    del_cost_store_->resize(static_cast<size_t>(m));
+    double acc = 0;
+    for (int x = 0; x < m; ++x) {
+      const double del = costs.Del(x);
+      acc += del;
+      (*del_store_)[static_cast<size_t>(x)] = acc;
+      (*del_cost_store_)[static_cast<size_t>(x)] = del;
+    }
+    ins_boundary_.fill(0.0);
+    col_min_.fill(kDpInfinity);
+    last_.fill(kDpInfinity);
+  }
+
+  WedBatchDp(const WedBatchDp&) = delete;
+  WedBatchDp& operator=(const WedBatchDp&) = delete;
+
+  /// Starts a fresh sweep in lane l: its column becomes the deletion-prefix
+  /// boundary (dist(query[0..x], empty)), exactly the scalar Reset().
+  void ResetLane(int l) {
+    double* col = col_store_->data();
+    const double* del = del_store_->data();
+    for (int x = 0; x < m_; ++x) col[x * kW + l] = del[x];
+    ins_boundary_[static_cast<size_t>(l)] = 0.0;
+  }
+
+  /// Advances every lane one step: lane l appends the staged data point
+  /// (sx[l], sy[l]) with insertion cost ins[l]. `live` = lanes with real
+  /// work (cell accounting only).
+  void Extend(const double* sx, const double* sy, const double* ins,
+              int live) {
+    using simd::VecD;
+    double* col = col_store_->data();
+    const double* del = del_cost_store_->data();
+    const VecD dxv = VecD::Load(sx);
+    const VecD dyv = VecD::Load(sy);
+    const VecD ins_v = VecD::Load(ins);
+    const VecD boundary = VecD::Load(ins_boundary_.data());
+    const VecD new_boundary = boundary + ins_v;
+    VecD diag = boundary;
+    VecD left = new_boundary;
+    VecD col_min = VecD::Broadcast(kDpInfinity);
+    for (int x = 0; x < m_; ++x) {
+      const VecD up = VecD::Load(col + x * kW);
+      VecD best = diag + costs_->SubData(x, dxv, dyv);
+      best = VecD::Min(up + ins_v, best);
+      best = VecD::Min(left + VecD::Broadcast(del[x]), best);
+      diag = up;
+      best.Store(col + x * kW);
+      left = best;
+      col_min = VecD::Min(col_min, best);
+    }
+    new_boundary.Store(ins_boundary_.data());
+    col_min.Store(col_min_.data());
+    left.Store(last_.data());
+    cells_.vector_cells +=
+        static_cast<uint64_t>(m_) * static_cast<uint64_t>(live);
+  }
+
+  /// dist(query, lane l's range) after the last Extend.
+  double LaneResult(int l) const { return last_[static_cast<size_t>(l)]; }
+  /// Lane l's SweepLowerBound (same contract as WedColumnDp).
+  double LaneBound(int l) const {
+    const double b = ins_boundary_[static_cast<size_t>(l)];
+    const double c = col_min_[static_cast<size_t>(l)];
+    return b < c ? b : c;
+  }
+  /// Records a lane retired early by the shared cutoff.
+  void CountLaneAbandon() { ++cells_.lane_abandons; }
+
+  int query_size() const { return m_; }
+  simd::CellCounts TakeCellCounts() {
+    const simd::CellCounts taken = cells_;
+    cells_ = simd::CellCounts{};
+    return taken;
+  }
+
+ private:
+  static constexpr int kW = simd::kLanes;
+  int m_;
+  const Costs* costs_;
+  std::vector<double> owned_col_;
+  std::vector<double> owned_del_;
+  std::vector<double> owned_del_cost_;
+  std::vector<double>* col_store_;
+  std::vector<double>* del_store_;
+  std::vector<double>* del_cost_store_;
+  std::array<double, kW> ins_boundary_;
+  std::array<double, kW> col_min_;
+  std::array<double, kW> last_;
+  simd::CellCounts cells_;
+};
+
+/// \brief Batch stepper for DTW: kLanes independent DTW sweeps.
+template <typename SubFn>
+class DtwBatchDp {
+ public:
+  DtwBatchDp(int m, SubFn sub, DpArena* arena = nullptr)
+      : m_(m), sub_(sub),
+        col_store_(arena != nullptr ? arena->Doubles() : &owned_col_) {
+    TRAJ_CHECK(m >= 1);
+    col_store_->assign(static_cast<size_t>(m) * kW, kDpInfinity);
+    boundary_diag_.fill(0.0);
+    col_min_.fill(kDpInfinity);
+    last_.fill(kDpInfinity);
+  }
+
+  DtwBatchDp(const DtwBatchDp&) = delete;
+  DtwBatchDp& operator=(const DtwBatchDp&) = delete;
+
+  void ResetLane(int l) {
+    double* col = col_store_->data();
+    for (int x = 0; x < m_; ++x) col[x * kW + l] = kDpInfinity;
+    // The virtual (empty, empty) corner is reachable only on the first
+    // extend of a sweep — per-lane, via the boundary-diag value.
+    boundary_diag_[static_cast<size_t>(l)] = 0.0;
+  }
+
+  void Extend(const double* sx, const double* sy, const double* /*ins*/,
+              int live) {
+    using simd::VecD;
+    double* col = col_store_->data();
+    const VecD dxv = VecD::Load(sx);
+    const VecD dyv = VecD::Load(sy);
+    VecD diag = VecD::Load(boundary_diag_.data());
+    VecD new_left = VecD::Broadcast(kDpInfinity);
+    VecD col_min = VecD::Broadcast(kDpInfinity);
+    for (int x = 0; x < m_; ++x) {
+      const VecD up = VecD::Load(col + x * kW);
+      VecD best = VecD::Min(diag, up);
+      best = VecD::Min(best, new_left);
+      const VecD value = best + sub_.SubData(x, dxv, dyv);
+      diag = up;
+      value.Store(col + x * kW);
+      new_left = value;
+      col_min = VecD::Min(col_min, value);
+    }
+    VecD::Broadcast(kDpInfinity).Store(boundary_diag_.data());
+    col_min.Store(col_min_.data());
+    new_left.Store(last_.data());
+    cells_.vector_cells +=
+        static_cast<uint64_t>(m_) * static_cast<uint64_t>(live);
+  }
+
+  double LaneResult(int l) const { return last_[static_cast<size_t>(l)]; }
+  double LaneBound(int l) const { return col_min_[static_cast<size_t>(l)]; }
+  void CountLaneAbandon() { ++cells_.lane_abandons; }
+
+  int query_size() const { return m_; }
+  simd::CellCounts TakeCellCounts() {
+    const simd::CellCounts taken = cells_;
+    cells_ = simd::CellCounts{};
+    return taken;
+  }
+
+ private:
+  static constexpr int kW = simd::kLanes;
+  int m_;
+  SubFn sub_;
+  std::vector<double> owned_col_;
+  std::vector<double>* col_store_;
+  std::array<double, kW> boundary_diag_;
+  std::array<double, kW> col_min_;
+  std::array<double, kW> last_;
+  simd::CellCounts cells_;
+};
+
+/// \brief Batch stepper for the discrete Fréchet distance: kLanes
+/// independent max-of-mins sweeps.
+template <typename SubFn>
+class FrechetBatchDp {
+ public:
+  FrechetBatchDp(int m, SubFn sub, DpArena* arena = nullptr)
+      : m_(m), sub_(sub),
+        col_store_(arena != nullptr ? arena->Doubles() : &owned_col_) {
+    TRAJ_CHECK(m >= 1);
+    col_store_->assign(static_cast<size_t>(m) * kW, kDpInfinity);
+    boundary_diag_.fill(0.0);
+    col_min_.fill(kDpInfinity);
+    last_.fill(kDpInfinity);
+  }
+
+  FrechetBatchDp(const FrechetBatchDp&) = delete;
+  FrechetBatchDp& operator=(const FrechetBatchDp&) = delete;
+
+  void ResetLane(int l) {
+    double* col = col_store_->data();
+    for (int x = 0; x < m_; ++x) col[x * kW + l] = kDpInfinity;
+    boundary_diag_[static_cast<size_t>(l)] = 0.0;
+  }
+
+  void Extend(const double* sx, const double* sy, const double* /*ins*/,
+              int live) {
+    using simd::VecD;
+    double* col = col_store_->data();
+    const VecD dxv = VecD::Load(sx);
+    const VecD dyv = VecD::Load(sy);
+    VecD diag = VecD::Load(boundary_diag_.data());
+    VecD new_left = VecD::Broadcast(kDpInfinity);
+    VecD col_min = VecD::Broadcast(kDpInfinity);
+    for (int x = 0; x < m_; ++x) {
+      const VecD up = VecD::Load(col + x * kW);
+      VecD reach = VecD::Min(diag, up);
+      reach = VecD::Min(reach, new_left);
+      const VecD value = VecD::Max(reach, sub_.SubData(x, dxv, dyv));
+      diag = up;
+      value.Store(col + x * kW);
+      new_left = value;
+      col_min = VecD::Min(col_min, value);
+    }
+    VecD::Broadcast(kDpInfinity).Store(boundary_diag_.data());
+    col_min.Store(col_min_.data());
+    new_left.Store(last_.data());
+    cells_.vector_cells +=
+        static_cast<uint64_t>(m_) * static_cast<uint64_t>(live);
+  }
+
+  double LaneResult(int l) const { return last_[static_cast<size_t>(l)]; }
+  double LaneBound(int l) const { return col_min_[static_cast<size_t>(l)]; }
+  void CountLaneAbandon() { ++cells_.lane_abandons; }
+
+  int query_size() const { return m_; }
+  simd::CellCounts TakeCellCounts() {
+    const simd::CellCounts taken = cells_;
+    cells_ = simd::CellCounts{};
+    return taken;
+  }
+
+ private:
+  static constexpr int kW = simd::kLanes;
+  int m_;
+  SubFn sub_;
+  std::vector<double> owned_col_;
+  std::vector<double>* col_store_;
+  std::array<double, kW> boundary_diag_;
+  std::array<double, kW> col_min_;
+  std::array<double, kW> last_;
+  simd::CellCounts cells_;
+};
+
+/// Maps a column-stepper template to its batch-stepper sibling (used by the
+/// scan plans' Kind bundles to derive their batched suffix sweeps).
+template <template <typename> class ColumnDp>
+struct BatchDpFor;
+template <>
+struct BatchDpFor<WedColumnDp> {
+  template <typename C>
+  using type = WedBatchDp<C>;
+};
+template <>
+struct BatchDpFor<DtwColumnDp> {
+  template <typename C>
+  using type = DtwBatchDp<C>;
+};
+template <>
+struct BatchDpFor<FrechetColumnDp> {
+  template <typename C>
+  using type = FrechetBatchDp<C>;
+};
+
 }  // namespace trajsearch

@@ -66,11 +66,14 @@ enum class CmaWedVariant {
 /// of the final row can be < cutoff (see the early-abandoning note above).
 /// With cutoff == kNoCutoff this never abandons and (*c_cur, *s_cur) match
 /// the unbounded recursion exactly.
+/// The optional `rows_out` (all three Rows functions) reports how many DP
+/// rows were actually computed — m when the run completes, the abandon row
+/// index otherwise — so execution plans can account DP cells exactly.
 template <typename Costs>
 bool CmaWedRows(int m, int n, const Costs& costs, CmaWedVariant variant,
                 double cutoff, std::vector<double>* c_prev,
                 std::vector<double>* c_cur, std::vector<int>* s_prev,
-                std::vector<int>* s_cur) {
+                std::vector<int>* s_cur, int* rows_out = nullptr) {
   TRAJ_CHECK(m >= 1 && n >= 1);
   c_prev->resize(static_cast<size_t>(n));
   c_cur->assign(static_cast<size_t>(n), 0);
@@ -94,7 +97,10 @@ bool CmaWedRows(int m, int n, const Costs& costs, CmaWedVariant variant,
 
     // Every cell of rows i..m-1 is >= min(previous row min, del_prefix):
     // non-negative costs only grow along any conversion path.
-    if (row_min >= cutoff && del_prefix >= cutoff) return false;
+    if (row_min >= cutoff && del_prefix >= cutoff) {
+      if (rows_out != nullptr) *rows_out = i;
+      return false;
+    }
     row_min = kDpInfinity;
 
     // j = 0 (paper case 2): either delete query[i] (query[i-1] stays matched
@@ -168,6 +174,114 @@ bool CmaWedRows(int m, int n, const Costs& costs, CmaWedVariant variant,
       }
     }
   }
+  if (rows_out != nullptr) *rows_out = m;
+  return true;
+}
+
+/// \brief CmaWedRows (kExact variant), with the per-row substitution costs
+/// and the per-candidate insertion costs precomputed into caller scratch.
+///
+/// CMA's row recurrence is serial in j (the rolling G-minimum and the start
+/// pointers), but the dominant per-cell work — the substitution kernel, a
+/// sqrt for ERP — depends only on (i, j). With the candidate's SoA
+/// coordinate columns at hand, each row's substitutions are evaluated one
+/// lane group of *data* points at a time (Costs::SubData; scalar tail via
+/// Sub, same IEEE ops), and the insertion costs once per candidate instead
+/// of once per row. The scan itself is untouched, so cells, start pointers
+/// and the abandon row are bit-identical to CmaWedRows with
+/// CmaWedVariant::kExact. Cross-candidate lane parallelism — which also
+/// vectorizes the scan — lives in CmaPlan::RunBatch (cma.cc).
+template <typename Costs>
+  requires simd::BatchCosts<Costs>
+bool CmaWedRowsVec(int m, int n, const Costs& costs, PointCols cols,
+                   double cutoff, std::vector<double>* c_prev,
+                   std::vector<double>* c_cur, std::vector<int>* s_prev,
+                   std::vector<int>* s_cur, std::vector<double>* sub_row,
+                   std::vector<double>* ins_row, int* rows_out = nullptr) {
+  TRAJ_CHECK(m >= 1 && n >= 1);
+  TRAJ_CHECK(!cols.empty());
+  c_prev->resize(static_cast<size_t>(n));
+  c_cur->assign(static_cast<size_t>(n), 0);
+  s_prev->resize(static_cast<size_t>(n));
+  s_cur->assign(static_cast<size_t>(n), 0);
+  sub_row->resize(static_cast<size_t>(n));
+  ins_row->resize(static_cast<size_t>(n));
+
+  const int vec_end = n - n % simd::kLanes;
+  const auto fill_sub = [&](int i, double* out) {
+    for (int j = 0; j < vec_end; j += simd::kLanes) {
+      costs
+          .SubData(i, simd::VecD::Load(cols.x + j),
+                   simd::VecD::Load(cols.y + j))
+          .Store(out + j);
+    }
+    for (int j = vec_end; j < n; ++j) out[j] = costs.Sub(i, j);
+  };
+  double* ins = ins_row->data();
+  for (int j = 0; j < n; ++j) ins[j] = costs.Ins(j);
+
+  double* sub = sub_row->data();
+  fill_sub(0, sub);
+  double row_min = kDpInfinity;
+  for (int j = 0; j < n; ++j) {
+    const double v = sub[j];
+    (*c_cur)[static_cast<size_t>(j)] = v;
+    (*s_cur)[static_cast<size_t>(j)] = j;
+    if (v < row_min) row_min = v;
+  }
+
+  double del_prefix = 0;
+  for (int i = 1; i < m; ++i) {
+    std::swap(*c_prev, *c_cur);
+    std::swap(*s_prev, *s_cur);
+    del_prefix += costs.Del(i - 1);
+    if (row_min >= cutoff && del_prefix >= cutoff) {
+      if (rows_out != nullptr) *rows_out = i;
+      return false;
+    }
+    row_min = kDpInfinity;
+    fill_sub(i, sub);
+    const double del_i = costs.Del(i);
+    {
+      const double via_del = (*c_prev)[0] + del_i;
+      const double via_sub = sub[0] + del_prefix;
+      const double v = via_del < via_sub ? via_del : via_sub;
+      (*c_cur)[0] = v;
+      (*s_cur)[0] = 0;
+      row_min = v;
+    }
+    double g = (*c_prev)[0];
+    int sg = (*s_prev)[0];
+    for (int j = 1; j < n; ++j) {
+      if (j > 1) {
+        const double extended = g + ins[j - 1];
+        const double fresh = (*c_prev)[static_cast<size_t>(j - 1)];
+        if (fresh <= extended) {
+          g = fresh;
+          sg = (*s_prev)[static_cast<size_t>(j - 1)];
+        } else {
+          g = extended;
+        }
+      }
+      const double sub_ij = sub[j];
+      double best = g + sub_ij;
+      int s = sg;
+      const double via_del = (*c_prev)[static_cast<size_t>(j)] + del_i;
+      if (via_del < best) {
+        best = via_del;
+        s = (*s_prev)[static_cast<size_t>(j)];
+      }
+      const double via_prefix = del_prefix + sub_ij;
+      if (via_prefix < best) {
+        best = via_prefix;
+        s = j;
+      }
+      (*c_cur)[static_cast<size_t>(j)] = best;
+      (*s_cur)[static_cast<size_t>(j)] = s;
+      if (best < row_min) row_min = best;
+    }
+  }
+  if (rows_out != nullptr) *rows_out = m;
   return true;
 }
 
@@ -220,7 +334,8 @@ SearchResult CmaWedSearch(int m, int n, const Costs& costs,
 template <typename SubFn>
 bool CmaDtwRows(int m, int n, SubFn sub, double cutoff,
                 std::vector<double>* c_prev, std::vector<double>* c_cur,
-                std::vector<int>* s_prev, std::vector<int>* s_cur) {
+                std::vector<int>* s_prev, std::vector<int>* s_cur,
+                int* rows_out = nullptr) {
   TRAJ_CHECK(m >= 1 && n >= 1);
   c_prev->resize(static_cast<size_t>(n));
   c_cur->assign(static_cast<size_t>(n), 0);
@@ -236,7 +351,10 @@ bool CmaDtwRows(int m, int n, SubFn sub, double cutoff,
   }
   for (int i = 1; i < m; ++i) {
     // DTW row i cells all derive from row i-1 plus non-negative subs.
-    if (row_min >= cutoff) return false;
+    if (row_min >= cutoff) {
+      if (rows_out != nullptr) *rows_out = i;
+      return false;
+    }
     std::swap(*c_prev, *c_cur);
     std::swap(*s_prev, *s_cur);
     double v0 = (*c_prev)[0] + sub(i, 0);
@@ -261,6 +379,76 @@ bool CmaDtwRows(int m, int n, SubFn sub, double cutoff,
       if (v < row_min) row_min = v;
     }
   }
+  if (rows_out != nullptr) *rows_out = m;
+  return true;
+}
+
+/// \brief CmaDtwRows with per-row substitution costs precomputed over the
+/// candidate's SoA columns (see CmaWedRowsVec — same contract: bit-identical
+/// cells, start pointers and abandon row).
+template <typename SubFn>
+  requires simd::BatchCosts<SubFn>
+bool CmaDtwRowsVec(int m, int n, SubFn sub, PointCols cols, double cutoff,
+                   std::vector<double>* c_prev, std::vector<double>* c_cur,
+                   std::vector<int>* s_prev, std::vector<int>* s_cur,
+                   std::vector<double>* sub_row, int* rows_out = nullptr) {
+  TRAJ_CHECK(m >= 1 && n >= 1);
+  TRAJ_CHECK(!cols.empty());
+  c_prev->resize(static_cast<size_t>(n));
+  c_cur->assign(static_cast<size_t>(n), 0);
+  s_prev->resize(static_cast<size_t>(n));
+  s_cur->assign(static_cast<size_t>(n), 0);
+  sub_row->resize(static_cast<size_t>(n));
+
+  const int vec_end = n - n % simd::kLanes;
+  const auto fill_sub = [&](int i, double* out) {
+    for (int j = 0; j < vec_end; j += simd::kLanes) {
+      sub.SubData(i, simd::VecD::Load(cols.x + j),
+                  simd::VecD::Load(cols.y + j))
+          .Store(out + j);
+    }
+    for (int j = vec_end; j < n; ++j) out[j] = sub(i, j);
+  };
+
+  double* sr = sub_row->data();
+  fill_sub(0, sr);
+  double row_min = kDpInfinity;
+  for (int j = 0; j < n; ++j) {
+    const double v = sr[j];
+    (*c_cur)[static_cast<size_t>(j)] = v;
+    (*s_cur)[static_cast<size_t>(j)] = j;
+    if (v < row_min) row_min = v;
+  }
+  for (int i = 1; i < m; ++i) {
+    if (row_min >= cutoff) {
+      if (rows_out != nullptr) *rows_out = i;
+      return false;
+    }
+    std::swap(*c_prev, *c_cur);
+    std::swap(*s_prev, *s_cur);
+    fill_sub(i, sr);
+    double v0 = (*c_prev)[0] + sr[0];
+    (*c_cur)[0] = v0;
+    (*s_cur)[0] = 0;
+    row_min = v0;
+    for (int j = 1; j < n; ++j) {
+      double best = (*c_prev)[static_cast<size_t>(j - 1)];
+      int s = (*s_prev)[static_cast<size_t>(j - 1)];
+      if ((*c_prev)[static_cast<size_t>(j)] < best) {
+        best = (*c_prev)[static_cast<size_t>(j)];
+        s = (*s_prev)[static_cast<size_t>(j)];
+      }
+      if ((*c_cur)[static_cast<size_t>(j - 1)] < best) {
+        best = (*c_cur)[static_cast<size_t>(j - 1)];
+        s = (*s_cur)[static_cast<size_t>(j - 1)];
+      }
+      const double v = best + sr[j];
+      (*c_cur)[static_cast<size_t>(j)] = v;
+      (*s_cur)[static_cast<size_t>(j)] = s;
+      if (v < row_min) row_min = v;
+    }
+  }
+  if (rows_out != nullptr) *rows_out = m;
   return true;
 }
 
@@ -288,7 +476,8 @@ SearchResult CmaDtwSearch(int m, int n, SubFn sub) {
 template <typename SubFn>
 bool CmaFrechetRows(int m, int n, SubFn sub, double cutoff,
                     std::vector<double>* c_prev, std::vector<double>* c_cur,
-                    std::vector<int>* s_prev, std::vector<int>* s_cur) {
+                    std::vector<int>* s_prev, std::vector<int>* s_cur,
+                    int* rows_out = nullptr) {
   TRAJ_CHECK(m >= 1 && n >= 1);
   c_prev->resize(static_cast<size_t>(n));
   c_cur->assign(static_cast<size_t>(n), 0);
@@ -304,7 +493,10 @@ bool CmaFrechetRows(int m, int n, SubFn sub, double cutoff,
   }
   for (int i = 1; i < m; ++i) {
     // max-of-mins cells never drop below the cheapest row i-1 predecessor.
-    if (row_min >= cutoff) return false;
+    if (row_min >= cutoff) {
+      if (rows_out != nullptr) *rows_out = i;
+      return false;
+    }
     std::swap(*c_prev, *c_cur);
     std::swap(*s_prev, *s_cur);
     const double s0 = sub(i, 0);
@@ -330,6 +522,77 @@ bool CmaFrechetRows(int m, int n, SubFn sub, double cutoff,
       if (v < row_min) row_min = v;
     }
   }
+  if (rows_out != nullptr) *rows_out = m;
+  return true;
+}
+
+/// \brief CmaFrechetRows with per-row substitution costs precomputed over
+/// the candidate's SoA columns (see CmaWedRowsVec — same contract).
+template <typename SubFn>
+  requires simd::BatchCosts<SubFn>
+bool CmaFrechetRowsVec(int m, int n, SubFn sub, PointCols cols, double cutoff,
+                       std::vector<double>* c_prev, std::vector<double>* c_cur,
+                       std::vector<int>* s_prev, std::vector<int>* s_cur,
+                       std::vector<double>* sub_row, int* rows_out = nullptr) {
+  TRAJ_CHECK(m >= 1 && n >= 1);
+  TRAJ_CHECK(!cols.empty());
+  c_prev->resize(static_cast<size_t>(n));
+  c_cur->assign(static_cast<size_t>(n), 0);
+  s_prev->resize(static_cast<size_t>(n));
+  s_cur->assign(static_cast<size_t>(n), 0);
+  sub_row->resize(static_cast<size_t>(n));
+
+  const int vec_end = n - n % simd::kLanes;
+  const auto fill_sub = [&](int i, double* out) {
+    for (int j = 0; j < vec_end; j += simd::kLanes) {
+      sub.SubData(i, simd::VecD::Load(cols.x + j),
+                  simd::VecD::Load(cols.y + j))
+          .Store(out + j);
+    }
+    for (int j = vec_end; j < n; ++j) out[j] = sub(i, j);
+  };
+
+  double* sr = sub_row->data();
+  fill_sub(0, sr);
+  double row_min = kDpInfinity;
+  for (int j = 0; j < n; ++j) {
+    const double v = sr[j];
+    (*c_cur)[static_cast<size_t>(j)] = v;
+    (*s_cur)[static_cast<size_t>(j)] = j;
+    if (v < row_min) row_min = v;
+  }
+  for (int i = 1; i < m; ++i) {
+    if (row_min >= cutoff) {
+      if (rows_out != nullptr) *rows_out = i;
+      return false;
+    }
+    std::swap(*c_prev, *c_cur);
+    std::swap(*s_prev, *s_cur);
+    fill_sub(i, sr);
+    const double s0 = sr[0];
+    const double v0 = (*c_prev)[0] > s0 ? (*c_prev)[0] : s0;
+    (*c_cur)[0] = v0;
+    (*s_cur)[0] = 0;
+    row_min = v0;
+    for (int j = 1; j < n; ++j) {
+      double reach = (*c_prev)[static_cast<size_t>(j - 1)];
+      int s = (*s_prev)[static_cast<size_t>(j - 1)];
+      if ((*c_prev)[static_cast<size_t>(j)] < reach) {
+        reach = (*c_prev)[static_cast<size_t>(j)];
+        s = (*s_prev)[static_cast<size_t>(j)];
+      }
+      if ((*c_cur)[static_cast<size_t>(j - 1)] < reach) {
+        reach = (*c_cur)[static_cast<size_t>(j - 1)];
+        s = (*s_cur)[static_cast<size_t>(j - 1)];
+      }
+      const double sij = sr[j];
+      const double v = reach > sij ? reach : sij;
+      (*c_cur)[static_cast<size_t>(j)] = v;
+      (*s_cur)[static_cast<size_t>(j)] = s;
+      if (v < row_min) row_min = v;
+    }
+  }
+  if (rows_out != nullptr) *rows_out = m;
   return true;
 }
 

@@ -1,5 +1,7 @@
 #include "search/delta_engine.h"
 
+#include <algorithm>
+#include <array>
 #include <utility>
 
 #include "search/topk.h"
@@ -59,6 +61,61 @@ void DeltaEngine::QueryInto(TrajectoryView query, const DeltaView& delta,
     IntervalTimer pair_timer;
     std::unique_ptr<QueryRun> run = plans_.AcquireRun(*searcher_);
     run->Bind(query);
+    // Same soundness gate as SearchEngine: deferring Offers to flush time is
+    // only result-identical when the bound cannot mis-prune (sampled KPF's
+    // estimate is check-time-sensitive, so it keeps sequential evaluation).
+    const bool sound_bound =
+        bound == nullptr || options_.use_osf || options_.sample_rate >= 1.0;
+    const int width = sound_bound ? run->batch_width() : 1;
+    // Batched plans: pruning survivors park in a window of kBatchGroups
+    // batches and are evaluated by length-sorted RunBatch groups (same
+    // enqueue/flush scheme as SearchEngine's workers — one RunBatch sweeps
+    // every lane to its longest member, so sorting the window keeps group
+    // lengths homogeneous; the per-group cutoff capture keeps results
+    // identical, only the abandoned/completed split can shift).
+    constexpr int kBatchGroups = 4;
+    constexpr int kBatchWindow = kBatchGroups * simd::kLanes;
+    std::array<QueryRun::RunBatchItem, kBatchWindow> batch_items;
+    std::array<int, kBatchWindow> batch_ids;
+    int batch_pending = 0;
+    const auto flush = [&]() {
+      const int count = batch_pending;
+      if (count == 0) return;
+      batch_pending = 0;
+      std::array<int, kBatchWindow> order;
+      for (int i = 0; i < count; ++i) order[static_cast<size_t>(i)] = i;
+      std::stable_sort(
+          order.begin(), order.begin() + count, [&](int a, int b) {
+            return batch_items[static_cast<size_t>(a)].data.size() >
+                   batch_items[static_cast<size_t>(b)].data.size();
+          });
+      std::array<QueryRun::RunBatchItem, simd::kLanes> group_items;
+      std::array<SearchResult, simd::kLanes> group_results;
+      for (int begin = 0; begin < count; begin += width) {
+        const int group = std::min(width, count - begin);
+        for (int i = 0; i < group; ++i) {
+          group_items[static_cast<size_t>(i)] = batch_items[static_cast<size_t>(
+              order[static_cast<size_t>(begin + i)])];
+        }
+        const double cutoff =
+            options_.use_early_abandon ? topk->Cutoff() : kNoCutoff;
+        pair_timer.Start();
+        run->RunBatch(group_items.data(), group, cutoff,
+                      group_results.data());
+        pair_timer.Stop();
+        local.searched += group;
+        for (int i = 0; i < group; ++i) {
+          const SearchResult& result = group_results[static_cast<size_t>(i)];
+          if (cutoff != kNoCutoff && result.distance >= cutoff) {
+            ++local.abandoned;
+          }
+          topk->Offer(EngineHit{batch_ids[static_cast<size_t>(
+                                    order[static_cast<size_t>(begin + i)])] +
+                                    id_offset,
+                                result});
+        }
+      }
+    };
     for (const int id : candidate_scratch) {
       if (id == excluded_id) {
         ++local.skipped;
@@ -78,6 +135,13 @@ void DeltaEngine::QueryInto(TrajectoryView query, const DeltaView& delta,
           continue;
         }
       }
+      if (width > 1) {
+        batch_items[static_cast<size_t>(batch_pending)] =
+            QueryRun::RunBatchItem{data, delta.cols(id)};
+        batch_ids[static_cast<size_t>(batch_pending)] = id;
+        if (++batch_pending == width * kBatchGroups) flush();
+        continue;
+      }
       const double cutoff =
           options_.use_early_abandon ? topk->Cutoff() : kNoCutoff;
       pair_timer.Start();
@@ -89,9 +153,11 @@ void DeltaEngine::QueryInto(TrajectoryView query, const DeltaView& delta,
       topk->Offer(EngineHit{id + id_offset, result});
       ++local.searched;
     }
+    flush();
     const simd::CellCounts cells = run->TakeSimdStats();
     local.simd_vector_cells = cells.vector_cells;
     local.simd_scalar_cells = cells.scalar_cells;
+    local.simd_lane_abandons = cells.lane_abandons;
     plans_.ReleaseRun(std::move(run));
     local.bound_seconds = bound_timer.TotalSeconds();
     local.pair_search_seconds = pair_timer.TotalSeconds();

@@ -1,6 +1,7 @@
 #include "search/engine.h"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <span>
 #include <string>
@@ -45,6 +46,7 @@ FunnelCounters::FunnelCounters(obs::Registry* registry, Algorithm algorithm) {
       "engine." + std::string(ToString(algorithm)) + ".simd.";
   simd_vector_cells = registry->counter(simd_base + "vector_cells");
   simd_scalar_cells = registry->counter(simd_base + "scalar_cells");
+  simd_lane_abandons = registry->counter(simd_base + "lane_abandons");
 }
 
 void FunnelCounters::Fold(const QueryStats& stats) const {
@@ -59,6 +61,7 @@ void FunnelCounters::Fold(const QueryStats& stats) const {
       static_cast<uint64_t>(stats.searched - stats.abandoned));
   simd_vector_cells->Add(stats.simd_vector_cells);
   simd_scalar_cells->Add(stats.simd_scalar_cells);
+  simd_lane_abandons->Add(stats.simd_lane_abandons);
 }
 
 std::unique_ptr<Searcher> MakeEngineSearcher(const EngineOptions& options) {
@@ -139,6 +142,16 @@ void SearchEngine::QueryInto(TrajectoryView query, SharedTopK* topk,
                 options_.use_osf ? 1.0 : options_.sample_rate);
   }
 
+  // Batched plans defer their Offers to flush time, which is
+  // result-identical under a *sound* bound (a pruned candidate provably
+  // cannot enter the final top-K no matter when the cutoff tightened) but
+  // not under the sampled KPF estimate, whose prune decisions depend on how
+  // tight the heap was at check time. Batching stays off there so the
+  // sampled ablation keeps its exact sequential semantics (same contract as
+  // the `threads`/`order_candidates` caveats above).
+  const bool sound_bound =
+      bound == nullptr || options_.use_osf || options_.sample_rate >= 1.0;
+
   // Without a grid there are no close counts to order by; order by the
   // KPF/OSF lower bound instead (ascending — the candidates most likely to
   // beat a tight threshold run first). The bounds are computed once here and
@@ -156,6 +169,15 @@ void SearchEngine::QueryInto(TrajectoryView query, SharedTopK* topk,
   const std::span<const int> candidates(candidate_scratch);
   const std::span<const double> cached_bounds(bound_cache_scratch);
 
+  // Batched plans accumulate kBatchGroups batches' worth of survivors
+  // before flushing: one RunBatch sweeps every lane to its *longest*
+  // member, so random-length lanes (Porto trajectory lengths vary by
+  // several x) would waste most of the lane speedup on ragged tails. The
+  // window is sorted longest-first at flush time and emitted in
+  // width-sized groups of near-equal length.
+  constexpr int kBatchGroups = 4;
+  constexpr int kBatchWindow = kBatchGroups * simd::kLanes;
+
   struct WorkerState {
     IntervalTimer bound_timer;
     IntervalTimer pair_timer;
@@ -164,6 +186,66 @@ void SearchEngine::QueryInto(TrajectoryView query, SharedTopK* topk,
     int skipped = 0;
     int abandoned = 0;
     simd::CellCounts cells;  // drained from the worker's plan once per query
+    // Pending window for plans with a cross-candidate kernel (batch_width()
+    // > 1): pruning survivors accumulate here and are evaluated by RunBatch
+    // groups once the window fills (or at the end of the worker's candidate
+    // stream).
+    std::array<QueryRun::RunBatchItem, kBatchWindow> batch_items;
+    std::array<int, kBatchWindow> batch_ids;
+    int batch_pending = 0;
+  };
+
+  // Evaluates a worker's pending window, longest candidates first. The
+  // cutoff is re-captured per group — at most as tight as the
+  // per-candidate captures the sequential path would have made, and
+  // RunBatch is exact below any cutoff, so the surviving hits (and
+  // therefore the final top-K) are identical; only the
+  // abandoned/completed split can shift.
+  auto flush = [&](TopKHeap* heap, QueryRun* run, int width,
+                   WorkerState* state) {
+    const int count = state->batch_pending;
+    if (count == 0) return;
+    state->batch_pending = 0;
+    std::array<int, kBatchWindow> order;
+    for (int i = 0; i < count; ++i) order[static_cast<size_t>(i)] = i;
+    std::stable_sort(
+        order.begin(), order.begin() + count, [state](int a, int b) {
+          return state->batch_items[static_cast<size_t>(a)].data.size() >
+                 state->batch_items[static_cast<size_t>(b)].data.size();
+        });
+    std::array<QueryRun::RunBatchItem, simd::kLanes> group_items;
+    std::array<SearchResult, simd::kLanes> group_results;
+    for (int begin = 0; begin < count; begin += width) {
+      const int group = std::min(width, count - begin);
+      for (int i = 0; i < group; ++i) {
+        group_items[static_cast<size_t>(i)] =
+            state->batch_items[static_cast<size_t>(
+                order[static_cast<size_t>(begin + i)])];
+      }
+      double cutoff = kNoCutoff;
+      if (options_.use_early_abandon) {
+        cutoff = heap != nullptr
+                     ? (heap->Full() ? heap->Worst() : kNoCutoff)
+                     : topk->Cutoff();
+      }
+      state->pair_timer.Start();
+      run->RunBatch(group_items.data(), group, cutoff, group_results.data());
+      state->pair_timer.Stop();
+      state->searched += group;
+      for (int i = 0; i < group; ++i) {
+        const SearchResult& result = group_results[static_cast<size_t>(i)];
+        if (cutoff != kNoCutoff && result.distance >= cutoff) {
+          ++state->abandoned;
+        }
+        const int id = state->batch_ids[static_cast<size_t>(
+            order[static_cast<size_t>(begin + i)])];
+        if (heap != nullptr) {
+          heap->Offer(EngineHit{id, result});
+        } else {
+          topk->Offer(EngineHit{id + id_offset, result});
+        }
+      }
+    }
   };
 
   // Stages 2+3 for one candidate (by position in the ordered candidate
@@ -178,17 +260,17 @@ void SearchEngine::QueryInto(TrajectoryView query, SharedTopK* topk,
   // id) against the published (K-th best, its id) in canonical order — so
   // it makes the same decisions as the legacy rule on a single id-ascending
   // stream while staying order-independent across workers and shards.
-  auto process = [&](size_t c, TopKHeap* heap, QueryRun* run,
+  auto process = [&](size_t c, TopKHeap* heap, QueryRun* run, int width,
                      WorkerState* state) {
     const int id = candidates[c];
     if (id == excluded_id) {
       ++state->skipped;
-      return false;
+      return;
     }
     const TrajectoryRef data = data_[id];
     if (data.empty()) {
       ++state->skipped;
-      return false;
+      return;
     }
     if (bound != nullptr &&
         (heap != nullptr ? heap->Full()
@@ -206,8 +288,19 @@ void SearchEngine::QueryInto(TrajectoryView query, SharedTopK* topk,
                               : topk->ShouldPrune(lower, id + id_offset);
       if (pruned) {
         ++state->pruned;
-        return false;
+        return;
       }
+    }
+    if (width > 1) {
+      // Batched plans: park the survivor; a full window flushes through
+      // length-sorted RunBatch groups.
+      state->batch_items[static_cast<size_t>(state->batch_pending)] =
+          QueryRun::RunBatchItem{data, data_.cols(id)};
+      state->batch_ids[static_cast<size_t>(state->batch_pending)] = id;
+      if (++state->batch_pending == width * kBatchGroups) {
+        flush(heap, run, width, state);
+      }
+      return;
     }
     // Early abandoning: a result at or above the cutoff can never enter the
     // top-K (SharedTopK's cutoff is strictly above the K-th best, so
@@ -232,7 +325,7 @@ void SearchEngine::QueryInto(TrajectoryView query, SharedTopK* topk,
     } else {
       topk->Offer(EngineHit{id + id_offset, result});
     }
-    return true;
+    ++state->searched;
   };
 
   local.gbp_seconds = gbp_timer.TotalSeconds();
@@ -243,16 +336,20 @@ void SearchEngine::QueryInto(TrajectoryView query, SharedTopK* topk,
     WorkerState state;
     std::unique_ptr<QueryRun> run = plans_.AcquireRun(*searcher_);
     run->Bind(query);
+    const int width = sound_bound ? run->batch_width() : 1;
     for (size_t c = 0; c < candidates.size(); ++c) {
-      if (process(c, nullptr, run.get(), &state)) ++local.searched;
+      process(c, nullptr, run.get(), width, &state);
     }
+    flush(nullptr, run.get(), width, &state);
     state.cells = run->TakeSimdStats();
     plans_.ReleaseRun(std::move(run));
+    local.searched = state.searched;
     local.pruned_by_bound = state.pruned;
     local.skipped = state.skipped;
     local.abandoned = state.abandoned;
     local.simd_vector_cells = state.cells.vector_cells;
     local.simd_scalar_cells = state.cells.scalar_cells;
+    local.simd_lane_abandons = state.cells.lane_abandons;
     local.bound_seconds =
         order_timer.TotalSeconds() + state.bound_timer.TotalSeconds();
     local.pair_search_seconds = state.pair_timer.TotalSeconds();
@@ -276,6 +373,7 @@ void SearchEngine::QueryInto(TrajectoryView query, SharedTopK* topk,
       WorkerState& state = states[static_cast<size_t>(w)];
       std::unique_ptr<QueryRun> run = plans_.AcquireRun(*searcher_);
       run->Bind(query);
+      const int width = sound_bound ? run->batch_width() : 1;
       // PR-3-style local heap, only consulted when threshold sharing is off
       // (ablation/benchmark baseline).
       TopKHeap local_heap(options_.top_k);
@@ -286,9 +384,13 @@ void SearchEngine::QueryInto(TrajectoryView query, SharedTopK* topk,
         if (begin >= candidates.size()) break;
         const size_t end = std::min(candidates.size(), begin + chunk);
         for (size_t c = begin; c < end; ++c) {
-          if (process(c, heap, run.get(), &state)) ++state.searched;
+          process(c, heap, run.get(), width, &state);
         }
       }
+      // A worker's pending window may span chunk boundaries; it drains once
+      // the worker's whole candidate stream is exhausted (and before the
+      // local-heap merge, which must see every hit).
+      flush(heap, run.get(), width, &state);
       if (heap != nullptr) {
         for (const EngineHit& hit : heap->Sorted()) {
           topk->Offer(EngineHit{hit.trajectory_id + id_offset, hit.result});
@@ -320,6 +422,7 @@ void SearchEngine::QueryInto(TrajectoryView query, SharedTopK* topk,
       local.pair_search_seconds += state.pair_timer.TotalSeconds();
       local.simd_vector_cells += state.cells.vector_cells;
       local.simd_scalar_cells += state.cells.scalar_cells;
+      local.simd_lane_abandons += state.cells.lane_abandons;
     }
   }
   if (bound != nullptr) plans_.ReleaseBound(std::move(bound));

@@ -122,11 +122,16 @@ struct QueryStats {
   /// completed result the top-K merge then discarded. searched == abandoned
   /// + (hits that were competitive when computed).
   int abandoned = 0;
-  /// DP cells evaluated through the SIMD column kernels (full lane groups)
-  /// vs. scalar iterations (tail lanes, or whole sweeps when dispatch picked
-  /// the scalar path); summed across workers.
+  /// DP cells evaluated through the SIMD column/batch kernels (full lane
+  /// groups; batch kernels count per live lane) vs. scalar iterations (tail
+  /// lanes, or whole sweeps when dispatch picked the scalar path); summed
+  /// across workers. Their sum is dispatch-invariant.
   uint64_t simd_vector_cells = 0;
   uint64_t simd_scalar_cells = 0;
+  /// Batch-kernel lanes retired early by the shared cutoff (per-lane
+  /// SweepLowerBound / row-floor crossings); 0 under scalar dispatch, where
+  /// the same abandons surface as shorter sweeps.
+  uint64_t simd_lane_abandons = 0;
 };
 
 /// \brief Resolved `engine.<Algorithm>.funnel.*` counters, shared by
@@ -151,6 +156,7 @@ struct FunnelCounters {
   /// funnel namespace, so funnel extraction/telescoping is unaffected).
   obs::Counter* simd_vector_cells = nullptr;
   obs::Counter* simd_scalar_cells = nullptr;
+  obs::Counter* simd_lane_abandons = nullptr;
 };
 
 /// \brief Database-level similar subtrajectory search engine.

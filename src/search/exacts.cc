@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <optional>
+#include <type_traits>
 #include <vector>
 
 #include "util/check.h"
@@ -50,12 +51,23 @@ class ExactSWedPlan final : public QueryRun {
       costs_.ins_cache = nullptr;
     }
     dp_.emplace(static_cast<int>(query.size()), costs_, &arena_);
+    // Multi-sweep batching (one start position per lane). Dispatch is
+    // captured here, like the stepper's: auto mode is enough — the lanes
+    // hold independent sweeps, so there is no serial chain to wash the
+    // speedup out. CustomWedCosts lacks SubData and stays scalar.
+    if constexpr (kBatchable) {
+      batch_.reset();
+      lanes_ = simd::Enabled() ? simd::BatchLanes() : 1;
+      if (lanes_ > 1) {
+        batch_.emplace(static_cast<int>(query.size()), costs_, &arena_);
+      }
+    }
   }
 
   SearchResult Run(TrajectoryView data, double cutoff) override {
     costs_.d = data;
     if constexpr (kHasInsCache) costs_.ins_cache = nullptr;
-    return ExactSWithDp(*dp_, static_cast<int>(data.size()), cutoff);
+    return Sweep(static_cast<int>(data.size()), cutoff);
   }
 
   SearchResult RunCols(TrajectoryView data, PointCols cols,
@@ -64,15 +76,15 @@ class ExactSWedPlan final : public QueryRun {
     // every one of ExactS's n start sweeps; with the candidate's columns at
     // hand, precompute it vectorized once per candidate. Values are
     // identical either way (same per-element IEEE ops), so this stays inside
-    // the bit-identity gate; gated on vectorized() so the scalar dispatch
-    // path remains the untouched oracle.
+    // the bit-identity gate; gated on the batched/vectorized dispatch so the
+    // scalar dispatch path remains the untouched oracle.
     if constexpr (kHasInsCache) {
-      if (!cols.empty() && dp_->vectorized()) {
+      if (!cols.empty() && (BatchActive() || dp_->vectorized())) {
         FillInsCache(cols, static_cast<int>(data.size()));
         costs_.d = data;
         costs_.ins_cache = ins_store_->data();
         const SearchResult result =
-            ExactSWithDp(*dp_, static_cast<int>(data.size()), cutoff);
+            Sweep(static_cast<int>(data.size()), cutoff);
         costs_.ins_cache = nullptr;
         return result;
       }
@@ -81,13 +93,40 @@ class ExactSWedPlan final : public QueryRun {
   }
 
   simd::CellCounts TakeSimdStats() override {
-    return dp_.has_value() ? dp_->TakeCellCounts() : simd::CellCounts{};
+    simd::CellCounts counts =
+        dp_.has_value() ? dp_->TakeCellCounts() : simd::CellCounts{};
+    if constexpr (kBatchable) {
+      if (batch_.has_value()) counts += batch_->TakeCellCounts();
+    }
+    return counts;
   }
 
   std::string_view name() const override { return "ExactS"; }
 
  private:
   static constexpr bool kHasInsCache = requires(Costs c) { c.ins_cache; };
+  static constexpr bool kBatchable = simd::BatchCosts<Costs>;
+
+  bool BatchActive() const {
+    if constexpr (kBatchable) return batch_.has_value();
+    return false;
+  }
+
+  SearchResult Sweep(int n, double cutoff) {
+    if constexpr (kBatchable) {
+      if (batch_.has_value()) {
+        return ExactSBatchWithDp(
+            *batch_, n, cutoff, lanes_,
+            [this](int l, int j, double* sx, double* sy, double* ins) {
+              const Point p = costs_.d[static_cast<size_t>(j)];
+              sx[l] = p.x;
+              sy[l] = p.y;
+              ins[l] = costs_.Ins(j);
+            });
+      }
+    }
+    return ExactSWithDp(*dp_, n, cutoff);
+  }
 
   void FillInsCache(PointCols cols, int n)
     requires(kHasInsCache)
@@ -109,15 +148,26 @@ class ExactSWedPlan final : public QueryRun {
     }
   }
 
+  struct NoBatch {};
   Costs costs_;
   DpArena arena_;
   std::vector<double>* ins_store_ = nullptr;
   std::optional<WedColumnDp<Costs>> dp_;
+  std::optional<std::conditional_t<kBatchable, WedBatchDp<Costs>, NoBatch>>
+      batch_;
+  int lanes_ = 1;
 };
 
 /// ExactS plan for the substitution-only distances (DTW / Fréchet). The
 /// stepper sees the plan-owned EuclideanSub through a SubRef, so rebinding
 /// the views reaches an already-built stepper.
+///
+/// Auto dispatch goes to the *batch* stepper (one start position per lane):
+/// the column split of DTW/Fréchet is capped by the serial left-chain pass
+/// (the PR 7 "wash"), but independent sweeps have no cross-lane dependency,
+/// so multi-sweep batching is where these two distances finally profit. The
+/// column steppers keep their forced-only gate for the remaining
+/// single-sweep users (--probe, full-distance paths).
 template <template <typename> class Dp>
 class ExactSSubPlan final : public QueryRun {
  public:
@@ -132,24 +182,47 @@ class ExactSSubPlan final : public QueryRun {
     sub_.qc = FillCols(query, &arena_);
     dp_.emplace(static_cast<int>(query.size()), SubRef<EuclideanSub>{&sub_},
                 &arena_);
+    batch_.reset();
+    lanes_ = simd::Enabled() ? simd::BatchLanes() : 1;
+    if (lanes_ > 1) {
+      batch_.emplace(static_cast<int>(query.size()),
+                     SubRef<EuclideanSub>{&sub_}, &arena_);
+    }
   }
 
   SearchResult Run(TrajectoryView data, double cutoff) override {
     sub_.d = data;
-    return ExactSWithDp(*dp_, static_cast<int>(data.size()), cutoff);
+    const int n = static_cast<int>(data.size());
+    if (batch_.has_value()) {
+      return ExactSBatchWithDp(
+          *batch_, n, cutoff, lanes_,
+          [this](int l, int j, double* sx, double* sy, double* /*ins*/) {
+            const Point p = sub_.d[static_cast<size_t>(j)];
+            sx[l] = p.x;
+            sy[l] = p.y;
+          });
+    }
+    return ExactSWithDp(*dp_, n, cutoff);
   }
 
   simd::CellCounts TakeSimdStats() override {
-    return dp_.has_value() ? dp_->TakeCellCounts() : simd::CellCounts{};
+    simd::CellCounts counts =
+        dp_.has_value() ? dp_->TakeCellCounts() : simd::CellCounts{};
+    if (batch_.has_value()) counts += batch_->TakeCellCounts();
+    return counts;
   }
 
   std::string_view name() const override { return name_; }
 
  private:
+  using BatchDp = typename BatchDpFor<Dp>::template type<SubRef<EuclideanSub>>;
+
   std::string_view name_;
   EuclideanSub sub_;
   DpArena arena_;
   std::optional<Dp<SubRef<EuclideanSub>>> dp_;
+  std::optional<BatchDp> batch_;
+  int lanes_ = 1;
 };
 
 }  // namespace

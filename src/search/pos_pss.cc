@@ -94,10 +94,40 @@ class SplitScanPlan final : public QueryRun {
     return SplitScanT(*main_.dp, n, suffix, use_suffix_);
   }
 
+  /// PSS's per-candidate cost is dominated by the O(mn) suffix sweep; the
+  /// greedy split scan is control-flow-serial. Batching therefore runs the
+  /// suffix sweeps of up to kLanes candidates through one multi-sweep batch
+  /// stepper and replays the (cheap) split scans serially against the
+  /// per-lane tables. POS has no suffix work, so it stays width 1.
+  int batch_width() const override {
+    return use_suffix_ ? suffix_.batch_width : 1;
+  }
+
+  void RunBatch(const RunBatchItem* items, int count, double cutoff,
+                SearchResult* results) override {
+    if (!use_suffix_ || suffix_.batch_width <= 1 || count <= 1) {
+      QueryRun::RunBatch(items, count, cutoff, results);
+      return;
+    }
+    thread_local std::vector<TrajectoryView> views;
+    views.clear();
+    for (int i = 0; i < count; ++i) views.push_back(items[i].data);
+    suffix_.ComputeBatch(views.data(), count);
+    for (int i = 0; i < count; ++i) {
+      const TrajectoryView data = items[i].data;
+      main_.SetData(data);
+      results[i] =
+          SplitScanT(*main_.dp, static_cast<int>(data.size()),
+                     *suffix_.batch_suffix[static_cast<size_t>(i)],
+                     /*use_suffix=*/true);
+    }
+  }
+
   simd::CellCounts TakeSimdStats() override {
     simd::CellCounts counts;
     if (main_.dp.has_value()) counts += main_.dp->TakeCellCounts();
     if (suffix_.dp.has_value()) counts += suffix_.dp->TakeCellCounts();
+    if (suffix_.bdp.has_value()) counts += suffix_.bdp->TakeCellCounts();
     return counts;
   }
 

@@ -65,6 +65,33 @@ class QueryRun {
     return Run(data, cutoff);
   }
 
+  /// One candidate of a batched run: the trajectory view plus its SoA
+  /// coordinate columns (empty when the corpus has none).
+  struct RunBatchItem {
+    TrajectoryView data;
+    PointCols cols;
+  };
+
+  /// How many candidates one RunBatch call can evaluate together. Plans with
+  /// a cross-candidate SIMD kernel (CMA: one candidate per lane; PSS/RLS:
+  /// batched suffix sweeps) report their lane count — sampled at Bind, so it
+  /// reflects the dispatch mode the plan was compiled under. 1 means RunBatch
+  /// degenerates to a sequential loop and the engine may skip batching.
+  virtual int batch_width() const { return 1; }
+
+  /// Evaluates `count` candidates (1 <= count <= batch_width()) under the
+  /// same cutoff, writing results[i] for items[i]. Each result obeys the
+  /// single-candidate cutoff contract, and is identical to what
+  /// RunCols(items[i].data, items[i].cols, cutoff) would return — batching
+  /// changes throughput, never values. The default is that sequential loop;
+  /// batched plans override it with their lane-parallel kernel.
+  virtual void RunBatch(const RunBatchItem* items, int count, double cutoff,
+                        SearchResult* results) {
+    for (int i = 0; i < count; ++i) {
+      results[i] = RunCols(items[i].data, items[i].cols, cutoff);
+    }
+  }
+
   /// Drains the DP-cell dispatch counters accumulated by this plan's column
   /// steppers since the last take (engine folds them into QueryStats and the
   /// engine.<Algorithm>.simd.* registry counters). Plans without steppers

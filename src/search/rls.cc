@@ -143,9 +143,47 @@ class RlsPlan final : public QueryRun {
   }
 
   SearchResult Run(TrajectoryView data, double /*cutoff*/) override {
+    return RunScan(data, suffix_.Compute(data));
+  }
+
+  /// Same batching split as PSS (pos_pss.cc): the O(mn) suffix sweeps of up
+  /// to kLanes candidates run lane-parallel through one batch stepper; the
+  /// policy scans (inherently serial — each step's action depends on the
+  /// evolving DP value) then replay per candidate against the lane tables.
+  int batch_width() const override { return suffix_.batch_width; }
+
+  void RunBatch(const RunBatchItem* items, int count, double cutoff,
+                SearchResult* results) override {
+    if (suffix_.batch_width <= 1 || count <= 1) {
+      QueryRun::RunBatch(items, count, cutoff, results);
+      return;
+    }
+    thread_local std::vector<TrajectoryView> views;
+    views.clear();
+    for (int i = 0; i < count; ++i) views.push_back(items[i].data);
+    suffix_.ComputeBatch(views.data(), count);
+    for (int i = 0; i < count; ++i) {
+      results[i] = RunScan(items[i].data,
+                           *suffix_.batch_suffix[static_cast<size_t>(i)]);
+    }
+  }
+
+  simd::CellCounts TakeSimdStats() override {
+    simd::CellCounts counts;
+    if (main_.dp.has_value()) counts += main_.dp->TakeCellCounts();
+    if (suffix_.dp.has_value()) counts += suffix_.dp->TakeCellCounts();
+    if (suffix_.bdp.has_value()) counts += suffix_.bdp->TakeCellCounts();
+    return counts;
+  }
+
+  std::string_view name() const override { return name_; }
+
+ private:
+  /// The policy scan plus the true-distance re-sweep, over a caller-supplied
+  /// suffix table (size n+1) — shared by Run and RunBatch.
+  SearchResult RunScan(TrajectoryView data, const std::vector<double>& suffix) {
     const int n = static_cast<int>(data.size());
     main_.SetData(data);
-    const std::vector<double>& suffix = suffix_.Compute(data);
     SearchResult result =
         RlsScanT(*main_.dp, n, suffix, &policy_, /*learn=*/false, nullptr,
                  RewardScale(suffix), &scratch_);
@@ -164,16 +202,6 @@ class RlsPlan final : public QueryRun {
     return result;
   }
 
-  simd::CellCounts TakeSimdStats() override {
-    simd::CellCounts counts;
-    if (main_.dp.has_value()) counts += main_.dp->TakeCellCounts();
-    if (suffix_.dp.has_value()) counts += suffix_.dp->TakeCellCounts();
-    return counts;
-  }
-
-  std::string_view name() const override { return name_; }
-
- private:
   typename Kind::Costs prototype_;
   RlsPolicy policy_;
   std::string_view name_;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <optional>
 #include <vector>
 
@@ -20,9 +21,14 @@ template <typename CostsT>
 struct WedKind {
   using Costs = CostsT;
   using Stepper = WedColumnDp<Costs>;
+  using BatchStepper = WedBatchDp<Costs>;
 
   static void Emplace(std::optional<Stepper>* dp, int m, const Costs& costs,
                       DpArena* arena) {
+    dp->emplace(m, costs, arena);
+  }
+  static void EmplaceBatch(std::optional<BatchStepper>* dp, int m,
+                           const Costs& costs, DpArena* arena) {
     dp->emplace(m, costs, arena);
   }
 };
@@ -32,9 +38,15 @@ template <template <typename> class DpT>
 struct SubKind {
   using Costs = EuclideanSub;
   using Stepper = DpT<SubRef<EuclideanSub>>;
+  using BatchStepper =
+      typename BatchDpFor<DpT>::template type<SubRef<EuclideanSub>>;
 
   static void Emplace(std::optional<Stepper>* dp, int m, const Costs& costs,
                       DpArena* arena) {
+    dp->emplace(m, SubRef<EuclideanSub>{&costs}, arena);
+  }
+  static void EmplaceBatch(std::optional<BatchStepper>* dp, int m,
+                           const Costs& costs, DpArena* arena) {
     dp->emplace(m, SubRef<EuclideanSub>{&costs}, arena);
   }
 };
@@ -76,6 +88,11 @@ struct SuffixState {
   std::vector<Point>* reversed_data = nullptr;
   std::optional<typename Kind::Stepper> dp;
   std::vector<double> suffix;
+  /// Batched suffix sweeps (one candidate per lane; see ComputeBatch).
+  std::optional<typename Kind::BatchStepper> bdp;
+  std::array<std::vector<Point>*, simd::kLanes> batch_reversed = {};
+  std::array<std::vector<double>*, simd::kLanes> batch_suffix = {};
+  int batch_width = 1;
 
   void Bind(TrajectoryView query, const typename Kind::Costs& prototype,
             DpArena* arena) {
@@ -87,6 +104,10 @@ struct SuffixState {
     // Checked out here (not in Compute) so the arena checkout order is the
     // same on every rebind and capacity carries over.
     reversed_data = arena->Points();
+    for (int l = 0; l < simd::kLanes; ++l) {
+      batch_reversed[static_cast<size_t>(l)] = arena->Points();
+      batch_suffix[static_cast<size_t>(l)] = arena->Doubles();
+    }
     rcosts = prototype;
     rcosts.q = TrajectoryView(*reversed_query);
     rcosts.d = TrajectoryView();
@@ -94,6 +115,16 @@ struct SuffixState {
       rcosts.qc = FillCols(TrajectoryView(*reversed_query), arena);
     }
     Kind::Emplace(&dp, static_cast<int>(m), rcosts, arena);
+    // Batch dispatch sampled at Bind, like the steppers'. Opaque cost models
+    // (no SubData) keep the scalar per-candidate sweep.
+    bdp.reset();
+    batch_width =
+        simd::Enabled() && simd::BatchCosts<typename Kind::Costs>
+            ? simd::BatchLanes()
+            : 1;
+    if (batch_width > 1) {
+      Kind::EmplaceBatch(&bdp, static_cast<int>(m), rcosts, arena);
+    }
   }
 
   /// Fills and returns the table: suffix[t] = dist(q, d[t..n-1]) for
@@ -110,6 +141,68 @@ struct SuffixState {
       suffix[n - 1 - j] = dp->Extend(static_cast<int>(j));
     }
     return suffix;
+  }
+
+  /// Compute() for up to batch_width candidates at once: one multi-sweep
+  /// batch stepper, each lane owning one candidate's reversed sweep, with
+  /// shorter lanes masked out of the step once exhausted (candidates are
+  /// ragged; no refill — the batch is one synchronized pass). Tables land in
+  /// batch_suffix[0..count) and are bit-identical to per-candidate Compute()
+  /// (the batch stepper replays the scalar per-cell ops lanewise). Requires
+  /// batch_width > 1 and 1 <= count <= batch_width.
+  void ComputeBatch(const TrajectoryView* datas, int count) {
+    if constexpr (simd::BatchCosts<typename Kind::Costs>) {
+      TRAJ_CHECK(bdp.has_value() && count >= 1 && count <= batch_width);
+      constexpr int kW = simd::kLanes;
+      std::array<int, kW> n = {};
+      std::array<typename Kind::Costs, kW> lane_costs;
+      int nmax = 0;
+      for (int l = 0; l < count; ++l) {
+        const TrajectoryView d = datas[l];
+        const int nl = static_cast<int>(d.size());
+        TRAJ_CHECK(nl >= 1);
+        n[static_cast<size_t>(l)] = nl;
+        nmax = nl > nmax ? nl : nmax;
+        std::vector<Point>* rev = batch_reversed[static_cast<size_t>(l)];
+        rev->resize(static_cast<size_t>(nl));
+        for (int j = 0; j < nl; ++j) {
+          (*rev)[static_cast<size_t>(j)] = d[static_cast<size_t>(nl - 1 - j)];
+        }
+        batch_suffix[static_cast<size_t>(l)]->assign(
+            static_cast<size_t>(nl) + 1, kDpInfinity);
+        lane_costs[static_cast<size_t>(l)] = rcosts;
+        lane_costs[static_cast<size_t>(l)].d = TrajectoryView(*rev);
+        bdp->ResetLane(l);
+      }
+      double sx[kW] = {};
+      double sy[kW] = {};
+      double ins[kW] = {};
+      for (int j = 0; j < nmax; ++j) {
+        int live = 0;
+        for (int l = 0; l < count; ++l) {
+          if (j >= n[static_cast<size_t>(l)]) continue;
+          const Point p =
+              (*batch_reversed[static_cast<size_t>(l)])[static_cast<size_t>(j)];
+          sx[l] = p.x;
+          sy[l] = p.y;
+          if constexpr (requires(const typename Kind::Costs& c) {
+                          c.Ins(j);
+                        }) {
+            ins[l] = lane_costs[static_cast<size_t>(l)].Ins(j);
+          }
+          ++live;
+        }
+        bdp->Extend(sx, sy, ins, live);
+        for (int l = 0; l < count; ++l) {
+          const int nl = n[static_cast<size_t>(l)];
+          if (j >= nl) continue;
+          (*batch_suffix[static_cast<size_t>(l)])[static_cast<size_t>(
+              nl - 1 - j)] = bdp->LaneResult(l);
+        }
+      }
+    } else {
+      TRAJ_CHECK(false && "batched suffixes need a SubData kernel");
+    }
   }
 };
 

@@ -5,18 +5,33 @@
 #include <cstdint>
 #include <cstdlib>
 
-// Portable SIMD wrapper for the DP column kernels (distance/dp.h): one
+// Portable SIMD wrapper for the DP kernels (distance/dp.h): one
 // double-precision vector type behind AVX2 (4 lanes), NEON (2 lanes) or a
 // scalar fallback (1 lane), selected at compile time from the target ISA.
 // A process-wide runtime switch (env TRAJSEARCH_SIMD=0, a CPUID probe, or
 // simd::SetEnabled for tests/benchmarks) lets every build fall back to the
 // scalar identity oracle without recompiling; query plans capture the switch
-// at Bind time, so dispatch is per plan bind, never per candidate. Dispatch
-// is also per stepper: the startup probe selects the vector kernel only
-// where it is a measured win (the WED stepper's three-candidate cells), and
-// SetEnabled(true) forces it everywhere a kernel exists so tests and
-// benchmarks can exercise the DTW/Fréchet kernels, whose serial left-chain
-// pass makes the split a wash at realistic query lengths.
+// at Bind time, so dispatch is per plan bind, never per candidate.
+//
+// Two vectorization axes share this wrapper:
+//  - column kernels (PR 7) put one lane group of *query* indices in a
+//    vector: profitable where the recurrence's serial left-chain can be
+//    split out (the WED stepper), a wash where it cannot (DTW/Fréchet);
+//  - batch kernels put independent *sweeps or candidates* in the lanes
+//    (multi-sweep ExactS, lane-parallel CMA): each lane runs its own serial
+//    dependency chain, so even DTW/Fréchet's left chain vectorizes. Lanes
+//    are masked individually — a lane whose sweep ends or whose per-lane
+//    lower bound crosses the shared cutoff is retired (and, where the
+//    recurrence permits, refilled from the pending work queue) without
+//    disturbing its neighbours. Batch scratch is lane-interleaved
+//    (cell [x] of lane l at x*kLanes + l) so steppers load whole lane
+//    groups without gathers.
+//
+// Dispatch is per stepper: the startup probe (auto mode) selects the vector
+// kernel only where it is a measured win — the WED column stepper and all
+// batch kernels — while SetEnabled(true) forces it everywhere a kernel
+// exists so tests and benchmarks can also exercise the DTW/Fréchet *column*
+// kernels, whose serial left-chain pass makes that split a wash.
 //
 // Bit-identity contract: every lane operation here is a single correctly
 // rounded IEEE-754 double operation (add/sub/mul/sqrt/min/max/compare), so a
@@ -70,6 +85,14 @@ struct VecD {
     return {_mm256_blendv_pd(y.v, x.v, mask)};
   }
 
+  /// Lanewise a < b ? x : y (strict — mirrors the scalar kernels'
+  /// `if (cand < best)` tie-breaking when selecting companion values such as
+  /// CMA start pointers).
+  static VecD SelectLT(VecD a, VecD b, VecD x, VecD y) {
+    const __m256d mask = _mm256_cmp_pd(a.v, b.v, _CMP_LT_OQ);
+    return {_mm256_blendv_pd(y.v, x.v, mask)};
+  }
+
   /// Minimum across the lanes.
   double ReduceMin() const {
     const __m128d lo = _mm256_castpd256_pd128(v);
@@ -106,6 +129,11 @@ struct VecD {
     return {vbslq_f64(mask, x.v, y.v)};
   }
 
+  static VecD SelectLT(VecD a, VecD b, VecD x, VecD y) {
+    const uint64x2_t mask = vcltq_f64(a.v, b.v);
+    return {vbslq_f64(mask, x.v, y.v)};
+  }
+
   double ReduceMin() const {
     const double a = vgetq_lane_f64(v, 0);
     const double b = vgetq_lane_f64(v, 1);
@@ -137,6 +165,10 @@ struct VecD {
 
   static VecD SelectLE(VecD a, VecD b, VecD x, VecD y) {
     return {a.v <= b.v ? x.v : y.v};
+  }
+
+  static VecD SelectLT(VecD a, VecD b, VecD x, VecD y) {
+    return {a.v < b.v ? x.v : y.v};
   }
 
   double ReduceMin() const { return v; }
@@ -182,6 +214,26 @@ inline int Mode() {
   return v;
 }
 
+/// Runtime clamp on how many lanes the *batch* kernels occupy: -1 = not
+/// probed, else 1..kLanes. Clamping below kLanes leaves the high lanes
+/// permanently masked, so a 4-lane AVX2 build can exercise exactly the
+/// masking/refill paths a 2-lane NEON build takes (CI runs the suite with
+/// TRAJSEARCH_SIMD_LANES=2 for that reason). The column kernels are
+/// unaffected — they have no per-lane state to mask.
+inline std::atomic<int>& LaneClampFlag() {
+  static std::atomic<int> flag{-1};
+  return flag;
+}
+
+inline int ProbeLaneClamp() {
+  const char* env = std::getenv("TRAJSEARCH_SIMD_LANES");
+  if (env != nullptr) {
+    const int v = std::atoi(env);
+    if (v >= 1 && v <= kLanes) return v;
+  }
+  return kLanes;
+}
+
 }  // namespace detail
 
 /// Whether vectorized kernels should be used where they pay for themselves.
@@ -213,19 +265,48 @@ inline const char* IsaName() { return kIsaName; }
 /// Lanes per vector (1 in scalar builds).
 inline int Width() { return kLanes; }
 
+/// How many lanes the batch kernels (multi-sweep ExactS, lane-parallel CMA)
+/// fill with live work: kLanes unless clamped by the TRAJSEARCH_SIMD_LANES
+/// env var or SetBatchLanes. Vectors stay kLanes wide; lanes at or above
+/// this count are permanently masked. Sampled at plan Bind, like Enabled().
+inline int BatchLanes() {
+  int v = detail::LaneClampFlag().load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = detail::ProbeLaneClamp();
+    detail::LaneClampFlag().store(v, std::memory_order_relaxed);
+  }
+  return v;
+}
+
+/// Clamps (or restores, with kLanes) the batch-kernel lane count at runtime;
+/// tests use width 2 on AVX2 to cover NEON-shaped masking, and width 1 to
+/// prove the batch kernels degenerate to the scalar schedule bit for bit.
+/// Values outside [1, kLanes] are clamped.
+inline void SetBatchLanes(int lanes) {
+  if (lanes < 1) lanes = 1;
+  if (lanes > kLanes) lanes = kLanes;
+  detail::LaneClampFlag().store(lanes, std::memory_order_relaxed);
+}
+
 /// \brief DP cells processed by the two dispatch paths, accumulated by the
-/// column steppers (plain members, no atomics) and drained per query through
-/// QueryRun::TakeSimdStats into the engine.<Algorithm>.simd.* counters.
-/// vector_cells counts cells whose substitution kernel ran in a full vector
-/// lane group; scalar_cells counts tail lanes plus everything a
-/// scalar-dispatched stepper does.
+/// column/batch steppers (plain members, no atomics) and drained per query
+/// through QueryRun::TakeSimdStats into the engine.<Algorithm>.simd.*
+/// counters. vector_cells counts cells whose kernel ran in a vector lane
+/// group (batch kernels count per *live* lane, so the sum stays
+/// dispatch-invariant); scalar_cells counts tail lanes plus everything a
+/// scalar-dispatched stepper does. lane_abandons counts lanes of a batch
+/// kernel retired early by the shared cutoff (per-lane SweepLowerBound/
+/// row-floor crossings) — always 0 under scalar dispatch, where the same
+/// abandons surface as shorter sweeps instead.
 struct CellCounts {
   uint64_t vector_cells = 0;
   uint64_t scalar_cells = 0;
+  uint64_t lane_abandons = 0;
 
   CellCounts& operator+=(const CellCounts& o) {
     vector_cells += o.vector_cells;
     scalar_cells += o.scalar_cells;
+    lane_abandons += o.lane_abandons;
     return *this;
   }
 };
@@ -237,6 +318,18 @@ template <typename C>
 concept VectorizedCosts = requires(const C& c, int x, int j) {
   { c.SubLane(x, j) } -> std::same_as<VecD>;
   { c.cols_ready() } -> std::same_as<bool>;
+};
+
+/// \brief Concept a cost/substitution object models to be eligible for the
+/// batch kernels (multi-sweep ExactS, lane-parallel CMA): a substitution
+/// kernel taking one *query* index against a lane group of staged *data*
+/// coordinates — the transpose of SubLane's access pattern. Needs only the
+/// bound query view (coordinates are broadcast per index), so it is ready as
+/// soon as the costs are bound; opaque cost models (CustomWedCosts) lack it
+/// and keep the scalar kernels.
+template <typename C>
+concept BatchCosts = requires(const C& c, int i, VecD dx, VecD dy) {
+  { c.SubData(i, dx, dy) } -> std::same_as<VecD>;
 };
 
 }  // namespace trajsearch::simd

@@ -1,0 +1,406 @@
+// Batch-kernel identity gate (second SIMD axis): the multi-sweep batch
+// steppers (distance/dp.h) and the drivers built on them — multi-sweep
+// ExactS, the scan plans' batched suffix sweeps, lane-parallel CMA — must be
+// bit-for-bit identical to the scalar oracles they replace, across ragged
+// lengths, adversarial cutoffs that kill lanes mid-sweep, lane refill, and
+// every lane-clamp width (1, 2, kLanes). Also gates cell-counter
+// conservation: vector_cells + scalar_cells is dispatch-invariant, and
+// lane_abandons fires only for cutoff-retired lanes.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+#include "distance/dp.h"
+#include "search/cma.h"
+#include "search/exacts.h"
+#include "search/pos_pss.h"
+#include "search/searcher.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+#include "util/simd.h"
+
+namespace trajsearch {
+namespace {
+
+using testing::RandomWalk;
+
+class SimdModeGuard {
+ public:
+  explicit SimdModeGuard(bool on) : prev_(simd::Enabled()) {
+    simd::SetEnabled(on);
+  }
+  ~SimdModeGuard() { simd::SetEnabled(prev_); }
+
+ private:
+  bool prev_;
+};
+
+/// Scoped lane-count clamp (restores the full width on exit).
+class LaneClampGuard {
+ public:
+  explicit LaneClampGuard(int lanes) { simd::SetBatchLanes(lanes); }
+  ~LaneClampGuard() { simd::SetBatchLanes(simd::kLanes); }
+};
+
+void ExpectSameBits(double a, double b, const std::string& label) {
+  EXPECT_EQ(std::bit_cast<uint64_t>(a), std::bit_cast<uint64_t>(b))
+      << label << ": " << a << " vs " << b;
+}
+
+/// Drives the batch stepper with each lane sweeping the same data from a
+/// different start position (the multi-sweep ExactS shape, lanes ragged by
+/// construction) and a scalar stepper replaying each lane's sweep, requiring
+/// bit-identical per-step results and bounds.
+template <typename BatchDp, typename ScalarDp, typename Costs>
+void ExpectLaneLockstep(BatchDp& bdp, ScalarDp& sdp, const Costs& costs,
+                        TrajectoryView data, const std::string& label) {
+  constexpr int kW = simd::kLanes;
+  const int n = static_cast<int>(data.size());
+  ASSERT_GE(n, kW);
+  int start[kW];
+  int j[kW];
+  double sx[kW] = {};
+  double sy[kW] = {};
+  double ins[kW] = {};
+  // Scalar replay per lane: distances and bounds recorded per step.
+  std::vector<std::vector<double>> want_dist(kW), want_bound(kW);
+  for (int l = 0; l < kW; ++l) {
+    start[l] = l * (n / kW);  // ragged: lane l sweeps n - start[l] steps
+    j[l] = start[l];
+    sdp.Reset();
+    for (int t = start[l]; t < n; ++t) {
+      want_dist[static_cast<size_t>(l)].push_back(sdp.Extend(t));
+      want_bound[static_cast<size_t>(l)].push_back(sdp.SweepLowerBound());
+    }
+    bdp.ResetLane(l);
+  }
+  const auto stage = [&](int l, int t) {
+    const Point p = data[static_cast<size_t>(t)];
+    sx[l] = p.x;
+    sy[l] = p.y;
+    if constexpr (requires { costs.Ins(t); }) ins[l] = costs.Ins(t);
+  };
+  bool done = false;
+  for (int step = 0; !done; ++step) {
+    done = true;
+    int live = 0;
+    for (int l = 0; l < kW; ++l) {
+      if (j[l] < n) {
+        stage(l, j[l]);
+        ++live;
+      }
+    }
+    if (live == 0) break;
+    bdp.Extend(sx, sy, ins, live);
+    for (int l = 0; l < kW; ++l) {
+      if (j[l] >= n) continue;
+      const std::string at = label + " lane=" + std::to_string(l) +
+                             " step=" + std::to_string(step);
+      ExpectSameBits(bdp.LaneResult(l),
+                     want_dist[static_cast<size_t>(l)][static_cast<size_t>(
+                         j[l] - start[l])],
+                     at + " result");
+      ExpectSameBits(bdp.LaneBound(l),
+                     want_bound[static_cast<size_t>(l)][static_cast<size_t>(
+                         j[l] - start[l])],
+                     at + " bound");
+      if (++j[l] < n) done = false;
+    }
+  }
+}
+
+class BatchKernelTest : public ::testing::Test {
+ protected:
+  // Query lengths around the lane width: all-tail, one group, ragged tails.
+  std::vector<int> RaggedLengths() const {
+    std::vector<int> lengths;
+    for (int m = 1; m <= 2 * simd::kLanes + 3; ++m) lengths.push_back(m);
+    lengths.push_back(33);
+    return lengths;
+  }
+};
+
+TEST_F(BatchKernelTest, BatchSteppersLockstepWithScalarOracle) {
+  if (simd::kLanes == 1) GTEST_SKIP() << "built without SIMD lanes";
+  SimdModeGuard guard(true);
+  Rng rng(20250807);
+  for (const int m : RaggedLengths()) {
+    const Trajectory query = RandomWalk(&rng, m);
+    const Trajectory data = RandomWalk(&rng, 3 * simd::kLanes + 5);
+    const std::string tag = " m=" + std::to_string(m);
+
+    const EdrCosts edr{query, data, 1.5};
+    WedColumnDp<EdrCosts> edr_s(m, edr);
+    WedBatchDp<EdrCosts> edr_b(m, edr);
+    ExpectLaneLockstep(edr_b, edr_s, edr, data, "edr" + tag);
+
+    const ErpCosts erp{query, data, Point{5.0, 5.0}};
+    WedColumnDp<ErpCosts> erp_s(m, erp);
+    WedBatchDp<ErpCosts> erp_b(m, erp);
+    ExpectLaneLockstep(erp_b, erp_s, erp, data, "erp" + tag);
+
+    const EuclideanSub sub{query, data};
+    DtwColumnDp<EuclideanSub> dtw_s(m, sub);
+    DtwBatchDp<SubRef<EuclideanSub>> dtw_b(m, SubRef<EuclideanSub>{&sub});
+    ExpectLaneLockstep(dtw_b, dtw_s, sub, data, "dtw" + tag);
+
+    FrechetColumnDp<EuclideanSub> fre_s(m, sub);
+    FrechetBatchDp<SubRef<EuclideanSub>> fre_b(m, SubRef<EuclideanSub>{&sub});
+    ExpectLaneLockstep(fre_b, fre_s, sub, data, "frechet" + tag);
+  }
+}
+
+TEST_F(BatchKernelTest, ExactSBatchMatchesScalarUnderAdversarialCutoffs) {
+  if (simd::kLanes == 1) GTEST_SKIP() << "built without SIMD lanes";
+  SimdModeGuard guard(true);
+  Rng rng(20250808);
+  const int m = simd::kLanes + 2;
+  const Trajectory query = RandomWalk(&rng, m);
+  // n well above kLanes so lanes retire and refill several times over.
+  const Trajectory data = RandomWalk(&rng, 4 * simd::kLanes + 7);
+  const int n = static_cast<int>(data.size());
+  const EdrCosts costs{query, data, 1.5};
+  WedColumnDp<EdrCosts> sdp(m, costs);
+  const SearchResult unbounded = ExactSWithDp(sdp, n);
+  ASSERT_TRUE(unbounded.found());
+  const auto stage = [&](int l, int j, double* sx, double* sy, double* ins) {
+    const Point p = data[static_cast<size_t>(j)];
+    sx[l] = p.x;
+    sy[l] = p.y;
+    ins[l] = costs.Ins(j);
+  };
+  // Cutoffs straddling the optimum: tiny (kills every lane at its first
+  // abandon opportunity), at/below/above the best, and unbounded.
+  const double cutoffs[] = {1e-6,
+                            unbounded.distance * 0.5,
+                            unbounded.distance,
+                            unbounded.distance * 1.0000001,
+                            unbounded.distance * 2.0,
+                            kNoCutoff};
+  for (const double cutoff : cutoffs) {
+    const std::string tag = "cutoff=" + std::to_string(cutoff);
+    WedColumnDp<EdrCosts> oracle(m, costs);
+    const SearchResult want = ExactSWithDp(oracle, n, cutoff);
+    WedBatchDp<EdrCosts> bdp(m, costs);
+    const SearchResult got =
+        ExactSBatchWithDp(bdp, n, cutoff, simd::kLanes, stage);
+    ExpectSameBits(got.distance, want.distance, tag + " distance");
+    EXPECT_EQ(got.range, want.range) << tag;
+    // Cell conservation: the batch driver extends exactly the cells the
+    // scalar schedule does (bit-identical bounds abandon on the same step).
+    const simd::CellCounts sc = oracle.TakeCellCounts();
+    const simd::CellCounts bc = bdp.TakeCellCounts();
+    EXPECT_EQ(bc.vector_cells, sc.scalar_cells) << tag;
+    EXPECT_EQ(bc.scalar_cells, 0u) << tag;
+    if (cutoff != kNoCutoff && cutoff <= unbounded.distance) {
+      // A tight cutoff must retire lanes mid-sweep (n - 1 starts can abandon
+      // before their final end position).
+      EXPECT_GT(bc.lane_abandons, 0u) << tag;
+    }
+    if (cutoff == kNoCutoff) {
+      EXPECT_EQ(bc.lane_abandons, 0u) << tag;
+    }
+  }
+}
+
+TEST_F(BatchKernelTest, ExactSBatchRefillsLanesAcrossWidths) {
+  if (simd::kLanes == 1) GTEST_SKIP() << "built without SIMD lanes";
+  SimdModeGuard guard(true);
+  Rng rng(20250809);
+  const int m = 2 * simd::kLanes + 1;
+  const Trajectory query = RandomWalk(&rng, m);
+  const Trajectory data = RandomWalk(&rng, 5 * simd::kLanes + 3);
+  const int n = static_cast<int>(data.size());
+  const EuclideanSub sub{query, data};
+  DtwColumnDp<EuclideanSub> oracle(m, sub);
+  const SearchResult want = ExactSWithDp(oracle, n);
+  const auto stage = [&](int l, int j, double* sx, double* sy,
+                         double* /*ins*/) {
+    const Point p = data[static_cast<size_t>(j)];
+    sx[l] = p.x;
+    sy[l] = p.y;
+  };
+  // Every lane count (1 = scalar schedule in lane 0, 2 = NEON shape, kLanes)
+  // merges refilled sweeps to the same lexicographic best.
+  for (int lanes = 1; lanes <= simd::kLanes; ++lanes) {
+    DtwBatchDp<SubRef<EuclideanSub>> bdp(m, SubRef<EuclideanSub>{&sub});
+    const SearchResult got = ExactSBatchWithDp(bdp, n, kNoCutoff, lanes, stage);
+    const std::string tag = "lanes=" + std::to_string(lanes);
+    ExpectSameBits(got.distance, want.distance, tag);
+    EXPECT_EQ(got.range, want.range) << tag;
+  }
+}
+
+/// End-to-end plan identity across lane clamps: results from a batched plan
+/// must be bit-identical to scalar dispatch for every clamp width, for both
+/// RunCols (per candidate) and RunBatch (cross-candidate lanes).
+void ExpectPlanBatchIdentity(Algorithm algorithm, const DistanceSpec& spec,
+                             const std::string& label) {
+  Rng rng(20250810);
+  Dataset dataset("batch-identity");
+  for (int i = 0; i < 9; ++i) dataset.Add(RandomWalk(&rng, 14 + i));
+  const Trajectory query = RandomWalk(&rng, 7);
+
+  auto made = MakeSearcher(algorithm, spec);
+  ASSERT_TRUE(made.ok()) << label;
+  std::unique_ptr<Searcher> searcher = made.MoveValue();
+
+  // Scalar oracle results (dispatch off).
+  std::vector<SearchResult> want(static_cast<size_t>(dataset.size()));
+  {
+    SimdModeGuard off(false);
+    std::unique_ptr<QueryRun> plan = searcher->Bind(query);
+    EXPECT_EQ(plan->batch_width(), 1) << label;
+    for (int id = 0; id < dataset.size(); ++id) {
+      want[static_cast<size_t>(id)] =
+          plan->RunCols(dataset[id], dataset.cols(id), kNoCutoff);
+    }
+  }
+
+  SimdModeGuard on(true);
+  for (const int lanes : {1, 2, simd::kLanes}) {
+    LaneClampGuard clamp(lanes);
+    std::unique_ptr<QueryRun> plan = searcher->Bind(query);
+    const int width = plan->batch_width();
+    EXPECT_LE(width, lanes) << label;
+    const std::string tag = label + " lanes=" + std::to_string(lanes);
+    // Per-candidate path.
+    for (int id = 0; id < dataset.size(); ++id) {
+      const SearchResult got =
+          plan->RunCols(dataset[id], dataset.cols(id), kNoCutoff);
+      ExpectSameBits(got.distance, want[static_cast<size_t>(id)].distance,
+                     tag + " runcols id=" + std::to_string(id));
+      EXPECT_EQ(got.range, want[static_cast<size_t>(id)].range) << tag;
+    }
+    // Cross-candidate batches (full lanes, then a ragged final batch).
+    std::vector<QueryRun::RunBatchItem> items;
+    for (int id = 0; id < dataset.size(); ++id) {
+      items.push_back({dataset[id].View(), dataset.cols(id)});
+    }
+    std::vector<SearchResult> got(items.size());
+    for (size_t begin = 0; begin < items.size();) {
+      const int count = static_cast<int>(
+          std::min(static_cast<size_t>(width), items.size() - begin));
+      plan->RunBatch(items.data() + begin, count, kNoCutoff,
+                     got.data() + begin);
+      begin += static_cast<size_t>(count);
+    }
+    for (size_t id = 0; id < got.size(); ++id) {
+      ExpectSameBits(got[id].distance, want[id].distance,
+                     tag + " runbatch id=" + std::to_string(id));
+      EXPECT_EQ(got[id].range, want[id].range) << tag;
+    }
+  }
+}
+
+TEST_F(BatchKernelTest, CmaRunBatchBitIdenticalAcrossLaneClamps) {
+  if (simd::kLanes == 1) GTEST_SKIP() << "built without SIMD lanes";
+  for (const DistanceSpec& spec : testing::PaperGpsSpecs()) {
+    ExpectPlanBatchIdentity(Algorithm::kCma, spec,
+                            "cma/" + std::string(ToString(spec.kind)));
+  }
+}
+
+TEST_F(BatchKernelTest, ExactSRunBatchBitIdenticalAcrossLaneClamps) {
+  if (simd::kLanes == 1) GTEST_SKIP() << "built without SIMD lanes";
+  for (const DistanceSpec& spec : testing::PaperGpsSpecs()) {
+    ExpectPlanBatchIdentity(Algorithm::kExactS, spec,
+                            "exacts/" + std::string(ToString(spec.kind)));
+  }
+}
+
+TEST_F(BatchKernelTest, PssRunBatchBitIdenticalAcrossLaneClamps) {
+  if (simd::kLanes == 1) GTEST_SKIP() << "built without SIMD lanes";
+  for (const DistanceSpec& spec : testing::PaperGpsSpecs()) {
+    ExpectPlanBatchIdentity(Algorithm::kPss, spec,
+                            "pss/" + std::string(ToString(spec.kind)));
+  }
+}
+
+TEST_F(BatchKernelTest, CmaBatchCutoffsMatchSequentialAbandons) {
+  if (simd::kLanes == 1) GTEST_SKIP() << "built without SIMD lanes";
+  SimdModeGuard guard(true);
+  Rng rng(20250811);
+  Dataset dataset("cma-cutoff");
+  for (int i = 0; i < 2 * simd::kLanes; ++i) {
+    dataset.Add(RandomWalk(&rng, 18 + i));
+  }
+  const Trajectory query = RandomWalk(&rng, 8);
+  uint64_t total_abandons = 0;
+  for (const DistanceSpec& spec : testing::PaperGpsSpecs()) {
+    const std::string label = "cma-cutoff/" + std::string(ToString(spec.kind));
+    auto made = MakeSearcher(Algorithm::kCma, spec);
+    ASSERT_TRUE(made.ok()) << label;
+    std::unique_ptr<QueryRun> plan = made.value()->Bind(query);
+    const int width = plan->batch_width();
+    if (width <= 1) continue;
+    // A mid-range cutoff: some candidates abandon (per-lane row-floor
+    // crossings), others complete — both paths must match the sequential
+    // RunCols results exactly, and lane abandons must be recorded.
+    std::vector<double> full(static_cast<size_t>(dataset.size()));
+    for (int id = 0; id < dataset.size(); ++id) {
+      full[static_cast<size_t>(id)] =
+          plan->RunCols(dataset[id], dataset.cols(id), kNoCutoff).distance;
+    }
+    std::vector<double> sorted = full;
+    std::sort(sorted.begin(), sorted.end());
+    const double cutoff = sorted[sorted.size() / 2];  // median kills ~half
+    (void)plan->TakeSimdStats();
+    std::vector<SearchResult> want(static_cast<size_t>(dataset.size()));
+    for (int id = 0; id < dataset.size(); ++id) {
+      want[static_cast<size_t>(id)] =
+          plan->RunCols(dataset[id], dataset.cols(id), cutoff);
+    }
+    std::vector<QueryRun::RunBatchItem> items;
+    for (int id = 0; id < dataset.size(); ++id) {
+      items.push_back({dataset[id].View(), dataset.cols(id)});
+    }
+    (void)plan->TakeSimdStats();
+    std::vector<SearchResult> got(items.size());
+    for (size_t begin = 0; begin < items.size();) {
+      const int count = static_cast<int>(
+          std::min(static_cast<size_t>(width), items.size() - begin));
+      plan->RunBatch(items.data() + begin, count, cutoff, got.data() + begin);
+      begin += static_cast<size_t>(count);
+    }
+    // WED's abandon needs the deletion prefix to cross the cutoff too, so a
+    // short query may legitimately never retire an EDR/ERP lane; the row-floor
+    // distances (DTW/Fréchet) always do under a median cutoff — asserted in
+    // aggregate after the loop.
+    total_abandons += plan->TakeSimdStats().lane_abandons;
+    for (size_t id = 0; id < got.size(); ++id) {
+      const std::string tag = label + " id=" + std::to_string(id);
+      // Exact-below-cutoff contract: below the cutoff, bit-identical; at or
+      // above, both report >= cutoff.
+      if (want[id].distance < cutoff) {
+        ExpectSameBits(got[id].distance, want[id].distance, tag);
+        EXPECT_EQ(got[id].range, want[id].range) << tag;
+      } else {
+        EXPECT_GE(got[id].distance, cutoff) << tag;
+      }
+    }
+  }
+  EXPECT_GT(total_abandons, 0u) << "no lane ever retired under the cutoff";
+}
+
+TEST_F(BatchKernelTest, BatchLanesClampRoundTrips) {
+  const int prev = simd::BatchLanes();
+  simd::SetBatchLanes(1);
+  EXPECT_EQ(simd::BatchLanes(), 1);
+  simd::SetBatchLanes(2);
+  EXPECT_EQ(simd::BatchLanes(), std::min(2, simd::kLanes));
+  simd::SetBatchLanes(1000);
+  EXPECT_EQ(simd::BatchLanes(), simd::kLanes);
+  simd::SetBatchLanes(-3);
+  EXPECT_EQ(simd::BatchLanes(), 1);
+  simd::SetBatchLanes(prev);
+}
+
+}  // namespace
+}  // namespace trajsearch

@@ -254,6 +254,80 @@ TEST(FunnelTest, SimdDispatchLeavesTheFunnelUnchanged) {
   }
 }
 
+TEST(FunnelTest, CmaCrossCandidateBatchingKeepsHitsAndFunnelInvariant) {
+  // CMA's cross-candidate batch kernel defers the top-K Offers of a lane
+  // group to flush time. Under a sound bound that must leave the hits and
+  // every pre-DP funnel stage (candidates, skipped, bound_pruned, dp_runs)
+  // bit-identical to scalar dispatch; only the abandoned/completed *split*
+  // of dp_runs may shift (the flush-time cutoff is at most as tight as the
+  // per-candidate captures), and the telescoping identities must hold in
+  // both modes. Lane abandons land in the simd.* namespace, outside the
+  // funnel.
+  if (simd::kLanes == 1) GTEST_SKIP() << "built without SIMD lanes";
+  const FunnelFixture f = MakeFixture();
+  Dataset dataset("funnel-cma-batch");
+  for (const Trajectory& t : f.corpus) dataset.Add(t);
+
+  const bool prev = simd::Enabled();
+  for (const DistanceSpec& spec : testing::PaperGpsSpecs()) {
+    const std::string context = "CMA/" + std::string(ToString(spec.kind));
+    obs::FunnelRow rows[2];
+    std::vector<std::vector<EngineHit>> hits(2);
+    uint64_t lane_abandons[2] = {0, 0};
+    for (const int mode : {0, 1}) {  // 0 = batched dispatch, 1 = scalar
+      simd::SetEnabled(mode == 0);
+      obs::Registry registry;
+      EngineOptions options =
+          MatrixEngineOptions(Algorithm::kCma, spec, f.cell);
+      options.threads = 1;
+      options.sample_rate = 1.0;  // sound bound: deferral is result-identical
+      options.metrics = &registry;
+      const SearchEngine engine(&dataset, options);
+      uint64_t stats_lane_abandons = 0;
+      for (size_t qi = 0; qi < f.queries.size(); ++qi) {
+        QueryStats stats;
+        for (const EngineHit& hit :
+             engine.Query(f.queries[qi], &stats, f.excluded[qi])) {
+          hits[static_cast<size_t>(mode)].push_back(hit);
+        }
+        EXPECT_EQ(stats.candidates_after_gbp,
+                  stats.skipped + stats.pruned_by_bound + stats.searched)
+            << context;
+        EXPECT_EQ(stats.searched,
+                  stats.abandoned + (stats.searched - stats.abandoned))
+            << context;
+        stats_lane_abandons += stats.simd_lane_abandons;
+      }
+      const obs::RegistrySnapshot snap = registry.Snapshot();
+      const std::vector<obs::FunnelRow> funnels = obs::ExtractFunnels(snap);
+      ASSERT_EQ(funnels.size(), 1u) << context;
+      rows[mode] = funnels.front();
+      lane_abandons[mode] = snap.counter("engine.CMA.simd.lane_abandons");
+      EXPECT_EQ(stats_lane_abandons, lane_abandons[mode]) << context;
+      EXPECT_TRUE(rows[mode].Consistent()) << context;
+    }
+    simd::SetEnabled(prev);
+    // Identical hits, rank for rank, bit for bit.
+    ASSERT_EQ(hits[0].size(), hits[1].size()) << context;
+    for (size_t i = 0; i < hits[0].size(); ++i) {
+      EXPECT_EQ(hits[0][i].trajectory_id, hits[1][i].trajectory_id)
+          << context << " rank " << i;
+      EXPECT_EQ(hits[0][i].result.distance, hits[1][i].result.distance)
+          << context << " rank " << i;
+      EXPECT_EQ(hits[0][i].result.range, hits[1][i].result.range)
+          << context << " rank " << i;
+    }
+    // Pre-DP funnel stages are dispatch-invariant; only the
+    // abandoned/completed split may move.
+    EXPECT_EQ(rows[0].candidates, rows[1].candidates) << context;
+    EXPECT_EQ(rows[0].skipped, rows[1].skipped) << context;
+    EXPECT_EQ(rows[0].bound_pruned, rows[1].bound_pruned) << context;
+    EXPECT_EQ(rows[0].dp_runs, rows[1].dp_runs) << context;
+    // Scalar dispatch never retires lanes.
+    EXPECT_EQ(lane_abandons[1], 0u) << context;
+  }
+}
+
 TEST(FunnelTest, DisabledRegistryFoldsNothing) {
   const FunnelFixture f = MakeFixture();
   Dataset dataset("funnel-disabled");

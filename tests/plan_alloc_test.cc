@@ -143,6 +143,70 @@ TEST(PlanAllocTest, ReboundPlanReusesScratchAcrossQueries) {
   }
 }
 
+TEST(PlanAllocTest, BatchedRunsDoNotAllocateInSteadyState) {
+  // The batch kernels' lane scratch (lane-interleaved columns and rows,
+  // staging buffers, per-lane reversed-data and suffix tables) is checked
+  // out of the plan's grow-only DpArena at Bind in a fixed order, so after a
+  // warm-up pass RunBatch must be allocation-free — including across
+  // re-Binds to different queries and across *shrinking* batch counts
+  // (count < batch_width must reuse the full-width scratch, never resize).
+  Rng rng(99123);
+  std::vector<Trajectory> queries;
+  for (int i = 0; i < 3; ++i) queries.push_back(RandomWalk(&rng, 8 + i * 3));
+  Dataset dataset("alloc-batch");
+  for (int i = 0; i < 12; ++i) dataset.Add(RandomWalk(&rng, 28 + i));
+
+  for (const Algorithm algorithm :
+       {Algorithm::kCma, Algorithm::kExactS, Algorithm::kPss,
+        Algorithm::kRls}) {
+    for (const DistanceSpec& spec : testing::PaperGpsSpecs()) {
+      if (!Supports(algorithm, spec.kind)) continue;
+      auto searcher = MakeSearcher(algorithm, spec);
+      ASSERT_TRUE(searcher.ok());
+      std::unique_ptr<QueryRun> plan = searcher.value()->NewRun();
+
+      std::vector<QueryRun::RunBatchItem> items;
+      for (int id = 0; id < dataset.size(); ++id) {
+        items.push_back({dataset[id].View(), dataset.cols(id)});
+      }
+      std::vector<SearchResult> results(items.size());
+      auto run_batches = [&](int width) {
+        for (size_t begin = 0; begin < items.size();) {
+          const int count = static_cast<int>(std::min(
+              static_cast<size_t>(width), items.size() - begin));
+          plan->RunBatch(items.data() + begin, count, kNoCutoff,
+                         results.data() + begin);
+          begin += static_cast<size_t>(count);
+        }
+      };
+
+      // Warm-up: every query length, every batch size the audit will run
+      // (the width-1 batches route through the sequential RunCols fallback,
+      // which has its own scratch).
+      for (const Trajectory& q : queries) {
+        plan->Bind(q);
+        for (int width = std::max(1, plan->batch_width()); width >= 1;
+             --width) {
+          run_batches(width);
+        }
+      }
+
+      const long long before = AllocationCount();
+      for (const Trajectory& q : queries) {
+        plan->Bind(q);
+        // Full width first, then every shrinking batch size down to 1.
+        for (int width = std::max(1, plan->batch_width()); width >= 1;
+             --width) {
+          run_batches(width);
+        }
+      }
+      EXPECT_EQ(AllocationCount() - before, 0)
+          << ToString(algorithm) << "/" << ToString(spec.kind)
+          << " RunBatch allocated on the steady-state path";
+    }
+  }
+}
+
 TEST(PlanAllocTest, PoolScheduledQueriesAllocatePerQueryNotPerCandidate) {
   // The scheduler path — chunked worker tasks on a shared ThreadPool,
   // SharedTopK, cached-bound candidate ordering — may allocate a small
