@@ -8,7 +8,7 @@ namespace trajsearch {
 
 LiveDataset::LiveDataset(Dataset base)
     : base_(std::make_shared<const Dataset>(std::move(base))) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   PublishLocked();
 }
 
@@ -37,7 +37,7 @@ LiveDataset::StoredEntry LiveDataset::StorePointsLocked(
 }
 
 void LiveDataset::AttachMetrics(obs::Registry* registry) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   metrics_ = registry;
   if (registry == nullptr) {
     generation_gauge_ = base_generation_gauge_ = nullptr;
@@ -82,7 +82,7 @@ void LiveDataset::PublishLocked() {
 }
 
 int LiveDataset::Append(TrajectoryView trajectory) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const bool timed = metrics_ != nullptr && metrics_->enabled();
   const int64_t start = timed ? obs::NowNanos() : 0;
   const int id = base_->size() + static_cast<int>(entries_.size());
@@ -101,7 +101,7 @@ std::vector<int> LiveDataset::AppendBatch(
     const std::vector<TrajectoryView>& trajectories) {
   std::vector<int> ids;
   ids.reserve(trajectories.size());
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const bool timed = metrics_ != nullptr && metrics_->enabled();
   const int64_t start = timed ? obs::NowNanos() : 0;
   entries_.reserve(entries_.size() + trajectories.size());
@@ -146,7 +146,7 @@ Dataset LiveDataset::Merge(const CorpusView& view) {
 void LiveDataset::AdoptBase(std::shared_ptr<const Dataset> base,
                             int compacted_count) {
   TRAJ_CHECK(base != nullptr);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const bool timed = metrics_ != nullptr && metrics_->enabled();
   const int64_t start = timed ? obs::NowNanos() : 0;
   TRAJ_CHECK(compacted_count >= 0 &&

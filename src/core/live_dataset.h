@@ -2,12 +2,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "core/dataset.h"
 #include "obs/registry.h"
 #include "util/published_ptr.h"
+#include "util/sync.h"
 
 namespace trajsearch {
 
@@ -163,11 +163,12 @@ class LiveDataset {
 
   /// Appends one trajectory (points are copied into delta chunk storage).
   /// Returns its corpus id — stable for the lifetime of this LiveDataset.
-  int Append(TrajectoryView trajectory);
+  int Append(TrajectoryView trajectory) TRAJ_EXCLUDES(mu_);
 
   /// Appends many trajectories under one lock acquisition and a single
   /// publication. Returns their corpus ids (consecutive).
-  std::vector<int> AppendBatch(const std::vector<TrajectoryView>& trajectories);
+  std::vector<int> AppendBatch(const std::vector<TrajectoryView>& trajectories)
+      TRAJ_EXCLUDES(mu_);
 
   /// Pins the current generation. Readers never take the ingest mutex —
   /// only the publication slot's micro critical section — and the returned
@@ -189,13 +190,14 @@ class LiveDataset {
   /// trajectories appended after the compactor pinned its view survive with
   /// their corpus ids unchanged; their points are re-homed into fresh chunks
   /// so the compacted chunks can be reclaimed once old views die.
-  void AdoptBase(std::shared_ptr<const Dataset> base, int compacted_count);
+  void AdoptBase(std::shared_ptr<const Dataset> base, int compacted_count)
+      TRAJ_EXCLUDES(mu_);
 
   /// Attaches (or, with null, detaches) storage observability: `live.*`
   /// gauges for generation/base-generation/delta size (refreshed at every
   /// publication) plus `live.append_seconds` and `live.adopt_seconds`
   /// latency histograms. The registry must outlive the dataset.
-  void AttachMetrics(obs::Registry* registry);
+  void AttachMetrics(obs::Registry* registry) TRAJ_EXCLUDES(mu_);
 
  private:
   /// Points per delta chunk (a trajectory longer than this gets a dedicated
@@ -209,33 +211,33 @@ class LiveDataset {
   };
 
   /// Copies `points` into chunk storage (AoS run and coordinate columns);
-  /// returns the stable locations. Requires mu_ held.
-  StoredEntry StorePointsLocked(TrajectoryView points);
-  /// Publishes the current state as a new CorpusView. Requires mu_ held.
-  void PublishLocked();
+  /// returns the stable locations.
+  StoredEntry StorePointsLocked(TrajectoryView points) TRAJ_REQUIRES(mu_);
+  /// Publishes the current state as a new CorpusView.
+  void PublishLocked() TRAJ_REQUIRES(mu_);
 
-  mutable std::mutex mu_;  // serializes writers; readers never take it
+  mutable Mutex mu_;  // serializes writers; readers never take it
 
   // Writer state (guarded by mu_). entries_ views point into chunks_.
-  std::shared_ptr<const Dataset> base_;
-  std::vector<std::shared_ptr<DeltaChunk>> chunks_;
-  size_t last_chunk_used_ = 0;
-  size_t last_chunk_capacity_ = 0;
-  std::vector<TrajectoryView> entries_;
-  std::vector<PointCols> entry_cols_;  // parallel to entries_
-  size_t delta_points_ = 0;
-  uint64_t generation_ = 0;
-  uint64_t ingest_seq_ = 0;
-  uint64_t base_generation_ = 0;
+  std::shared_ptr<const Dataset> base_ TRAJ_GUARDED_BY(mu_);
+  std::vector<std::shared_ptr<DeltaChunk>> chunks_ TRAJ_GUARDED_BY(mu_);
+  size_t last_chunk_used_ TRAJ_GUARDED_BY(mu_) = 0;
+  size_t last_chunk_capacity_ TRAJ_GUARDED_BY(mu_) = 0;
+  std::vector<TrajectoryView> entries_ TRAJ_GUARDED_BY(mu_);
+  std::vector<PointCols> entry_cols_ TRAJ_GUARDED_BY(mu_);  // parallel to entries_
+  size_t delta_points_ TRAJ_GUARDED_BY(mu_) = 0;
+  uint64_t generation_ TRAJ_GUARDED_BY(mu_) = 0;
+  uint64_t ingest_seq_ TRAJ_GUARDED_BY(mu_) = 0;
+  uint64_t base_generation_ TRAJ_GUARDED_BY(mu_) = 0;
 
-  /// Observability (guarded by mu_; null when detached).
-  obs::Registry* metrics_ = nullptr;
-  obs::Gauge* generation_gauge_ = nullptr;
-  obs::Gauge* base_generation_gauge_ = nullptr;
-  obs::Gauge* delta_trajectories_gauge_ = nullptr;
-  obs::Gauge* delta_points_gauge_ = nullptr;
-  obs::Histogram* append_hist_ = nullptr;
-  obs::Histogram* adopt_hist_ = nullptr;
+  /// Observability (null when detached).
+  obs::Registry* metrics_ TRAJ_GUARDED_BY(mu_) = nullptr;
+  obs::Gauge* generation_gauge_ TRAJ_GUARDED_BY(mu_) = nullptr;
+  obs::Gauge* base_generation_gauge_ TRAJ_GUARDED_BY(mu_) = nullptr;
+  obs::Gauge* delta_trajectories_gauge_ TRAJ_GUARDED_BY(mu_) = nullptr;
+  obs::Gauge* delta_points_gauge_ TRAJ_GUARDED_BY(mu_) = nullptr;
+  obs::Histogram* append_hist_ TRAJ_GUARDED_BY(mu_) = nullptr;
+  obs::Histogram* adopt_hist_ TRAJ_GUARDED_BY(mu_) = nullptr;
 
   /// RCU publication slot; store under mu_, load anywhere.
   PublishedPtr<const CorpusView> published_;

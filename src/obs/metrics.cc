@@ -7,6 +7,8 @@ namespace trajsearch::obs {
 
 int StripeIndex() {
   static std::atomic<int> next{0};
+  // relaxed: the id only needs to be unique per thread; no other memory is
+  // published through the assignment counter.
   thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
   return id;
 }
@@ -75,6 +77,10 @@ namespace {
 /// Wait-free-in-practice double accumulation over a bit-cast atomic (CAS
 /// loop; contention is per-stripe, so loops are short).
 void AddDoubleBits(std::atomic<uint64_t>* bits, double delta) {
+  // relaxed (load + CAS): the cell is self-contained — the CAS loop only
+  // needs atomicity of the read-modify-write on this one word, and a failed
+  // CAS refreshes `observed`, so no ordering against other memory is
+  // required for the sum to be exact once writers quiesce.
   uint64_t observed = bits->load(std::memory_order_relaxed);
   for (;;) {
     double value = 0;
@@ -101,6 +107,9 @@ void Histogram::Record(double value) {
   Stripe& stripe =
       stripes_[static_cast<size_t>(StripeIndex() & (kStripes - 1))];
   const int bucket = HistogramSnapshot::BucketIndex(value);
+  // relaxed (bucket + count): independent monotone cells; a snapshot that
+  // catches count ahead of (or behind) a bucket is still a valid histogram
+  // of a subset of the writes, which is the documented Snapshot contract.
   stripe.buckets[static_cast<size_t>(bucket)].fetch_add(
       1, std::memory_order_relaxed);
   stripe.count.fetch_add(1, std::memory_order_relaxed);
@@ -110,6 +119,9 @@ void Histogram::Record(double value) {
 HistogramSnapshot Histogram::Snapshot() const {
   HistogramSnapshot snap;
   for (const Stripe& stripe : stripes_) {
+    // relaxed (all three): same subset-of-writes contract as Record — the
+    // snapshot is exact once recorders quiesce and a valid partial view at
+    // any other time; no payload is published through these cells.
     snap.count += stripe.count.load(std::memory_order_relaxed);
     snap.sum += DoubleFromBits(stripe.sum_bits.load(std::memory_order_relaxed));
     for (int b = 0; b < HistogramSnapshot::kBuckets; ++b) {

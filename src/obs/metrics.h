@@ -36,6 +36,9 @@ class Counter {
   static constexpr int kStripes = 16;
 
   void Add(uint64_t n = 1) {
+    // relaxed: counter stripes are independent cells — only the eventual
+    // sum matters, no other memory is published through an increment, and
+    // fetch_add is atomic (never lost) under every ordering.
     stripes_[static_cast<size_t>(StripeIndex() & (kStripes - 1))]
         .value.fetch_add(n, std::memory_order_relaxed);
   }
@@ -48,6 +51,9 @@ class Counter {
   uint64_t Value() const {
     uint64_t total = 0;
     for (const Stripe& s : stripes_) {
+      // relaxed: a monitoring read wants a monotone lower bound, not a
+      // linearizable total; each stripe load is individually atomic and
+      // the sum is exact once writers quiesce.
       total += s.value.load(std::memory_order_relaxed);
     }
     return total;
@@ -67,6 +73,9 @@ class Counter {
 /// and read anywhere.
 class Gauge {
  public:
+  // relaxed (all three): a gauge is a free-standing last-value cell —
+  // readers accept any recent value and nothing else is published through
+  // it, so no acquire/release pairing is needed.
   void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
   void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
   int64_t Value() const { return value_.load(std::memory_order_relaxed); }

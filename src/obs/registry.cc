@@ -5,12 +5,12 @@ namespace trajsearch::obs {
 namespace {
 
 /// Find-or-create in a name-keyed map of metric objects; addresses are
-/// stable because the map owns unique_ptrs.
+/// stable because the map owns unique_ptrs. Callers hold the registry
+/// mutex (the map reference itself is the guarded object; acquiring
+/// happens in the annotated Registry methods below).
 template <typename T>
-T* Resolve(std::mutex* mu,
-           std::map<std::string, std::unique_ptr<T>, std::less<>>* metrics,
-           std::string_view name) {
-  std::lock_guard<std::mutex> lock(*mu);
+T* ResolveLocked(std::map<std::string, std::unique_ptr<T>, std::less<>>* metrics,
+                 std::string_view name) {
   auto it = metrics->find(name);
   if (it == metrics->end()) {
     it = metrics->emplace(std::string(name), std::make_unique<T>()).first;
@@ -21,20 +21,23 @@ T* Resolve(std::mutex* mu,
 }  // namespace
 
 Counter* Registry::counter(std::string_view name) {
-  return Resolve(&mu_, &counters_, name);
+  MutexLock lock(mu_);
+  return ResolveLocked(&counters_, name);
 }
 
 Gauge* Registry::gauge(std::string_view name) {
-  return Resolve(&mu_, &gauges_, name);
+  MutexLock lock(mu_);
+  return ResolveLocked(&gauges_, name);
 }
 
 Histogram* Registry::histogram(std::string_view name) {
-  return Resolve(&mu_, &histograms_, name);
+  MutexLock lock(mu_);
+  return ResolveLocked(&histograms_, name);
 }
 
 RegistrySnapshot Registry::Snapshot() const {
   RegistrySnapshot snap;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   snap.counters.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {
     snap.counters.emplace_back(name, counter->Value());

@@ -3,13 +3,13 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/sync.h"
 
 namespace trajsearch::obs {
 
@@ -49,31 +49,40 @@ class Registry {
 
   /// Finds or creates; the returned pointer is valid for the registry's
   /// lifetime. Same name always yields the same object.
-  Counter* counter(std::string_view name);
-  Gauge* gauge(std::string_view name);
-  Histogram* histogram(std::string_view name);
+  Counter* counter(std::string_view name) TRAJ_EXCLUDES(mu_);
+  Gauge* gauge(std::string_view name) TRAJ_EXCLUDES(mu_);
+  Histogram* histogram(std::string_view name) TRAJ_EXCLUDES(mu_);
 
   TraceRing& trace() { return trace_; }
   const TraceRing& trace() const { return trace_; }
 
+  // relaxed: the kill switch is an independent flag — instrumentation sites
+  // only need *some* recent value, and a stale read merely records (or
+  // skips) one extra sample; no other memory is published through it.
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
   void set_enabled(bool on) {
+    // relaxed: see enabled().
     enabled_.store(on, std::memory_order_relaxed);
   }
 
   /// Next per-registry query id for trace spans (starts at 1; 0 marks
   /// non-query events).
   uint64_t NextQueryId() {
+    // relaxed: ids only need uniqueness, not ordering against any other
+    // memory; fetch_add is atomic under every ordering.
     return query_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
   }
 
-  RegistrySnapshot Snapshot() const;
+  RegistrySnapshot Snapshot() const TRAJ_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;  // registration and snapshot iteration only
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  mutable Mutex mu_;  // registration and snapshot iteration only
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      TRAJ_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      TRAJ_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      TRAJ_GUARDED_BY(mu_);
   TraceRing trace_;
   std::atomic<bool> enabled_{true};
   std::atomic<uint64_t> query_seq_{0};

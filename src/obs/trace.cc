@@ -31,18 +31,23 @@ TraceRing::TraceRing(size_t capacity)
       slots_(new Slot[slots_capacity_]) {}
 
 void TraceRing::Record(const TraceSpan& span) {
+  // relaxed: the fetch_add only needs a unique claim; the slot's ticket
+  // stamps (release) are what order the payload against readers.
   const uint64_t claim = next_.fetch_add(1, std::memory_order_relaxed);
   Slot& slot = slots_[claim & mask_];
-  // Claim-stamped write: odd while in progress, even (2*claim+2) when done.
-  // A lapped writer (claim + capacity) simply wins; its even stamp is
-  // larger, so a reader can still tell which span it got.
-  slot.ticket.store(2 * claim + 1, std::memory_order_release);
+  // Claim-stamped write (TicketSeqLock): odd while in progress, even
+  // (2*claim+2) when done. A lapped writer (claim + capacity) simply wins;
+  // its even stamp is larger, so a reader can still tell which span it got.
+  slot.ticket.WriteBegin(claim);
+  // relaxed (payload stores): individually race-free words whose ordering
+  // against readers comes from the WriteBegin/WriteEnd release brackets and
+  // the reader's acquire ticket validation — the classic seqlock payload.
   slot.query_id.store(span.query_id, std::memory_order_relaxed);
   slot.kind.store(static_cast<uint32_t>(span.kind), std::memory_order_relaxed);
   slot.start_nanos.store(span.start_nanos, std::memory_order_relaxed);
   slot.duration_nanos.store(span.duration_nanos, std::memory_order_relaxed);
   slot.value.store(span.value, std::memory_order_relaxed);
-  slot.ticket.store(2 * claim + 2, std::memory_order_release);
+  slot.ticket.WriteEnd(claim);
 }
 
 std::vector<TraceSpan> TraceRing::Snapshot() const {
@@ -53,15 +58,16 @@ std::vector<TraceSpan> TraceRing::Snapshot() const {
   spans.reserve(static_cast<size_t>(end - begin));
   for (uint64_t claim = begin; claim < end; ++claim) {
     const Slot& slot = slots_[claim & mask_];
-    const uint64_t before = slot.ticket.load(std::memory_order_acquire);
-    if (before != 2 * claim + 2) continue;  // unwritten, lapped or in flight
+    if (!slot.ticket.ReadBegin(claim)) continue;  // unwritten, lapped, in flight
     TraceSpan span;
+    // relaxed (payload loads): bracketed by the acquire ticket checks; a
+    // concurrent overwrite flips the ticket, failing ReadValidate below.
     span.query_id = slot.query_id.load(std::memory_order_relaxed);
     span.kind = static_cast<SpanKind>(slot.kind.load(std::memory_order_relaxed));
     span.start_nanos = slot.start_nanos.load(std::memory_order_relaxed);
     span.duration_nanos = slot.duration_nanos.load(std::memory_order_relaxed);
     span.value = slot.value.load(std::memory_order_relaxed);
-    if (slot.ticket.load(std::memory_order_acquire) != before) continue;
+    if (!slot.ticket.ReadValidate(claim)) continue;
     spans.push_back(span);
   }
   return spans;

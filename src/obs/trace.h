@@ -6,6 +6,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/sync.h"
+
 namespace trajsearch::obs {
 
 /// \brief Stages of the serving pipeline (and corpus lifecycle events) a
@@ -38,11 +40,11 @@ struct TraceSpan {
 /// \brief Bounded lock-free ring of trace spans.
 ///
 /// Record() claims a slot with one atomic fetch_add and writes through
-/// per-field relaxed atomics under a per-slot ticket stamp; when the ring is
-/// full the oldest span is overwritten. Snapshot() returns the retained
-/// spans oldest-first, dropping any slot it caught mid-write (the ticket
-/// stamp changed underneath it) — readers never block writers and the whole
-/// structure is data-race-free under TSan.
+/// per-field relaxed atomics bracketed by a per-slot TicketSeqLock stamp;
+/// when the ring is full the oldest span is overwritten. Snapshot() returns
+/// the retained spans oldest-first, dropping any slot it caught mid-write
+/// (the ticket stamp changed underneath it) — readers never block writers
+/// and the whole structure is data-race-free under TSan.
 class TraceRing {
  public:
   /// Capacity is rounded up to a power of two (minimum 16).
@@ -60,17 +62,21 @@ class TraceRing {
   /// Spans recorded since construction (recorded - capacity() of them have
   /// been overwritten, saturating at zero).
   uint64_t recorded() const {
+    // relaxed: a monitoring read of the claim counter; any recent value is
+    // acceptable and no slot payload is accessed through it.
     return next_.load(std::memory_order_relaxed);
   }
 
  private:
-  /// One ring slot. `ticket` is 2*claim+1 while the writer fills the slot
-  /// and 2*claim+2 when the payload is complete; a reader that sees an odd
-  /// or changed ticket drops the slot. All fields are atomics so concurrent
-  /// overwrite is tearing-free word by word (an inconsistent mix of two
-  /// spans is impossible to *return* because the ticket check fails).
+  /// One ring slot. `ticket` implements the claim-stamped seqlock protocol
+  /// (util/sync.h TicketSeqLock): odd 2*claim+1 while the writer fills the
+  /// slot, even 2*claim+2 when the payload is complete; a reader that sees
+  /// an odd or changed ticket drops the slot. All payload fields are
+  /// atomics so concurrent overwrite is tearing-free word by word (an
+  /// inconsistent mix of two spans is impossible to *return* because the
+  /// ticket validation fails).
   struct Slot {
-    std::atomic<uint64_t> ticket{0};
+    TicketSeqLock ticket;
     std::atomic<uint64_t> query_id{0};
     std::atomic<uint32_t> kind{0};
     std::atomic<int64_t> start_nanos{0};

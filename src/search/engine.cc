@@ -379,6 +379,9 @@ void SearchEngine::QueryInto(TrajectoryView query, SharedTopK* topk,
       TopKHeap local_heap(options_.top_k);
       TopKHeap* heap = options_.share_threshold ? nullptr : &local_heap;
       for (;;) {
+        // relaxed: the chunk counter only hands out disjoint ranges — each
+        // worker reads the candidate array, which was published before the
+        // tasks were submitted; no payload rides on the counter itself.
         const size_t begin =
             next.fetch_add(chunk, std::memory_order_relaxed);
         if (begin >= candidates.size()) break;

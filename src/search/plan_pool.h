@@ -1,12 +1,12 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "prune/key_point_filter.h"
 #include "search/searcher.h"
+#include "util/sync.h"
 
 namespace trajsearch {
 
@@ -22,9 +22,10 @@ namespace trajsearch {
 class PlanPool {
  public:
   /// Checks out a pooled plan, or has `searcher` create the pool's next one.
-  std::unique_ptr<QueryRun> AcquireRun(const Searcher& searcher) {
+  std::unique_ptr<QueryRun> AcquireRun(const Searcher& searcher)
+      TRAJ_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (!runs_.empty()) {
         std::unique_ptr<QueryRun> run = std::move(runs_.back());
         runs_.pop_back();
@@ -34,14 +35,14 @@ class PlanPool {
     return searcher.NewRun();
   }
 
-  void ReleaseRun(std::unique_ptr<QueryRun> run) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void ReleaseRun(std::unique_ptr<QueryRun> run) TRAJ_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     runs_.push_back(std::move(run));
   }
 
-  std::unique_ptr<KpfBoundPlan> AcquireBound() {
+  std::unique_ptr<KpfBoundPlan> AcquireBound() TRAJ_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (!bounds_.empty()) {
         std::unique_ptr<KpfBoundPlan> bound = std::move(bounds_.back());
         bounds_.pop_back();
@@ -51,15 +52,15 @@ class PlanPool {
     return std::make_unique<KpfBoundPlan>();
   }
 
-  void ReleaseBound(std::unique_ptr<KpfBoundPlan> bound) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void ReleaseBound(std::unique_ptr<KpfBoundPlan> bound) TRAJ_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     bounds_.push_back(std::move(bound));
   }
 
  private:
-  std::mutex mu_;
-  std::vector<std::unique_ptr<QueryRun>> runs_;
-  std::vector<std::unique_ptr<KpfBoundPlan>> bounds_;
+  Mutex mu_;
+  std::vector<std::unique_ptr<QueryRun>> runs_ TRAJ_GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<KpfBoundPlan>> bounds_ TRAJ_GUARDED_BY(mu_);
 };
 
 }  // namespace trajsearch

@@ -6,13 +6,13 @@
 #include <cstdint>
 #include <cstring>
 #include <limits>
-#include <mutex>
 #include <queue>
 #include <vector>
 
 #include "search/engine.h"
 #include "search/query_run.h"
 #include "util/check.h"
+#include "util/sync.h"
 
 namespace trajsearch {
 
@@ -140,14 +140,14 @@ class SharedTopK {
     return lower > w.distance || (lower == w.distance && id > w.id);
   }
 
-  void Offer(const EngineHit& hit) {
+  void Offer(const EngineHit& hit) TRAJ_EXCLUDES(mu_) {
     // Lock-free rejection: once the heap is full, a hit that is canonically
     // no better than the published K-th best can never enter. The published
     // pair is stale-or-current and only ever improves, so rejecting against
     // it is always sound. Before the heap fills, everything — including
     // not-found sentinels — takes the lock, exactly like TopKHeap.
     if (ShouldPrune(hit.result.distance, hit.trajectory_id)) return;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     heap_.Offer(hit);
     if (heap_.Full()) {
       const uint64_t bits = DoubleBits(heap_.Worst());
@@ -158,21 +158,15 @@ class SharedTopK {
       if (bits != published_bits_ || id != published_id_) {
         published_bits_ = bits;
         published_id_ = id;
-        // Seqlock publish (single writer at a time — we hold mu_): bump to
-        // odd, write the pair, bump to even.
-        const uint32_t seq = seq_.load(std::memory_order_relaxed);
-        seq_.store(seq + 1, std::memory_order_release);
-        worst_bits_.store(bits, std::memory_order_release);
-        worst_id_.store(id, std::memory_order_release);
-        seq_.store(seq + 2, std::memory_order_release);
+        PublishWorstLocked(bits, id);
       }
     }
   }
 
   /// Drains into a best-first vector (not concurrency-safe; call after all
   /// workers have finished).
-  std::vector<EngineHit> Sorted() {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::vector<EngineHit> Sorted() TRAJ_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return heap_.Sorted();
   }
 
@@ -189,30 +183,50 @@ class SharedTopK {
     return bits;
   }
 
+  /// Seqlock publish of a new K-th best. mu_ provides the writer exclusion
+  /// the SeqLock capability assumes; the capability itself proves the
+  /// payload stores only ever happen inside the odd-sequence window.
+  void PublishWorstLocked(uint64_t bits, int id) TRAJ_REQUIRES(mu_) {
+    seq_.BeginWrite();
+    StoreWorst(bits, id);
+    seq_.EndWrite();
+  }
+
+  /// The seqlock payload write — compiles only with the write capability.
+  void StoreWorst(uint64_t bits, int id) TRAJ_REQUIRES(seq_) {
+    worst_bits_.store(bits, std::memory_order_release);
+    worst_id_.store(id, std::memory_order_release);
+  }
+
   Worst LoadWorst() const {
     for (;;) {
-      const uint32_t before = seq_.load(std::memory_order_acquire);
-      if ((before & 1u) != 0) continue;  // publish in progress
+      const uint32_t before = seq_.ReadBegin();
+      // acquire: pairs with the release payload stores in StoreWorst, so a
+      // validated read section observed a (bits, id) pair from one publish.
       const uint64_t bits = worst_bits_.load(std::memory_order_acquire);
       const int id = worst_id_.load(std::memory_order_acquire);
-      if (seq_.load(std::memory_order_acquire) != before) continue;
+      if (seq_.ReadRetry(before)) continue;  // publish overlapped; reload
       Worst w{0, id};
       std::memcpy(&w.distance, &bits, sizeof(w.distance));
       return w;
     }
   }
 
-  mutable std::mutex mu_;
-  TopKHeap heap_;
+  mutable Mutex mu_;
+  TopKHeap heap_ TRAJ_GUARDED_BY(mu_);
   /// What the seqlock last published, so unchanged worsts are not
-  /// republished (guarded by mu_ like the heap).
-  uint64_t published_bits_ = DoubleBits(kNoCutoff);
-  int published_id_ = -1;
+  /// republished.
+  uint64_t published_bits_ TRAJ_GUARDED_BY(mu_) = DoubleBits(kNoCutoff);
+  int published_id_ TRAJ_GUARDED_BY(mu_) = -1;
+  /// Write-side capability over the published pair below; writers hold mu_
+  /// (see PublishWorstLocked), readers retry via ReadBegin/ReadRetry.
+  SeqLock seq_;
   /// Seqlock-published (K-th best distance, K-th best id); distance stays
   /// kNoCutoff until the heap fills (a heap full of not-found sentinels
   /// also reads as "no threshold", which disables pruning — exactly the
-  /// legacy behaviour for infinite worsts).
-  std::atomic<uint32_t> seq_{0};
+  /// legacy behaviour for infinite worsts). Atomics, not TRAJ_GUARDED_BY:
+  /// readers load them without any capability and rely on the seqlock
+  /// retry; only the *stores* are capability-checked (StoreWorst).
   std::atomic<uint64_t> worst_bits_{DoubleBits(kNoCutoff)};
   std::atomic<int> worst_id_{-1};
 };

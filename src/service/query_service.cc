@@ -208,7 +208,7 @@ QueryService::QueryService(Dataset dataset, ServiceOptions options)
   shard_engine_options_.metrics = &registry_;
   delta_engine_ = std::make_unique<DeltaEngine>(shard_engine_options_);
 
-  std::lock_guard<std::mutex> lock(ingest_mu_);
+  MutexLock lock(ingest_mu_);
   base_state_ = BuildBaseState(live_.View().base_ptr());
   PublishLocked();
 }
@@ -280,7 +280,7 @@ std::vector<int> QueryService::AppendBatch(
   const bool tracing = registry_.enabled() && !trajectories.empty();
   const int64_t start = tracing ? obs::NowNanos() : 0;
   {
-    std::lock_guard<std::mutex> lock(ingest_mu_);
+    MutexLock lock(ingest_mu_);
     ids = live_.AppendBatch(trajectories);
     if (!trajectories.empty()) {
       PublishLocked();
@@ -307,7 +307,7 @@ void QueryService::MaybeScheduleCompactionLocked() {
   compaction_scheduled_ = true;
   pool_->Submit(&compact_group_, [this]() {
     CompactInternal();
-    std::lock_guard<std::mutex> lock(ingest_mu_);
+    MutexLock lock(ingest_mu_);
     compaction_scheduled_ = false;
     // Appends that raced the rebuild may already have refilled the delta.
     MaybeScheduleCompactionLocked();
@@ -319,7 +319,7 @@ bool QueryService::Compact() { return CompactInternal(); }
 bool QueryService::CompactInternal() {
   // One compaction at a time (explicit Compact() calls and the background
   // task serialize here); appends and queries never take this lock.
-  std::lock_guard<std::mutex> compact_lock(compact_mu_);
+  MutexLock compact_lock(compact_mu_);
   const CorpusView pinned = live_.View();
   if (pinned.delta_size() == 0) return false;
   const bool tracing = registry_.enabled();
@@ -333,7 +333,7 @@ bool QueryService::CompactInternal() {
   std::shared_ptr<const BaseState> rebuilt = BuildBaseState(merged);
 
   {
-    std::lock_guard<std::mutex> lock(ingest_mu_);
+    MutexLock lock(ingest_mu_);
     live_.AdoptBase(merged, pinned.delta_size());
     base_state_ = std::move(rebuilt);
     PublishLocked();
@@ -458,7 +458,7 @@ std::vector<std::vector<EngineHit>> QueryService::SubmitBatch(
   uint64_t miss_count = 0;
   {
     std::unordered_map<uint64_t, size_t> in_batch;  // key -> first miss qi
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (size_t qi = 0; qi < queries.size(); ++qi) {
       if (!caching) {
         misses.push_back(qi);
@@ -638,7 +638,7 @@ std::vector<std::vector<EngineHit>> QueryService::SubmitBatch(
   if (caching) {
     uint64_t evictions = 0;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       for (const size_t qi : misses) {
         if (cache_.Put(keys[qi], results[qi])) ++evictions;
       }
@@ -684,7 +684,7 @@ CorpusShape QueryService::Shape() const {
 }
 
 void QueryService::ClearCache() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   cache_.Clear();
 }
 

@@ -3,7 +3,7 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
+#include <mutex>  // std::once_flag/std::call_once only (mutexes: util/sync.h)
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -16,6 +16,7 @@
 #include "search/engine.h"
 #include "util/scheduler.h"
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace trajsearch {
 
@@ -155,7 +156,8 @@ class QueryService {
 
   /// Runs one query; hits are best-first with corpus trajectory ids.
   /// `excluded_id` removes one corpus trajectory from the data side.
-  std::vector<EngineHit> Submit(TrajectoryView query, int excluded_id = -1);
+  std::vector<EngineHit> Submit(TrajectoryView query, int excluded_id = -1)
+      TRAJ_EXCLUDES(mu_);
 
   /// Runs a batch: all (query, shard) tasks are enqueued at once, so the
   /// pool dispatch cost is amortized and shards stay busy across queries.
@@ -164,25 +166,26 @@ class QueryService {
   /// `excluded_ids` (optional) must be empty or parallel to `queries`.
   std::vector<std::vector<EngineHit>> SubmitBatch(
       const std::vector<TrajectoryView>& queries,
-      const std::vector<int>& excluded_ids = {});
+      const std::vector<int>& excluded_ids = {}) TRAJ_EXCLUDES(mu_);
 
   /// Appends one trajectory to the corpus (copied into delta storage).
   /// Returns its corpus id; the trajectory is visible to every query
   /// submitted after this returns. In-flight queries keep their pinned
   /// generation and do not see it.
-  int Append(TrajectoryView trajectory);
+  int Append(TrajectoryView trajectory) TRAJ_EXCLUDES(ingest_mu_);
 
   /// Appends many trajectories with one publication; returns their
   /// (consecutive) corpus ids.
   std::vector<int> AppendBatch(
-      const std::vector<TrajectoryView>& trajectories);
+      const std::vector<TrajectoryView>& trajectories)
+      TRAJ_EXCLUDES(ingest_mu_);
 
   /// Compacts the current delta into the base synchronously: builds the
   /// merged corpus + indexes, swaps the generation, and returns true (false
   /// if the delta was empty). Queries keep running throughout; only the
   /// final swap takes the ingest lock. Serialized against the background
   /// compaction, so calling it concurrently is safe (one of them wins).
-  bool Compact();
+  bool Compact() TRAJ_EXCLUDES(compact_mu_, ingest_mu_);
 
   /// Writes the served corpus as a snapshot: plain v2 when the delta is
   /// empty, v3 (base payload + append journal) otherwise.
@@ -193,7 +196,7 @@ class QueryService {
   ServiceStats Stats() const;
   /// Shape of the generation currently being served.
   CorpusShape Shape() const;
-  void ClearCache();
+  void ClearCache() TRAJ_EXCLUDES(mu_);
 
   /// The service's metrics registry: `service.*` counters and latency
   /// histograms, `engine.<Algorithm>.funnel.*` pruning funnels,
@@ -280,12 +283,12 @@ class QueryService {
       std::shared_ptr<const Dataset> corpus) const;
   /// Pins the current generation.
   std::shared_ptr<const ServingState> State() const { return state_.load(); }
-  /// Publishes live_'s current generation. Requires ingest_mu_ held.
-  void PublishLocked();
+  /// Publishes live_'s current generation.
+  void PublishLocked() TRAJ_REQUIRES(ingest_mu_);
   /// Schedules a background compaction if the threshold is exceeded and
-  /// none is in flight. Requires ingest_mu_ held.
-  void MaybeScheduleCompactionLocked();
-  bool CompactInternal();
+  /// none is in flight.
+  void MaybeScheduleCompactionLocked() TRAJ_REQUIRES(ingest_mu_);
+  bool CompactInternal() TRAJ_EXCLUDES(compact_mu_, ingest_mu_);
 
   /// Resolved-once pointers into registry_ for every ServiceStats field and
   /// the service-layer latency/stage instrumentation (all wait-free to
@@ -331,11 +334,14 @@ class QueryService {
   std::unique_ptr<DeltaEngine> delta_engine_;
   std::unique_ptr<ThreadPool> pool_;
 
-  mutable std::mutex ingest_mu_;  // serializes appends + generation swaps
-  std::shared_ptr<const BaseState> base_state_;    // guarded by ingest_mu_
-  bool compaction_scheduled_ = false;              // guarded by ingest_mu_
+  mutable Mutex ingest_mu_;  // serializes appends + generation swaps
+  std::shared_ptr<const BaseState> base_state_ TRAJ_GUARDED_BY(ingest_mu_);
+  bool compaction_scheduled_ TRAJ_GUARDED_BY(ingest_mu_) = false;
 
-  std::mutex compact_mu_;    // serializes compaction rebuilds
+  /// Serializes compaction rebuilds. Lock order: compact_mu_ before
+  /// ingest_mu_ (CompactInternal swaps the generation under both); nothing
+  /// ever takes them the other way — the analysis checks the edge.
+  Mutex compact_mu_ TRAJ_ACQUIRED_BEFORE(ingest_mu_);
   TaskGroup compact_group_;  // background compactions; drained in ~
 
   /// The served generation (RCU: swapped under ingest_mu_, pinned anywhere
@@ -345,8 +351,8 @@ class QueryService {
   /// Guards cache_ only — all counters moved off this mutex into the
   /// registry (PR 6), so Stats() and the per-batch counter folds never
   /// serialize against the cache.
-  mutable std::mutex mu_;
-  ResultCache cache_;
+  mutable Mutex mu_;
+  ResultCache cache_ TRAJ_GUARDED_BY(mu_);
 };
 
 }  // namespace trajsearch

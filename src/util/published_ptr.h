@@ -1,8 +1,9 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <utility>
+
+#include "util/sync.h"
 
 namespace trajsearch {
 
@@ -29,26 +30,26 @@ class PublishedPtr {
   PublishedPtr& operator=(const PublishedPtr&) = delete;
 
   /// Pins the current generation (never null once store() has run).
-  std::shared_ptr<T> load() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<T> load() const TRAJ_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return ptr_;
   }
 
   /// Publishes a new generation; existing pins keep the old one alive.
-  void store(std::shared_ptr<T> ptr) {
+  void store(std::shared_ptr<T> ptr) TRAJ_EXCLUDES(mu_) {
     // Swap under the lock, release the old generation outside it: dropping
     // the last pin can cascade into freeing a whole corpus generation, and
     // that must never run inside the readers' critical section.
     std::shared_ptr<T> retired;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       retired = std::exchange(ptr_, std::move(ptr));
     }
   }
 
  private:
-  mutable std::mutex mu_;
-  std::shared_ptr<T> ptr_;
+  mutable Mutex mu_;
+  std::shared_ptr<T> ptr_ TRAJ_GUARDED_BY(mu_);
 };
 
 }  // namespace trajsearch

@@ -2,10 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
@@ -13,6 +11,7 @@
 
 #include "obs/registry.h"
 #include "util/check.h"
+#include "util/sync.h"
 
 namespace trajsearch {
 
@@ -56,10 +55,14 @@ class TaskGroup {
   std::atomic<ThreadPool*> pool_{nullptr};
   /// Tasks submitted but not yet started; popped either by a pool worker
   /// (via the pool's token queue) or by a helping waiter. Guarded by the
-  /// pool's mutex, like pending_.
+  /// owning pool's mu_, like pending_ — the guard cannot be spelled as a
+  /// TRAJ_GUARDED_BY expression because pool_ is an atomic (the analysis
+  /// needs a plain pointer member to name another object's mutex), so the
+  /// contract is enforced one level up: every access lives in a ThreadPool
+  /// method that itself holds (or TRAJ_REQUIRES) the pool's mu_.
   std::deque<QueuedTask> queued_;
-  int pending_ = 0;  // queued + running
-  std::condition_variable done_;
+  int pending_ = 0;  // queued + running; same pool-mu_ guard as queued_
+  CondVar done_;
 };
 
 /// \brief Fixed-size worker pool — the process's shared search scheduler.
@@ -90,10 +93,10 @@ class ThreadPool {
 
   ~ThreadPool() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       stopping_ = true;
     }
-    wake_.notify_all();
+    wake_.NotifyAll();
     for (std::thread& t : workers_) t.join();
   }
 
@@ -102,11 +105,14 @@ class ThreadPool {
 
   /// Enqueues one task under `group` (never blocks; unbounded queue). The
   /// group must outlive the task and must always be used with this pool.
-  void Submit(TaskGroup* group, std::function<void()> task) {
+  void Submit(TaskGroup* group, std::function<void()> task)
+      TRAJ_EXCLUDES(mu_) {
     TRAJ_CHECK(group != nullptr);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       TRAJ_CHECK(!stopping_);
+      // relaxed: mu_ already orders this load against every other mutation
+      // of pool_; the atomic exists for the lock-free reads in Wait()/~.
       ThreadPool* const prev = group->pool_.load(std::memory_order_relaxed);
       TRAJ_CHECK(prev == nullptr || prev == this);
       group->pool_.store(this, std::memory_order_release);
@@ -117,10 +123,10 @@ class ThreadPool {
       ++queued_tasks_;
       if (queue_depth_ != nullptr) queue_depth_->Set(queued_tasks_);
     }
-    wake_.notify_one();
+    wake_.NotifyOne();
     // A waiter of this group may be blocked with nothing to help; the new
     // task changes that.
-    group->done_.notify_all();
+    group->done_.NotifyAll();
   }
 
   int thread_count() const { return static_cast<int>(workers_.size()); }
@@ -131,8 +137,9 @@ class ThreadPool {
   /// latency. Call before serving traffic; the registry must outlive the
   /// pool.
   void AttachMetrics(obs::Registry* registry,
-                     const std::string& prefix = "scheduler") {
-    std::lock_guard<std::mutex> lock(mu_);
+                     const std::string& prefix = "scheduler")
+      TRAJ_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     registry_ = registry;
     queue_depth_ =
         registry != nullptr ? registry->gauge(prefix + ".queue_depth")
@@ -145,21 +152,21 @@ class ThreadPool {
  private:
   friend class TaskGroup;
 
-  void Finish(TaskGroup* group) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Finish(TaskGroup* group) TRAJ_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     TRAJ_CHECK(group->pending_ > 0);
-    if (--group->pending_ == 0) group->done_.notify_all();
+    if (--group->pending_ == 0) group->done_.NotifyAll();
   }
 
   /// True when the attached registry wants records. Called with mu_ held.
-  bool MetricsOnLocked() const {
+  bool MetricsOnLocked() const TRAJ_REQUIRES(mu_) {
     return registry_ != nullptr && registry_->enabled();
   }
 
   /// Wait-time record + depth-gauge update for a task just popped for
   /// execution. Called with mu_ held (the histogram record itself is
   /// lock-free; only the bookkeeping needs the mutex).
-  void NoteTaskStartLocked(const QueuedTask& task) {
+  void NoteTaskStartLocked(const QueuedTask& task) TRAJ_REQUIRES(mu_) {
     --queued_tasks_;
     if (queue_depth_ != nullptr) queue_depth_->Set(queued_tasks_);
     if (task.enqueue_nanos != 0 && task_wait_ != nullptr &&
@@ -168,13 +175,13 @@ class ThreadPool {
     }
   }
 
-  void WorkerLoop() {
+  void WorkerLoop() TRAJ_EXCLUDES(mu_) {
     for (;;) {
       TaskGroup* group = nullptr;
       QueuedTask task;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        wake_.wait(lock, [this]() { return stopping_ || !tokens_.empty(); });
+        MutexLock lock(mu_);
+        while (!stopping_ && tokens_.empty()) wake_.Wait(mu_);
         if (tokens_.empty()) return;  // stopping_ and drained
         group = tokens_.front();
         tokens_.pop_front();
@@ -189,8 +196,8 @@ class ThreadPool {
   }
 
   /// Wait() body; lives here because it needs the pool's mutex.
-  void WaitFor(TaskGroup* group) {
-    std::unique_lock<std::mutex> lock(mu_);
+  void WaitFor(TaskGroup* group) TRAJ_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     while (group->pending_ > 0) {
       if (!group->queued_.empty()) {
         // Help: run a still-queued task of this group inline (its pool
@@ -200,41 +207,41 @@ class ThreadPool {
         QueuedTask task = std::move(group->queued_.front());
         group->queued_.pop_front();
         NoteTaskStartLocked(task);
-        lock.unlock();
+        lock.Unlock();
         task.fn();
         Finish(group);
-        lock.lock();
+        lock.Lock();
         continue;
       }
       // All remaining group tasks are running on other threads (or a task
       // may still Submit follow-ups — Submit notifies done_).
-      group->done_.wait(lock, [&]() {
-        return group->pending_ == 0 || !group->queued_.empty();
-      });
+      while (group->pending_ > 0 && group->queued_.empty()) {
+        group->done_.Wait(mu_);
+      }
     }
     PurgeTokens(group);
   }
 
   /// Drops stale no-op tokens of a finished group so they can never
   /// dangle once the group object dies. Called with mu_ held.
-  void PurgeTokens(TaskGroup* group) {
+  void PurgeTokens(TaskGroup* group) TRAJ_REQUIRES(mu_) {
     tokens_.erase(std::remove(tokens_.begin(), tokens_.end(), group),
                   tokens_.end());
   }
 
-  std::mutex mu_;
-  std::condition_variable wake_;
+  Mutex mu_;
+  CondVar wake_;
   /// One token per submitted task, FIFO; the task itself lives in its
   /// group's deque (a token for an already-helped task is skipped).
-  std::deque<TaskGroup*> tokens_;
-  bool stopping_ = false;
+  std::deque<TaskGroup*> tokens_ TRAJ_GUARDED_BY(mu_);
+  bool stopping_ TRAJ_GUARDED_BY(mu_) = false;
   /// Observability (all guarded by mu_; null when detached). queued_tasks_
   /// counts enqueued-but-not-started tasks across all groups — the precise
   /// queue depth, unlike tokens_.size() which includes helped-away no-ops.
-  obs::Registry* registry_ = nullptr;
-  obs::Gauge* queue_depth_ = nullptr;
-  obs::Histogram* task_wait_ = nullptr;
-  int64_t queued_tasks_ = 0;
+  obs::Registry* registry_ TRAJ_GUARDED_BY(mu_) = nullptr;
+  obs::Gauge* queue_depth_ TRAJ_GUARDED_BY(mu_) = nullptr;
+  obs::Histogram* task_wait_ TRAJ_GUARDED_BY(mu_) = nullptr;
+  int64_t queued_tasks_ TRAJ_GUARDED_BY(mu_) = 0;
   std::vector<std::thread> workers_;
 };
 
@@ -243,7 +250,7 @@ inline TaskGroup::~TaskGroup() {
   // tokens still pointing at it.
   ThreadPool* const pool = pool_.load(std::memory_order_acquire);
   if (pool != nullptr) {
-    std::lock_guard<std::mutex> lock(pool->mu_);
+    MutexLock lock(pool->mu_);
     TRAJ_CHECK(pending_ == 0);
     pool->PurgeTokens(this);
   }

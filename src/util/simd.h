@@ -206,6 +206,9 @@ inline int Probe() {
 
 inline int Mode() {
   if constexpr (kLanes == 1) return 0;
+  // relaxed (load + store): the flag is an idempotent memo of Probe() — two
+  // racing first callers compute the same value, and no other memory is
+  // published through it (plans sample it once per Bind).
   int v = ModeFlag().load(std::memory_order_relaxed);
   if (v < 0) {
     v = Probe();
@@ -254,6 +257,9 @@ inline bool Forced() { return detail::Mode() == 2; }
 /// cover kernels the profitable-only auto mode would skip; SetEnabled(false)
 /// forces the scalar oracle everywhere.
 inline void SetEnabled(bool on) {
+  // relaxed: an independent mode flag with no associated payload; readers
+  // (Mode) accept any recent value by contract — mid-query flips are
+  // documented to leave already-bound plans untouched.
   detail::ModeFlag().store(on && detail::HardwareSupported() ? 2 : 0,
                            std::memory_order_relaxed);
 }
@@ -270,6 +276,8 @@ inline int Width() { return kLanes; }
 /// env var or SetBatchLanes. Vectors stay kLanes wide; lanes at or above
 /// this count are permanently masked. Sampled at plan Bind, like Enabled().
 inline int BatchLanes() {
+  // relaxed (load + store): same idempotent-memo argument as Mode() — the
+  // env probe is deterministic, so racing initializers agree.
   int v = detail::LaneClampFlag().load(std::memory_order_relaxed);
   if (v < 0) {
     v = detail::ProbeLaneClamp();
@@ -285,6 +293,8 @@ inline int BatchLanes() {
 inline void SetBatchLanes(int lanes) {
   if (lanes < 1) lanes = 1;
   if (lanes > kLanes) lanes = kLanes;
+  // relaxed: see SetEnabled — a mode flag sampled at plan Bind, not a
+  // publication of other memory.
   detail::LaneClampFlag().store(lanes, std::memory_order_relaxed);
 }
 

@@ -256,7 +256,9 @@ TEST(EngineTest, StatsTimingBreakdownIsPopulated) {
   EXPECT_GE(stats.pair_search_seconds, 0.0);
   EXPECT_GE(stats.prune_seconds, stats.bound_seconds);
   EXPECT_EQ(stats.search_seconds, stats.pair_search_seconds);
-  if (stats.searched > 0) EXPECT_GT(stats.pair_search_seconds, 0.0);
+  if (stats.searched > 0) {
+    EXPECT_GT(stats.pair_search_seconds, 0.0);
+  }
 }
 
 TEST(EngineTest, ConstructorDoesNotMutateCallerOptions) {

@@ -1,0 +1,11 @@
+// lint self-test: minmax-double must fire on std::min over doubles inside
+// the DP kernel layer (checked as src/distance/example.h).
+#include <algorithm>
+
+namespace trajsearch_nc {
+
+double Cell(double cost, double up, double left) {
+  return std::min(cost + up, cost + left);
+}
+
+}  // namespace trajsearch_nc

@@ -1,0 +1,10 @@
+// lint self-test: naked-new must fire on an allocation that is not owned
+// in the same statement (checked as src/example.cc).
+namespace trajsearch_nc {
+
+int* Leaky() {
+  int* p = new int(3);
+  return p;
+}
+
+}  // namespace trajsearch_nc

@@ -1,0 +1,19 @@
+// lint self-test: raw-mutex must fire on std synchronization primitives
+// used outside util/sync.h (checked as src/example.cc).
+#include <mutex>
+
+namespace trajsearch_nc {
+
+class UsesRawMutex {
+ public:
+  void Touch() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++value_;
+  }
+
+ private:
+  std::mutex mu_;
+  int value_ = 0;
+};
+
+}  // namespace trajsearch_nc

@@ -1,0 +1,11 @@
+// lint self-test: relaxed-order must fire outside the reviewed lock-free
+// allowlist (checked as src/example.cc).
+#include <atomic>
+
+namespace trajsearch_nc {
+
+std::atomic<int> counter{0};
+
+void Bump() { counter.fetch_add(1, std::memory_order_relaxed); }
+
+}  // namespace trajsearch_nc

@@ -1,0 +1,12 @@
+// lint self-test: relaxed-order must fire when an allowlisted file uses a
+// relaxed operation without a nearby rationale comment (checked as
+// src/obs/metrics.h, which is on the allowlist).
+#include <atomic>
+
+namespace trajsearch_nc {
+
+std::atomic<int> counter{0};
+
+void Bump() { counter.fetch_add(1, std::memory_order_relaxed); }
+
+}  // namespace trajsearch_nc

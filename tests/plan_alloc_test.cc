@@ -29,18 +29,32 @@ std::atomic<long long> g_allocations{0};
 }  // namespace
 
 // Plain counting pass-throughs; ASan still interposes on the malloc layer
-// underneath, so the sanitizer job exercises these too.
-void* operator new(std::size_t size) {
+// underneath, so the sanitizer job exercises these too. noinline: if the
+// optimizer inlines the malloc-backed new into a caller, GCC's
+// -Wmismatched-new-delete pairs the visible malloc with the caller's
+// delete and reports a false mismatch.
+__attribute__((noinline)) void* operator new(std::size_t size) {
   g_allocations.fetch_add(1, std::memory_order_relaxed);
   void* p = std::malloc(size);
   if (p == nullptr) throw std::bad_alloc();
   return p;
 }
-void* operator new[](std::size_t size) { return ::operator new(size); }
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+__attribute__((noinline)) void* operator new[](std::size_t size) {
+  return ::operator new(size);
+}
+__attribute__((noinline)) void operator delete(void* p) noexcept {
+  std::free(p);
+}
+__attribute__((noinline)) void operator delete[](void* p) noexcept {
+  std::free(p);
+}
+__attribute__((noinline)) void operator delete(void* p, std::size_t) noexcept {
+  std::free(p);
+}
+__attribute__((noinline)) void operator delete[](void* p,
+                                                 std::size_t) noexcept {
+  std::free(p);
+}
 
 namespace trajsearch {
 namespace {
@@ -91,8 +105,10 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(Algorithm::kCma, Algorithm::kExactS, Algorithm::kSpring,
                       Algorithm::kGreedyBacktracking, Algorithm::kPos,
                       Algorithm::kPss, Algorithm::kRls, Algorithm::kRlsSkip),
-    [](const ::testing::TestParamInfo<Algorithm>& info) {
-      std::string name(ToString(info.param));
+    // Named param_info: the INSTANTIATE_ macro expands this lambda inside a
+    // generated function whose own parameter is `info` (-Wshadow).
+    [](const ::testing::TestParamInfo<Algorithm>& param_info) {
+      std::string name(ToString(param_info.param));
       for (char& c : name) {
         if (c == '-') c = '_';
       }

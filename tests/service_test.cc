@@ -242,7 +242,9 @@ TEST(QueryServiceTest, AppendInvalidatesStaleCachedResults) {
   ASSERT_FALSE(after.empty());
   EXPECT_EQ(after[0].trajectory_id, id);
   EXPECT_EQ(after[0].result.distance, 0.0);
-  if (!before.empty()) EXPECT_NE(before[0].trajectory_id, id);
+  if (!before.empty()) {
+    EXPECT_NE(before[0].trajectory_id, id);
+  }
 
   // The post-append result is itself cached under the new generation...
   service.Submit(query);

@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""clang-tidy driver with a content-hash result cache.
+
+Runs clang-tidy (checks from the repo's .clang-tidy) over every repo TU in
+the compilation database, in parallel. Results are cached per TU under
+--cache-dir keyed by a hash of (clang-tidy version, .clang-tidy, the TU's
+compile command, the TU, and every repo header it includes) — so a CI run
+that touches one file re-analyzes one file, and an untouched tree is a
+no-op. Cache entries store the diagnostics; cached failures fail again
+without re-running.
+
+Exit status: 0 clean, 1 diagnostics, 2 environment/usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import hashlib
+import json
+import os
+import re
+import shlex
+import subprocess
+import sys
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"', re.MULTILINE)
+
+
+def repo_headers(repo: str, src: str, seen: set[str]) -> None:
+    """Transitively collects repo-local quoted includes of `src`."""
+    try:
+        with open(src, encoding="utf-8") as f:
+            text = f.read()
+    except OSError:
+        return
+    for inc in INCLUDE_RE.findall(text):
+        for base in (os.path.join(repo, "src"), repo, os.path.dirname(src)):
+            path = os.path.normpath(os.path.join(base, inc))
+            if os.path.exists(path) and path not in seen:
+                seen.add(path)
+                repo_headers(repo, path, seen)
+                break
+
+
+def tu_key(tidy_version: str, config: str, entry: dict, repo: str) -> str:
+    h = hashlib.sha256()
+    h.update(tidy_version.encode())
+    h.update(config.encode())
+    h.update(entry.get("command", " ".join(
+        shlex.quote(a) for a in entry.get("arguments", []))).encode())
+    src = os.path.normpath(
+        os.path.join(entry.get("directory", ""), entry["file"]))
+    deps = {src}
+    repo_headers(repo, src, deps)
+    for dep in sorted(deps):
+        try:
+            with open(dep, "rb") as f:
+                h.update(hashlib.sha256(f.read()).digest())
+        except OSError:
+            h.update(dep.encode())
+    return h.hexdigest()
+
+
+def run_one(tidy: str, build_dir: str, src: str) -> tuple[int, str]:
+    proc = subprocess.run(
+        [tidy, "-p", build_dir, "--quiet", src],
+        capture_output=True, text=True,
+    )
+    # clang-tidy prints suppressed-warning chatter to stderr; diagnostics to
+    # stdout. Keep both for failures.
+    out = proc.stdout
+    if proc.returncode != 0:
+        out += proc.stderr
+    return proc.returncode, out
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--clang-tidy", default=os.environ.get(
+        "CLANG_TIDY", "clang-tidy"))
+    parser.add_argument("--cache-dir", default=os.environ.get(
+        "TIDY_CACHE_DIR", os.path.join("build", "tidy-cache")))
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
+    args = parser.parse_args()
+
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    build_dir = os.path.join(repo, args.build_dir) \
+        if not os.path.isabs(args.build_dir) else args.build_dir
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.exists(db_path):
+        print(f"run_tidy.py: no {db_path} (configure with "
+              f"-DCMAKE_EXPORT_COMPILE_COMMANDS=ON)", file=sys.stderr)
+        return 2
+    try:
+        tidy_version = subprocess.run(
+            [args.clang_tidy, "--version"], capture_output=True, text=True,
+            check=True).stdout
+    except (OSError, subprocess.CalledProcessError):
+        print(f"run_tidy.py: {args.clang_tidy} not runnable",
+              file=sys.stderr)
+        return 2
+    with open(os.path.join(repo, ".clang-tidy"), encoding="utf-8") as f:
+        config = f.read()
+    with open(db_path, encoding="utf-8") as f:
+        entries = json.load(f)
+
+    # Repo TUs only: the database also lists FetchContent'd gtest sources.
+    jobs = []
+    for entry in entries:
+        src = os.path.normpath(
+            os.path.join(entry.get("directory", ""), entry["file"]))
+        rel = os.path.relpath(src, repo)
+        if rel.startswith(".."):
+            continue
+        if not rel.startswith(("src" + os.sep, "tests" + os.sep,
+                               "bench" + os.sep, "examples" + os.sep)):
+            continue
+        jobs.append((entry, src, rel))
+
+    cache_dir = os.path.join(repo, args.cache_dir) \
+        if not os.path.isabs(args.cache_dir) else args.cache_dir
+    os.makedirs(cache_dir, exist_ok=True)
+
+    failures = 0
+    hits = 0
+
+    def process(job):
+        entry, src, rel = job
+        key = tu_key(tidy_version, config, entry, repo)
+        cache_file = os.path.join(cache_dir, key + ".json")
+        if os.path.exists(cache_file):
+            with open(cache_file, encoding="utf-8") as f:
+                cached = json.load(f)
+            return rel, cached["rc"], cached["output"], True
+        rc, output = run_one(args.clang_tidy, build_dir, src)
+        with open(cache_file, "w", encoding="utf-8") as f:
+            json.dump({"rc": rc, "output": output}, f)
+        return rel, rc, output, False
+
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        for rel, rc, output, cached in pool.map(process, jobs):
+            if cached:
+                hits += 1
+            if rc != 0:
+                failures += 1
+                print(f"== {rel} ==")
+                print(output)
+
+    print(f"run_tidy.py: {len(jobs)} TUs, {hits} cached, "
+          f"{failures} with diagnostics")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
