@@ -15,8 +15,10 @@
 // observability overhead/funnel metrics, e.g. BENCH_pr6.json),
 // --json-pr7=<path> (write the SIMD kernel metrics, e.g. BENCH_pr7.json),
 // --json-pr8=<path> (write the multi-sweep batching metrics, e.g.
-// BENCH_pr8.json), --statsz=<path> (dump the final registry snapshot as
-// statsz JSON), --probe=1 (print the SIMD dispatch probe and exit).
+// BENCH_pr8.json), --json-pr10=<path> (write the mmap-serving storage-tier
+// metrics, e.g. BENCH_pr10.json), --statsz=<path> (dump the final registry
+// snapshot as statsz JSON), --probe=1 (print the SIMD dispatch probe and
+// exit).
 
 #include <atomic>
 #include <cstdio>
@@ -28,6 +30,7 @@
 #include "distance/cost_model.h"
 #include "distance/dp.h"
 #include "io/snapshot.h"
+#include "io/snapshot_v4.h"
 #include "obs/export.h"
 #include "prune/grid_index.h"
 #include "prune/key_point_filter.h"
@@ -1579,6 +1582,176 @@ void Main(int argc, char** argv) {
     simd::SetEnabled(prev_simd);
   }
 
+  // -------------------------------------------------------------------
+  // Zero-copy mmap serving: snapshot v4 open cost vs the v2 heap load,
+  // bytes/trajectory of the payload tiers, and the query-latency delta of
+  // serving straight from the mapping (with the prebuilt grid section) and
+  // from the bit-exact compressed-residual tier — both identity-gated
+  // against the heap-loaded service.
+  // -------------------------------------------------------------------
+  {
+    PrintHeader("[PR10] Zero-copy mmap serving: v4 open vs v2 load, "
+                "storage tiers");
+    const std::string v2_path = "bench_pr10_v2.snap";
+    const std::string v4_path = "bench_pr10_v4.snap";
+    const std::string v4_pool_path = "bench_pr10_v4_pool.snap";
+    const std::string v4_lossy_path = "bench_pr10_v4_lossy.snap";
+    const std::string v4_exact_path = "bench_pr10_v4_exact.snap";
+    WriteSnapshot(w.corpus, v2_path);
+    WriteSnapshotV4(w.corpus, v4_path);  // serving file: grid included
+    // Payload-tier files without the (shared) grid section, so the
+    // bytes/trajectory comparison measures the tiers, not the index.
+    V4WriteOptions pool_only;
+    pool_only.include_grid = false;
+    WriteSnapshotV4(w.corpus, v4_pool_path, pool_only);
+    V4WriteOptions lossy = pool_only;
+    lossy.compress = true;
+    WriteSnapshotV4(w.corpus, v4_lossy_path, lossy);
+    V4WriteOptions exact = lossy;
+    exact.codec.store_residuals = true;
+    WriteSnapshotV4(w.corpus, v4_exact_path, exact);
+    auto file_bytes = [](const std::string& path) {
+      std::ifstream in(path, std::ios::binary | std::ios::ate);
+      return static_cast<double>(in.tellg());
+    };
+    const double traj_count = static_cast<double>(w.corpus.size());
+    const double pooled_bpt = file_bytes(v4_pool_path) / traj_count;
+    const double lossy_bpt = file_bytes(v4_lossy_path) / traj_count;
+    const double exact_bpt = file_bytes(v4_exact_path) / traj_count;
+    const double v2_bpt = file_bytes(v2_path) / traj_count;
+
+    // Startup: the v2 reader streams and fingerprints every point; the v4
+    // open maps the file and validates structure only (the payload stays
+    // un-faulted until queries touch it). Files sit in the page cache for
+    // both sides, so this isolates the open paths themselves.
+    const double v2_read_seconds =
+        BestBuildSeconds(passes, [&]() { return ReadSnapshot(v2_path); });
+    const double v4_open_seconds = BestBuildSeconds(passes, [&]() {
+      Result<MmapSnapshot> opened = MmapSnapshot::Open(v4_path);
+      if (!opened.ok()) {
+        std::fprintf(stderr, "FATAL: v4 open failed: %s\n",
+                     opened.status().ToString().c_str());
+        std::exit(1);
+      }
+      return opened.MoveValue();
+    });
+    const double open_speedup = v2_read_seconds / v4_open_seconds;
+
+    // Serving: one shard so the whole-corpus engines adopt the mapped grid
+    // (multi-shard views build their own per-shard indexes on any tier).
+    Result<MmapSnapshot> mapped = MmapSnapshot::Open(v4_path);
+    Result<MmapSnapshot> residual = MmapSnapshot::Open(v4_exact_path);
+    if (!mapped.ok() || !residual.ok()) {
+      std::fprintf(stderr, "FATAL: v4 serving open failed\n");
+      std::exit(1);
+    }
+    ServiceOptions serve_options;
+    serve_options.engine = engine_options;
+    serve_options.shards = 1;
+    serve_options.cache_capacity = 0;
+
+    QueryService heap_service(w.corpus, serve_options);
+    ServiceOptions mapped_options = serve_options;
+    mapped_options.engine.prebuilt_grid = mapped.value().grid();
+    QueryService mmap_service(mapped.value().dataset(), mapped_options);
+    QueryService residual_service(residual.value().dataset(), serve_options);
+
+    auto timed_batch = [&](QueryService* service, double* seconds) {
+      auto hits = service->SubmitBatch(queries, w.excluded);  // warm-up
+      *seconds = BestSeconds(passes, [&]() {
+        service->SubmitBatch(queries, w.excluded);
+      });
+      return hits;
+    };
+    double heap_seconds = 0, mmap_seconds = 0, residual_seconds = 0;
+    const auto heap_hits = timed_batch(&heap_service, &heap_seconds);
+    const auto mmap_hits = timed_batch(&mmap_service, &mmap_seconds);
+    const auto residual_hits =
+        timed_batch(&residual_service, &residual_seconds);
+    const bool identical = Identical(heap_hits, mmap_hits) &&
+                           Identical(heap_hits, residual_hits);
+
+    TablePrinter pr10_table({"Startup path", "Seconds", "Speedup"});
+    pr10_table.AddRow({"v2 heap load (read + checksum)",
+                       TablePrinter::Num(v2_read_seconds, 6), "1.000x"});
+    pr10_table.AddRow({"v4 mmap open (structural checks)",
+                       TablePrinter::Num(v4_open_seconds, 6),
+                       TablePrinter::Num(open_speedup, 1) + "x"});
+    pr10_table.Print();
+    TablePrinter tier_table({"Storage tier", "Bytes/traj", "vs pooled"});
+    auto tier_row = [&](const std::string& name, double bpt) {
+      tier_table.AddRow({name, TablePrinter::Num(bpt, 1),
+                         TablePrinter::Num(bpt / pooled_bpt, 3) + "x"});
+    };
+    tier_row("v2 (pool only)", v2_bpt);
+    tier_row("v4 pooled (pool + SoA shadows)", pooled_bpt);
+    tier_row("v4 compressed, lossy 1e-7", lossy_bpt);
+    tier_row("v4 compressed + residuals (exact)", exact_bpt);
+    tier_table.Print();
+    TablePrinter latency_table({"Serving tier", "Batch (s)", "vs heap"});
+    auto latency_row = [&](const std::string& name, double seconds) {
+      latency_table.AddRow({name, TablePrinter::Num(seconds, 4),
+                            TablePrinter::Num(seconds / heap_seconds, 3) +
+                                "x"});
+    };
+    latency_row("heap-loaded corpus", heap_seconds);
+    latency_row("v4 mmap + prebuilt grid", mmap_seconds);
+    latency_row("v4 compressed residuals (decoded)", residual_seconds);
+    latency_table.Print();
+    std::printf("mmap and residual tiers identical to heap serving: %s\n",
+                identical ? "yes" : "NO");
+    if (!identical) {
+      // CI correctness gate: zero-copy and bit-exact compressed serving
+      // must be hit-for-hit with the heap-loaded corpus.
+      std::fprintf(stderr,
+                   "FATAL: mmap/compressed serving diverges from the "
+                   "heap-loaded baseline\n");
+      std::exit(1);
+    }
+
+    const std::string json_pr10 = flags.GetString("json-pr10", "");
+    if (!json_pr10.empty()) {
+      FILE* f = std::fopen(json_pr10.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", json_pr10.c_str());
+      } else {
+        std::fprintf(
+            f,
+            "{\n"
+            "  \"bench\": \"pr10_mmap_serving\",\n"
+            "  \"corpus_trajectories\": %d,\n"
+            "  \"queries\": %zu,\n"
+            "  \"v2_read_seconds\": %.6f,\n"
+            "  \"v4_open_seconds\": %.6f,\n"
+            "  \"open_speedup\": %.1f,\n"
+            "  \"v2_bytes_per_traj\": %.1f,\n"
+            "  \"pooled_bytes_per_traj\": %.1f,\n"
+            "  \"compressed_bytes_per_traj\": %.1f,\n"
+            "  \"compressed_vs_pooled\": %.3f,\n"
+            "  \"compressed_exact_bytes_per_traj\": %.1f,\n"
+            "  \"heap_batch_seconds\": %.6f,\n"
+            "  \"mmap_batch_seconds\": %.6f,\n"
+            "  \"mmap_read_delta\": %.4f,\n"
+            "  \"residual_batch_seconds\": %.6f,\n"
+            "  \"residual_read_delta\": %.4f,\n"
+            "  \"identical_results\": true\n"
+            "}\n",
+            w.corpus.size(), queries.size(), v2_read_seconds,
+            v4_open_seconds, open_speedup, v2_bpt, pooled_bpt, lossy_bpt,
+            lossy_bpt / pooled_bpt, exact_bpt, heap_seconds, mmap_seconds,
+            mmap_seconds / heap_seconds - 1.0, residual_seconds,
+            residual_seconds / heap_seconds - 1.0);
+        std::fclose(f);
+        std::printf("wrote %s\n", json_pr10.c_str());
+      }
+    }
+    std::remove(v2_path.c_str());
+    std::remove(v4_path.c_str());
+    std::remove(v4_pool_path.c_str());
+    std::remove(v4_lossy_path.c_str());
+    std::remove(v4_exact_path.c_str());
+  }
+
   std::printf(
       "\nShape check: on a machine with >= 4 hardware threads, queries/s "
       "grows with shard\ncount (the 4-shard row exceeds 1.5x the 1-shard "
@@ -1604,7 +1777,12 @@ void Main(int argc, char** argv) {
       "batching axis that retires that caveat: on vector hardware the\n"
       "ExactS/DTW and ExactS/Frechet stage speedups reach >= 1.5x and CMA "
       ">= 1.3x,\nand the algorithm x distance identity matrix must report "
-      "IDENTICAL (gated)\nacross live delta and post-compaction corpora.\n");
+      "IDENTICAL (gated)\nacross live delta and post-compaction corpora. "
+      "The [PR10] v4 mmap open must\nbeat the v2 heap load by >= 20x (it "
+      "validates structure instead of streaming\nand checksumming the "
+      "payload), the compressed tier must need <= 0.5x the\npooled tier's "
+      "bytes/trajectory, and the mmap and compressed-residual serving\n"
+      "tiers must be hit-for-hit identical to heap serving (gated).\n");
 }
 
 }  // namespace

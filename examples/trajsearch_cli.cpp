@@ -14,12 +14,22 @@
 //   trajsearch_cli search --data=corpus.csv --query-file=query.csv --dist=dtw
 //
 //   # convert between CSV and the binary snapshot format (fast startup);
-//   # the output format follows the --out extension (.snap = snapshot)
+//   # the output format follows the --out extension (.snap = snapshot).
+//   # --format picks the snapshot version: v2 (default, heap-loaded) or v4
+//   # (page-aligned sections, zero-copy mmap serving + prebuilt grid index);
+//   # --compress writes the v4 compressed column tier (--resolution sets
+//   # the quantization step, --residuals makes it bit-exact), --grid=false
+//   # omits the prebuilt grid section
 //   trajsearch_cli snapshot --in=corpus.csv --out=corpus.snap
+//   trajsearch_cli snapshot --in=corpus.csv --out=corpus.snap --format=v4
+//   trajsearch_cli snapshot --in=corpus.csv --out=corpus.snap --format=v4
+//       --compress --resolution=1e-7 --residuals
 //   trajsearch_cli snapshot --in=corpus.snap --out=corpus.csv
 //
 //   # serve a whole query file through the sharded QueryService: every
-//   # trajectory of --queries is one query; repeats exercise the cache
+//   # trajectory of --queries is one query; repeats exercise the cache.
+//   # a v4 --data snapshot is served zero-copy via mmap (--willneed
+//   # prefetches it; single-shard serving borrows the prebuilt grid)
 //   trajsearch_cli batch --data=corpus.snap --queries=queries.csv
 //       --dist=dtw --k=5 --shards=4 --workers=4 --cache=256 --repeat=2
 //
@@ -40,11 +50,13 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "gen/taxi.h"
 #include "io/snapshot.h"
+#include "io/snapshot_v4.h"
 #include "io/traj_csv.h"
 #include "obs/export.h"
 #include "prune/grid_index.h"
@@ -114,6 +126,60 @@ bool ParseSpec(const Flags& flags, const Dataset& dataset,
   return true;
 }
 
+/// A corpus ready to serve, remembering how it was loaded. For a v4
+/// snapshot the mapping (and its prebuilt grid section) lives in `mapped`,
+/// which must stay in scope as long as the service/engine runs; `dataset`
+/// is a borrowed copy sharing the mapping keepalive. Anything else is a
+/// plain heap load.
+struct ServingSource {
+  Dataset dataset;
+  std::optional<MmapSnapshot> mapped;
+  double load_seconds = 0;
+  const char* tier = "heap";
+};
+
+/// Loads --data for serving: v4 snapshots via zero-copy mmap (honouring
+/// --willneed prefetch), everything else through LoadDataset. Returns 0 on
+/// success, else the process exit code (already reported).
+int LoadServingCorpus(const Flags& flags, const std::string& path,
+                      ServingSource* out) {
+  Stopwatch watch;
+  if (IsSnapshotFile(path)) {
+    const Result<SnapshotInfo> probe = ProbeSnapshot(path);
+    if (!probe.ok()) return Fail(probe.status().ToString());
+    if (probe.value().version == kSnapshotVersionMapped) {
+      MmapOptions mmap_options;
+      mmap_options.willneed = flags.GetBool("willneed", false);
+      Result<MmapSnapshot> opened = MmapSnapshot::Open(path, mmap_options);
+      if (!opened.ok()) return Fail(opened.status().ToString());
+      out->mapped.emplace(opened.MoveValue());
+      out->dataset = out->mapped->dataset();
+      out->load_seconds = watch.Seconds();
+      out->tier = out->mapped->compressed()
+                      ? "v4 compressed columns (decoded at open)"
+                      : "v4 mmap (zero-copy)";
+      return 0;
+    }
+  }
+  Result<Dataset> loaded = LoadDataset(path, path);
+  if (!loaded.ok()) return Fail(loaded.status().ToString());
+  out->dataset = loaded.MoveValue();
+  out->load_seconds = watch.Seconds();
+  return 0;
+}
+
+const char* SectionTypeName(uint32_t type) {
+  switch (type) {
+    case kV4SectionOffsets: return "offsets";
+    case kV4SectionPool: return "pool";
+    case kV4SectionXs: return "xs";
+    case kV4SectionYs: return "ys";
+    case kV4SectionGrid: return "grid";
+    case kV4SectionCompressed: return "compressed";
+    default: return "unknown";
+  }
+}
+
 int CmdGenerate(const Flags& flags) {
   const std::string profile_name = flags.GetString("profile", "porto");
   const int count = static_cast<int>(flags.GetInt("count", 500));
@@ -149,6 +215,8 @@ int CmdStats(const Flags& flags) {
     std::printf("snapshot:     v%u (%s)\n", info.version,
                 info.version == kSnapshotVersionLive
                     ? "live: base + append journal"
+                : info.version == kSnapshotVersionMapped
+                    ? "page-aligned sections, mmap-servable"
                     : "single generation");
     std::printf("base:         %llu trajectories, %llu points\n",
                 static_cast<unsigned long long>(info.base_trajectories),
@@ -158,6 +226,29 @@ int CmdStats(const Flags& flags) {
                   "on load)\n",
                   static_cast<unsigned long long>(info.journal_trajectories),
                   static_cast<unsigned long long>(info.journal_points));
+    }
+    if (info.version == kSnapshotVersionMapped) {
+      // All of this comes from the probe's prelude read — no payload page
+      // is ever faulted to print it.
+      if (info.compressed) {
+        std::printf("tier:         compressed columns, resolution %g%s\n",
+                    info.compressed_resolution,
+                    info.compressed_residuals
+                        ? ", residuals (bit-exact)"
+                        : " (quantized)");
+      } else {
+        std::printf("tier:         pooled (zero-copy servable)\n");
+      }
+      std::printf("layout:       %zu sections, %s, %.1f bytes/trajectory\n",
+                  info.sections.size(),
+                  info.page_aligned ? "page-aligned" : "UNALIGNED",
+                  info.bytes_per_trajectory);
+      for (const SnapshotSectionInfo& section : info.sections) {
+        std::printf("  section %-10s offset %10llu  length %10llu\n",
+                    SectionTypeName(section.type),
+                    static_cast<unsigned long long>(section.offset),
+                    static_cast<unsigned long long>(section.length));
+      }
     }
   }
   Stopwatch load_watch;
@@ -192,9 +283,9 @@ int CmdStats(const Flags& flags) {
 int CmdSearch(const Flags& flags) {
   const std::string path = flags.GetString("data", "");
   if (path.empty()) return Fail("--data=<csv|snap> required");
-  const Result<Dataset> loaded = LoadDataset(path, path);
-  if (!loaded.ok()) return Fail(loaded.status().ToString());
-  const Dataset& dataset = loaded.value();
+  ServingSource source;
+  if (const int rc = LoadServingCorpus(flags, path, &source)) return rc;
+  const Dataset& dataset = source.dataset;
 
   // Query source: a slice of a corpus trajectory, or an external file.
   Trajectory query;
@@ -207,15 +298,15 @@ int CmdSearch(const Flags& flags) {
   } else {
     const int id = static_cast<int>(flags.GetInt("query-id", 0));
     if (id < 0 || id >= dataset.size()) return Fail("--query-id out of range");
-    const TrajectoryRef source = dataset[id];
+    const TrajectoryRef base = dataset[id];
     const int from = static_cast<int>(flags.GetInt("from", 0));
     const int to = static_cast<int>(
-        flags.GetInt("to", std::min(source.size() - 1, from + 19)));
-    if (from < 0 || to < from || to >= source.size()) {
+        flags.GetInt("to", std::min(base.size() - 1, from + 19)));
+    if (from < 0 || to < from || to >= base.size()) {
       return Fail("--from/--to out of range");
     }
-    std::vector<Point> pts(source.points().begin() + from,
-                           source.points().begin() + to + 1);
+    std::vector<Point> pts(base.points().begin() + from,
+                           base.points().begin() + to + 1);
     query = Trajectory(std::move(pts));
     excluded_id = id;
   }
@@ -232,13 +323,17 @@ int CmdSearch(const Flags& flags) {
   options.threads = static_cast<int>(flags.GetInt("threads", 1));
   options.order_candidates = flags.GetBool("order", true);
   options.share_threshold = flags.GetBool("share-threshold", true);
+  options.prebuilt_grid =
+      source.mapped.has_value() ? source.mapped->grid() : nullptr;
 
   const SearchEngine engine(&dataset, options);
   Stopwatch watch;
   QueryStats stats;
   const std::vector<EngineHit> hits = engine.Query(query, &stats, excluded_id);
-  std::printf("query: %d points, distance: %s, corpus: %d trajectories\n",
-              query.size(), dist.c_str(), dataset.size());
+  std::printf("query: %d points, distance: %s, corpus: %d trajectories "
+              "(%s, loaded in %.3f s)\n",
+              query.size(), dist.c_str(), dataset.size(), source.tier,
+              source.load_seconds);
   for (size_t i = 0; i < hits.size(); ++i) {
     std::printf("#%zu  traj %d  points [%d..%d]  distance %.6f\n", i + 1,
                 hits[i].trajectory_id, hits[i].result.range.start,
@@ -283,24 +378,46 @@ int CmdSnapshot(const Flags& flags) {
 
   const bool to_snapshot =
       out.size() >= 5 && out.compare(out.size() - 5, 5, ".snap") == 0;
+  const std::string format = flags.GetString("format", "v2");
+  const bool compress = flags.GetBool("compress", false);
+  const char* written_as = "csv";
   Stopwatch write_watch;
-  const Status st = to_snapshot ? WriteSnapshot(loaded.value(), out)
-                                : WriteTrajectoryCsv(loaded.value(), out);
+  Status st;
+  if (!to_snapshot) {
+    st = WriteTrajectoryCsv(loaded.value(), out);
+  } else if (format == "v4" || compress) {
+    V4WriteOptions v4;
+    v4.compress = compress;
+    v4.codec.resolution = flags.GetDouble("resolution", 1e-7);
+    v4.codec.store_residuals = flags.GetBool("residuals", false);
+    v4.include_grid = flags.GetBool("grid", true);
+    st = WriteSnapshotV4(loaded.value(), out, v4);
+    written_as = compress ? "snapshot v4, compressed columns"
+                          : "snapshot v4, zero-copy servable";
+  } else if (format == "v1") {
+    st = WriteSnapshotV1(loaded.value(), out);
+    written_as = "snapshot v1";
+  } else if (format == "v2") {
+    st = WriteSnapshot(loaded.value(), out);
+    written_as = "snapshot v2";
+  } else {
+    return Fail("unknown --format (v1|v2|v4)");
+  }
   if (!st.ok()) return Fail(st.ToString());
   std::printf("converted %d trajectories: read %s in %.3f s, wrote %s (%s) "
               "in %.3f s\n",
               loaded.value().size(), in.c_str(), load_seconds, out.c_str(),
-              to_snapshot ? "snapshot" : "csv", write_watch.Seconds());
+              written_as, write_watch.Seconds());
   return 0;
 }
 
 int CmdBatch(const Flags& flags) {
   const std::string path = flags.GetString("data", "");
   if (path.empty()) return Fail("--data=<csv|snap> required");
-  Stopwatch load_watch;
-  Result<Dataset> loaded = LoadDataset(path, path);
-  if (!loaded.ok()) return Fail(loaded.status().ToString());
-  const double load_seconds = load_watch.Seconds();
+  // `source` outlives the service: it owns the mmap keepalive and the
+  // prebuilt grid the engines may borrow.
+  ServingSource source;
+  if (const int rc = LoadServingCorpus(flags, path, &source)) return rc;
 
   const std::string query_path = flags.GetString("queries", "");
   if (query_path.empty()) return Fail("--queries=<csv|snap> required");
@@ -308,7 +425,7 @@ int CmdBatch(const Flags& flags) {
   if (!query_set.ok()) return Fail(query_set.status().ToString());
 
   ServiceOptions options;
-  if (!ParseSpec(flags, loaded.value(), &options.engine.spec)) {
+  if (!ParseSpec(flags, source.dataset, &options.engine.spec)) {
     return Fail("unknown --dist (dtw|edr|erp|fd)");
   }
   options.engine.top_k = static_cast<int>(flags.GetInt("k", 5));
@@ -324,13 +441,16 @@ int CmdBatch(const Flags& flags) {
       static_cast<size_t>(flags.GetInt("cache", 256));
   const int repeat = static_cast<int>(flags.GetInt("repeat", 1));
   const bool verbose = flags.GetBool("verbose", false);
+  options.engine.prebuilt_grid =
+      source.mapped.has_value() ? source.mapped->grid() : nullptr;
 
-  const int corpus_size = loaded.value().size();
-  QueryService service(loaded.MoveValue(), options);
-  std::printf("corpus: %d trajectories (loaded in %.3f s), %d shards, "
+  const int corpus_size = source.dataset.size();
+  QueryService service(std::move(source.dataset), options);
+  std::printf("corpus: %d trajectories (%s, loaded in %.3f s), %d shards, "
               "%d workers, cache %zu entries\n",
-              corpus_size, load_seconds, service.shard_count(),
-              service.options().worker_threads, options.cache_capacity);
+              corpus_size, source.tier, source.load_seconds,
+              service.shard_count(), service.options().worker_threads,
+              options.cache_capacity);
   std::printf("execution: one scheduler pool for shard fan-out and engine "
               "workers (%d tasks/query);\n           %s top-K threshold "
               "across shards and workers, candidates %s\n",
@@ -383,6 +503,9 @@ int CmdBatch(const Flags& flags) {
               stats.pair_search_seconds);
   std::printf("service split (cpu s): cache lookups %.3f, top-K merge %.3f\n",
               stats.cache_lookup_seconds, stats.merge_seconds);
+  if (source.mapped.has_value()) {
+    source.mapped->UpdateGauges(&service.metrics());
+  }
   const obs::RegistrySnapshot snap = service.metrics().Snapshot();
   PrintPercentiles(snap, "service.query_seconds", "latency (per query)");
   PrintPercentiles(snap, "service.batch_seconds", "latency (per batch)");
@@ -506,8 +629,8 @@ int CmdIngest(const Flags& flags) {
 int CmdStatsz(const Flags& flags) {
   const std::string path = flags.GetString("data", "");
   if (path.empty()) return Fail("--data=<csv|snap> required");
-  Result<Dataset> loaded = LoadDataset(path, path);
-  if (!loaded.ok()) return Fail(loaded.status().ToString());
+  ServingSource source;
+  if (const int rc = LoadServingCorpus(flags, path, &source)) return rc;
 
   const std::string query_path = flags.GetString("queries", "");
   if (query_path.empty()) return Fail("--queries=<csv|snap> required");
@@ -515,7 +638,7 @@ int CmdStatsz(const Flags& flags) {
   if (!query_set.ok()) return Fail(query_set.status().ToString());
 
   ServiceOptions options;
-  if (!ParseSpec(flags, loaded.value(), &options.engine.spec)) {
+  if (!ParseSpec(flags, source.dataset, &options.engine.spec)) {
     return Fail("unknown --dist (dtw|edr|erp|fd)");
   }
   options.engine.top_k = static_cast<int>(flags.GetInt("k", 5));
@@ -527,8 +650,10 @@ int CmdStatsz(const Flags& flags) {
   options.worker_threads = static_cast<int>(flags.GetInt("workers", 0));
   options.cache_capacity = static_cast<size_t>(flags.GetInt("cache", 256));
   const int repeat = static_cast<int>(flags.GetInt("repeat", 1));
+  options.engine.prebuilt_grid =
+      source.mapped.has_value() ? source.mapped->grid() : nullptr;
 
-  QueryService service(loaded.MoveValue(), options);
+  QueryService service(std::move(source.dataset), options);
   std::vector<TrajectoryView> queries;
   queries.reserve(static_cast<size_t>(query_set.value().size()));
   for (const TrajectoryRef q : query_set.value()) {
@@ -538,6 +663,11 @@ int CmdStatsz(const Flags& flags) {
     (void)service.SubmitBatch(queries);
   }
 
+  // Publish the storage gauges last so the exported registry reflects the
+  // mapping's residency after the workload touched it.
+  if (source.mapped.has_value()) {
+    source.mapped->UpdateGauges(&service.metrics());
+  }
   const obs::RegistrySnapshot snap = service.metrics().Snapshot();
   const std::string out = flags.GetString("out", "");
   const bool json = flags.GetBool("json", false) || !out.empty();

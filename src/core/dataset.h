@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -18,12 +19,20 @@ struct DatasetStats {
   int min_length = 0;
   int max_length = 0;
   BoundingBox bounds;
+  /// True for a borrowed (mapped) dataset: storage is spans over an
+  /// external owner (e.g. an mmap'd snapshot), not heap vectors.
+  bool borrowed = false;
   /// Bytes held by the contiguous point pool (capacity excluded).
   size_t pool_bytes = 0;
   /// Bytes *reserved* by the pool. Loaders size the pool exactly from
   /// snapshot headers, so after a load this equals pool_bytes; a gap means
   /// some path grew the pool incrementally (audited in plan_alloc_test).
+  /// A borrowed pool reports its mapped bytes (== pool_bytes): there is no
+  /// vector capacity, and the mapping reserves nothing beyond the payload.
   size_t pool_capacity_bytes = 0;
+  /// Same size/capacity audit for the offset table.
+  size_t offsets_bytes = 0;
+  size_t offsets_capacity_bytes = 0;
 };
 
 /// \brief An in-memory collection of data trajectories, stored as one
@@ -36,24 +45,46 @@ struct DatasetStats {
 /// and operator[] hands out zero-copy TrajectoryRef handles into the pool.
 /// The layout is also the snapshot-v2 on-disk layout, so loading a snapshot
 /// is a header check plus one contiguous read.
+///
+/// Storage is either *owned* (heap vectors, mutable via Add/AddAll — the
+/// default) or *borrowed* (FromMapped: read-only spans over storage someone
+/// else owns, e.g. the page-aligned sections of an mmap'd v4 snapshot, kept
+/// alive by a refcounted keepalive). Every read accessor goes through one
+/// set of view pointers that covers both modes, so serving code — engines,
+/// shards, the live-corpus base — is oblivious to where the bytes live.
+/// Mutating a borrowed dataset is a programming error and CHECKs.
 class Dataset {
  public:
-  Dataset() = default;
-  explicit Dataset(std::string name) : name_(std::move(name)) {}
+  Dataset() { SyncViews(); }
+  explicit Dataset(std::string name) : name_(std::move(name)) { SyncViews(); }
+
+  Dataset(const Dataset& other);
+  Dataset& operator=(const Dataset& other);
+  // Moving a vector moves its heap buffer, so the source's view pointers
+  // stay valid in the destination for owned and borrowed datasets alike.
+  Dataset(Dataset&&) = default;
+  Dataset& operator=(Dataset&&) = default;
 
   /// Copies the viewed points into the pool as a new trajectory; its id is
   /// its index. Returns the id. Accepts Trajectory via implicit conversion.
+  /// Owned datasets only (CHECKs on a borrowed one).
   int Add(TrajectoryView points);
 
   /// Pre-allocates room for `n` more trajectories (loaders and generators
   /// know the final count up front; avoids per-Add reallocation).
-  void Reserve(size_t n) { offsets_.reserve(offsets_.size() + n); }
+  void Reserve(size_t n) {
+    TRAJ_CHECK(!borrowed_);
+    offsets_.reserve(offsets_.size() + n);
+    SyncViews();
+  }
 
   /// Pre-allocates room for `n` more points in the pool (and its columns).
   void ReservePoints(size_t n) {
+    TRAJ_CHECK(!borrowed_);
     pool_.reserve(pool_.size() + n);
     xs_.reserve(xs_.size() + n);
     ys_.reserve(ys_.size() + n);
+    SyncViews();
   }
 
   /// Moves every trajectory of `trajs` into the dataset (ids reassigned).
@@ -66,24 +97,48 @@ class Dataset {
   static Dataset FromPool(std::string name, std::vector<Point> pool,
                           std::vector<uint64_t> offsets);
 
+  /// FromPool overload adopting prebuilt coordinate columns (must mirror
+  /// `pool` exactly; the compressed-snapshot decoder produces all three
+  /// streams in one pass, so rebuilding the columns here would be waste).
+  static Dataset FromPool(std::string name, std::vector<Point> pool,
+                          std::vector<double> xs, std::vector<double> ys,
+                          std::vector<uint64_t> offsets);
+
+  /// Borrows an already-laid-out corpus without copying: spans over the AoS
+  /// pool, its SoA coordinate columns and the offset table — typically the
+  /// page-aligned sections of a mapped snapshot. `keepalive` owns the
+  /// storage (shared by copies of this dataset) and is released when the
+  /// last borrower is destroyed. The spans must satisfy the same invariants
+  /// FromPool checks, plus xs/ys mirroring the pool (checked in debug
+  /// builds); callers loading untrusted bytes validate first and fail soft.
+  static Dataset FromMapped(std::string name, std::span<const Point> pool,
+                            std::span<const double> xs,
+                            std::span<const double> ys,
+                            std::span<const uint64_t> offsets,
+                            std::shared_ptr<const void> keepalive);
+
+  /// True when the storage is borrowed (FromMapped); such a dataset is
+  /// immutable — grow it by compacting into an owned corpus first.
+  bool borrowed() const { return borrowed_; }
+
   /// Number of trajectories.
-  int size() const { return static_cast<int>(offsets_.size()) - 1; }
+  int size() const { return static_cast<int>(offsets_size_) - 1; }
   bool empty() const { return size() == 0; }
 
   /// Total points across all trajectories.
-  size_t point_count() const { return pool_.size(); }
+  size_t point_count() const { return pool_size_; }
 
   /// Point count of trajectory `id`.
   int length(int id) const {
     TRAJ_DCHECK(id >= 0 && id < size());
-    return static_cast<int>(offsets_[static_cast<size_t>(id) + 1] -
-                            offsets_[static_cast<size_t>(id)]);
+    return static_cast<int>(offsets_data_[static_cast<size_t>(id) + 1] -
+                            offsets_data_[static_cast<size_t>(id)]);
   }
 
   /// Trajectory accessor by id/index: a zero-copy handle into the pool.
   TrajectoryRef operator[](int id) const {
     TRAJ_DCHECK(id >= 0 && id < size());
-    return TrajectoryRef(pool_.data() + offsets_[static_cast<size_t>(id)],
+    return TrajectoryRef(pool_data_ + offsets_data_[static_cast<size_t>(id)],
                          length(id), id);
   }
 
@@ -113,19 +168,22 @@ class Dataset {
   /// here are stable across queries.
   PointCols cols(int id) const {
     TRAJ_DCHECK(id >= 0 && id < size());
-    const size_t off = static_cast<size_t>(offsets_[static_cast<size_t>(id)]);
-    return PointCols{xs_.data() + off, ys_.data() + off};
+    const size_t off =
+        static_cast<size_t>(offsets_data_[static_cast<size_t>(id)]);
+    return PointCols{xs_data_ + off, ys_data_ + off};
   }
 
   /// Coordinate columns over the whole pool (trajectory-major, same order
   /// as pool()).
-  PointCols pool_cols() const { return PointCols{xs_.data(), ys_.data()}; }
+  PointCols pool_cols() const { return PointCols{xs_data_, ys_data_}; }
 
   /// The shared point pool (trajectory-major, contiguous).
-  std::span<const Point> pool() const { return pool_; }
+  std::span<const Point> pool() const { return {pool_data_, pool_size_}; }
   /// Per-trajectory pool offsets; size() + 1 entries, first 0, last
   /// point_count().
-  const std::vector<uint64_t>& offsets() const { return offsets_; }
+  std::span<const uint64_t> offsets() const {
+    return {offsets_data_, offsets_size_};
+  }
 
   const std::string& name() const { return name_; }
 
@@ -136,13 +194,38 @@ class Dataset {
   BoundingBox Bounds() const;
 
  private:
+  /// Repoints the serving views at the owned vectors. Every owned-mode
+  /// mutation ends with this; borrowed datasets never call it (their views
+  /// point into the keepalive's storage and the vectors stay empty).
+  void SyncViews() {
+    pool_data_ = pool_.data();
+    pool_size_ = pool_.size();
+    xs_data_ = xs_.data();
+    ys_data_ = ys_.data();
+    offsets_data_ = offsets_.data();
+    offsets_size_ = offsets_.size();
+  }
+
   std::string name_;
+  bool borrowed_ = false;
+  /// Owned storage (empty in borrowed mode).
   std::vector<Point> pool_;
   // Structure-of-arrays shadow of pool_ (same indexing), kept in lockstep by
   // Add/FromPool so SIMD kernels can stream coordinates column-wise.
   std::vector<double> xs_;
   std::vector<double> ys_;
   std::vector<uint64_t> offsets_ = {0};
+  /// Serving views: what every read accessor dereferences, regardless of
+  /// whether the bytes live in the vectors above or in borrowed storage.
+  const Point* pool_data_ = nullptr;
+  size_t pool_size_ = 0;
+  const double* xs_data_ = nullptr;
+  const double* ys_data_ = nullptr;
+  const uint64_t* offsets_data_ = nullptr;
+  size_t offsets_size_ = 1;
+  /// Owner of borrowed storage (e.g. the mapped snapshot file); shared by
+  /// copies so the mapping lives exactly as long as its last borrower.
+  std::shared_ptr<const void> keepalive_;
 };
 
 /// \brief A contiguous range of a Dataset's trajectories.

@@ -1,0 +1,97 @@
+#include "io/mapped_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+namespace trajsearch {
+
+Result<std::shared_ptr<MappedFile>> MappedFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IoError("cannot open for mapping: " + path + ": " +
+                           std::strerror(errno));
+  }
+  struct stat st = {};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IoError("cannot stat: " + path + ": " +
+                           std::strerror(err));
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  void* data = nullptr;
+  if (size > 0) {
+    data = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (data == MAP_FAILED) {
+      const int err = errno;
+      ::close(fd);
+      return Status::IoError("cannot mmap: " + path + ": " +
+                             std::strerror(err));
+    }
+  }
+  // The mapping outlives the descriptor (POSIX keeps the pages alive).
+  ::close(fd);
+  return std::shared_ptr<MappedFile>(new MappedFile(data, size));
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) ::munmap(data_, size_);
+}
+
+Status MappedFile::WillNeed() const {
+  if (size_ == 0) return Status::OK();
+  if (::madvise(data_, size_, MADV_WILLNEED) != 0) {
+    return Status::IoError(std::string("madvise(WILLNEED) failed: ") +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+size_t MappedFile::ResidentBytes(size_t max_exact_bytes) const {
+  if (size_ == 0) return 0;
+  const size_t page = PageSize();
+  // Probe in fixed-size chunks so the flag buffer never scales with the
+  // mapping; for mappings beyond max_exact_bytes, probe every k-th chunk
+  // and scale the count back up (a sampled estimate is all a gauge needs).
+  constexpr size_t kChunkPages = 16384;  // 64 MiB of mapping per mincore call
+  const size_t chunk_bytes = kChunkPages * page;
+  const size_t chunks = (size_ + chunk_bytes - 1) / chunk_bytes;
+  size_t stride = 1;
+  if (size_ > max_exact_bytes) {
+    stride = (size_ + max_exact_bytes - 1) / max_exact_bytes;
+  }
+  std::vector<unsigned char> flags(kChunkPages);
+  size_t resident_pages = 0;
+  size_t probed_chunks = 0;
+  for (size_t c = 0; c < chunks; c += stride) {
+    const size_t begin = c * chunk_bytes;
+    const size_t length = std::min(chunk_bytes, size_ - begin);
+    const size_t pages = (length + page - 1) / page;
+    if (::mincore(static_cast<char*>(data_) + begin, length, flags.data()) !=
+        0) {
+      return 0;  // e.g. the range was unmapped under us; report unknown
+    }
+    for (size_t i = 0; i < pages; ++i) resident_pages += flags[i] & 1u;
+    ++probed_chunks;
+  }
+  if (probed_chunks == 0) return 0;
+  const size_t probed_total = std::min(probed_chunks * chunk_bytes, size_);
+  const double scale =
+      static_cast<double>(size_) / static_cast<double>(probed_total);
+  return static_cast<size_t>(static_cast<double>(resident_pages * page) *
+                             scale);
+}
+
+size_t MappedFile::PageSize() {
+  const long page = ::sysconf(_SC_PAGESIZE);
+  return page > 0 ? static_cast<size_t>(page) : 4096;
+}
+
+}  // namespace trajsearch

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/status.h"
+
+namespace trajsearch {
+
+/// \brief Refcounted read-only memory mapping of a whole file.
+///
+/// The one owner of an mmap/munmap pair in the repo (tools/lint.py bans the
+/// raw syscalls everywhere else). Borrowed-storage consumers — a mapped
+/// Dataset, a mapped GridIndex — hold the mapping alive through the
+/// std::shared_ptr returned by Open() and hand out std::spans into it, so
+/// the pages are unmapped exactly once, when the last borrower drops its
+/// reference. The mapping is PROT_READ: the kernel's page cache manages
+/// residency, cold pages cost nothing, and a store through a borrowed span
+/// faults instead of silently corrupting the snapshot.
+class MappedFile {
+ public:
+  /// Maps `path` read-only. IoError when the file cannot be opened, stat'd
+  /// or mapped. An empty file maps successfully with size() == 0.
+  static Result<std::shared_ptr<MappedFile>> Open(const std::string& path);
+
+  ~MappedFile();
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const std::byte* data() const { return static_cast<const std::byte*>(data_); }
+  size_t size() const { return size_; }
+
+  /// Asks the kernel to start faulting the whole mapping in
+  /// (madvise(MADV_WILLNEED)) — the warmup knob for serving paths that
+  /// prefer paying the I/O up front over first-query page faults.
+  Status WillNeed() const;
+
+  /// Bytes of the mapping currently resident in memory, probed with
+  /// mincore page by page. Mappings larger than `max_exact_bytes` are
+  /// sampled (every k-th chunk, scaled back up) so the probe's cost stays
+  /// bounded no matter how large the corpus is; the result is then an
+  /// estimate, which is all a residency gauge needs.
+  size_t ResidentBytes(size_t max_exact_bytes = size_t{1} << 32) const;
+
+  /// The system page size (section alignment of the v4 snapshot format).
+  static size_t PageSize();
+
+ private:
+  MappedFile(void* data, size_t size) : data_(data), size_(size) {}
+
+  void* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace trajsearch

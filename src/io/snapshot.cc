@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/fingerprint.h"
+#include "io/snapshot_v4.h"
 #include "io/traj_csv.h"
 
 namespace trajsearch {
@@ -101,11 +102,12 @@ Status ReadHeader(std::ifstream& in, const std::string& path,
   }
   if (header->version != kSnapshotVersion &&
       header->version != kSnapshotVersionLive &&
+      header->version != kSnapshotVersionMapped &&
       header->version != kVersionV1) {
     return Status::Unsupported(
         "snapshot version " + std::to_string(header->version) +
         " (expected " + std::to_string(kVersionV1) + ".." +
-        std::to_string(kSnapshotVersionLive) + "): " + path);
+        std::to_string(kSnapshotVersionMapped) + "): " + path);
   }
   return Status::OK();
 }
@@ -209,6 +211,16 @@ Result<LiveSnapshot> ReadLiveSnapshot(const std::string& path) {
   SnapshotHeader header;
   const Status header_status = ReadHeader(in, path, &header);
   if (!header_status.ok()) return header_status;
+
+  if (header.version == kSnapshotVersionMapped) {
+    // v4 has a section-table layout; its own reader heap-loads and verifies
+    // the checksum. A v4 file never carries a journal.
+    Result<Dataset> loaded = ReadSnapshotV4(path);
+    if (!loaded.ok()) return loaded.status();
+    LiveSnapshot snapshot;
+    snapshot.base = loaded.MoveValue();
+    return snapshot;
+  }
 
   const std::streampos payload_start = in.tellg();
   in.seekg(0, std::ios::end);
@@ -345,6 +357,10 @@ Result<SnapshotInfo> ProbeSnapshot(const std::string& path) {
   SnapshotHeader header;
   const Status header_status = ReadHeader(in, path, &header);
   if (!header_status.ok()) return header_status;
+
+  if (header.version == kSnapshotVersionMapped) {
+    return ProbeSnapshotV4(path);
+  }
 
   // Same sanity rule as the full loader: no allocation or seek sized from
   // the file until the declared counts fit the bytes the file actually has

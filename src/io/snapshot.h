@@ -59,6 +59,9 @@ namespace trajsearch {
 /// exactly a v2 file; only live corpora with a delta write v3).
 inline constexpr uint32_t kSnapshotVersion = 2;
 inline constexpr uint32_t kSnapshotVersionLive = 3;
+/// v4: the page-aligned, section-table serving format built for zero-copy
+/// mmap serving and the compressed column tier (see io/snapshot_v4.h).
+inline constexpr uint32_t kSnapshotVersionMapped = 4;
 
 /// A v3 snapshot split into its two generations: the pooled base and the
 /// append journal (delta trajectories in append order). v1/v2 files load
@@ -68,16 +71,37 @@ struct LiveSnapshot {
   std::vector<Trajectory> journal;
 };
 
+/// One entry of a v4 snapshot's section table (type constants in
+/// io/snapshot_v4.h).
+struct SnapshotSectionInfo {
+  uint32_t type = 0;
+  uint64_t offset = 0;
+  uint64_t length = 0;
+};
+
 /// Header/shape summary of a snapshot file, readable without loading the
 /// payload (the CLI's `stats` uses this to report version and generation
-/// shape).
+/// shape). For a v4 file the probe also reports the section table and
+/// storage-tier configuration — all from the prelude, never faulting the
+/// payload.
 struct SnapshotInfo {
   uint32_t version = 0;
   std::string name;
   uint64_t base_trajectories = 0;
   uint64_t base_points = 0;
-  uint64_t journal_trajectories = 0;  // 0 for v1/v2
-  uint64_t journal_points = 0;        // 0 for v1/v2
+  uint64_t journal_trajectories = 0;  // 0 for v1/v2/v4
+  uint64_t journal_points = 0;        // 0 for v1/v2/v4
+  /// v4 only: the section table, in file order.
+  std::vector<SnapshotSectionInfo> sections;
+  /// v4 only: every section starts on a kV4PageSize boundary (the probe
+  /// rejects files where this fails, so true whenever the probe succeeds).
+  bool page_aligned = false;
+  /// v4 only: the file stores the compressed column tier.
+  bool compressed = false;
+  double compressed_resolution = 0;
+  bool compressed_residuals = false;
+  /// v4 only: on-disk footprint per trajectory (file size / trajectories).
+  double bytes_per_trajectory = 0;
 };
 
 /// Writes the dataset as a v2 snapshot; IoError on filesystem errors.

@@ -105,6 +105,7 @@ GridIndex::GridIndex(DatasetView data, double cell_size)
     slot_cell_[h] = static_cast<int32_t>(c);
   }
 
+  SyncViews();
   stats_.cell_size = cell_size_;
   stats_.cell_count = cell_keys_.size();
   stats_.entry_count = ids_.size();
@@ -114,6 +115,119 @@ GridIndex::GridIndex(DatasetView data, double cell_size)
                        slot_key_.size() * sizeof(int64_t) +
                        slot_cell_.size() * sizeof(int32_t);
   stats_.build_seconds = build_watch.Seconds();
+}
+
+void GridIndex::SyncViews() {
+  cell_keys_data_ = cell_keys_.data();
+  cell_count_ = cell_keys_.size();
+  cell_offsets_data_ = cell_offsets_.data();
+  ids_data_ = ids_.data();
+  id_count_ = ids_.size();
+  slot_key_data_ = slot_key_.data();
+  slot_cell_data_ = slot_cell_.data();
+  slot_mask_ = slot_key_.empty() ? 0 : slot_key_.size() - 1;
+}
+
+GridIndex::GridIndex(const GridIndex& other)
+    : cell_size_(other.cell_size_),
+      dataset_size_(other.dataset_size_),
+      borrowed_(other.borrowed_),
+      cell_keys_(other.cell_keys_),
+      cell_offsets_(other.cell_offsets_),
+      ids_(other.ids_),
+      slot_key_(other.slot_key_),
+      slot_cell_(other.slot_cell_),
+      cell_keys_data_(other.cell_keys_data_),
+      cell_count_(other.cell_count_),
+      cell_offsets_data_(other.cell_offsets_data_),
+      ids_data_(other.ids_data_),
+      id_count_(other.id_count_),
+      slot_key_data_(other.slot_key_data_),
+      slot_cell_data_(other.slot_cell_data_),
+      slot_mask_(other.slot_mask_),
+      keepalive_(other.keepalive_),
+      stats_(other.stats_) {
+  // Borrowed copies share the keepalive (views stay valid); owned copies got
+  // fresh vector buffers and must repoint at them.
+  if (!borrowed_) SyncViews();
+}
+
+GridIndex& GridIndex::operator=(const GridIndex& other) {
+  if (this == &other) return *this;
+  GridIndex copy(other);
+  *this = std::move(copy);
+  return *this;
+}
+
+Result<GridIndex> GridIndex::FromParts(double cell_size, int dataset_size,
+                                       std::span<const int64_t> cell_keys,
+                                       std::span<const uint64_t> cell_offsets,
+                                       std::span<const int32_t> ids,
+                                       std::span<const int64_t> slot_keys,
+                                       std::span<const int32_t> slot_cells,
+                                       std::shared_ptr<const void> keepalive) {
+  if (!(cell_size > 0) || dataset_size < 0) {
+    return Status::InvalidArgument("grid parts: bad cell size or corpus size");
+  }
+  // The scans below run on every mmap open, so they are written as
+  // single-pass branchless reductions (no early exit) that the compiler can
+  // vectorize — a rejected file pays one wasted pass, the common valid open
+  // runs several times faster than the short-circuiting spellings.
+  if (cell_offsets.size() != cell_keys.size() + 1 ||
+      cell_offsets.front() != 0 || cell_offsets.back() != ids.size()) {
+    return Status::InvalidArgument(
+        "grid parts: offset table is not a valid CSR layout");
+  }
+  uint64_t offsets_descend = 0;
+  for (size_t i = 0; i + 1 < cell_offsets.size(); ++i) {
+    offsets_descend |= cell_offsets[i] > cell_offsets[i + 1];
+  }
+  if (offsets_descend != 0) {
+    return Status::InvalidArgument(
+        "grid parts: offset table is not a valid CSR layout");
+  }
+  // cell_keys sortedness is deliberately NOT checked here: lookups go
+  // through the hash slot table only (CellRange never binary-searches the
+  // keys), so an out-of-order key cannot cause out-of-bounds access — it is
+  // an integrity property, and MmapSnapshot::Verify() checks it on the deep
+  // path. Keeping the 8-bytes-per-cell stream out of FromParts matters for
+  // the mmap-open latency budget.
+  if (slot_keys.size() != slot_cells.size() || slot_keys.empty() ||
+      (slot_keys.size() & (slot_keys.size() - 1)) != 0 ||
+      slot_keys.size() < cell_keys.size()) {
+    return Status::InvalidArgument(
+        "grid parts: slot table is not a power-of-two probe table");
+  }
+  const auto cell_limit = static_cast<int32_t>(cell_keys.size());
+  int32_t slot_out_of_range = 0;
+  for (const int32_t cell : slot_cells) {
+    slot_out_of_range |= static_cast<int32_t>(cell < -1) |
+                         static_cast<int32_t>(cell >= cell_limit);
+  }
+  if (slot_out_of_range != 0) {
+    return Status::InvalidArgument("grid parts: slot target out of range");
+  }
+  GridIndex grid;
+  grid.cell_size_ = cell_size;
+  grid.dataset_size_ = dataset_size;
+  grid.borrowed_ = true;
+  grid.cell_keys_data_ = cell_keys.data();
+  grid.cell_count_ = cell_keys.size();
+  grid.cell_offsets_data_ = cell_offsets.data();
+  grid.ids_data_ = ids.data();
+  grid.id_count_ = ids.size();
+  grid.slot_key_data_ = slot_keys.data();
+  grid.slot_cell_data_ = slot_cells.data();
+  grid.slot_mask_ = slot_keys.size() - 1;
+  grid.keepalive_ = std::move(keepalive);
+  grid.stats_.cell_size = cell_size;
+  grid.stats_.cell_count = cell_keys.size();
+  grid.stats_.entry_count = ids.size();
+  grid.stats_.index_bytes = cell_keys.size_bytes() +
+                            cell_offsets.size_bytes() + ids.size_bytes() +
+                            slot_keys.size_bytes() + slot_cells.size_bytes();
+  grid.stats_.build_seconds = 0;  // served prebuilt, nothing was built
+  return grid;
 }
 
 int64_t GridIndex::CellKey(double x, double y) const {
@@ -126,11 +240,11 @@ std::pair<const int32_t*, const int32_t*> GridIndex::CellRange(
     int64_t key) const {
   size_t h = HashKey(key) & slot_mask_;
   while (true) {
-    const int32_t c = slot_cell_[h];
+    const int32_t c = slot_cell_data_[h];
     if (c == -1) return {nullptr, nullptr};
-    if (slot_key_[h] == key) {
-      return {ids_.data() + cell_offsets_[static_cast<size_t>(c)],
-              ids_.data() + cell_offsets_[static_cast<size_t>(c) + 1]};
+    if (slot_key_data_[h] == key) {
+      return {ids_data_ + cell_offsets_data_[static_cast<size_t>(c)],
+              ids_data_ + cell_offsets_data_[static_cast<size_t>(c) + 1]};
     }
     h = (h + 1) & slot_mask_;
   }

@@ -1,10 +1,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <utility>
 #include <vector>
 
 #include "core/dataset.h"
+#include "util/status.h"
 
 namespace trajsearch {
 
@@ -51,10 +54,43 @@ struct GridIndexStats {
 /// thread-local scratch, so steady-state queries allocate nothing. Ids are
 /// local to the DatasetView the index was built over (identical to global
 /// ids for a whole-dataset view).
+/// Storage is owned (built by the constructor) or *borrowed* (FromParts:
+/// spans over prebuilt arrays — typically the CSR grid section of a mapped
+/// v4 snapshot — held alive by a refcounted keepalive), behind one set of
+/// view pointers so the probe path is identical in both modes.
 class GridIndex {
  public:
   /// Builds the inverted index in O(total points * log cells).
   GridIndex(DatasetView data, double cell_size);
+
+  /// An empty index (no cells, no slots): the FromParts target and the
+  /// Result<GridIndex> placeholder. Never probed — FromParts fills the
+  /// views in before one escapes.
+  GridIndex() = default;
+
+  GridIndex(const GridIndex& other);
+  GridIndex& operator=(const GridIndex& other);
+  // Vector moves keep buffer addresses, so view pointers survive a move in
+  // both storage modes.
+  GridIndex(GridIndex&&) = default;
+  GridIndex& operator=(GridIndex&&) = default;
+
+  /// Adopts prebuilt CSR + slot arrays without copying (the zero-copy
+  /// serving path for a grid section mapped from disk). `keepalive` owns the
+  /// arrays' storage. Validates the structural invariants the probe path
+  /// relies on — offset-table shape, power-of-two slot table, slot targets
+  /// in range — and returns InvalidArgument instead of adopting bad bytes.
+  /// Posting-id payload integrity is the snapshot checksum's job, and
+  /// cell-key sortedness (an ordering nicety the hash-probed lookups never
+  /// depend on) is MmapSnapshot::Verify()'s — neither is re-checked here,
+  /// keeping adoption inside the mmap-open latency budget.
+  static Result<GridIndex> FromParts(double cell_size, int dataset_size,
+                                     std::span<const int64_t> cell_keys,
+                                     std::span<const uint64_t> cell_offsets,
+                                     std::span<const int32_t> ids,
+                                     std::span<const int64_t> slot_keys,
+                                     std::span<const int32_t> slot_cells,
+                                     std::shared_ptr<const void> keepalive);
 
   /// Computes close(q, T) for every trajectory with a nonzero count, into
   /// `out` as (trajectory id, close count) pairs in ascending id order.
@@ -85,11 +121,35 @@ class GridIndex {
                          std::vector<int>* out) const;
 
   double cell_size() const { return cell_size_; }
-  size_t cell_count() const { return cell_keys_.size(); }
+  size_t cell_count() const { return cell_count_; }
   int dataset_size() const { return dataset_size_; }
+  /// True when the arrays are borrowed (FromParts) rather than owned.
+  bool borrowed() const { return borrowed_; }
   const GridIndexStats& stats() const { return stats_; }
 
+  /// \name Raw serving arrays (the v4 snapshot writer serializes these;
+  /// FromParts adopts the same five arrays back).
+  /// @{
+  std::span<const int64_t> cell_keys() const {
+    return {cell_keys_data_, cell_count_};
+  }
+  std::span<const uint64_t> cell_offsets() const {
+    return {cell_offsets_data_, cell_count_ + 1};
+  }
+  std::span<const int32_t> posting_ids() const {
+    return {ids_data_, id_count_};
+  }
+  std::span<const int64_t> slot_keys() const {
+    return {slot_key_data_, slot_mask_ + 1};
+  }
+  std::span<const int32_t> slot_cells() const {
+    return {slot_cell_data_, slot_mask_ + 1};
+  }
+  /// @}
+
  private:
+  /// Repoints the serving views at the owned vectors (owned mode only).
+  void SyncViews();
   int64_t CellKey(double x, double y) const;
   /// Postings of the cell with `key`, or an empty range.
   std::pair<const int32_t*, const int32_t*> CellRange(int64_t key) const;
@@ -99,10 +159,12 @@ class GridIndex {
   void SurvivorCounts(TrajectoryView query, double mu,
                       std::vector<std::pair<int, int>>* out) const;
 
-  double cell_size_;
-  int dataset_size_;
-  /// CSR layout: cell_keys_ sorted ascending; ids of cell c are
-  /// ids_[cell_offsets_[c] .. cell_offsets_[c+1]), ascending.
+  double cell_size_ = 0;
+  int dataset_size_ = 0;
+  bool borrowed_ = false;
+  /// Owned CSR layout (empty in borrowed mode): cell_keys_ sorted ascending;
+  /// ids of cell c are ids_[cell_offsets_[c] .. cell_offsets_[c+1]),
+  /// ascending.
   std::vector<int64_t> cell_keys_;
   std::vector<uint64_t> cell_offsets_;
   std::vector<int32_t> ids_;
@@ -110,7 +172,16 @@ class GridIndex {
   /// -1 for empty slots, slot table size is a power of two.
   std::vector<int64_t> slot_key_;
   std::vector<int32_t> slot_cell_;
+  /// Serving views over either the vectors above or borrowed storage.
+  const int64_t* cell_keys_data_ = nullptr;
+  size_t cell_count_ = 0;
+  const uint64_t* cell_offsets_data_ = nullptr;
+  const int32_t* ids_data_ = nullptr;
+  size_t id_count_ = 0;
+  const int64_t* slot_key_data_ = nullptr;
+  const int32_t* slot_cell_data_ = nullptr;
   size_t slot_mask_ = 0;
+  std::shared_ptr<const void> keepalive_;
   GridIndexStats stats_;
 };
 

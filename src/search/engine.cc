@@ -83,7 +83,17 @@ SearchEngine::SearchEngine(DatasetView data, EngineOptions options)
     // caller passed (the derived value is observable via grid()->stats()).
     double cell = options_.cell_size;
     if (cell <= 0) cell = DefaultCellSize(data_.Bounds());
-    grid_ = std::make_unique<GridIndex>(data_, cell);
+    const GridIndex* prebuilt = options_.prebuilt_grid;
+    if (prebuilt != nullptr && data_.begin_id() == 0 &&
+        data_.size() == prebuilt->dataset_size() &&
+        cell == prebuilt->cell_size()) {
+      // The prebuilt index covers exactly this view at exactly this cell
+      // side, so serving it is hit-for-hit identical to building one.
+      grid_view_ = prebuilt;
+    } else {
+      grid_ = std::make_unique<GridIndex>(data_, cell);
+      grid_view_ = grid_.get();
+    }
   }
   searcher_ = MakeEngineSearcher(options_);
   funnel_ = FunnelCounters(options_.metrics, options_.algorithm);
@@ -117,11 +127,11 @@ void SearchEngine::QueryInto(TrajectoryView query, SharedTopK* topk,
   // — so ordering applies to the shared-threshold pipeline only.
   const bool ordering =
       options_.order_candidates && options_.share_threshold;
-  if (grid_ != nullptr) {
+  if (grid_view_ != nullptr) {
     if (ordering) {
-      grid_->OrderedCandidates(query, options_.mu, &candidate_scratch);
+      grid_view_->OrderedCandidates(query, options_.mu, &candidate_scratch);
     } else {
-      grid_->Candidates(query, options_.mu, &candidate_scratch);
+      grid_view_->Candidates(query, options_.mu, &candidate_scratch);
     }
   } else {
     candidate_scratch.resize(static_cast<size_t>(data_.size()));
@@ -158,7 +168,7 @@ void SearchEngine::QueryInto(TrajectoryView query, SharedTopK* topk,
   // cached for the workers' bound filter, so ordering shifts the bound work
   // up front rather than adding any.
   IntervalTimer order_timer;
-  if (ordering && grid_ == nullptr && bound != nullptr) {
+  if (ordering && grid_view_ == nullptr && bound != nullptr) {
     order_timer.Start();
     bound->OrderByBound(data_, &candidate_scratch, &bound_cache_scratch);
     order_timer.Stop();

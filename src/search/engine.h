@@ -84,6 +84,15 @@ struct EngineOptions {
   /// disables funnel export entirely. Observability-only: never hashed into
   /// options fingerprints; not owned.
   obs::Registry* metrics = nullptr;
+  /// A prebuilt GBP index to serve from instead of building one — the
+  /// zero-copy path for the grid section of a mapped v4 snapshot. Used only
+  /// when it provably matches what the engine would build itself: use_gbp is
+  /// on, the engine's view is the whole corpus the index covers
+  /// (begin_id() == 0 and size() == prebuilt_grid->dataset_size()) and the
+  /// cell side equals the one this engine derives; otherwise the engine
+  /// silently builds its own (per-shard views always do). Must outlive the
+  /// engine; not owned; never hashed into options fingerprints.
+  const GridIndex* prebuilt_grid = nullptr;
 };
 
 /// \brief One result of a database query.
@@ -217,14 +226,19 @@ class SearchEngine {
   /// Exactly what the caller passed (derived values are never written back).
   const EngineOptions& options() const { return options_; }
   const DatasetView& data() const { return data_; }
-  /// The pruning index (null when GBP is disabled); stats().cell_size holds
-  /// the derived cell side when options().cell_size was 0.
-  const GridIndex* grid() const { return grid_.get(); }
+  /// The pruning index served from (null when GBP is disabled): the
+  /// caller's prebuilt_grid when it was adopted, else the engine-built one.
+  /// stats().cell_size holds the derived cell side when options().cell_size
+  /// was 0.
+  const GridIndex* grid() const { return grid_view_; }
 
  private:
   DatasetView data_;
   EngineOptions options_;
   std::unique_ptr<GridIndex> grid_;
+  /// What the query path probes: options_.prebuilt_grid when adopted, else
+  /// grid_.get(); null with GBP off.
+  const GridIndex* grid_view_ = nullptr;
   std::unique_ptr<Searcher> searcher_;
   /// Funnel counter pointers, resolved once at construction (all-null
   /// without a registry).

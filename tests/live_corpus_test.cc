@@ -153,7 +153,7 @@ TEST(LiveDatasetTest, MergeFlattensWithExactReserves) {
   }
   const DatasetStats stats = merged.Stats();
   EXPECT_EQ(stats.pool_capacity_bytes, stats.pool_bytes);
-  EXPECT_EQ(merged.offsets().capacity(), merged.offsets().size());
+  EXPECT_EQ(stats.offsets_capacity_bytes, stats.offsets_bytes);
 }
 
 // ---------------------------------------------------------------------------

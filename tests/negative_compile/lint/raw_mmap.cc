@@ -1,0 +1,18 @@
+// lint self-test: raw-mmap must fire on direct mmap-family calls outside
+// io/mapped_file.cc (checked as src/example.cc).
+#include <sys/mman.h>
+
+namespace trajsearch_nc {
+
+inline void* MapWholeFile(int fd, unsigned long size) {
+  void* data = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  if (data == MAP_FAILED) return nullptr;
+  (void)madvise(data, size, MADV_WILLNEED);
+  return data;
+}
+
+inline void UnmapFile(void* data, unsigned long size) {
+  munmap(data, size);
+}
+
+}  // namespace trajsearch_nc

@@ -48,6 +48,7 @@ LINT_CASES = {
     "relaxed_outside.cc": ("src/example.cc", "relaxed-order"),
     "relaxed_uncommented.cc": ("src/obs/metrics.h", "relaxed-order"),
     "minmax_double.cc": ("src/distance/example.h", "minmax-double"),
+    "raw_mmap.cc": ("src/example.cc", "raw-mmap"),
 }
 
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "io/snapshot.h"
+#include "io/snapshot_v4.h"
 #include "prune/key_point_filter.h"
 #include "search/engine.h"
 #include "search/searcher.h"
@@ -291,7 +292,7 @@ TEST(SnapshotLoadAllocTest, SnapshotLoadReservesExactlyFromHeader) {
   for (const Dataset* dataset : {&small, &large}) {
     const DatasetStats stats = dataset->Stats();
     EXPECT_EQ(stats.pool_capacity_bytes, stats.pool_bytes);
-    EXPECT_EQ(dataset->offsets().capacity(), dataset->offsets().size());
+    EXPECT_EQ(stats.offsets_capacity_bytes, stats.offsets_bytes);
   }
   std::remove(small_path.c_str());
   std::remove(large_path.c_str());
@@ -316,8 +317,75 @@ TEST(SnapshotLoadAllocTest, V3FlattenLoadDoesNotOverAllocate) {
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   const DatasetStats stats = loaded.value().Stats();
   EXPECT_EQ(stats.pool_capacity_bytes, stats.pool_bytes);
-  EXPECT_EQ(loaded.value().offsets().capacity(),
-            loaded.value().offsets().size());
+  EXPECT_EQ(stats.offsets_capacity_bytes, stats.offsets_bytes);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotLoadAllocTest, MmapOpenAllocationCountIsCorpusSizeIndependent) {
+  // Zero-copy serving means *zero payload allocations*: MmapSnapshot::Open
+  // borrows the offsets table, point pool, shadow columns, and grid index
+  // straight from the mapping, so its heap traffic is a small constant
+  // (the MappedFile object, Status/Result plumbing, section bookkeeping) no
+  // matter how large the corpus is. An accidental copy of any section
+  // would scale with the corpus and trip this audit.
+  Rng rng(62830);
+  auto make_corpus = [&](int count) {
+    Dataset dataset("allocmmap");  // same name → same string allocations
+    for (int i = 0; i < count; ++i) dataset.Add(RandomWalk(&rng, 24));
+    return dataset;
+  };
+  auto audited_open = [](const std::string& path, long long* allocations) {
+    const long long before = AllocationCount();
+    Result<MmapSnapshot> opened = MmapSnapshot::Open(path);
+    *allocations = AllocationCount() - before;
+    EXPECT_TRUE(opened.ok()) << opened.status().ToString();
+    return opened.MoveValue();
+  };
+
+  const std::string small_path = ::testing::TempDir() + "/alloc_m4a.snap";
+  const std::string large_path = ::testing::TempDir() + "/alloc_m4b.snap";
+  ASSERT_TRUE(WriteSnapshotV4(make_corpus(16), small_path).ok());
+  ASSERT_TRUE(WriteSnapshotV4(make_corpus(256), large_path).ok());
+
+  long long small_allocs = 0, large_allocs = 0;
+  const MmapSnapshot small = audited_open(small_path, &small_allocs);
+  const MmapSnapshot large = audited_open(large_path, &large_allocs);
+  EXPECT_EQ(small_allocs, large_allocs)
+      << "v4 mmap open allocation count must not scale with the corpus";
+
+  // Borrowed storage reports capacity == bytes by construction: there is
+  // no owned buffer that could be over-allocated.
+  for (const MmapSnapshot* snapshot : {&small, &large}) {
+    const DatasetStats stats = snapshot->dataset().Stats();
+    EXPECT_TRUE(stats.borrowed);
+    EXPECT_EQ(stats.pool_capacity_bytes, stats.pool_bytes);
+    EXPECT_EQ(stats.offsets_capacity_bytes, stats.offsets_bytes);
+    ASSERT_NE(snapshot->grid(), nullptr);
+    EXPECT_TRUE(snapshot->grid()->borrowed());
+  }
+  std::remove(small_path.c_str());
+  std::remove(large_path.c_str());
+}
+
+TEST(SnapshotLoadAllocTest, CompressedDecodeDoesNotOverAllocate) {
+  // The compressed tier decodes into exactly-sized heap columns: the
+  // decoder resizes each output once from the header counts, so the served
+  // dataset must show zero slack, like every other load path.
+  Rng rng(271828);
+  Dataset dataset("allocpacked");
+  for (int i = 0; i < 48; ++i) dataset.Add(RandomWalk(&rng, 24));
+  const std::string path = ::testing::TempDir() + "/alloc_m4c.snap";
+  V4WriteOptions options;
+  options.compress = true;
+  options.codec.store_residuals = true;
+  ASSERT_TRUE(WriteSnapshotV4(dataset, path, options).ok());
+
+  Result<MmapSnapshot> opened = MmapSnapshot::Open(path);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  const DatasetStats stats = opened.value().dataset().Stats();
+  EXPECT_FALSE(stats.borrowed);
+  EXPECT_EQ(stats.pool_capacity_bytes, stats.pool_bytes);
+  EXPECT_EQ(stats.offsets_capacity_bytes, stats.offsets_bytes);
   std::remove(path.c_str());
 }
 

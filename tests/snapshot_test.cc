@@ -280,8 +280,7 @@ TEST(SnapshotTest, V3FlattensThroughReadSnapshotAndLoadDataset) {
   EXPECT_EQ(Fingerprint(loaded.value()), Fingerprint(flat));
   const DatasetStats stats = loaded.value().Stats();
   EXPECT_EQ(stats.pool_capacity_bytes, stats.pool_bytes);
-  EXPECT_EQ(loaded.value().offsets().capacity(),
-            loaded.value().offsets().size());
+  EXPECT_EQ(stats.offsets_capacity_bytes, stats.offsets_bytes);
 
   const Result<Dataset> sniffed = LoadDataset(path, "ignored");
   ASSERT_TRUE(sniffed.ok());

@@ -33,6 +33,12 @@ Rules (each with a documented allowlist; see README "Static analysis"):
                  code starts from seq_cst and earns its relaxations in
                  review, with the argument written down at the site.
 
+  raw-mmap       No raw mmap/munmap/mincore/madvise outside
+                 io/mapped_file.cc — the one refcounted ownership site, so
+                 a mapping can never outlive or leak past its MappedFile.
+                 Everything else goes through MappedFile (and MmapSnapshot
+                 on top of it).
+
 Exit status: 0 clean, 1 violations (printed one per line), 2 usage error.
 """
 
@@ -96,6 +102,12 @@ RELAXED_ALLOW = {
 RELAXED_RE = re.compile(r"\bmemory_order_relaxed\b")
 RELAXED_COMMENT_RE = re.compile(r"relaxed\b.*:|relaxed \(")
 RELAXED_COMMENT_WINDOW = 12
+
+# raw-mmap: the one mmap ownership site. Matches the bare and ::-qualified
+# calls; MADV_*/PROT_* constants alone are fine (they only mean something
+# next to a call this rule already sees).
+RAW_MMAP_ALLOW = {"src/io/mapped_file.cc"}
+RAW_MMAP_RE = re.compile(r"(?:\b|::)(?:mmap|munmap|mincore|madvise)\s*\(")
 
 LINE_COMMENT_RE = re.compile(r"//.*$")
 STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
@@ -197,6 +209,14 @@ def check_file(rel: str, text: str) -> list[str]:
                     f"the same statement (wrap in make_unique/make_shared or "
                     f"allowlist the arena in tools/lint.py)"
                 )
+
+        if in_src and rel not in RAW_MMAP_ALLOW and RAW_MMAP_RE.search(code):
+            problems.append(
+                f"{rel}:{lineno}: raw-mmap: map files through "
+                f"io/mapped_file.h (raw mmap/munmap/mincore/madvise is "
+                f"confined to MappedFile so mapping lifetime is always "
+                f"refcounted)"
+            )
 
         if in_src and RELAXED_RE.search(code):
             if rel not in RELAXED_ALLOW:
