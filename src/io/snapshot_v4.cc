@@ -189,6 +189,25 @@ Status ParsePrelude(const std::byte* base, size_t size,
     }
     out->sections.push_back(entry);
   }
+  // Sections must live past the prelude and must not overlap one another.
+  // The per-entry bounds checks above already keep every read inside the
+  // mapping; this keeps the views internally consistent — no section can
+  // alias the header or a sibling section. `cursor` sits exactly at the end
+  // of the prelude here, and offsets are page-aligned, so a section below
+  // the first page boundary after the prelude would cover prelude bytes.
+  std::vector<SectionEntry> ordered = out->sections;
+  std::sort(ordered.begin(), ordered.end(),
+            [](const SectionEntry& a, const SectionEntry& b) {
+              return a.offset < b.offset;
+            });
+  uint64_t previous_end = cursor;
+  for (const SectionEntry& entry : ordered) {
+    if (entry.offset < previous_end) {
+      return Status::InvalidArgument(
+          "snapshot sections overlap the prelude or each other: " + path);
+    }
+    previous_end = entry.offset + entry.length;
+  }
   return Status::OK();
 }
 
@@ -484,6 +503,16 @@ Result<MmapSnapshot> MmapSnapshot::Open(const std::string& path,
     LoadScalar(base, size, &cursor, &shape.cell_count);
     LoadScalar(base, size, &cursor, &shape.id_count);
     LoadScalar(base, size, &cursor, &shape.slot_count);
+    if (shape.cell_count > size || shape.id_count > size ||
+        shape.slot_count > size) {
+      // Same plausibility bound the prelude counts get: every grid array
+      // stores at least 4 bytes per entry, so any count beyond the file size
+      // is corruption — and unchecked it could wrap the ExpectedLength
+      // arithmetic below (e.g. cell_count + 2^61 multiplies back to the
+      // genuine length mod 2^64) and size spans far past the mapping.
+      return Status::IoError("grid index section counts exceed file size: " +
+                             path);
+    }
     if (shape.dataset_size < 0 ||
         static_cast<uint64_t>(shape.dataset_size) != traj_count ||
         shape.ExpectedLength() != entry->length) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/check.h"
 #include "util/stopwatch.h"
@@ -198,14 +199,31 @@ Result<GridIndex> GridIndex::FromParts(double cell_size, int dataset_size,
     return Status::InvalidArgument(
         "grid parts: slot table is not a power-of-two probe table");
   }
+  if (cell_keys.size() >
+      static_cast<size_t>(std::numeric_limits<int32_t>::max())) {
+    // Dataset ids (and therefore slot targets) are int32 throughout; a cell
+    // count past INT32_MAX is a hard format limit, and casting it below
+    // would wrap cell_limit and void the range check.
+    return Status::InvalidArgument(
+        "grid parts: cell count exceeds the int32 id space");
+  }
   const auto cell_limit = static_cast<int32_t>(cell_keys.size());
   int32_t slot_out_of_range = 0;
+  uint64_t empty_slots = 0;
   for (const int32_t cell : slot_cells) {
     slot_out_of_range |= static_cast<int32_t>(cell < -1) |
                          static_cast<int32_t>(cell >= cell_limit);
+    empty_slots += static_cast<uint64_t>(cell == -1);
   }
   if (slot_out_of_range != 0) {
     return Status::InvalidArgument("grid parts: slot target out of range");
+  }
+  if (empty_slots == 0) {
+    // CellRange's open-addressing probe terminates on an empty slot or a key
+    // match; a table with no empty slot would spin forever on the first
+    // lookup of an absent key. The builder never fills a table (load factor
+    // is bounded at 1/2), so this only rejects corrupt or crafted files.
+    return Status::InvalidArgument("grid parts: probe table has no empty slot");
   }
   GridIndex grid;
   grid.cell_size_ = cell_size;

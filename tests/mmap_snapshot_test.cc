@@ -52,6 +52,26 @@ void Corrupt(const std::string& path, std::streamoff offset) {
   f.put(static_cast<char>(~byte));
 }
 
+/// Reads a little-endian scalar straight out of the file.
+template <typename T>
+T ReadScalarAt(const std::string& path, std::streamoff offset) {
+  std::ifstream f(path, std::ios::binary);
+  f.seekg(offset);
+  T value{};
+  f.read(reinterpret_cast<char*>(&value), sizeof(value));
+  return value;
+}
+
+/// Overwrites a scalar in place — corruption with a chosen value, where
+/// Corrupt's bit-flip is not adversarial enough.
+template <typename T>
+void WriteScalarAt(const std::string& path, std::streamoff offset, T value) {
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(f.is_open());
+  f.seekp(offset);
+  f.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
 void Truncate(const std::string& path, std::streamoff size) {
   std::string content;
   {
@@ -337,6 +357,60 @@ TEST_F(SnapshotV4RejectionTest, CorruptGridHeader) {
   const SnapshotSectionInfo* grid = FindSection(info_, kV4SectionGrid);
   ASSERT_NE(grid, nullptr);
   Corrupt(path_, static_cast<std::streamoff>(grid->offset + 16));
+  EXPECT_FALSE(MmapSnapshot::Open(path_).ok());
+}
+
+TEST_F(SnapshotV4RejectionTest, WrappedGridCountsRejected) {
+  // Adding 2^61 to cell_count multiplies back to the *same* section length
+  // mod 2^64 (both cell arrays are 8-byte strides, so the wrap contributes
+  // two full 2^64 turns), so the length equation alone cannot catch it —
+  // only the plausibility bound against the file size does. Unrejected, the
+  // spans would cover ~2^61 elements and the open would read far past the
+  // mapping.
+  const SnapshotSectionInfo* grid = FindSection(info_, kV4SectionGrid);
+  ASSERT_NE(grid, nullptr);
+  const auto field = static_cast<std::streamoff>(grid->offset + 16);
+  const auto cell_count = ReadScalarAt<uint64_t>(path_, field);
+  WriteScalarAt<uint64_t>(path_, field, cell_count + (uint64_t{1} << 61));
+  EXPECT_FALSE(MmapSnapshot::Open(path_).ok());
+}
+
+TEST_F(SnapshotV4RejectionTest, FullGridSlotTableRejected) {
+  // A slot table with no empty slot would make CellRange's open-addressing
+  // probe spin forever on the first absent key; FromParts must reject it at
+  // open time. Fill every empty slot with a valid cell target (0), which
+  // passes the per-slot range check and fails only the termination one.
+  const SnapshotSectionInfo* grid = FindSection(info_, kV4SectionGrid);
+  ASSERT_NE(grid, nullptr);
+  const auto base = static_cast<std::streamoff>(grid->offset);
+  const auto cell_count = ReadScalarAt<uint64_t>(path_, base + 16);
+  const auto id_count = ReadScalarAt<uint64_t>(path_, base + 24);
+  const auto slot_count = ReadScalarAt<uint64_t>(path_, base + 32);
+  ASSERT_GT(cell_count, 0u);
+  const uint64_t slot_cells = grid->offset + 40 + cell_count * 8 +
+                              (cell_count + 1) * 8 + slot_count * 8 +
+                              id_count * 4;
+  for (uint64_t i = 0; i < slot_count; ++i) {
+    const auto at = static_cast<std::streamoff>(slot_cells + i * 4);
+    if (ReadScalarAt<int32_t>(path_, at) == -1) {
+      WriteScalarAt<int32_t>(path_, at, 0);
+    }
+  }
+  EXPECT_FALSE(MmapSnapshot::Open(path_).ok());
+}
+
+TEST_F(SnapshotV4RejectionTest, OverlappingSectionsRejected) {
+  // Repoint the second section at the first one's offset: still page-aligned
+  // and in-bounds, so only the no-overlap invariant is violated.
+  ASSERT_GE(info_.sections.size(), 2u);
+  WriteScalarAt<uint64_t>(path_, TableOffsetField(1),
+                          info_.sections[0].offset);
+  EXPECT_FALSE(MmapSnapshot::Open(path_).ok());
+}
+
+TEST_F(SnapshotV4RejectionTest, SectionAliasingPreludeRejected) {
+  // Offset 0 is page-aligned and in-bounds but covers the header itself.
+  WriteScalarAt<uint64_t>(path_, TableOffsetField(0), uint64_t{0});
   EXPECT_FALSE(MmapSnapshot::Open(path_).ok());
 }
 
